@@ -1,0 +1,39 @@
+# Convenience targets for the DRA reproduction. Everything is plain
+# `go` — the Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test race vet bench report examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate every paper figure + ablations, with timings.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Write the Figure 4/6/7/8 artifacts under ./artifacts/.
+report:
+	$(GO) run ./cmd/drareport -o artifacts
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/reliability-planning
+	$(GO) run ./examples/capacity-planning
+	$(GO) run ./examples/eib-trace
+	$(GO) run ./examples/switch-fabrics
+
+clean:
+	rm -rf artifacts test_output.txt bench_output.txt

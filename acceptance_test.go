@@ -1,0 +1,124 @@
+package dra_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	dra "repro"
+)
+
+// TestAcceptance is the end-to-end narrative: a JSON-described router is
+// built, traced, loaded with live traffic, walked through an outage
+// timeline, and its dependability is then checked three independent ways
+// (analytic chain, closed form, Monte Carlo). It exercises the whole
+// public surface in one coherent story.
+func TestAcceptance(t *testing.T) {
+	// 1. Describe the router as an operator would: a JSON file.
+	doc := `{
+	  "arch": "dra",
+	  "protocols": ["ethernet", "ethernet", "ethernet", "sonet", "atm", "sonet"],
+	  "load": 0.15,
+	  "seed": 11,
+	  "events": [
+	    {"at": 1000, "action": "fail", "lc": 0, "component": "SRU"},
+	    {"at": 2000, "action": "fail", "lc": 3, "component": "PDLU"},
+	    {"at": 3000, "action": "fail-bus"},
+	    {"at": 4000, "action": "repair-bus"},
+	    {"at": 5000, "action": "repair", "lc": 0},
+	    {"at": 6000, "action": "repair", "lc": 3}
+	  ]
+	}`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "outage.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, sc, err := dra.LoadScenarioFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Attach a trace and play the outage.
+	rec := dra.NewTraceRecorder(256)
+	r.SetTracer(rec)
+	samples := sc.Play(r)
+	timeline := dra.TimelineString(samples)
+
+	// LC0 (SRU, coverable) stays up; LC3 (PDLU, same-protocol peer LC5
+	// exists) stays up; the bus cut takes both down; repairs restore.
+	if !samples[0].Up[0] {
+		t.Fatalf("LC0 not covered after SRU fault:\n%s", timeline)
+	}
+	if !samples[1].Up[3] {
+		t.Fatalf("LC3 not covered after PDLU fault:\n%s", timeline)
+	}
+	if samples[2].Up[0] || samples[2].Up[3] {
+		t.Fatalf("coverage survived the bus cut:\n%s", timeline)
+	}
+	if !samples[3].Up[0] || !samples[3].Up[3] {
+		t.Fatalf("coverage did not return after bus repair:\n%s", timeline)
+	}
+	if !samples[5].Up[0] || !samples[5].Up[3] {
+		t.Fatalf("repairs incomplete:\n%s", timeline)
+	}
+	if rec.Count(dra.TraceFault) != 2 || rec.Count(dra.TraceBusDown) != 1 {
+		t.Fatalf("trace counts wrong: faults=%d busDown=%d",
+			rec.Count(dra.TraceFault), rec.Count(dra.TraceBusDown))
+	}
+
+	// 3. Push live traffic through the repaired router.
+	gen, err := dra.UniformTraffic(r, 1, 0.15, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		_, p := gen.Next()
+		if rep := r.Deliver(p); rep.Kind.String() == "dropped" {
+			t.Fatalf("drop after full repair: %s", rep.DropReason)
+		}
+	}
+
+	// 4. Three independent dependability estimates agree in ordering.
+	p := dra.PaperModelParams(6, 3)
+	analytic, err := dra.ReliabilityModel(dra.DRA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAnalytic := analytic.ReliabilityAt(40000)
+	bdrClosed := math.Exp(-2e-5 * 40000)
+	mc, err := dra.SimulateReliability(dra.MCOptions{
+		Arch: dra.DRA, N: 6, M: 3, Rates: dra.PaperRates(0),
+		Horizon: 40000, Reps: 800, Seed: 2, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bdrClosed < rAnalytic && rAnalytic <= mc.Estimate()+0.03) {
+		t.Fatalf("ordering broken: BDR %.3f, analytic %.3f, MC %.3f",
+			bdrClosed, rAnalytic, mc.Estimate())
+	}
+
+	// 5. The regenerated paper figures carry the headline shapes.
+	f7, err := dra.ComputeFigure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawBDR4, sawDRA9 bool
+	for _, row := range f7 {
+		if row.Arch == "BDR" && row.Nines == 4 {
+			sawBDR4 = true
+		}
+		if row.Arch == "DRA" && row.Nines == 9 {
+			sawDRA9 = true
+		}
+	}
+	if !sawBDR4 || !sawDRA9 {
+		t.Fatal("Figure 7 anchors missing")
+	}
+	if !strings.Contains(dra.RenderFigure8(dra.ComputeFigure8()), "8.6%") {
+		t.Fatal("Figure 8 worst case missing")
+	}
+}

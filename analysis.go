@@ -1,0 +1,129 @@
+package dra
+
+import (
+	"repro/internal/config"
+	"repro/internal/models"
+	"repro/internal/perf"
+	"repro/internal/queueing"
+	"repro/internal/rbd"
+	"repro/internal/router"
+	"repro/internal/trace"
+)
+
+// This file extends the facade with the secondary analyses: model-reading
+// variants, sensitivity, the redundant-LC sparing baseline, reliability
+// block diagrams, queueing results, scenarios, and tracing.
+
+// Scenario scripts fault/repair timelines against a Router.
+type Scenario = router.Scenario
+
+// ScenarioSample is one observation of a played scenario.
+type ScenarioSample = router.Sample
+
+// TimelineString renders scenario samples compactly.
+func TimelineString(samples []ScenarioSample) string { return router.TimelineString(samples) }
+
+// TraceRecorder is the structured event log routers can emit into.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a ring-buffer recorder of the given capacity.
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.New(capacity) }
+
+// TraceKind classifies trace events.
+type TraceKind = trace.Kind
+
+// The trace event kinds routers emit.
+const (
+	TraceFault        = trace.Fault
+	TraceRepair       = trace.Repair
+	TraceCoverageUp   = trace.CoverageUp
+	TraceCoverageDown = trace.CoverageDown
+	TraceBusDown      = trace.BusDown
+	TraceBusUp        = trace.BusUp
+	TraceDrop         = trace.Drop
+)
+
+// Sensitivity ranks failure rates by their effect on DRA reliability.
+type Sensitivity = models.Sensitivity
+
+// ReliabilitySensitivity returns ∂R(t)/∂λ and elasticities for every
+// model rate.
+func ReliabilitySensitivity(p ModelParams, t float64) ([]Sensitivity, error) {
+	return models.ReliabilitySensitivity(p, t, 0)
+}
+
+// SparingParams describes the dedicated-standby baseline of the paper's
+// introduction.
+type SparingParams = models.SparingParams
+
+// SparingReliabilityModel builds the k-spare hot-standby reliability
+// chain.
+func SparingReliabilityModel(p SparingParams) (*Model, error) { return models.SparingReliability(p) }
+
+// SparingAvailabilityModel builds the repairable k-spare chain.
+func SparingAvailabilityModel(p SparingParams) (*Model, error) { return models.SparingAvailability(p) }
+
+// ReliabilityModelVariant selects alternative readings of the paper's
+// ambiguous Figure 5(b) for sensitivity-to-interpretation studies.
+type ReliabilityModelVariant int
+
+// The three defensible readings, ordered pessimistic → optimistic.
+const (
+	VariantConservative ReliabilityModelVariant = iota
+	VariantPrimary
+	VariantOptimistic
+)
+
+// DRAReliabilityVariant builds the requested reading of the DRA chain.
+func DRAReliabilityVariant(v ReliabilityModelVariant, p ModelParams) (*Model, error) {
+	switch v {
+	case VariantConservative:
+		return models.DRAReliabilityConservative(p)
+	case VariantOptimistic:
+		return models.DRAReliabilityOptimisticTPrime(p)
+	default:
+		return models.DRAReliability(p)
+	}
+}
+
+// RBD re-exports: block-diagram combinators for first-order checks.
+type (
+	// Block is a reliability structure.
+	Block = rbd.Block
+	// ExpBlock is a single exponential component.
+	ExpBlock = rbd.Exp
+	// SeriesBlock fails with its first child.
+	SeriesBlock = rbd.Series
+	// ParallelBlock survives while any child does.
+	ParallelBlock = rbd.Parallel
+	// KofNBlock survives while K children do.
+	KofNBlock = rbd.KofN
+)
+
+// Queueing re-exports: delay analysis for the EIB and fabric.
+type (
+	// MM1 is the Poisson/exponential single-server queue.
+	MM1 = queueing.MM1
+	// MD1 is the Poisson/deterministic queue (fixed slots/cells).
+	MD1 = queueing.MD1
+	// MMc is the c-server pool queue.
+	MMc = queueing.MMc
+)
+
+// LoadScenarioFile reads a JSON router+timeline description (see
+// internal/config for the schema) and returns the built router and its
+// scenario, ready to Play.
+func LoadScenarioFile(path string) (*Router, *Scenario, error) {
+	f, err := config.LoadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Build()
+}
+
+// DegradationCurve evaluates the Figure 8 series for arbitrary N, load,
+// and B_BUS.
+func DegradationCurve(n int, load, busCapacity float64) []float64 {
+	p := perf.Params{N: n, CLC: 10e9, Load: load, BusCapacity: busCapacity}
+	return p.Curve()
+}

@@ -1,0 +1,166 @@
+// Command dramodel solves the paper's Markov dependability models from
+// the command line.
+//
+// Usage:
+//
+//	dramodel -analysis reliability -arch dra -n 9 -m 4 -t 40000
+//	dramodel -analysis reliability -arch dra -n 9 -m 4 -grid 0:100000:5000
+//	dramodel -analysis availability -arch bdr -mu 0.3333
+//	dramodel -analysis mttf -arch dra -n 6 -m 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/linecard"
+	"repro/internal/models"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		analysis = flag.String("analysis", "reliability", "reliability | availability | mttf")
+		arch     = flag.String("arch", "dra", "dra | bdr")
+		n        = flag.Int("n", 6, "number of linecards N")
+		m        = flag.Int("m", 3, "linecards sharing LCUA's protocol, M")
+		t        = flag.Float64("t", 40000, "evaluation time in hours (reliability)")
+		grid     = flag.String("grid", "", "time grid start:end:step (reliability series)")
+		mu       = flag.Float64("mu", 1.0/3, "repair rate μ per hour (availability)")
+	)
+	flag.Parse()
+
+	p := models.PaperParams(*n, *m)
+	var a linecard.Arch
+	switch strings.ToLower(*arch) {
+	case "dra":
+		a = linecard.DRA
+	case "bdr":
+		a = linecard.BDR
+	default:
+		fatal(fmt.Errorf("unknown arch %q", *arch))
+	}
+
+	build := func(withRepair bool) *models.Model {
+		var md *models.Model
+		var err error
+		switch {
+		case a == linecard.BDR && withRepair:
+			md, err = models.BDRAvailability(p)
+		case a == linecard.BDR:
+			md, err = models.BDRReliability(p)
+		case withRepair:
+			md, err = models.DRAAvailability(p)
+		default:
+			md, err = models.DRAReliability(p)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return md
+	}
+
+	switch strings.ToLower(*analysis) {
+	case "reliability":
+		md := build(false)
+		if *grid != "" {
+			times, err := parseGrid(*grid)
+			if err != nil {
+				fatal(err)
+			}
+			tb := report.NewTable(md.Name, "t (h)", "R(t)")
+			for i, r := range md.ReliabilitySeries(times) {
+				tb.AddRow(times[i], fmt.Sprintf("%.9f", r))
+			}
+			fmt.Print(tb.String())
+			return
+		}
+		fmt.Printf("%s: R(%g) = %.9f\n", md.Name, *t, md.ReliabilityAt(*t))
+	case "availability":
+		p.Mu = *mu
+		md := build(true)
+		av := md.Availability()
+		fmt.Printf("%s: A = %.12f (%s)\n", md.Name, av, stats.FormatNines(av, 16))
+	case "transient-availability":
+		p.Mu = *mu
+		md := build(true)
+		times, err := parseGrid(gridOrDefault(*grid, "0:100:10"))
+		if err != nil {
+			fatal(err)
+		}
+		tb := report.NewTable(md.Name, "t (h)", "A(t)")
+		for _, tt := range times {
+			tb.AddRow(tt, fmt.Sprintf("%.12f", md.AvailabilityAt(tt)))
+		}
+		fmt.Print(tb.String())
+	case "interval-availability":
+		p.Mu = *mu
+		md := build(true)
+		ia := md.IntervalAvailability(*t, 128)
+		fmt.Printf("%s: E[uptime fraction over %g h] = %.12f (expected downtime %.4f h)\n",
+			md.Name, *t, ia, (1-ia)**t)
+	case "sensitivity":
+		ss, err := models.ReliabilitySensitivity(p, *t, 0)
+		if err != nil {
+			fatal(err)
+		}
+		tb := report.NewTable(fmt.Sprintf("DRA R(%g) rate sensitivity (N=%d, M=%d)", *t, *n, *m),
+			"rate", "base", "dR/dλ", "elasticity")
+		for _, s := range ss {
+			tb.AddRow(s.Param, fmt.Sprintf("%.2e", s.Base),
+				fmt.Sprintf("%.4e", s.Derivative), fmt.Sprintf("%+.5f", s.Elasticity))
+		}
+		fmt.Print(tb.String())
+	case "dot":
+		md := build(false)
+		fmt.Print(md.Chain().DOT(md.Name, func(l string) bool { return l == models.FailState }))
+	case "mttf":
+		md := build(false)
+		v, err := md.MTTF()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: MTTF = %.1f hours (%.2f years)\n", md.Name, v, v/8760)
+	default:
+		fatal(fmt.Errorf("unknown analysis %q", *analysis))
+	}
+}
+
+func gridOrDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func parseGrid(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("grid must be start:end:step, got %q", s)
+	}
+	var v [3]float64
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		v[i] = x
+	}
+	if v[2] <= 0 || v[1] < v[0] {
+		return nil, fmt.Errorf("bad grid %q", s)
+	}
+	var out []float64
+	for t := v[0]; t <= v[1]+1e-9; t += v[2] {
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dramodel:", err)
+	os.Exit(1)
+}

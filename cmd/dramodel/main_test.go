@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseGrid(t *testing.T) {
+	ts, err := parseGrid("0:100:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 25, 50, 75, 100}
+	if len(ts) != len(want) {
+		t.Fatalf("grid = %v", ts)
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("grid = %v", ts)
+		}
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	for _, s := range []string{"", "1:2", "a:b:c", "10:5:1", "0:10:0", "0:10:-1"} {
+		if _, err := parseGrid(s); err == nil {
+			t.Fatalf("parseGrid(%q) accepted", s)
+		}
+	}
+}

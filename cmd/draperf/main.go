@@ -1,0 +1,80 @@
+// Command draperf evaluates the Section 5.3 performance-degradation
+// analysis: the bandwidth available to faulty linecards as failures
+// accumulate.
+//
+// Usage:
+//
+//	draperf -n 6 -loads 0.15,0.3,0.5,0.7 -bus 10e9
+//	draperf -n 9 -loads 0.5 -bus 5e9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/perf"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 6, "number of linecards N")
+		loads = flag.String("loads", "0.15,0.3,0.5,0.7", "comma-separated link utilizations")
+		bus   = flag.Float64("bus", 10e9, "EIB data-line capacity B_BUS in bits/s")
+		clc   = flag.Float64("clc", 10e9, "per-LC capacity c_LC in bits/s")
+	)
+	flag.Parse()
+
+	ls, err := parseLoads(*loads)
+	if err != nil {
+		fatal(err)
+	}
+	header := []string{"load"}
+	for x := 1; x <= *n-1; x++ {
+		header = append(header, fmt.Sprintf("X=%d", x))
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("Performance degradation (N=%d, c_LC=%.0f Gbps, B_BUS=%.1f Gbps)", *n, *clc/1e9, *bus/1e9),
+		header...)
+	for _, l := range ls {
+		p := perf.Params{N: *n, CLC: *clc, Load: l, BusCapacity: *bus}
+		if err := p.Validate(); err != nil {
+			fatal(err)
+		}
+		cells := []any{fmt.Sprintf("L=%.0f%%", l*100)}
+		for _, f := range p.Curve() {
+			cells = append(cells, fmt.Sprintf("%.1f%%", f*100))
+		}
+		tb.AddRow(cells...)
+	}
+	fmt.Print(tb.String())
+
+	for _, l := range ls {
+		p := perf.Params{N: *n, CLC: *clc, Load: l, BusCapacity: *bus}
+		fmt.Printf("L=%.0f%%: full service sustained through %d simultaneous LC failures\n",
+			l*100, p.SupportedFaultsAtFullService())
+	}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no loads given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "draperf:", err)
+	os.Exit(1)
+}

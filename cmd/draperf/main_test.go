@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseLoads(t *testing.T) {
+	ls, err := parseLoads("0.15, 0.3 ,0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 3 || ls[0] != 0.15 || ls[1] != 0.3 || ls[2] != 0.7 {
+		t.Fatalf("loads = %v", ls)
+	}
+}
+
+func TestParseLoadsErrors(t *testing.T) {
+	for _, s := range []string{"x", "0.1,,0.2"} {
+		if _, err := parseLoads(s); err == nil {
+			t.Fatalf("parseLoads(%q) accepted", s)
+		}
+	}
+}

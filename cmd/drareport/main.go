@@ -1,0 +1,89 @@
+// Command drareport regenerates the paper's evaluation artifacts —
+// Figures 6, 7, and 8 — exactly as EXPERIMENTS.md records them.
+//
+// Usage:
+//
+//	drareport            # all figures
+//	drareport -fig 6     # one figure
+//	drareport -fig 8 -bus 5e9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	dra "repro"
+	"repro/internal/eib"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure to regenerate (4, 6, 7, 8); 0 = all")
+		bus    = flag.Float64("bus", 10e9, "B_BUS for figure 8 (bits/s)")
+		n      = flag.Int("n", 6, "N for figure 8")
+		outDir = flag.String("o", "", "also write each figure to <dir>/figureN.txt")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	emit := func(figNo int, body string) {
+		fmt.Println(body)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("figure%d.txt", figNo))
+			if err := os.WriteFile(path, []byte(body+"\n"), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *fig == 0 || *fig == 4 {
+		emit(4, renderFigure4())
+	}
+	if *fig == 0 || *fig == 6 {
+		f6, err := dra.ComputeFigure6()
+		if err != nil {
+			fatal(err)
+		}
+		emit(6, dra.RenderFigure6(f6))
+	}
+	if *fig == 0 || *fig == 7 {
+		f7, err := dra.ComputeFigure7()
+		if err != nil {
+			fatal(err)
+		}
+		emit(7, dra.RenderFigure7(f7))
+	}
+	if *fig == 0 || *fig == 8 {
+		emit(8, dra.RenderFigure8(dra.ComputeFigure8With(*n, *bus)))
+	}
+	if *fig != 0 && *fig != 4 && *fig != 6 && *fig != 7 && *fig != 8 {
+		fatal(fmt.Errorf("unknown figure %d (paper has 4, 6, 7, 8)", *fig))
+	}
+}
+
+// renderFigure4 regenerates the paper's Figure 4 scheduling trace with
+// the slot-accurate EIB simulator: LC_init 1 establishes a logical path,
+// LC_init 2 joins, the two alternate, then LP 1 releases.
+func renderFigure4() string {
+	s := eib.NewSlotSim([]int{1, 2, 3})
+	s.Tracing = true
+	s.Open(1, 3)
+	s.Run(4)
+	s.Open(2, 3)
+	s.Run(12)
+	s.Close(1)
+	s.Run(8)
+	return "Figure 4 — EIB data-line scheduling (slot-accurate TDM trace)\n" +
+		s.RenderTrace() +
+		"LP1 alone, LP2 joins at slot 4 (alternation), LP1 releases at slot 16.\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drareport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,193 @@
+// Command drasim runs Monte-Carlo fault-injection simulation over the
+// executable router model, estimating reliability or availability of a
+// linecard's packet service, and optionally replays a packet-level
+// failover scenario.
+//
+// Usage:
+//
+//	drasim -mode reliability -arch dra -n 6 -m 3 -horizon 40000 -reps 2000
+//	drasim -mode availability -arch dra -n 6 -m 3 -mu 0.3333 -horizon 2e6 -reps 50
+//	drasim -mode packets -arch dra -n 6 -m 3 -fail 0:SRU -packets 1000
+//	drasim -mode scenario -config outage.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	dra "repro"
+	"repro/internal/config"
+	"repro/internal/linecard"
+	"repro/internal/montecarlo"
+	"repro/internal/router"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "reliability", "reliability | availability | packets | scenario")
+		cfgPath = flag.String("config", "", "scenario mode: JSON router+timeline file")
+		arch    = flag.String("arch", "dra", "dra | bdr")
+		n       = flag.Int("n", 6, "number of linecards N")
+		m       = flag.Int("m", 3, "linecards sharing LC0's protocol, M")
+		horizon = flag.Float64("horizon", 40000, "simulated hours per replication")
+		reps    = flag.Int("reps", 1000, "replications")
+		mu      = flag.Float64("mu", 1.0/3, "repair rate (availability)")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		workers = flag.Int("workers", 1, "parallel replication workers")
+		fail    = flag.String("fail", "", "packets mode: comma-separated lc:COMPONENT faults, e.g. 0:SRU,3:PDLU")
+		packets = flag.Int("packets", 1000, "packets mode: packets to push")
+		load    = flag.Float64("load", 0.15, "packets mode: offered load fraction")
+	)
+	flag.Parse()
+
+	a := linecard.DRA
+	if strings.EqualFold(*arch, "bdr") {
+		a = linecard.BDR
+	}
+
+	switch strings.ToLower(*mode) {
+	case "reliability":
+		res, err := montecarlo.EstimateReliability(montecarlo.Options{
+			Arch: a, N: *n, M: *m, Rates: router.PaperRates(0),
+			Horizon: *horizon, Reps: *reps, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		lo, hi := res.CI()
+		fmt.Printf("%s N=%d M=%d: R(%g h) = %.5f  (95%% CI [%.5f, %.5f], %d reps)\n",
+			strings.ToUpper(*arch), *n, *m, *horizon, res.Estimate(), lo, hi, *reps)
+		if res.TTF.N() > 0 {
+			fmt.Printf("observed failures: %d, mean time to service failure %.0f h\n",
+				res.TTF.N(), res.TTF.Mean())
+		}
+		if len(res.TTFSamples) >= 20 {
+			h := stats.NewHistogram(0, *horizon, 10)
+			for _, v := range res.TTFSamples {
+				h.Add(v)
+			}
+			fmt.Printf("time-to-failure distribution (median %.0f h):\n%s",
+				stats.Quantile(res.TTFSamples, 0.5), h.String())
+		}
+	case "availability":
+		res, err := montecarlo.EstimateAvailability(montecarlo.Options{
+			Arch: a, N: *n, M: *m, Rates: router.PaperRates(*mu),
+			Horizon: *horizon, Reps: *reps, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		lo, hi := res.CI()
+		fmt.Printf("%s N=%d M=%d μ=%g: A = %.8f  (95%% CI [%.8f, %.8f], %d reps of %g h)\n",
+			strings.ToUpper(*arch), *n, *m, *mu, res.Estimate(), lo, hi, *reps, *horizon)
+	case "packets":
+		runPackets(a, *n, *m, *fail, *packets, *load, *seed)
+	case "scenario":
+		if *cfgPath == "" {
+			fatal(fmt.Errorf("scenario mode needs -config"))
+		}
+		f, err := config.LoadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		r, sc, err := f.Build()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(router.TimelineString(sc.Play(r)))
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func runPackets(a linecard.Arch, n, m int, faults string, count int, load float64, seed uint64) {
+	cfg := router.UniformConfig(a, n, m)
+	cfg.Seed = seed
+	r, err := router.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	r.InstallUniformRoutes()
+	for i := 0; i < n; i++ {
+		r.SetOfferedLoad(i, load*r.LC(i).Capacity())
+	}
+	if faults != "" {
+		for _, spec := range strings.Split(faults, ",") {
+			lc, comp, err := parseFault(spec)
+			if err != nil {
+				fatal(err)
+			}
+			if lc < 0 || lc >= n {
+				fatal(fmt.Errorf("linecard %d out of range", lc))
+			}
+			r.FailComponent(lc, comp)
+			fmt.Printf("injected fault: LC %d %v\n", lc, comp)
+		}
+		r.Kernel().Run(1000000) // settle EIB handshakes
+		for i := 0; i < n; i++ {
+			if peer := r.CoverPeer(i); peer >= 0 {
+				fmt.Printf("coverage: LC %d covered by LC %d\n", i, peer)
+			}
+		}
+	}
+	rng := xrand.New(seed)
+	perPath := map[string]int{}
+	for i := 0; i < count; i++ {
+		src := rng.Intn(n)
+		pool := workload.NewAddrPool(rng, n, src)
+		ids := uint64(i)
+		gen, err := workload.NewPoisson(rng, pool, src, r.LC(src).Protocol(), load*r.LC(src).Capacity(), &ids)
+		if err != nil {
+			fatal(err)
+		}
+		_, p := gen.Next()
+		rep := r.Deliver(p)
+		key := rep.Kind.String()
+		if rep.Kind.String() == "dropped" {
+			key += " (" + rep.DropReason + ")"
+		}
+		perPath[key]++
+	}
+	met := r.Metrics()
+	fmt.Printf("\ndelivered %d / dropped %d of %d packets\n", met.Delivered, met.Dropped, count)
+	for k, v := range perPath {
+		fmt.Printf("  %-40s %d\n", k, v)
+	}
+	fmt.Printf("\n%s", dra.SystemReport(r))
+}
+
+func parseFault(spec string) (int, linecard.Component, error) {
+	parts := strings.SplitN(strings.TrimSpace(spec), ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("fault spec must be lc:COMPONENT, got %q", spec)
+	}
+	lc, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	switch strings.ToUpper(parts[1]) {
+	case "PIU":
+		return lc, linecard.PIU, nil
+	case "PDLU":
+		return lc, linecard.PDLU, nil
+	case "SRU":
+		return lc, linecard.SRU, nil
+	case "LFE":
+		return lc, linecard.LFE, nil
+	case "BC", "BUSCONTROLLER":
+		return lc, linecard.BusController, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown component %q", parts[1])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drasim:", err)
+	os.Exit(1)
+}

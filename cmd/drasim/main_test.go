@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/linecard"
+)
+
+func TestParseFault(t *testing.T) {
+	cases := map[string]struct {
+		lc   int
+		comp linecard.Component
+	}{
+		"0:SRU":           {0, linecard.SRU},
+		"3:pdlu":          {3, linecard.PDLU},
+		" 2:LFE ":         {2, linecard.LFE},
+		"1:PIU":           {1, linecard.PIU},
+		"4:BC":            {4, linecard.BusController},
+		"5:buscontroller": {5, linecard.BusController},
+	}
+	for in, want := range cases {
+		lc, comp, err := parseFault(in)
+		if err != nil {
+			t.Fatalf("parseFault(%q): %v", in, err)
+		}
+		if lc != want.lc || comp != want.comp {
+			t.Fatalf("parseFault(%q) = %d, %v", in, lc, comp)
+		}
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	for _, s := range []string{"", "0", "x:SRU", "0:BOGUS"} {
+		if _, _, err := parseFault(s); err == nil {
+			t.Fatalf("parseFault(%q) accepted", s)
+		}
+	}
+}

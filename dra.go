@@ -1,0 +1,182 @@
+// Package dra is a reproduction of "DRA: A Dependable Architecture for
+// High-Performance Routers" (Mandviwalla & Tzeng, ICPP 2004) as a Go
+// library. It provides:
+//
+//   - the analytical dependability models of the paper's Section 5
+//     (reliability and availability Markov chains for the basic
+//     distributed router, BDR, and for DRA), built on a from-scratch CTMC
+//     engine with uniformization and GTH solvers;
+//   - the closed-form performance-degradation analysis of Section 5.3;
+//   - a full executable router model — linecards with PIU/PDLU/SRU/LFE
+//     units, a redundant crossbar fabric, a route processor with
+//     longest-prefix-match forwarding, and the enhanced internal bus (EIB)
+//     with its three-tier control protocol and TDM data-line arbitration —
+//     with per-component fault injection, repair, and packet-level
+//     delivery;
+//   - Monte-Carlo estimators that cross-validate the analytical models
+//     against the executable architecture.
+//
+// The package is the stable facade; subsystems live under internal/ and
+// are re-exported here by alias where users need the full surface.
+package dra
+
+import (
+	"repro/internal/eib"
+	"repro/internal/fabric"
+	"repro/internal/linecard"
+	"repro/internal/models"
+	"repro/internal/montecarlo"
+	"repro/internal/packet"
+	"repro/internal/perf"
+	"repro/internal/router"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Architecture selection.
+type Arch = linecard.Arch
+
+// The two router architectures the paper compares.
+const (
+	BDR = linecard.BDR
+	DRA = linecard.DRA
+)
+
+// Component identifies a linecard functional unit.
+type Component = linecard.Component
+
+// The linecard functional units of the paper's Figure 2.
+const (
+	PIU           = linecard.PIU
+	PDLU          = linecard.PDLU
+	SRU           = linecard.SRU
+	LFE           = linecard.LFE
+	BusController = linecard.BusController
+)
+
+// Protocol is a linecard L2 protocol type.
+type Protocol = packet.Protocol
+
+// The protocol set used by the reproduction.
+const (
+	ProtoEthernet   = packet.ProtoEthernet
+	ProtoSONET      = packet.ProtoSONET
+	ProtoATM        = packet.ProtoATM
+	ProtoFrameRelay = packet.ProtoFrameRelay
+)
+
+// Router is the executable router model (see internal/router).
+type Router = router.Router
+
+// RouterConfig configures a Router.
+type RouterConfig = router.Config
+
+// FaultRates carries component failure and repair rates.
+type FaultRates = router.FaultRates
+
+// Injector drives fault injection on a Router.
+type Injector = router.Injector
+
+// Packet is a datagram moving through the router.
+type Packet = packet.Packet
+
+// PathReport describes how a packet traversed the router.
+type PathReport = router.PathReport
+
+// Metrics is the router-wide counter snapshot.
+type Metrics = router.Metrics
+
+// ModelParams parameterizes the Section 5 Markov models.
+type ModelParams = models.Params
+
+// Model is a built dependability chain.
+type Model = models.Model
+
+// DegradationParams parameterizes the Section 5.3 analysis.
+type DegradationParams = perf.Params
+
+// MCOptions configures Monte-Carlo estimation.
+type MCOptions = montecarlo.Options
+
+// Bus is the enhanced internal bus.
+type Bus = eib.Bus
+
+// Fabric is the redundant switching fabric.
+type Fabric = fabric.Fabric
+
+// NewRouter builds an executable router.
+func NewRouter(cfg RouterConfig) (*Router, error) { return router.New(cfg) }
+
+// UniformRouter builds the paper's standard configuration: n linecards of
+// which the first m share a protocol.
+func UniformRouter(arch Arch, n, m int) (*Router, error) {
+	r, err := router.New(router.UniformConfig(arch, n, m))
+	if err != nil {
+		return nil, err
+	}
+	r.InstallUniformRoutes()
+	return r, nil
+}
+
+// NewInjector attaches a fault injector to a router.
+func NewInjector(r *Router, rates FaultRates) (*Injector, error) {
+	return router.NewInjector(r, rates)
+}
+
+// PaperRates returns the failure rates of the paper's Section 5 with the
+// given repair rate μ (0 disables repair).
+func PaperRates(mu float64) FaultRates { return router.PaperRates(mu) }
+
+// PaperModelParams returns the Section 5 model constants for N and M.
+func PaperModelParams(n, m int) ModelParams { return models.PaperParams(n, m) }
+
+// ReliabilityModel builds the reliability chain of Figure 5 for the given
+// architecture.
+func ReliabilityModel(arch Arch, p ModelParams) (*Model, error) {
+	if arch == BDR {
+		return models.BDRReliability(p)
+	}
+	return models.DRAReliability(p)
+}
+
+// AvailabilityModel builds the availability chain (repair rate p.Mu).
+func AvailabilityModel(arch Arch, p ModelParams) (*Model, error) {
+	if arch == BDR {
+		return models.BDRAvailability(p)
+	}
+	return models.DRAAvailability(p)
+}
+
+// Degradation returns the Section 5.3 parameters for the Figure 8 setup
+// (N = 6, c_LC = 10 Gbps, B_BUS = 10 Gbps) at the given load.
+func Degradation(load float64) DegradationParams { return perf.PaperParams(load) }
+
+// SimulateReliability runs the Monte-Carlo reliability estimator.
+func SimulateReliability(opt MCOptions) (montecarlo.ReliabilityResult, error) {
+	return montecarlo.EstimateReliability(opt)
+}
+
+// SimulateAvailability runs the Monte-Carlo availability estimator.
+func SimulateAvailability(opt MCOptions) (montecarlo.AvailabilityResult, error) {
+	return montecarlo.EstimateAvailability(opt)
+}
+
+// Nines returns the count of leading nines of an availability value, the
+// paper's 9^x notation.
+func Nines(a float64) int { return stats.Nines(a, 16) }
+
+// FormatNines renders the paper's 9^x notation.
+func FormatNines(a float64) string { return stats.FormatNines(a, 16) }
+
+// UniformTraffic returns a Poisson generator for ingress LC src at the
+// given fraction of LC capacity, addressing egress LCs uniformly under the
+// router's uniform route scheme. Packet IDs are unique within the returned
+// generator.
+func UniformTraffic(r *Router, src int, load float64, seed uint64) (workload.Generator, error) {
+	rng := xrand.New(seed)
+	pool := workload.NewAddrPool(rng, r.NumLCs(), src)
+	ids := new(uint64)
+	*ids = uint64(src) << 40 // disjoint ID ranges per ingress LC
+	return workload.NewPoisson(rng, pool, src, r.LC(src).Protocol(), load*r.LC(src).Capacity(), ids)
+}

@@ -1,0 +1,200 @@
+package dra
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUniformRouterDelivers(t *testing.T) {
+	r, err := UniformRouter(DRA, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := UniformTraffic(r, 0, 0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		_, p := gen.Next()
+		rep := r.Deliver(p)
+		if rep.Kind.String() == "dropped" {
+			t.Fatalf("healthy router dropped packet: %s", rep.DropReason)
+		}
+	}
+	if m := r.Metrics(); m.Delivered != 200 {
+		t.Fatalf("delivered = %d", m.Delivered)
+	}
+}
+
+func TestFacadeFaultToleranceFlow(t *testing.T) {
+	r, err := UniformRouter(DRA, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.FailComponent(0, SRU)
+	r.Kernel().Run(100000)
+	if !r.CanDeliver(0) {
+		t.Fatal("SRU failure not covered via facade")
+	}
+	// BDR counterpart goes down.
+	b, err := UniformRouter(BDR, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.FailComponent(0, SRU)
+	if b.CanDeliver(0) {
+		t.Fatal("BDR LC survived SRU failure")
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	p := PaperModelParams(9, 4)
+	rel, err := ReliabilityModel(DRA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rel.ReliabilityAt(40000); r < 0.9 {
+		t.Fatalf("DRA R(40000) = %g", r)
+	}
+	p.Mu = 1.0 / 3
+	av, err := AvailabilityModel(DRA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Nines(av.Availability()); n != 9 {
+		t.Fatalf("nines = %d, want 9", n)
+	}
+	if FormatNines(0.9999) != "9^4" {
+		t.Fatal("FormatNines")
+	}
+	bdrAv, err := AvailabilityModel(BDR, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdrAv.Availability() >= av.Availability() {
+		t.Fatal("ordering violated")
+	}
+}
+
+func TestFacadeDegradation(t *testing.T) {
+	d := Degradation(0.15)
+	if d.SupportedFaultsAtFullService() != 5 {
+		t.Fatal("L=15% full-service fault count")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	res, err := SimulateReliability(MCOptions{
+		Arch: DRA, N: 4, M: 2, Rates: PaperRates(0), Horizon: 40000, Reps: 200, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate() < 0.5 || res.Estimate() > 1 {
+		t.Fatalf("MC estimate = %g", res.Estimate())
+	}
+}
+
+func TestComputeFigure6(t *testing.T) {
+	fig, err := ComputeFigure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Curves) != 13 {
+		t.Fatalf("curves = %d, want 13 (BDR + N∈[3,9] + M∈[4,8])", len(fig.Curves))
+	}
+	var bdrAt40k, draAt40k float64
+	for _, c := range fig.Curves {
+		if c.Y[0] != 1 {
+			t.Fatalf("%s: R(0) = %g", c.Label, c.Y[0])
+		}
+		for i := 1; i < len(c.Y); i++ {
+			if c.Y[i] > c.Y[i-1]+1e-12 {
+				t.Fatalf("%s: non-monotone reliability", c.Label)
+			}
+		}
+		if c.Label == "BDR" {
+			bdrAt40k = c.Y[8] // t = 40 000
+		}
+		if c.Label == "DRA N=9 M=4" {
+			draAt40k = c.Y[8]
+		}
+	}
+	if bdrAt40k >= 0.5 {
+		t.Fatalf("BDR R(40000) = %g, want < 0.5", bdrAt40k)
+	}
+	if draAt40k < 0.95 {
+		t.Fatalf("DRA(9,4) R(40000) = %g, want ≥ 0.95", draAt40k)
+	}
+	out := RenderFigure6(fig)
+	if !strings.Contains(out, "BDR") || !strings.Contains(out, "Figure 6") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestComputeFigure7(t *testing.T) {
+	rows, err := ComputeFigure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	// Locate the anchors.
+	find := func(arch string, n, m int, mu float64) Figure7Row {
+		for _, r := range rows {
+			if r.Arch == arch && r.N == n && r.M == m && math.Abs(r.Mu-mu) < 1e-12 {
+				return r
+			}
+		}
+		t.Fatalf("row %s N=%d M=%d mu=%g not found", arch, n, m, mu)
+		return Figure7Row{}
+	}
+	if find("BDR", 0, 0, 1.0/3).Nines != 4 {
+		t.Fatal("BDR μ=1/3 anchor")
+	}
+	if find("BDR", 0, 0, 1.0/12).Nines != 3 {
+		t.Fatal("BDR μ=1/12 anchor")
+	}
+	if find("DRA", 3, 2, 1.0/3).Nines != 8 {
+		t.Fatal("DRA(3,2) μ=1/3 anchor")
+	}
+	if find("DRA", 9, 4, 1.0/3).Nines != 9 {
+		t.Fatal("DRA(9,4) μ=1/3 anchor")
+	}
+	out := RenderFigure7(rows)
+	if !strings.Contains(out, "9^9") {
+		t.Fatal("render missing nines")
+	}
+}
+
+func TestComputeFigure8(t *testing.T) {
+	fig := ComputeFigure8()
+	if len(fig.Frac) != 4 || len(fig.Frac[0]) != 5 {
+		t.Fatalf("shape = %dx%d", len(fig.Frac), len(fig.Frac[0]))
+	}
+	// L = 15%: flat at 1.0 for all X.
+	for x, f := range fig.Frac[0] {
+		if math.Abs(f-1) > 1e-9 {
+			t.Fatalf("L=15%% X=%d: %g", x+1, f)
+		}
+	}
+	// L = 70%, X = 5: < 10%.
+	if f := fig.Frac[3][4]; f >= 0.1 {
+		t.Fatalf("worst case = %g", f)
+	}
+	out := RenderFigure8(fig)
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "L=70%") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestComputeFigure8WithSmallBus(t *testing.T) {
+	fig := ComputeFigure8With(6, 2.5e9)
+	// A 2.5 Gbps bus binds even at L = 15% with many failures:
+	// demand/faulty = 1.5 Gbps, X = 3 → bus share 0.833 < 1.5.
+	if f := fig.Frac[0][2]; f >= 1 {
+		t.Fatalf("bus cap did not bind: %g", f)
+	}
+}

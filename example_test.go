@@ -1,0 +1,66 @@
+package dra_test
+
+import (
+	"fmt"
+
+	dra "repro"
+)
+
+// The examples below are runnable documentation: `go test` executes them
+// and checks the printed output, so the README snippets can never rot.
+
+func ExampleUniformRouter() {
+	r, err := dra.UniformRouter(dra.DRA, 6, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("linecards:", r.NumLCs())
+	fmt.Println("LC0 service up:", r.CanDeliver(0))
+
+	// Break LC0's SAR unit; another card covers it across the EIB.
+	r.FailComponent(0, dra.SRU)
+	r.Kernel().Run(100000)
+	fmt.Println("after SRU fault, service up:", r.CanDeliver(0), "covered by LC", r.CoverPeer(0))
+	// Output:
+	// linecards: 6
+	// LC0 service up: true
+	// after SRU fault, service up: true covered by LC 1
+}
+
+func ExampleReliabilityModel() {
+	bdr, _ := dra.ReliabilityModel(dra.BDR, dra.PaperModelParams(9, 4))
+	draM, _ := dra.ReliabilityModel(dra.DRA, dra.PaperModelParams(9, 4))
+	fmt.Printf("BDR R(40000h) = %.3f\n", bdr.ReliabilityAt(40000))
+	fmt.Printf("DRA R(40000h) = %.3f\n", draM.ReliabilityAt(40000))
+	// Output:
+	// BDR R(40000h) = 0.449
+	// DRA R(40000h) = 0.954
+}
+
+func ExampleAvailabilityModel() {
+	p := dra.PaperModelParams(9, 4)
+	p.Mu = 1.0 / 3
+	m, _ := dra.AvailabilityModel(dra.DRA, p)
+	fmt.Println(dra.FormatNines(m.Availability()))
+	// Output:
+	// 9^9
+}
+
+func ExampleDegradation() {
+	d := dra.Degradation(0.15) // the paper's measured average link load
+	fmt.Println("full-service faults sustained:", d.SupportedFaultsAtFullService())
+
+	worst := dra.Degradation(0.7)
+	fmt.Printf("worst case (L=70%%, X=5): %.1f%% of demand\n", 100*worst.FractionOfDemand(5))
+	// Output:
+	// full-service faults sustained: 5
+	// worst case (L=70%, X=5): 8.6% of demand
+}
+
+func ExampleFormatNines() {
+	fmt.Println(dra.FormatNines(0.99994))
+	fmt.Println(dra.FormatNines(0.999999994))
+	// Output:
+	// 9^4
+	// 9^8
+}

@@ -1,0 +1,102 @@
+// Capacity-planning answers the operational question behind the paper's
+// Section 5.3: at what link utilization can a DRA router still absorb k
+// simultaneous linecard failures at full service, and how should the EIB
+// be provisioned? It sweeps load and B_BUS with the analytical model and
+// verifies chosen points against the executable router's coverage
+// allocator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dra "repro"
+	"repro/internal/perf"
+	"repro/internal/report"
+	"repro/internal/router"
+)
+
+func main() {
+	const n = 6
+
+	// 1. Maximum load that still supports k failures at 100% service.
+	fmt.Println("maximum link utilization sustaining k failures at full service (N=6, B_BUS=10 Gbps):")
+	for k := 1; k <= n-1; k++ {
+		fmt.Printf("  k=%d: L ≤ %.1f%%\n", k, 100*maxLoadFor(k, 10e9))
+	}
+
+	// 2. EIB provisioning: how big must B_BUS be so the bus is never the
+	// bottleneck at a given load?
+	fmt.Println("\nminimum B_BUS so the EIB never binds before spare LC capacity:")
+	for _, load := range []float64{0.15, 0.3, 0.5} {
+		fmt.Printf("  L=%.0f%%: B_BUS ≥ %.1f Gbps\n", load*100, minBusFor(load)/1e9)
+	}
+
+	// 3. A worked degradation table for the planned operating point.
+	tb := report.NewTable("\nplanned operating point L=30%, B_BUS=10 Gbps",
+		"X_faulty", "per-LC bandwidth (Gbps)", "fraction of demand")
+	p := perf.Params{N: n, CLC: 10e9, Load: 0.3, BusCapacity: 10e9}
+	for x := 1; x <= n-1; x++ {
+		tb.AddRow(x, fmt.Sprintf("%.2f", p.BFaulty(x)/1e9), fmt.Sprintf("%.1f%%", 100*p.FractionOfDemand(x)))
+	}
+	fmt.Println(tb.String())
+
+	// 4. Cross-check one point against the executable router.
+	cfg := router.UniformConfig(dra.DRA, n, n)
+	cfg.Bus.DataCapacity = 10e9
+	r, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.InstallUniformRoutes()
+	for i := 0; i < n; i++ {
+		r.SetOfferedLoad(i, 0.3*r.LC(i).Capacity())
+	}
+	r.FailWholeLC(0)
+	r.FailWholeLC(1)
+	r.FailWholeLC(2)
+	sim := r.CoverageBandwidth().FractionOfDemand(0)
+	ana := p.FractionOfDemand(3)
+	fmt.Printf("cross-check X=3: simulated %.3f vs analytic %.3f\n", sim, ana)
+}
+
+// maxLoadFor bisects the highest load at which k failures keep full
+// service.
+func maxLoadFor(k int, bus float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		p := perf.Params{N: 6, CLC: 10e9, Load: mid, BusCapacity: bus}
+		if p.FractionOfDemand(k) >= 1-1e-12 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// minBusFor finds the smallest B_BUS at which the spare pool, not the
+// bus, is the binding constraint for every X_faulty.
+func minBusFor(load float64) float64 {
+	lo, hi := 0.0, 100e9
+	binds := func(bus float64) bool {
+		for x := 1; x <= 5; x++ {
+			withBus := perf.Params{N: 6, CLC: 10e9, Load: load, BusCapacity: bus}
+			noBus := perf.Params{N: 6, CLC: 10e9, Load: load, BusCapacity: 1e18}
+			if withBus.BFaulty(x) < noBus.BFaulty(x)-1 {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if binds(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

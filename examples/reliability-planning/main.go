@@ -1,0 +1,101 @@
+// Reliability-planning uses the analytical models the way a router
+// operator would: given an availability target (a number of nines) and a
+// field-repair time, find the cheapest (N, M) configurations that meet
+// it, and quantify what the DRA architecture buys over BDR for the same
+// hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dra "repro"
+)
+
+func main() {
+	targets := []int{5, 7, 9} // required leading nines of availability
+	repairTimes := []float64{3, 12}
+
+	for _, hours := range repairTimes {
+		mu := 1 / hours
+		fmt.Printf("== repair time %.0f h (μ = 1/%.0f) ==\n", hours, hours)
+
+		p := dra.PaperModelParams(3, 2)
+		p.Mu = mu
+		bdr, err := dra.AvailabilityModel(dra.BDR, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		aBDR := bdr.Availability()
+		fmt.Printf("BDR baseline: A = %.10f (%s) — expected downtime %.1f min/year\n",
+			aBDR, dra.FormatNines(aBDR), downtimeMinutes(aBDR))
+
+		for _, nines := range targets {
+			cfg, a := cheapestDRA(mu, nines)
+			if cfg == [2]int{} {
+				fmt.Printf("target 9^%d: unreachable with N ≤ 9\n", nines)
+				continue
+			}
+			fmt.Printf("target 9^%d: N=%d M=%d suffices — A = %.12f, downtime %.2f s/year\n",
+				nines, cfg[0], cfg[1], a, downtimeMinutes(a)*60)
+		}
+
+		// Reliability view: mission time at which each configuration
+		// drops below 0.99 without repair.
+		fmt.Println("mission time to R < 0.99 (no repair):")
+		for _, nm := range [][2]int{{3, 2}, {6, 3}, {9, 4}} {
+			m, err := dra.ReliabilityModel(dra.DRA, dra.PaperModelParams(nm[0], nm[1]))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  DRA N=%d M=%d: %6.0f h", nm[0], nm[1], missionTime(m, 0.99))
+			mttf, err := m.MTTF()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   (MTTF %.1f years)\n", mttf/8760)
+		}
+		b, _ := dra.ReliabilityModel(dra.BDR, dra.PaperModelParams(3, 2))
+		fmt.Printf("  BDR any N   : %6.0f h   (MTTF %.1f years)\n\n",
+			missionTime(b, 0.99), 50000.0/8760)
+	}
+}
+
+// cheapestDRA scans (N, M) in increasing hardware order for the first
+// configuration meeting the nines target.
+func cheapestDRA(mu float64, nines int) ([2]int, float64) {
+	for n := 3; n <= 9; n++ {
+		for m := 2; m <= n; m++ {
+			p := dra.PaperModelParams(n, m)
+			p.Mu = mu
+			md, err := dra.AvailabilityModel(dra.DRA, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if a := md.Availability(); dra.Nines(a) >= nines {
+				return [2]int{n, m}, a
+			}
+		}
+	}
+	return [2]int{}, 0
+}
+
+// missionTime bisects for the time at which reliability crosses the
+// threshold.
+func missionTime(m *dra.Model, threshold float64) float64 {
+	lo, hi := 0.0, 200000.0
+	if m.ReliabilityAt(hi) > threshold {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.ReliabilityAt(mid) >= threshold {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func downtimeMinutes(a float64) float64 { return (1 - a) * 365.25 * 24 * 60 }

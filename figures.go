@@ -1,0 +1,196 @@
+package dra
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/perf"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// This file regenerates the paper's evaluation artifacts — Figures 6, 7,
+// and 8 — as data structures shared by the cmd tools, the benchmark
+// harness, and EXPERIMENTS.md.
+
+// Curve is one labelled series of a figure.
+type Curve struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure6 holds the reliability curves of the paper's Figure 6.
+type Figure6 struct {
+	Times  []float64
+	Curves []Curve
+}
+
+// Figure6Times is the evaluation grid used throughout: 0 to 100 000 hours.
+func Figure6Times() []float64 {
+	var ts []float64
+	for t := 0.0; t <= 100000; t += 5000 {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// ComputeFigure6 evaluates R(t) for the paper's two sweeps — M = 2 with
+// 3 ≤ N ≤ 9 and N = 9 with 4 ≤ M ≤ 8, exactly the published ranges —
+// plus the BDR baseline.
+func ComputeFigure6() (Figure6, error) {
+	times := Figure6Times()
+	fig := Figure6{Times: times}
+
+	bdr, err := models.BDRReliability(models.PaperParams(3, 2))
+	if err != nil {
+		return fig, err
+	}
+	fig.Curves = append(fig.Curves, Curve{Label: "BDR", X: times, Y: bdr.ReliabilitySeries(times)})
+
+	for n := 3; n <= 9; n++ {
+		m, err := models.DRAReliability(models.PaperParams(n, 2))
+		if err != nil {
+			return fig, err
+		}
+		fig.Curves = append(fig.Curves, Curve{
+			Label: fmt.Sprintf("DRA M=2 N=%d", n), X: times, Y: m.ReliabilitySeries(times),
+		})
+	}
+	for mm := 4; mm <= 8; mm++ {
+		m, err := models.DRAReliability(models.PaperParams(9, mm))
+		if err != nil {
+			return fig, err
+		}
+		fig.Curves = append(fig.Curves, Curve{
+			Label: fmt.Sprintf("DRA N=9 M=%d", mm), X: times, Y: m.ReliabilitySeries(times),
+		})
+	}
+	return fig, nil
+}
+
+// Figure7Row is one cell of the paper's Figure 7 availability grid.
+type Figure7Row struct {
+	Arch  string
+	N, M  int
+	Mu    float64
+	A     float64
+	Nines int
+}
+
+// ComputeFigure7 evaluates steady-state availability for BDR and for DRA
+// over the paper's (M, N) grid at both repair rates.
+func ComputeFigure7() ([]Figure7Row, error) {
+	var rows []Figure7Row
+	for _, mu := range []float64{1.0 / 3, 1.0 / 12} {
+		p := models.PaperParams(3, 2)
+		p.Mu = mu
+		b, err := models.BDRAvailability(p)
+		if err != nil {
+			return nil, err
+		}
+		a := b.Availability()
+		rows = append(rows, Figure7Row{Arch: "BDR", N: 0, M: 0, Mu: mu, A: a, Nines: stats.Nines(a, 16)})
+
+		for _, nm := range [][2]int{{3, 2}, {5, 2}, {7, 2}, {9, 2}, {9, 4}, {9, 6}, {9, 8}} {
+			p := models.PaperParams(nm[0], nm[1])
+			p.Mu = mu
+			d, err := models.DRAAvailability(p)
+			if err != nil {
+				return nil, err
+			}
+			a := d.Availability()
+			rows = append(rows, Figure7Row{Arch: "DRA", N: nm[0], M: nm[1], Mu: mu, A: a, Nines: stats.Nines(a, 16)})
+		}
+	}
+	return rows, nil
+}
+
+// Figure8 holds the degradation curves of the paper's Figure 8.
+type Figure8 struct {
+	N      int
+	BusCap float64
+	Loads  []float64
+	// Frac[i][x-1] is the fraction of required bandwidth available to
+	// each faulty LC at load Loads[i] with x faulty LCs.
+	Frac [][]float64
+}
+
+// Figure8Loads is the paper's load grid.
+func Figure8Loads() []float64 { return []float64{0.15, 0.3, 0.5, 0.7} }
+
+// ComputeFigure8 evaluates the §5.3 degradation curves for N = 6.
+func ComputeFigure8() Figure8 {
+	return ComputeFigure8With(6, 10e9)
+}
+
+// ComputeFigure8With evaluates the degradation curves for any N and
+// B_BUS — the knob the A1 ablation sweeps.
+func ComputeFigure8With(n int, busCap float64) Figure8 {
+	fig := Figure8{N: n, BusCap: busCap, Loads: Figure8Loads()}
+	for _, load := range fig.Loads {
+		p := perf.Params{N: n, CLC: 10e9, Load: load, BusCapacity: busCap}
+		fig.Frac = append(fig.Frac, p.Curve())
+	}
+	return fig
+}
+
+// --- Rendering ---
+
+// RenderFigure6 renders the reliability chart as text.
+func RenderFigure6(fig Figure6) string {
+	ch := report.NewChart("Figure 6 — LC reliability R(t), paper rates", "hours", "R(t)")
+	ch.SetYRange(0, 1)
+	for _, c := range fig.Curves {
+		ch.Add(report.Series{Name: c.Label, X: c.X, Y: c.Y})
+	}
+	return ch.String()
+}
+
+// RenderFigure7 renders the availability grid as a table.
+func RenderFigure7(rows []Figure7Row) string {
+	tb := report.NewTable("Figure 7 — steady-state availability", "arch", "N", "M", "mu", "A", "nines")
+	for _, r := range rows {
+		nm := "-"
+		mm := "-"
+		if r.N > 0 {
+			nm = fmt.Sprint(r.N)
+			mm = fmt.Sprint(r.M)
+		}
+		tb.AddRow(r.Arch, nm, mm, fmt.Sprintf("1/%.0f", 1/r.Mu), fmt.Sprintf("%.12f", r.A), fmt.Sprintf("9^%d", r.Nines))
+	}
+	return tb.String()
+}
+
+// RenderFigure8 renders the degradation curves as a table plus chart.
+func RenderFigure8(fig Figure8) string {
+	tb := report.NewTable(
+		fmt.Sprintf("Figure 8 — %% of required bandwidth per faulty LC (N=%d, B_BUS=%.0f Gbps)", fig.N, fig.BusCap/1e9),
+		header8(fig.N)...)
+	for i, load := range fig.Loads {
+		cells := make([]any, 0, fig.N)
+		cells = append(cells, fmt.Sprintf("L=%.0f%%", load*100))
+		for _, f := range fig.Frac[i] {
+			cells = append(cells, fmt.Sprintf("%.1f%%", f*100))
+		}
+		tb.AddRow(cells...)
+	}
+	ch := report.NewChart("", "X_faulty", "fraction of demand")
+	ch.SetYRange(0, 1)
+	for i, load := range fig.Loads {
+		xs := make([]float64, len(fig.Frac[i]))
+		for x := range xs {
+			xs[x] = float64(x + 1)
+		}
+		ch.Add(report.Series{Name: fmt.Sprintf("L=%.0f%%", load*100), X: xs, Y: fig.Frac[i]})
+	}
+	return tb.String() + "\n" + ch.String()
+}
+
+func header8(n int) []string {
+	h := []string{"load"}
+	for x := 1; x <= n-1; x++ {
+		h = append(h, fmt.Sprintf("X=%d", x))
+	}
+	return h
+}

@@ -1,0 +1,265 @@
+// Package config loads router-and-scenario descriptions from JSON so
+// outage replays can be written as data rather than Go. A file describes
+// the router (architecture, linecard protocols, capacities, loads) and a
+// timeline of fault/repair events; Build turns it into a ready router and
+// a Scenario to play against it.
+//
+// Example:
+//
+//	{
+//	  "arch": "dra",
+//	  "protocols": ["ethernet", "ethernet", "sonet", "atm"],
+//	  "load": 0.15,
+//	  "events": [
+//	    {"at": 100, "action": "fail", "lc": 0, "component": "SRU"},
+//	    {"at": 200, "action": "fail-bus"},
+//	    {"at": 300, "action": "repair-bus"},
+//	    {"at": 400, "action": "repair", "lc": 0}
+//	  ]
+//	}
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/linecard"
+	"repro/internal/packet"
+	"repro/internal/router"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	// Arch is "dra" (default) or "bdr".
+	Arch string `json:"arch"`
+	// Protocols names each linecard's L2 protocol; when empty, N and M
+	// select the standard uniform layout.
+	Protocols []string `json:"protocols"`
+	N         int      `json:"n"`
+	M         int      `json:"m"`
+	// LCCapacity is c_LC in bits per time unit (default 10e9).
+	LCCapacity float64 `json:"lc_capacity"`
+	// BusCapacity is B_BUS (default: one LC capacity).
+	BusCapacity float64 `json:"bus_capacity"`
+	// Load is the uniform offered-load fraction; Loads overrides per LC.
+	Load  float64   `json:"load"`
+	Loads []float64 `json:"loads"`
+	Seed  uint64    `json:"seed"`
+	// Events is the scenario timeline.
+	Events []Event `json:"events"`
+}
+
+// Event is one timeline step.
+type Event struct {
+	At     float64 `json:"at"`
+	Action string  `json:"action"`
+	LC     int     `json:"lc"`
+	// Component names the unit for fail/repair-component actions.
+	Component string `json:"component"`
+	// Card/Port select fabric elements.
+	Card int `json:"card"`
+	Port int `json:"port"`
+}
+
+// Parse decodes and validates a JSON document.
+func Parse(data []byte) (File, error) {
+	var f File
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return f, fmt.Errorf("config: %w", err)
+	}
+	if err := f.validate(); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// LoadFile reads and parses a JSON file.
+func LoadFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+func (f File) validate() error {
+	if f.Arch != "" && !strings.EqualFold(f.Arch, "dra") && !strings.EqualFold(f.Arch, "bdr") {
+		return fmt.Errorf("config: unknown arch %q", f.Arch)
+	}
+	if len(f.Protocols) == 0 && f.N == 0 {
+		return fmt.Errorf("config: need protocols or n")
+	}
+	if len(f.Protocols) == 1 {
+		return fmt.Errorf("config: a router needs at least two linecards")
+	}
+	for _, p := range f.Protocols {
+		if _, err := parseProtocol(p); err != nil {
+			return err
+		}
+	}
+	if f.Load < 0 || f.Load > 1 {
+		return fmt.Errorf("config: load %g outside [0, 1]", f.Load)
+	}
+	n := len(f.Protocols)
+	if n == 0 {
+		n = f.N
+	}
+	if len(f.Loads) != 0 && len(f.Loads) != n {
+		return fmt.Errorf("config: %d loads for %d linecards", len(f.Loads), n)
+	}
+	for i, e := range f.Events {
+		if err := validateEvent(e, n); err != nil {
+			return fmt.Errorf("config: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateEvent(e Event, n int) error {
+	needsLC := false
+	needsComponent := false
+	switch strings.ToLower(e.Action) {
+	case "fail", "repair-component":
+		needsLC, needsComponent = true, true
+	case "repair":
+		needsLC = true
+	case "fail-bus", "repair-bus", "fail-fabric-card", "repair-fabric-card":
+	case "fail-fabric-port", "repair-fabric-port":
+		needsLC = true
+	default:
+		return fmt.Errorf("unknown action %q", e.Action)
+	}
+	if e.At < 0 {
+		return fmt.Errorf("negative time %g", e.At)
+	}
+	if needsLC && (e.LC < 0 || e.LC >= n) {
+		return fmt.Errorf("lc %d outside [0, %d)", e.LC, n)
+	}
+	if needsComponent {
+		if _, err := parseComponent(e.Component); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseProtocol(s string) (packet.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "ethernet":
+		return packet.ProtoEthernet, nil
+	case "sonet":
+		return packet.ProtoSONET, nil
+	case "atm":
+		return packet.ProtoATM, nil
+	case "framerelay", "frame-relay":
+		return packet.ProtoFrameRelay, nil
+	default:
+		return 0, fmt.Errorf("config: unknown protocol %q", s)
+	}
+}
+
+func parseComponent(s string) (linecard.Component, error) {
+	switch strings.ToUpper(s) {
+	case "PIU":
+		return linecard.PIU, nil
+	case "PDLU":
+		return linecard.PDLU, nil
+	case "SRU":
+		return linecard.SRU, nil
+	case "LFE":
+		return linecard.LFE, nil
+	case "BC", "BUSCONTROLLER":
+		return linecard.BusController, nil
+	default:
+		return 0, fmt.Errorf("config: unknown component %q", s)
+	}
+}
+
+// Build constructs the router and scenario described by the file. Routes
+// and offered loads are installed; the scenario is ready to Play.
+func (f File) Build() (*router.Router, *router.Scenario, error) {
+	if err := f.validate(); err != nil {
+		return nil, nil, err
+	}
+	arch := linecard.DRA
+	if strings.EqualFold(f.Arch, "bdr") {
+		arch = linecard.BDR
+	}
+	var cfg router.Config
+	if len(f.Protocols) > 0 {
+		protos := make([]packet.Protocol, len(f.Protocols))
+		for i, s := range f.Protocols {
+			p, err := parseProtocol(s)
+			if err != nil {
+				return nil, nil, err
+			}
+			protos[i] = p
+		}
+		cfg = router.Config{Arch: arch, Protocols: protos}
+	} else {
+		m := f.M
+		if m == 0 {
+			m = f.N
+		}
+		cfg = router.UniformConfig(arch, f.N, m)
+	}
+	if f.LCCapacity > 0 {
+		cfg.LCCapacity = f.LCCapacity
+	}
+	if f.BusCapacity > 0 {
+		cfg.Bus.DataCapacity = f.BusCapacity
+	}
+	if f.Seed != 0 {
+		cfg.Seed = f.Seed
+	}
+	r, err := router.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.InstallUniformRoutes()
+	for i := 0; i < r.NumLCs(); i++ {
+		load := f.Load
+		if len(f.Loads) > 0 {
+			load = f.Loads[i]
+		}
+		if load > 0 {
+			r.SetOfferedLoad(i, load*r.LC(i).Capacity())
+		}
+	}
+	var sc router.Scenario
+	for _, e := range f.Events {
+		switch strings.ToLower(e.Action) {
+		case "fail":
+			c, _ := parseComponent(e.Component)
+			sc.Fail(e.At, e.LC, c)
+		case "repair-component":
+			c, _ := parseComponent(e.Component)
+			lc := e.LC
+			sc.At(e.At, fmt.Sprintf("repair LC%d %v", lc, c), func(r *router.Router) {
+				r.RepairComponent(lc, c)
+			})
+		case "repair":
+			sc.Repair(e.At, e.LC)
+		case "fail-bus":
+			sc.FailBus(e.At)
+		case "repair-bus":
+			sc.RepairBus(e.At)
+		case "fail-fabric-card":
+			sc.FailFabricCard(e.At, e.Card)
+		case "repair-fabric-card":
+			sc.RepairFabricCard(e.At, e.Card)
+		case "fail-fabric-port":
+			sc.FailFabricPort(e.At, e.LC)
+		case "repair-fabric-port":
+			lc := e.LC
+			sc.At(e.At, fmt.Sprintf("repair fabric port %d", lc), func(r *router.Router) {
+				r.Fabric().RepairPort(lc)
+			})
+		}
+	}
+	return r, &sc, nil
+}

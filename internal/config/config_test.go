@@ -1,0 +1,148 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `{
+  "arch": "dra",
+  "protocols": ["ethernet", "ethernet", "sonet", "atm"],
+  "load": 0.15,
+  "seed": 7,
+  "events": [
+    {"at": 100, "action": "fail", "lc": 0, "component": "SRU"},
+    {"at": 200, "action": "fail-bus"},
+    {"at": 300, "action": "repair-bus"},
+    {"at": 400, "action": "repair", "lc": 0}
+  ]
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	f, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, sc, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLCs() != 4 {
+		t.Fatalf("NumLCs = %d", r.NumLCs())
+	}
+	if r.OfferedLoad(0) != 0.15*r.LC(0).Capacity() {
+		t.Fatal("load not installed")
+	}
+	samples := sc.Play(r)
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if !samples[0].Up[0] { // SRU covered
+		t.Fatal("step 0: LC0 should be covered")
+	}
+	if samples[1].Up[0] { // bus down: uncovered
+		t.Fatal("step 1: LC0 should be down")
+	}
+	if !samples[3].Up[0] {
+		t.Fatal("step 3: LC0 should be repaired")
+	}
+}
+
+func TestParseUniformShorthand(t *testing.T) {
+	f, err := Parse([]byte(`{"n": 6, "m": 3, "arch": "bdr"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLCs() != 6 {
+		t.Fatalf("NumLCs = %d", r.NumLCs())
+	}
+	if r.LC(0).Arch().String() != "BDR" {
+		t.Fatal("arch not honoured")
+	}
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"unknown_field": 1, "n": 4}`,
+		`{"n": 4, "arch": "quantum"}`,
+		`{"protocols": ["ethernet"]}`,
+		`{"protocols": ["ethernet", "warp"]}`,
+		`{"n": 4, "load": 1.5}`,
+		`{"n": 4, "loads": [0.1]}`,
+		`{"n": 4, "events": [{"at": 1, "action": "explode"}]}`,
+		`{"n": 4, "events": [{"at": 1, "action": "fail", "lc": 9, "component": "SRU"}]}`,
+		`{"n": 4, "events": [{"at": 1, "action": "fail", "lc": 0, "component": "FLUX"}]}`,
+		`{"n": 4, "events": [{"at": -1, "action": "fail-bus"}]}`,
+		`{}`,
+	}
+	for i, doc := range bad {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Fatalf("case %d accepted: %s", i, doc)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Events) != 4 {
+		t.Fatalf("events = %d", len(f.Events))
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuildWithCapacitiesAndFabricEvents(t *testing.T) {
+	doc := `{
+	  "n": 4, "m": 2,
+	  "lc_capacity": 40e9,
+	  "bus_capacity": 20e9,
+	  "events": [
+	    {"at": 10, "action": "fail-fabric-card", "card": 0},
+	    {"at": 20, "action": "repair-fabric-card", "card": 0},
+	    {"at": 30, "action": "fail-fabric-port", "lc": 1},
+	    {"at": 40, "action": "repair-fabric-port", "lc": 1},
+	    {"at": 50, "action": "fail", "lc": 1, "component": "LFE"},
+	    {"at": 60, "action": "repair-component", "lc": 1, "component": "LFE"}
+	  ]
+	}`
+	f, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, sc, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LC(0).Capacity() != 40e9 {
+		t.Fatal("lc capacity not honoured")
+	}
+	if r.Bus().Config().DataCapacity != 20e9 {
+		t.Fatal("bus capacity not honoured")
+	}
+	samples := sc.Play(r)
+	for i, s := range samples {
+		for lc, up := range s.Up {
+			if !up {
+				t.Fatalf("step %d (%s): LC%d down — every event here is absorbable", i, s.Label, lc)
+			}
+		}
+	}
+	if !r.Fabric().PortUp(1) {
+		t.Fatal("fabric port not repaired")
+	}
+}

@@ -1,0 +1,273 @@
+package eib
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// ErrBusDown is returned for operations on a failed EIB.
+var ErrBusDown = errors.New("eib: bus failed")
+
+// ErrNoCoverage is returned when no healthy LC accepts a request.
+var ErrNoCoverage = errors.New("eib: no LC accepted the request")
+
+// Handler receives control packets broadcast on the control lines. Every
+// registered controller sees every packet (it is a bus); controllers
+// filter by the addressing tier themselves, like real bus interfaces.
+type Handler func(ControlPacket)
+
+// BusConfig parameterizes the EIB.
+type BusConfig struct {
+	// DataCapacity is B_BUS, the data-line bandwidth in bits per time
+	// unit. The paper never states it; DESIGN.md documents the default
+	// of one LC capacity.
+	DataCapacity float64
+	// CtrlSlot is the control-line slot time. Control packets are short;
+	// the default models a microsecond-scale slot.
+	CtrlSlot float64
+	// MaxBackoffExp caps the CSMA/CD binary exponential backoff.
+	MaxBackoffExp int
+}
+
+// DefaultBusConfig returns the configuration used across the reproduction:
+// B_BUS = 10 Gbps (one LC capacity; see DESIGN.md §3), a 1 µs control
+// slot, and the classic Ethernet backoff cap of 10. Rates and times are
+// in the same nominal unit as the linecard capacities (bits and seconds),
+// matching router.Config's defaults; the simulation kernel itself is
+// unit-agnostic.
+func DefaultBusConfig() BusConfig {
+	return BusConfig{
+		DataCapacity:  10e9,
+		CtrlSlot:      1e-6,
+		MaxBackoffExp: 10,
+	}
+}
+
+// LP is an established logical path over the data lines.
+type LP struct {
+	ID        int
+	Init, Rec int
+	// Asked is B_LC, the rate LC_init requested.
+	Asked float64
+	// Dir and the fault context are retained for diagnostics.
+	Dir Direction
+}
+
+// Bus is the enhanced internal bus: broadcast control lines with CSMA/CD
+// contention and TDM-shared data lines. It is driven by a sim.Kernel so
+// control-plane latency is part of simulated time.
+type Bus struct {
+	k    *sim.Kernel
+	rng  *xrand.Source
+	cfg  BusConfig
+	fail bool
+
+	handlers  map[int]Handler
+	sniffers  []Handler
+	busyUntil sim.Time
+
+	lps    map[int]*LP
+	nextLP int
+
+	// Stats
+	CtrlPackets uint64
+	Collisions  uint64
+	LPsOpened   uint64
+	LPsClosed   uint64
+}
+
+// NewBus creates an EIB on the given kernel. rng drives CSMA/CD backoff.
+func NewBus(k *sim.Kernel, rng *xrand.Source, cfg BusConfig) (*Bus, error) {
+	if cfg.DataCapacity <= 0 {
+		return nil, fmt.Errorf("eib: data capacity must be positive")
+	}
+	if cfg.CtrlSlot <= 0 {
+		return nil, fmt.Errorf("eib: control slot must be positive")
+	}
+	if cfg.MaxBackoffExp <= 0 {
+		cfg.MaxBackoffExp = 10
+	}
+	return &Bus{
+		k:        k,
+		rng:      rng,
+		cfg:      cfg,
+		handlers: make(map[int]Handler),
+		lps:      make(map[int]*LP),
+	}, nil
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() BusConfig { return b.cfg }
+
+// Attach registers the bus controller of LC lc. Re-attaching replaces the
+// handler (used after controller repair).
+func (b *Bus) Attach(lc int, h Handler) {
+	if h == nil {
+		panic("eib: nil handler")
+	}
+	b.handlers[lc] = h
+}
+
+// Detach removes LC lc from the bus (controller failure).
+func (b *Bus) Detach(lc int) { delete(b.handlers, lc) }
+
+// Sniff registers a promiscuous observer that sees every delivered
+// control packet regardless of addressing — a protocol analyzer on the
+// control lines. Sniffers cannot transmit.
+func (b *Bus) Sniff(h Handler) {
+	if h == nil {
+		panic("eib: nil sniffer")
+	}
+	b.sniffers = append(b.sniffers, h)
+}
+
+// Fail marks the EIB itself failed: the passive lines are cut. All LPs
+// are dropped.
+func (b *Bus) Fail() {
+	b.fail = true
+	for id := range b.lps {
+		delete(b.lps, id)
+		b.LPsClosed++
+	}
+}
+
+// Repair restores the EIB lines.
+func (b *Bus) Repair() { b.fail = false }
+
+// Failed reports whether the EIB lines are down.
+func (b *Bus) Failed() bool { return b.fail }
+
+// Broadcast sends a control packet on the control lines. The packet is
+// validated, contends for the lines (CSMA/CD: carrier sense via the
+// busy-until horizon, collisions resolved by binary exponential backoff),
+// and is then delivered to every attached controller. delivered, if
+// non-nil, runs at delivery time after the handlers.
+func (b *Bus) Broadcast(p ControlPacket, delivered func()) error {
+	if b.fail {
+		return ErrBusDown
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, ok := b.handlers[p.Init]; !ok {
+		return fmt.Errorf("eib: initiator LC %d has no attached controller", p.Init)
+	}
+	now := b.k.Now()
+	start := now
+	if b.busyUntil > now {
+		// Carrier sensed busy: wait for idle, then contend. A waiting
+		// sender collides with probability that rises with load; model
+		// one backoff draw per queued sender.
+		start = b.busyUntil
+		b.Collisions++
+		exp := 1 + b.rng.Intn(b.cfg.MaxBackoffExp)
+		slots := b.rng.Intn(1 << uint(exp))
+		start += sim.Time(float64(slots) * b.cfg.CtrlSlot)
+	}
+	end := start + sim.Time(b.cfg.CtrlSlot)
+	b.busyUntil = end
+	b.CtrlPackets++
+	b.k.Schedule(end, func() {
+		if b.fail {
+			return // lines died in flight
+		}
+		// Deterministic delivery order: ascending LC index.
+		ids := make([]int, 0, len(b.handlers))
+		for lc := range b.handlers {
+			ids = append(ids, lc)
+		}
+		sort.Ints(ids)
+		for _, lc := range ids {
+			if p.Rec != Broadcast && p.Rec != lc && p.Init != lc {
+				continue // addressing tier: not for this controller
+			}
+			b.handlers[lc](p)
+		}
+		for _, s := range b.sniffers {
+			s(p)
+		}
+		if delivered != nil {
+			delivered()
+		}
+	})
+	return nil
+}
+
+// --- Data-line logical paths and the bandwidth promise formula ---
+
+// OpenLP establishes a logical path from init to rec asking for the given
+// rate (B_LC). The returned LP is immediately part of the TDM share.
+func (b *Bus) OpenLP(init, rec int, asked float64, dir Direction) (*LP, error) {
+	if b.fail {
+		return nil, ErrBusDown
+	}
+	if asked <= 0 {
+		return nil, fmt.Errorf("eib: LP rate must be positive, got %g", asked)
+	}
+	b.nextLP++
+	lp := &LP{ID: b.nextLP, Init: init, Rec: rec, Asked: asked, Dir: dir}
+	b.lps[lp.ID] = lp
+	b.LPsOpened++
+	return lp, nil
+}
+
+// CloseLP releases an LP. Closing an unknown LP is a no-op (it may have
+// been dropped by a bus failure).
+func (b *Bus) CloseLP(id int) {
+	if _, ok := b.lps[id]; ok {
+		delete(b.lps, id)
+		b.LPsClosed++
+	}
+}
+
+// ActiveLPs returns the number of open logical paths (β).
+func (b *Bus) ActiveLPs() int { return len(b.lps) }
+
+// TotalAsked returns B_LCT, the sum of requested rates.
+func (b *Bus) TotalAsked() float64 {
+	s := 0.0
+	for _, lp := range b.lps {
+		s += lp.Asked
+	}
+	return s
+}
+
+// Promised returns B_prom for the LP, per the paper's formula: the full
+// ask while ΣB_LC ≤ B_BUS, and the proportional share
+// (B_LC / B_LCT) · B_BUS under overload — the scale-back that forces
+// requesting LCs to drop packets.
+func (b *Bus) Promised(id int) (float64, error) {
+	if b.fail {
+		return 0, ErrBusDown
+	}
+	lp, ok := b.lps[id]
+	if !ok {
+		return 0, fmt.Errorf("eib: unknown LP %d", id)
+	}
+	total := b.TotalAsked()
+	if total <= b.cfg.DataCapacity {
+		return lp.Asked, nil
+	}
+	return lp.Asked / total * b.cfg.DataCapacity, nil
+}
+
+// PromisedAll returns the promise for every open LP keyed by LP id.
+func (b *Bus) PromisedAll() map[int]float64 {
+	out := make(map[int]float64, len(b.lps))
+	if b.fail {
+		return out
+	}
+	total := b.TotalAsked()
+	scale := 1.0
+	if total > b.cfg.DataCapacity {
+		scale = b.cfg.DataCapacity / total
+	}
+	for id, lp := range b.lps {
+		out[id] = lp.Asked * scale
+	}
+	return out
+}

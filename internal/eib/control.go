@@ -1,0 +1,135 @@
+// Package eib implements the paper's enhanced internal bus: the three-tier
+// control-packet protocol (addressing, communication, processing tiers),
+// CSMA/CD-arbitrated control lines, logical-path (LP) management over the
+// data lines with the paper's proportional bandwidth scale-back formula,
+// and the distributed round-robin time-division-multiplexing counters of
+// Section 4 / Figure 4.
+package eib
+
+import (
+	"fmt"
+
+	"repro/internal/linecard"
+	"repro/internal/packet"
+)
+
+// ControlType enumerates the communication-tier packet types of the EIB
+// protocol (paper Section 4).
+type ControlType uint8
+
+const (
+	// REQD requests a data transfer over the EIB's data lines.
+	REQD ControlType = iota
+	// REPD accepts a pending REQD; sent by a willing receiving LC.
+	REPD
+	// REQL requests a remote IP lookup on behalf of a failed LFE.
+	REQL
+	// REPL carries the lookup result back over the control lines.
+	REPL
+	// RELD releases an established logical path.
+	RELD
+)
+
+// String implements fmt.Stringer.
+func (t ControlType) String() string {
+	switch t {
+	case REQD:
+		return "REQ_D"
+	case REPD:
+		return "REP_D"
+	case REQL:
+		return "REQ_L"
+	case REPL:
+		return "REP_L"
+	case RELD:
+		return "REL_D"
+	default:
+		return fmt.Sprintf("ControlType(%d)", uint8(t))
+	}
+}
+
+// Direction tags a stream relative to the faulty LC, per the paper's
+// forward/reverse path terminology.
+type Direction uint8
+
+const (
+	// Forward marks a stream originating at a faulty LC.
+	Forward Direction = iota
+	// Reverse marks a stream destined for a faulty LC.
+	Reverse
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "reverse"
+}
+
+// Broadcast is the sentinel receiver index for packets addressed to all
+// LCs (REQD along the forward path is a broadcast to candidate coverers).
+const Broadcast = -1
+
+// ControlPacket is one EIB control-line packet. Its fields are exactly the
+// parameters of the protocol's three tiers:
+//
+//   - addressing tier: Init, Rec
+//   - communication tier: Type
+//   - processing tier: DataRate, Proto, FaultyComponent, LookupAddr,
+//     LookupResult, LPID
+type ControlPacket struct {
+	Type ControlType
+	Init int // LC_init: the LC starting this exchange
+	Rec  int // LC_rec or Broadcast
+
+	Direction Direction
+
+	// DataRate is the transmission rate requested by LC_init (bits/hour),
+	// present in REQD.
+	DataRate float64
+	// Proto distributes the protocol implementation of the faulty LC so
+	// candidates can check PDLU compatibility.
+	Proto packet.Protocol
+	// FaultyComponent tells healthy LCs where the fault is, which decides
+	// whether data flows as packets (to a PDLU, possibly via an
+	// intermediate LC) or as cells (to an SRU).
+	FaultyComponent linecard.Component
+
+	// LookupAddr is the address to resolve (REQL); LookupResult is the
+	// egress LC (REPL). The reply rides the control lines because it is
+	// smaller than the request, keeping the data lines free for bulk
+	// transfers (paper §4, "Lookup").
+	LookupAddr   uint32
+	LookupResult int
+
+	// LPID names an established logical path in RELD packets.
+	LPID int
+}
+
+// Validate performs the structural checks a bus controller applies before
+// acting on a control packet.
+func (p ControlPacket) Validate() error {
+	switch p.Type {
+	case REQD:
+		if p.DataRate <= 0 {
+			return fmt.Errorf("eib: REQ_D with non-positive data rate %g", p.DataRate)
+		}
+	case REPD, REPL:
+		if p.Rec == Broadcast {
+			return fmt.Errorf("eib: %s must address a specific LC", p.Type)
+		}
+	case RELD:
+		if p.LPID <= 0 {
+			return fmt.Errorf("eib: REL_D without LP id")
+		}
+	case REQL:
+		// Any address is legal.
+	default:
+		return fmt.Errorf("eib: unknown control type %d", p.Type)
+	}
+	if p.Init < 0 {
+		return fmt.Errorf("eib: negative initiator %d", p.Init)
+	}
+	return nil
+}

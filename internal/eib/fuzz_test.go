@@ -1,0 +1,28 @@
+package eib
+
+import "testing"
+
+// FuzzUnmarshalControl hardens the control-frame decoder against
+// arbitrary line noise: it must never panic and must reject any frame
+// whose checksum does not match.
+func FuzzUnmarshalControl(f *testing.F) {
+	good := ControlPacket{Type: REQD, Init: 1, Rec: Broadcast, DataRate: 5}.Marshal()
+	f.Add(good[:])
+	f.Add(make([]byte, WireSize))
+	f.Add([]byte{})
+	f.Add(make([]byte, WireSize-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalControl(data)
+		if err != nil {
+			return
+		}
+		// A frame that decoded must re-encode to the identical bytes
+		// (the decoder is the inverse of the encoder on its range).
+		b := p.Marshal()
+		for i := range b {
+			if b[i] != data[i] {
+				t.Fatalf("re-encode mismatch at byte %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package eib
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// quickCheck adapts testing/quick with a max count.
+func quickCheck(f any, max int) error {
+	return quick.Check(f, &quick.Config{MaxCount: max})
+}
+
+func TestSlotSimSingleFlowGetsFullRate(t *testing.T) {
+	s := NewSlotSim([]int{0, 1, 2})
+	s.Open(0, 0.4)
+	s.Run(10000)
+	tp := s.Throughput()
+	if math.Abs(tp[0]-0.4) > 0.01 {
+		t.Fatalf("throughput = %g, want ~0.4", tp[0])
+	}
+}
+
+func TestSlotSimUnderloadEveryFlowGetsItsAsk(t *testing.T) {
+	// Asks sum to 0.9 < 1: the TDM rotation must deliver each ask, as
+	// the fluid promise formula says.
+	s := NewSlotSim([]int{0, 1, 2, 3})
+	asks := map[int]float64{0: 0.5, 1: 0.3, 2: 0.1}
+	for lc, a := range asks {
+		s.Open(lc, a)
+	}
+	s.Run(50000)
+	for lc, a := range asks {
+		if got := s.Throughput()[lc]; math.Abs(got-a) > 0.02 {
+			t.Fatalf("LC %d throughput = %g, want ~%g", lc, got, a)
+		}
+	}
+}
+
+func TestSlotSimOverloadMatchesPromiseFormula(t *testing.T) {
+	// Unequal asks summing to 2: each sender scales back to
+	// B_prom = ask/ΣB · B_BUS, and the TDM must carry exactly those
+	// promised rates.
+	s := NewSlotSim([]int{0, 1, 2, 3})
+	asks := map[int]float64{0: 0.8, 1: 0.6, 2: 0.4, 3: 0.2}
+	for lc, a := range asks {
+		s.Open(lc, a)
+	}
+	s.Run(80000)
+	for lc, a := range asks {
+		want := a / 2.0 // scale = B_BUS/ΣB = 1/2
+		if got := s.Throughput()[lc]; math.Abs(got-want) > 0.02 {
+			t.Fatalf("LC %d throughput = %g, want ~%g", lc, got, want)
+		}
+		if got := s.Promise(lc); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("LC %d promise = %g, want %g", lc, got, want)
+		}
+		if dr := s.DropRate(lc); math.Abs(dr-(a-a/2)) > 0.01 {
+			t.Fatalf("LC %d drop rate = %g, want ~%g", lc, dr, a-a/2)
+		}
+	}
+	// Total utilization reaches the full data-line capacity.
+	sum := 0.0
+	for _, v := range s.Throughput() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Fatalf("aggregate throughput = %g, want ~1", sum)
+	}
+}
+
+func TestSlotSimPaperScaleBackHitsSmallFlows(t *testing.T) {
+	// The paper's formula scales every requester proportionally — even a
+	// flow asking less than a fair share. With asks {0.1, 2.0} the small
+	// flow gets 0.1/2.1 of the lines, not its full 0.1.
+	s := NewSlotSim([]int{0, 1})
+	s.Open(0, 0.1)
+	s.Open(1, 2.0)
+	s.Run(50000)
+	tp := s.Throughput()
+	if want := 0.1 / 2.1; math.Abs(tp[0]-want) > 0.01 {
+		t.Fatalf("small flow throughput = %g, want ~%g", tp[0], want)
+	}
+	if want := 2.0 / 2.1; math.Abs(tp[1]-want) > 0.02 {
+		t.Fatalf("big flow throughput = %g, want ~%g", tp[1], want)
+	}
+}
+
+func TestSlotSimCloseReleasesCapacity(t *testing.T) {
+	s := NewSlotSim([]int{0, 1})
+	s.Open(0, 1.5)
+	s.Open(1, 1.5)
+	s.Run(20000)
+	firstPhase := s.Throughput()[0]
+	s.Close(1)
+	s.Run(60000)
+	if got := s.Throughput()[0]; got <= firstPhase+0.2 {
+		t.Fatalf("flow did not speed up after peer release: %g -> %g", firstPhase, got)
+	}
+	if err := s.Arbiter().Consistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotSimTraceAlternation(t *testing.T) {
+	// Figure 4's picture: two saturated LPs strictly alternate turns.
+	s := NewSlotSim([]int{1, 2})
+	s.Tracing = true
+	s.Open(1, 3)
+	s.Open(2, 3)
+	s.Run(40)
+	// After warmup, holders must alternate.
+	trace := s.Trace[10:]
+	for i := 1; i < len(trace); i++ {
+		if trace[i] == trace[i-1] {
+			t.Fatalf("saturated LPs did not alternate: %v", trace)
+		}
+	}
+	out := s.RenderTrace()
+	if !strings.Contains(out, "LC1") || !strings.Contains(out, "#") {
+		t.Fatalf("trace render:\n%s", out)
+	}
+}
+
+func TestSlotSimIdleLines(t *testing.T) {
+	s := NewSlotSim([]int{0})
+	s.Tracing = true
+	s.Run(5)
+	for _, h := range s.Trace {
+		if h != -1 {
+			t.Fatal("idle lines reported a holder")
+		}
+	}
+	if s.RenderTrace() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// Property: arbitrary open/run/close sequences keep every bus
+// controller's counters consistent and never create or destroy payload
+// (sent ≤ promised·slots within rounding).
+func TestSlotSimConsistencyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		lcs := []int{0, 1, 2, 3}
+		s := NewSlotSim(lcs)
+		open := map[int]bool{}
+		for _, op := range ops {
+			lc := int(op>>3) % len(lcs)
+			switch op % 3 {
+			case 0:
+				if !open[lc] {
+					s.Open(lc, 0.2+float64(op%7)*0.2)
+					open[lc] = true
+				}
+			case 1:
+				if open[lc] {
+					s.Close(lc)
+					delete(open, lc)
+				}
+			case 2:
+				s.Run(1 + int(op%5))
+			}
+			if s.Arbiter().Consistent() != nil {
+				return false
+			}
+		}
+		// Work bound: aggregate throughput never exceeds the line rate.
+		total := 0.0
+		for _, v := range s.Throughput() {
+			total += v
+		}
+		return total <= 1.0+1e-9
+	}
+	if err := quickCheck(f, 150); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotSimPanics(t *testing.T) {
+	s := NewSlotSim([]int{0})
+	for name, f := range map[string]func(){
+		"zero rate":    func() { s.Open(0, 0) },
+		"double open":  func() { s.Open(0, 1); s.Open(0, 1) },
+		"close absent": func() { NewSlotSim([]int{0}).Close(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

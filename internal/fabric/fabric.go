@@ -1,0 +1,175 @@
+// Package fabric models the router's cell-based switching fabric with
+// explicit card-level redundancy, as in the Cisco 12000 configuration the
+// paper cites: a fabric is built from a number of parallel fabric cards of
+// which a subset must be active to carry full load, and the remainder are
+// hot spares (e.g. five cards with 1:4 redundancy).
+//
+// The paper's Case 1 says a fabric failure "poses no service disruption
+// given adequate redundancy"; this package makes that assumption explicit
+// and testable rather than axiomatic: the fabric stays fully operational
+// while failed cards do not exceed the spare count, and degrades
+// proportionally beyond that.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Config describes a switching fabric.
+type Config struct {
+	Ports int // one fabric port per linecard
+	// Cards is the total number of fabric cards; Active is how many are
+	// needed for full bandwidth. Cards-Active is the spare count (1:k
+	// redundancy has Cards = k+1, Active = k).
+	Cards  int
+	Active int
+	// CellRate is the per-port cell forwarding rate in cells per time
+	// unit at full capacity.
+	CellRate float64
+}
+
+// DefaultConfig mirrors a Cisco-12000-style fabric: five cards, four
+// active (1:4 redundancy).
+func DefaultConfig(ports int) Config {
+	return Config{Ports: ports, Cards: 5, Active: 4, CellRate: 25e6}
+}
+
+// Fabric is the switching fabric state.
+type Fabric struct {
+	cfg        Config
+	cardFailed []bool
+	portFailed []bool
+	nFailed    int
+
+	// Forwarded and Refused count cell transfer attempts.
+	Forwarded uint64
+	Refused   uint64
+}
+
+// New validates the configuration and returns a fabric with all cards and
+// ports healthy.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("fabric: need at least one port, got %d", cfg.Ports)
+	}
+	if cfg.Cards <= 0 || cfg.Active <= 0 || cfg.Active > cfg.Cards {
+		return nil, fmt.Errorf("fabric: invalid card configuration %d active of %d", cfg.Active, cfg.Cards)
+	}
+	if cfg.CellRate <= 0 {
+		return nil, fmt.Errorf("fabric: cell rate must be positive")
+	}
+	return &Fabric{
+		cfg:        cfg,
+		cardFailed: make([]bool, cfg.Cards),
+		portFailed: make([]bool, cfg.Ports),
+	}, nil
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// FailCard marks fabric card i failed. Failing an already-failed card is a
+// no-op.
+func (f *Fabric) FailCard(i int) {
+	f.checkCard(i)
+	if !f.cardFailed[i] {
+		f.cardFailed[i] = true
+		f.nFailed++
+	}
+}
+
+// RepairCard restores fabric card i.
+func (f *Fabric) RepairCard(i int) {
+	f.checkCard(i)
+	if f.cardFailed[i] {
+		f.cardFailed[i] = false
+		f.nFailed--
+	}
+}
+
+func (f *Fabric) checkCard(i int) {
+	if i < 0 || i >= f.cfg.Cards {
+		panic(fmt.Sprintf("fabric: card %d out of range", i))
+	}
+}
+
+// FailPort marks the fabric port of linecard lc failed — the paper's
+// "switching fabric port" fault along the routing path.
+func (f *Fabric) FailPort(lc int) {
+	f.checkPort(lc)
+	f.portFailed[lc] = true
+}
+
+// RepairPort restores the fabric port of linecard lc.
+func (f *Fabric) RepairPort(lc int) {
+	f.checkPort(lc)
+	f.portFailed[lc] = false
+}
+
+// PortUp reports whether linecard lc's fabric port is healthy.
+func (f *Fabric) PortUp(lc int) bool {
+	f.checkPort(lc)
+	return !f.portFailed[lc]
+}
+
+func (f *Fabric) checkPort(lc int) {
+	if lc < 0 || lc >= f.cfg.Ports {
+		panic(fmt.Sprintf("fabric: port %d out of range", lc))
+	}
+}
+
+// HealthyCards returns the number of operating fabric cards.
+func (f *Fabric) HealthyCards() int { return f.cfg.Cards - f.nFailed }
+
+// CapacityFraction returns the fraction of nominal bandwidth currently
+// available: 1.0 while failures are absorbed by spares, proportionally
+// less once fewer than Active cards remain, and 0 with no cards.
+func (f *Fabric) CapacityFraction() float64 {
+	h := f.HealthyCards()
+	if h >= f.cfg.Active {
+		return 1
+	}
+	return float64(h) / float64(f.cfg.Active)
+}
+
+// Operational reports whether the fabric can carry any traffic at all.
+func (f *Fabric) Operational() bool { return f.HealthyCards() > 0 }
+
+// CellDelay returns the time to transfer one cell at the current capacity.
+func (f *Fabric) CellDelay() float64 {
+	frac := f.CapacityFraction()
+	if frac == 0 {
+		return 0
+	}
+	return 1 / (f.cfg.CellRate * frac)
+}
+
+// Transfer attempts to move a cell from its source port to its destination
+// port, returning the transfer delay. It fails when the fabric is down or
+// either port is failed; the caller (the SRU) then falls back to the EIB
+// path per the DRA fault model.
+func (f *Fabric) Transfer(c packet.Cell) (delay float64, err error) {
+	if c.SrcLC == c.DstLC {
+		// Local switching does not traverse the fabric.
+		f.Forwarded++
+		return 0, nil
+	}
+	f.checkPort(c.SrcLC)
+	f.checkPort(c.DstLC)
+	if !f.Operational() {
+		f.Refused++
+		return 0, fmt.Errorf("fabric: no healthy cards")
+	}
+	if f.portFailed[c.SrcLC] {
+		f.Refused++
+		return 0, fmt.Errorf("fabric: source port %d failed", c.SrcLC)
+	}
+	if f.portFailed[c.DstLC] {
+		f.Refused++
+		return 0, fmt.Errorf("fabric: destination port %d failed", c.DstLC)
+	}
+	f.Forwarded++
+	return f.CellDelay(), nil
+}

@@ -1,0 +1,158 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func mustNew(t *testing.T, cfg Config) *Fabric {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Ports: 0, Cards: 5, Active: 4, CellRate: 1},
+		{Ports: 4, Cards: 0, Active: 0, CellRate: 1},
+		{Ports: 4, Cards: 3, Active: 4, CellRate: 1},
+		{Ports: 4, Cards: 5, Active: 4, CellRate: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if _, err := New(DefaultConfig(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedundancyAbsorbsSpareFailures(t *testing.T) {
+	f := mustNew(t, DefaultConfig(4)) // 5 cards, 4 active: one spare
+	if f.CapacityFraction() != 1 {
+		t.Fatal("fresh fabric not at full capacity")
+	}
+	f.FailCard(0)
+	if f.CapacityFraction() != 1 {
+		t.Fatal("single card failure must be absorbed by the spare (paper Case 1)")
+	}
+	f.FailCard(1)
+	if got := f.CapacityFraction(); got != 0.75 {
+		t.Fatalf("capacity after 2 failures = %g, want 0.75", got)
+	}
+	f.RepairCard(0)
+	if f.CapacityFraction() != 1 {
+		t.Fatal("repair did not restore capacity")
+	}
+}
+
+func TestFailCardIdempotent(t *testing.T) {
+	f := mustNew(t, DefaultConfig(4))
+	f.FailCard(2)
+	f.FailCard(2)
+	if f.HealthyCards() != 4 {
+		t.Fatalf("HealthyCards = %d", f.HealthyCards())
+	}
+	f.RepairCard(2)
+	f.RepairCard(2)
+	if f.HealthyCards() != 5 {
+		t.Fatalf("HealthyCards = %d after repair", f.HealthyCards())
+	}
+}
+
+func TestTotalFailure(t *testing.T) {
+	f := mustNew(t, Config{Ports: 2, Cards: 2, Active: 1, CellRate: 1e6})
+	f.FailCard(0)
+	f.FailCard(1)
+	if f.Operational() {
+		t.Fatal("fabric with no cards reports operational")
+	}
+	if f.CellDelay() != 0 {
+		t.Fatal("CellDelay of dead fabric should be 0 sentinel")
+	}
+	if _, err := f.Transfer(packet.Cell{SrcLC: 0, DstLC: 1}); err == nil {
+		t.Fatal("transfer over dead fabric succeeded")
+	}
+	if f.Refused != 1 {
+		t.Fatalf("Refused = %d", f.Refused)
+	}
+}
+
+func TestPortFaults(t *testing.T) {
+	f := mustNew(t, DefaultConfig(4))
+	f.FailPort(2)
+	if f.PortUp(2) {
+		t.Fatal("failed port reports up")
+	}
+	if _, err := f.Transfer(packet.Cell{SrcLC: 2, DstLC: 0}); err == nil {
+		t.Fatal("transfer from failed source port succeeded")
+	}
+	if _, err := f.Transfer(packet.Cell{SrcLC: 0, DstLC: 2}); err == nil {
+		t.Fatal("transfer to failed destination port succeeded")
+	}
+	if _, err := f.Transfer(packet.Cell{SrcLC: 0, DstLC: 1}); err != nil {
+		t.Fatalf("unrelated transfer failed: %v", err)
+	}
+	f.RepairPort(2)
+	if _, err := f.Transfer(packet.Cell{SrcLC: 2, DstLC: 0}); err != nil {
+		t.Fatalf("transfer after port repair failed: %v", err)
+	}
+}
+
+func TestLocalSwitchingBypassesFabric(t *testing.T) {
+	f := mustNew(t, DefaultConfig(4))
+	f.FailCard(0)
+	f.FailCard(1)
+	f.FailCard(2)
+	f.FailCard(3)
+	f.FailCard(4)
+	d, err := f.Transfer(packet.Cell{SrcLC: 1, DstLC: 1})
+	if err != nil || d != 0 {
+		t.Fatalf("local transfer: d=%g err=%v", d, err)
+	}
+}
+
+func TestCellDelayScalesWithCapacity(t *testing.T) {
+	f := mustNew(t, Config{Ports: 2, Cards: 4, Active: 4, CellRate: 1e6})
+	base := f.CellDelay()
+	f.FailCard(0)
+	f.FailCard(1)
+	if got := f.CellDelay(); got != base*2 {
+		t.Fatalf("half-capacity delay = %g, want %g", got, base*2)
+	}
+}
+
+func TestTransferCountsForwarded(t *testing.T) {
+	f := mustNew(t, DefaultConfig(3))
+	for i := 0; i < 10; i++ {
+		if _, err := f.Transfer(packet.Cell{SrcLC: 0, DstLC: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Forwarded != 10 {
+		t.Fatalf("Forwarded = %d", f.Forwarded)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	f := mustNew(t, DefaultConfig(2))
+	for name, fn := range map[string]func(){
+		"card":  func() { f.FailCard(9) },
+		"port":  func() { f.FailPort(9) },
+		"xport": func() { f.Transfer(packet.Cell{SrcLC: 0, DstLC: 5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,193 @@
+package forwarding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPatriciaBasicLPM(t *testing.T) {
+	var tr Patricia
+	tr.Insert(Route{MakePrefix(ip(10, 0, 0, 0), 8), 1})
+	tr.Insert(Route{MakePrefix(ip(10, 1, 0, 0), 16), 2})
+	tr.Insert(Route{MakePrefix(ip(10, 1, 2, 0), 24), 3})
+	cases := []struct {
+		addr uint32
+		want int
+	}{
+		{ip(10, 9, 9, 9), 1},
+		{ip(10, 1, 9, 9), 2},
+		{ip(10, 1, 2, 9), 3},
+	}
+	for _, c := range cases {
+		r, ok := tr.Lookup(c.addr)
+		if !ok || r.NextLC != c.want {
+			t.Fatalf("Lookup(%08x) = %+v, %v", c.addr, r, ok)
+		}
+	}
+	if _, ok := tr.Lookup(ip(11, 0, 0, 1)); ok {
+		t.Fatal("miss matched")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestPatriciaDefaultRouteAndHostRoute(t *testing.T) {
+	var tr Patricia
+	tr.Insert(Route{MakePrefix(0, 0), 9})
+	tr.Insert(Route{MakePrefix(ip(10, 0, 0, 5), 32), 5})
+	if r, ok := tr.Lookup(ip(200, 1, 1, 1)); !ok || r.NextLC != 9 {
+		t.Fatal("default route")
+	}
+	if r, ok := tr.Lookup(ip(10, 0, 0, 5)); !ok || r.NextLC != 5 {
+		t.Fatal("host route")
+	}
+}
+
+func TestPatriciaSplitAndAncestorInsert(t *testing.T) {
+	var tr Patricia
+	// Insert a deep prefix first, then its ancestor, then a sibling that
+	// forces a split.
+	tr.Insert(Route{MakePrefix(ip(10, 1, 2, 0), 24), 1})
+	tr.Insert(Route{MakePrefix(ip(10, 0, 0, 0), 8), 2})  // ancestor
+	tr.Insert(Route{MakePrefix(ip(10, 2, 0, 0), 16), 3}) // sibling → split
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	checks := []struct {
+		addr uint32
+		want int
+	}{
+		{ip(10, 1, 2, 7), 1},
+		{ip(10, 7, 7, 7), 2},
+		{ip(10, 2, 9, 9), 3},
+	}
+	for _, c := range checks {
+		if r, ok := tr.Lookup(c.addr); !ok || r.NextLC != c.want {
+			t.Fatalf("Lookup(%08x) = %+v, %v; want %d", c.addr, r, ok, c.want)
+		}
+	}
+}
+
+func TestPatriciaReplaceAndRemove(t *testing.T) {
+	var tr Patricia
+	p := MakePrefix(ip(10, 0, 0, 0), 8)
+	tr.Insert(Route{p, 1})
+	tr.Insert(Route{p, 2})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	if r, _ := tr.Lookup(ip(10, 1, 1, 1)); r.NextLC != 2 {
+		t.Fatal("replace ineffective")
+	}
+	if !tr.Remove(p) || tr.Remove(p) {
+		t.Fatal("remove semantics")
+	}
+	if _, ok := tr.Lookup(ip(10, 1, 1, 1)); ok {
+		t.Fatal("lookup after removal")
+	}
+	if tr.Remove(MakePrefix(ip(99, 0, 0, 0), 8)) {
+		t.Fatal("removed a missing prefix")
+	}
+}
+
+func TestPatriciaRoutesSorted(t *testing.T) {
+	var tr Patricia
+	tr.Insert(Route{MakePrefix(ip(10, 1, 0, 0), 16), 2})
+	tr.Insert(Route{MakePrefix(ip(9, 0, 0, 0), 8), 1})
+	tr.Insert(Route{MakePrefix(ip(10, 0, 0, 0), 8), 3})
+	rs := tr.Routes()
+	if len(rs) != 3 || rs[0].Prefix.Addr != ip(9, 0, 0, 0) || rs[2].Prefix.Len != 16 {
+		t.Fatalf("Routes = %v", rs)
+	}
+}
+
+// Property: Patricia and the plain Trie agree on arbitrary route sets and
+// lookups (and therefore both agree with the linear-scan reference, which
+// Trie is already tested against).
+func TestPatriciaMatchesTrieProperty(t *testing.T) {
+	f := func(seedRoutes []uint32, addrs []uint32) bool {
+		var pat Patricia
+		var tri Trie
+		for i, s := range seedRoutes {
+			r := Route{MakePrefix(s, int(s%33)), i}
+			pat.Insert(r)
+			tri.Insert(r)
+		}
+		if pat.Len() != tri.Len() {
+			return false
+		}
+		for _, a := range addrs {
+			pr, pok := pat.Lookup(a)
+			tr, tok := tri.Lookup(a)
+			if pok != tok {
+				return false
+			}
+			if pok && (pr.Prefix != tr.Prefix || pr.NextLC != tr.NextLC) {
+				return false
+			}
+		}
+		// Route dumps agree too.
+		ps, ts := pat.Routes(), tri.Routes()
+		if len(ps) != len(ts) {
+			return false
+		}
+		for i := range ps {
+			if ps[i] != ts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removal keeps the two implementations in lockstep.
+func TestPatriciaRemoveMatchesTrieProperty(t *testing.T) {
+	f := func(seedRoutes []uint32, removals []uint32, addrs []uint32) bool {
+		var pat Patricia
+		var tri Trie
+		for i, s := range seedRoutes {
+			r := Route{MakePrefix(s, int(s%33)), i}
+			pat.Insert(r)
+			tri.Insert(r)
+		}
+		for _, s := range removals {
+			p := MakePrefix(s, int(s%33))
+			if pat.Remove(p) != tri.Remove(p) {
+				return false
+			}
+		}
+		if pat.Len() != tri.Len() {
+			return false
+		}
+		for _, a := range addrs {
+			pr, pok := pat.Lookup(a)
+			tr, tok := tri.Lookup(a)
+			if pok != tok || (pok && pr != tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPatriciaLookup(b *testing.B) {
+	var tr Patricia
+	rng := uint32(12345)
+	for i := 0; i < 10000; i++ {
+		rng = rng*1664525 + 1013904223
+		tr.Insert(Route{MakePrefix(rng, 8+int(rng%25)), int(rng % 16)})
+	}
+	b.ResetTimer()
+	a := uint32(0)
+	for i := 0; i < b.N; i++ {
+		a = a*1664525 + 1013904223
+		tr.Lookup(a)
+	}
+}

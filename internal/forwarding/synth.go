@@ -1,0 +1,59 @@
+package forwarding
+
+import "repro/internal/xrand"
+
+// SynthTable generates a synthetic routing table whose prefix-length
+// distribution resembles a backbone BGP table: dominated by /24s with a
+// spine of /16s and /8s and sprinkles of other lengths. The paper's
+// LFE handles "IP lookup" generically; this generator gives the LPM
+// benchmarks and the capacity examples a realistic key distribution
+// rather than uniform noise.
+//
+// The returned routes spread next hops uniformly over nextLCs.
+func SynthTable(rng *xrand.Source, n, nextLCs int) []Route {
+	if n <= 0 || nextLCs <= 0 {
+		panic("forwarding: SynthTable needs positive sizes")
+	}
+	// Approximate backbone prefix-length mix (fractions sum to 1).
+	type bucket struct {
+		length int
+		weight float64
+	}
+	mix := []bucket{
+		{8, 0.01}, {12, 0.01}, {14, 0.01}, {16, 0.12}, {18, 0.04},
+		{19, 0.06}, {20, 0.07}, {21, 0.07}, {22, 0.10}, {23, 0.09},
+		{24, 0.40}, {28, 0.01}, {32, 0.01},
+	}
+	cum := make([]float64, len(mix))
+	s := 0.0
+	for i, b := range mix {
+		s += b.weight
+		cum[i] = s
+	}
+	out := make([]Route, 0, n)
+	seen := make(map[Prefix]bool, n)
+	for len(out) < n {
+		u := rng.Float64() * s
+		length := mix[len(mix)-1].length
+		for i, c := range cum {
+			if u <= c {
+				length = mix[i].length
+				break
+			}
+		}
+		p := MakePrefix(uint32(rng.Uint64()), length)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, Route{Prefix: p, NextLC: rng.Intn(nextLCs)})
+	}
+	return out
+}
+
+// MatchingAddr returns an address covered by the given route, with random
+// host bits — for driving lookups that are guaranteed to hit.
+func MatchingAddr(rng *xrand.Source, r Route) uint32 {
+	host := uint32(rng.Uint64()) &^ Mask(r.Prefix.Len)
+	return r.Prefix.Addr | host
+}

@@ -1,0 +1,109 @@
+package forwarding
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestSynthTableShape(t *testing.T) {
+	rng := xrand.New(3)
+	routes := SynthTable(rng, 20000, 8)
+	if len(routes) != 20000 {
+		t.Fatalf("len = %d", len(routes))
+	}
+	counts := map[int]int{}
+	seen := map[Prefix]bool{}
+	for _, r := range routes {
+		if seen[r.Prefix] {
+			t.Fatalf("duplicate prefix %v", r.Prefix)
+		}
+		seen[r.Prefix] = true
+		counts[r.Prefix.Len]++
+		if r.NextLC < 0 || r.NextLC >= 8 {
+			t.Fatalf("next hop %d out of range", r.NextLC)
+		}
+		if r.Prefix.Addr&^Mask(r.Prefix.Len) != 0 {
+			t.Fatal("host bits set in prefix")
+		}
+	}
+	// /24 dominates (≈40%).
+	if f := float64(counts[24]) / 20000; f < 0.3 || f > 0.5 {
+		t.Fatalf("/24 fraction = %g", f)
+	}
+	// /16 spine present.
+	if counts[16] == 0 || counts[8] == 0 {
+		t.Fatal("missing spine lengths")
+	}
+}
+
+func TestSynthTableLookupsResolve(t *testing.T) {
+	rng := xrand.New(4)
+	routes := SynthTable(rng, 5000, 4)
+	var tr Trie
+	var pat Patricia
+	for _, r := range routes {
+		tr.Insert(r)
+		pat.Insert(r)
+	}
+	for i := 0; i < 5000; i++ {
+		r := routes[rng.Intn(len(routes))]
+		addr := MatchingAddr(rng, r)
+		got, ok := tr.Lookup(addr)
+		if !ok {
+			t.Fatalf("trie missed address %08x in %v", addr, r.Prefix)
+		}
+		// LPM may pick a longer prefix than r, but never a shorter one.
+		if got.Prefix.Len < r.Prefix.Len {
+			t.Fatalf("lookup of %08x returned shorter prefix %v than generator's %v",
+				addr, got.Prefix, r.Prefix)
+		}
+		pGot, pOk := pat.Lookup(addr)
+		if !pOk || pGot != got {
+			t.Fatalf("patricia disagrees on %08x: %v vs %v", addr, pGot, got)
+		}
+	}
+}
+
+func TestSynthTableValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SynthTable(xrand.New(1), 0, 1)
+}
+
+func BenchmarkTrieLookupBGPMix(b *testing.B) {
+	rng := xrand.New(5)
+	routes := SynthTable(rng, 100000, 16)
+	var tr Trie
+	for _, r := range routes {
+		tr.Insert(r)
+	}
+	addrs := make([]uint32, 4096)
+	for i := range addrs {
+		addrs[i] = MatchingAddr(rng, routes[rng.Intn(len(routes))])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkPatriciaLookupBGPMix(b *testing.B) {
+	rng := xrand.New(5)
+	routes := SynthTable(rng, 100000, 16)
+	var tr Patricia
+	for _, r := range routes {
+		tr.Insert(r)
+	}
+	addrs := make([]uint32, 4096)
+	for i := range addrs {
+		addrs[i] = MatchingAddr(rng, routes[rng.Intn(len(routes))])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}

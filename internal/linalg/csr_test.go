@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRBasics(t *testing.T) {
+	m := NewCSR(3, 3, []Triplet{
+		{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 2, 5},
+	})
+	if m.Rows() != 3 || m.Cols() != 3 || m.NNZ() != 5 {
+		t.Fatalf("dims/nnz wrong: %dx%d nnz=%d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	if m.At(0, 2) != 2 || m.At(2, 2) != 5 || m.At(1, 0) != 0 {
+		t.Fatal("At returned wrong values")
+	}
+}
+
+func TestCSRDuplicatesSummed(t *testing.T) {
+	m := NewCSR(2, 2, []Triplet{{0, 1, 1.5}, {0, 1, 2.5}})
+	if m.At(0, 1) != 4 {
+		t.Fatalf("duplicate sum = %g, want 4", m.At(0, 1))
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestCSRCompactDropsZeros(t *testing.T) {
+	m := NewCSRCompact(2, 2, []Triplet{{0, 1, 1}, {0, 1, -1}, {1, 0, 2}})
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", m.NNZ())
+	}
+	if m.At(1, 0) != 2 {
+		t.Fatal("surviving entry lost")
+	}
+}
+
+func TestCSRMulVec(t *testing.T) {
+	m := NewCSR(2, 3, []Triplet{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	y := m.MulVec([]float64{1, 2, 3})
+	if y[0] != 7 || y[1] != 6 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestCSRVecMulTo(t *testing.T) {
+	m := NewCSR(2, 2, []Triplet{{0, 1, 2}, {1, 0, 3}})
+	y := make([]float64, 2)
+	m.VecMulTo(y, []float64{1, 1})
+	if y[0] != 3 || y[1] != 2 {
+		t.Fatalf("VecMulTo = %v", y)
+	}
+}
+
+func TestCSROutOfRangeTripletPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 2, []Triplet{{2, 0, 1}})
+}
+
+// Property: CSR operations agree with the dense expansion.
+func TestCSRMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		rows := 1 + int(uint(seed)%6)
+		cols := 1 + int(uint(seed)>>3%6)
+		var trips []Triplet
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if rng.next() < 0.4 {
+					trips = append(trips, Triplet{i, j, 2*rng.next() - 1})
+				}
+			}
+		}
+		m := NewCSR(rows, cols, trips)
+		d := m.Dense()
+		x := randomVec(rng, cols)
+		if MaxDiff(m.MulVec(x), d.MulVec(x)) > 1e-12 {
+			return false
+		}
+		xr := randomVec(rng, rows)
+		y := make([]float64, cols)
+		m.VecMulTo(y, xr)
+		return MaxDiff(y, d.VecMul(xr)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCSRVecMul(b *testing.B) {
+	const n = 2000
+	var trips []Triplet
+	for i := 0; i < n; i++ {
+		trips = append(trips, Triplet{i, i, -2})
+		if i+1 < n {
+			trips = append(trips, Triplet{i, i + 1, 1})
+			trips = append(trips, Triplet{i + 1, i, 1})
+		}
+	}
+	m := NewCSR(n, n, trips)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0 / n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.VecMulTo(y, x)
+		x, y = y, x
+	}
+}

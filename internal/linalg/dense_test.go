@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %g, want 7", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("zero value not zero")
+	}
+}
+
+func TestDenseOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestNewDenseFromRowsAndClone(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+	if c.At(1, 1) != 4 {
+		t.Fatal("Clone did not copy data")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d, %d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	m := NewDenseFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := m.MulVec([]float64{1, 1})
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	z := m.VecMul([]float64{1, 0, 2})
+	wantZ := []float64{11, 14}
+	for i := range wantZ {
+		if z[i] != wantZ[i] {
+			t.Fatalf("VecMul[%d] = %g, want %g", i, z[i], wantZ[i])
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul(%d,%d) = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{2, -1, 0}, {1, 3, 4}, {0, 0, 1}})
+	i3 := Identity(3)
+	left := i3.Mul(a)
+	right := a.Mul(i3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if left.At(i, j) != a.At(i, j) || right.At(i, j) != a.At(i, j) {
+				t.Fatal("identity multiplication changed matrix")
+			}
+		}
+	}
+}
+
+func TestScaleAddMatMaxAbs(t *testing.T) {
+	a := NewDenseFromRows([][]float64{{1, -2}, {3, -4}})
+	a.Scale(2)
+	if a.At(1, 1) != -8 {
+		t.Fatalf("Scale: got %g", a.At(1, 1))
+	}
+	a.AddMat(NewDenseFromRows([][]float64{{1, 1}, {1, 1}}))
+	if a.At(0, 0) != 3 {
+		t.Fatalf("AddMat: got %g", a.At(0, 0))
+	}
+	if a.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %g, want 7", a.MaxAbs())
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, -2, 3}
+	b := []float64{4, 5, -6}
+	if Dot(a, b) != 1*4-2*5-3*6 {
+		t.Fatalf("Dot = %g", Dot(a, b))
+	}
+	if Sum(a) != 2 {
+		t.Fatalf("Sum = %g", Sum(a))
+	}
+	if Norm1(a) != 6 {
+		t.Fatalf("Norm1 = %g", Norm1(a))
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2")
+	}
+	if NormInf(a) != 3 {
+		t.Fatalf("NormInf = %g", NormInf(a))
+	}
+	y := CloneVec(a)
+	AXPY(2, b, y)
+	if y[0] != 9 || y[1] != 8 || y[2] != -9 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	v := []float64{2, 6}
+	if s := Normalize(v); s != 8 || !almostEq(v[0], 0.25, 1e-15) {
+		t.Fatalf("Normalize: sum=%g v=%v", s, v)
+	}
+	zero := []float64{0, 0}
+	if s := Normalize(zero); s != 0 || zero[0] != 0 {
+		t.Fatal("Normalize of zero vector must be a no-op")
+	}
+	if MaxDiff([]float64{1, 2}, []float64{1.5, 1}) != 1 {
+		t.Fatal("MaxDiff")
+	}
+}
+
+// Property: (A·B)·x == A·(B·x).
+func TestMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		n := 2 + int(uint(seed)%5)
+		a := randomDense(rng, n, n)
+		b := randomDense(rng, n, n)
+		x := randomVec(rng, n)
+		lhs := a.Mul(b).MulVec(x)
+		rhs := a.MulVec(b.MulVec(x))
+		return MaxDiff(lhs, rhs) < 1e-9*(1+NormInf(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VecMul(x, m) == Transpose(m).MulVec(x).
+func TestVecMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		r := 1 + int(uint(seed)%4)
+		c := 1 + int(uint(seed)%6)
+		m := randomDense(rng, r, c)
+		x := randomVec(rng, r)
+		return MaxDiff(m.VecMul(x), m.Transpose().MulVec(x)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Minimal deterministic test RNG local to the package tests (keeps linalg
+// free of internal dependencies).
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed*2862933555777941757 + 3037000493} }
+
+func (r *testRNG) next() float64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return float64(r.s>>11) / (1 << 53)
+}
+
+func randomDense(r *testRNG, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, 2*r.next()-1)
+		}
+	}
+	return m
+}
+
+func randomVec(r *testRNG, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*r.next() - 1
+	}
+	return v
+}

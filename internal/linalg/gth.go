@@ -1,0 +1,92 @@
+package linalg
+
+// GTHSteadyState computes the stationary distribution π of an irreducible
+// continuous-time Markov chain from its generator matrix Q (π·Q = 0,
+// Σπ = 1) using the Grassmann–Taksar–Heyman elimination. GTH performs no
+// subtractions, so it is numerically stable even when rates span many
+// orders of magnitude — exactly the regime of the DRA models, whose failure
+// rates (~1e-6/h) and repair rates (~0.3/h) differ by more than five orders
+// of magnitude.
+//
+// Only the off-diagonal rates of Q are consulted; the diagonal is implied.
+// The caller's matrix is cloned, so the input is not modified. The chain
+// must be irreducible; for the DRA availability chains this holds because
+// repair returns every state to (0, 0).
+func GTHSteadyState(q *Dense) []float64 {
+	if q.Rows() != q.Cols() {
+		panic("linalg: GTHSteadyState requires a square generator")
+	}
+	n := q.Rows()
+	if n == 1 {
+		return []float64{1}
+	}
+	w := q.Clone()
+	depart := make([]float64, n) // total rate from state k to states < k at elimination time
+
+	// Forward elimination: fold state k into states 0..k-1.
+	for k := n - 1; k >= 1; k-- {
+		rowK := w.Row(k)
+		s := 0.0
+		for j := 0; j < k; j++ {
+			s += rowK[j]
+		}
+		depart[k] = s
+		if s <= 0 {
+			// State k cannot reach lower-numbered states; the chain is
+			// reducible in this ordering and k gets zero stationary mass.
+			continue
+		}
+		for i := 0; i < k; i++ {
+			rowI := w.Row(i)
+			rate := rowI[k]
+			if rate == 0 {
+				continue
+			}
+			f := rate / s
+			for j := 0; j < k; j++ {
+				if j != i {
+					rowI[j] += f * rowK[j]
+				}
+			}
+		}
+	}
+
+	// Back substitution: π_k = (Σ_{i<k} π_i · q_ik) / depart_k.
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		if depart[k] <= 0 {
+			continue
+		}
+		s := 0.0
+		for i := 0; i < k; i++ {
+			s += pi[i] * w.At(i, k)
+		}
+		pi[k] = s / depart[k]
+	}
+	Normalize(pi)
+	return pi
+}
+
+// SteadyStateLU computes the stationary distribution of the generator Q by
+// replacing one balance equation with the normalization condition and
+// solving the resulting linear system with LU. It is less robust than GTH
+// for stiff generators but serves as an independent cross-check in tests.
+func SteadyStateLU(q *Dense) ([]float64, error) {
+	n := q.Rows()
+	if n != q.Cols() {
+		panic("linalg: SteadyStateLU requires a square generator")
+	}
+	// Solve A x = b where row j of A holds the j-th balance equation
+	// Σ_i π_i q_ij = 0 for j < n-1, and the last row is Σ_i π_i = 1.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n-1; j++ {
+			a.Set(j, i, q.At(i, j)) // transposed balance equations
+		}
+		a.Set(n-1, i, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	return SolveLinear(a, b)
+}

@@ -1,0 +1,154 @@
+package linalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// birthDeath builds the generator of an M/M/1/K-style birth–death chain.
+func birthDeath(n int, lambda, mu float64) *Dense {
+	q := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			q.Set(i, i+1, lambda)
+			q.Add(i, i, -lambda)
+		}
+		if i > 0 {
+			q.Set(i, i-1, mu)
+			q.Add(i, i, -mu)
+		}
+	}
+	return q
+}
+
+func TestGTHTwoState(t *testing.T) {
+	// Up/down chain: failure rate λ, repair rate μ. π_up = μ/(λ+μ).
+	lambda, mu := 2e-5, 1.0/3
+	q := NewDenseFromRows([][]float64{
+		{-lambda, lambda},
+		{mu, -mu},
+	})
+	pi := GTHSteadyState(q)
+	want := mu / (lambda + mu)
+	if !almostEq(pi[0], want, 1e-12) {
+		t.Fatalf("pi[0] = %.15f, want %.15f", pi[0], want)
+	}
+	if !almostEq(pi[0]+pi[1], 1, 1e-12) {
+		t.Fatal("probabilities do not sum to 1")
+	}
+}
+
+func TestGTHBirthDeathGeometric(t *testing.T) {
+	// For birth-death with constant rates, π_i ∝ (λ/μ)^i.
+	lambda, mu := 1.0, 2.0
+	n := 6
+	pi := GTHSteadyState(birthDeath(n, lambda, mu))
+	rho := lambda / mu
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		norm += pow(rho, i)
+	}
+	for i := 0; i < n; i++ {
+		want := pow(rho, i) / norm
+		if !almostEq(pi[i], want, 1e-12) {
+			t.Fatalf("pi[%d] = %g, want %g", i, pi[i], want)
+		}
+	}
+}
+
+func pow(x float64, k int) float64 {
+	p := 1.0
+	for i := 0; i < k; i++ {
+		p *= x
+	}
+	return p
+}
+
+func TestGTHMatchesLUOnStiffChain(t *testing.T) {
+	// Rates spanning >5 orders of magnitude, as in the DRA availability
+	// models.
+	q := NewDense(4, 4)
+	set := func(i, j int, r float64) {
+		q.Set(i, j, r)
+		q.Add(i, i, -r)
+	}
+	set(0, 1, 2e-5)
+	set(0, 2, 1e-6)
+	set(1, 3, 1.5e-5)
+	set(1, 0, 1.0/3)
+	set(2, 0, 1.0/3)
+	set(3, 0, 1.0/3)
+	gth := GTHSteadyState(q)
+	lu, err := SteadyStateLU(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(gth, lu) > 1e-10 {
+		t.Fatalf("GTH %v vs LU %v", gth, lu)
+	}
+}
+
+func TestGTHSingleState(t *testing.T) {
+	pi := GTHSteadyState(NewDense(1, 1))
+	if len(pi) != 1 || pi[0] != 1 {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+// Property: the GTH result satisfies the balance equations π·Q ≈ 0 and
+// sums to one, for random irreducible generators.
+func TestGTHBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		n := 2 + int(uint(seed)%7)
+		q := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				// Strictly positive off-diagonals guarantee irreducibility.
+				r := 0.01 + rng.next()
+				q.Set(i, j, r)
+				q.Add(i, i, -r)
+			}
+		}
+		pi := GTHSteadyState(q)
+		if !almostEq(Sum(pi), 1, 1e-12) {
+			return false
+		}
+		res := q.VecMul(pi)
+		return NormInf(res) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GTH and LU agree on random irreducible generators.
+func TestGTHMatchesLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		n := 2 + int(uint(seed)%6)
+		q := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				r := 0.05 + rng.next()
+				q.Set(i, j, r)
+				q.Add(i, i, -r)
+			}
+		}
+		gth := GTHSteadyState(q)
+		lu, err := SteadyStateLU(q)
+		if err != nil {
+			return false
+		}
+		return MaxDiff(gth, lu) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/xrand"
+)
+
+// MeanTimeToAbsorption returns, for a chain whose states selected by
+// isAbsorbing are absorbing (no outgoing transitions), the expected time to
+// reach any absorbing state starting from the given state. This is the
+// MTTF when the absorbing set is the failure set. It solves the standard
+// system −Q_TT·m = 1 on the transient sub-generator with LU.
+func (c *Chain) MeanTimeToAbsorption(start string, isAbsorbing func(label string) bool) (float64, error) {
+	q := c.DenseGenerator()
+	n := c.Len()
+	var transient []int
+	pos := make([]int, n)
+	for i := 0; i < n; i++ {
+		pos[i] = -1
+		if !isAbsorbing(c.Label(i)) {
+			pos[i] = len(transient)
+			transient = append(transient, i)
+		}
+	}
+	si, ok := c.Lookup(start)
+	if !ok {
+		return 0, fmt.Errorf("markov: unknown start state %q", start)
+	}
+	if pos[si] < 0 {
+		return 0, nil // already absorbed
+	}
+	m := len(transient)
+	a := linalg.NewDense(m, m)
+	b := make([]float64, m)
+	for r, i := range transient {
+		for cIdx, j := range transient {
+			a.Set(r, cIdx, -q.At(i, j))
+		}
+		b[r] = 1
+	}
+	x, err := linalg.SolveLinear(a, b)
+	if err != nil {
+		return 0, fmt.Errorf("markov: MTTA solve: %w", err)
+	}
+	return x[pos[si]], nil
+}
+
+// SampleTimeToAbsorption draws one realization of the time to reach an
+// absorbing state from start, by direct stochastic simulation of the chain
+// (Gillespie's algorithm). Used to cross-validate the analytical solvers.
+// horizon caps the simulated time; if absorption has not occurred by then,
+// the returned bool is false.
+func (c *Chain) SampleTimeToAbsorption(start string, isAbsorbing func(label string) bool, horizon float64, rng *xrand.Source) (float64, bool) {
+	q := c.Generator()
+	si, ok := c.Lookup(start)
+	if !ok {
+		panic(fmt.Sprintf("markov: unknown start state %q", start))
+	}
+	// Precompute outgoing transition lists.
+	n := c.Len()
+	type arc struct {
+		to   int
+		rate float64
+	}
+	outs := make([][]arc, n)
+	d := q.Dense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				if r := d.At(i, j); r > 0 {
+					outs[i] = append(outs[i], arc{j, r})
+				}
+			}
+		}
+	}
+	t := 0.0
+	cur := si
+	for {
+		if isAbsorbing(c.Label(cur)) {
+			return t, true
+		}
+		total := 0.0
+		for _, a := range outs[cur] {
+			total += a.rate
+		}
+		if total == 0 {
+			return 0, false // stuck in a non-absorbing sink
+		}
+		t += rng.Exp(total)
+		if t > horizon {
+			return horizon, false
+		}
+		u := rng.Float64() * total
+		for _, a := range outs[cur] {
+			u -= a.rate
+			if u <= 0 {
+				cur = a.to
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package markov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the chain in Graphviz dot syntax, for documenting the model
+// structures (the Figure 5 diagrams regenerate from the code this way).
+// States selected by highlight are drawn filled; rates label the edges.
+func (c *Chain) DOT(name string, highlight func(label string) bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=ellipse];\n", name)
+	for i := 0; i < c.Len(); i++ {
+		l := c.Label(i)
+		attr := ""
+		if highlight != nil && highlight(l) {
+			attr = " [style=filled, fillcolor=lightgray]"
+		}
+		fmt.Fprintf(&b, "  %q%s;\n", l, attr)
+	}
+	// Deterministic edge order: by (from, to) label.
+	type edge struct {
+		from, to string
+		rate     float64
+	}
+	var edges []edge
+	g := c.Generator().Dense()
+	for i := 0; i < c.Len(); i++ {
+		for j := 0; j < c.Len(); j++ {
+			if i == j {
+				continue
+			}
+			if r := g.At(i, j); r > 0 {
+				edges = append(edges, edge{c.Label(i), c.Label(j), r})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].from != edges[b].from {
+			return edges[a].from < edges[b].from
+		}
+		return edges[a].to < edges[b].to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.from, e.to, fmt.Sprintf("%.3g", e.rate))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

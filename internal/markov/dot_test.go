@@ -1,0 +1,42 @@
+package markov
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTRendersStatesAndEdges(t *testing.T) {
+	c := NewChain()
+	c.Transition("up", "down", 2e-5)
+	c.Transition("down", "up", 1.0/3)
+	out := c.DOT("bdr", func(l string) bool { return l == "down" })
+	for _, want := range []string{
+		`digraph "bdr"`,
+		`"up" -> "down" [label="2e-05"]`,
+		`"down" -> "up"`,
+		`"down" [style=filled`,
+		"rankdir=LR",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// The healthy state is not highlighted.
+	if strings.Contains(out, `"up" [style=filled`) {
+		t.Fatal("spurious highlight")
+	}
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	build := func() string {
+		c := NewChain()
+		c.Transition("a", "b", 1)
+		c.Transition("a", "c", 2)
+		c.Transition("b", "c", 3)
+		c.Transition("c", "a", 4)
+		return c.DOT("g", nil)
+	}
+	if build() != build() {
+		t.Fatal("DOT output not deterministic")
+	}
+}

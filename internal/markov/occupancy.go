@@ -1,0 +1,78 @@
+package markov
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// OccupancyIn returns the expected cumulative time the chain spends in the
+// states selected by keep over [0, horizon], starting from p0 — e.g. the
+// expected downtime of a mission when keep selects the down states.
+//
+// It uses the exact uniformization identity
+//
+//	∫₀ᵀ π(s) ds = (1/Λ) Σ_k (p0·Pᵏ)·P(N_{ΛT} > k),
+//
+// which follows from ∫₀ᵀ e^{−Λs}(Λs)ᵏ/k! ds = P(N_{ΛT} > k)/Λ for a
+// Poisson N with mean ΛT. The series is summed until the Poisson tail is
+// exhausted, with steady-state shortcutting: Σ_k P(N > k) = ΛT exactly,
+// so once p0·Pᵏ stops changing the remaining tail mass is assigned in one
+// step — which keeps stiff chains over 10⁶-hour horizons cheap. The
+// panels argument is ignored (kept for call-site compatibility with the
+// earlier trapezoid implementation); the result is exact to the series
+// truncation ε.
+func (c *Chain) OccupancyIn(p0 []float64, keep func(label string) bool, horizon float64, panels int) float64 {
+	_ = panels
+	if horizon <= 0 {
+		return 0
+	}
+	if len(p0) != c.Len() {
+		panic("markov: initial distribution length mismatch")
+	}
+	q := c.Generator()
+	lambda := c.MaxExitRate()
+	if lambda == 0 {
+		// No transitions: the chain sits in p0 forever.
+		return c.ProbabilityOf(p0, keep) * horizon
+	}
+	p := uniformized(q, lambda)
+	m := lambda * horizon
+
+	cur := linalg.CloneVec(p0)
+	next := make([]float64, len(p0))
+	const eps = 1e-13
+	const ssTol = 1e-15
+
+	mass := func(v []float64) float64 { return c.ProbabilityOf(v, keep) }
+
+	logPMF := -m // log pmf_0
+	tail := 1 - math.Exp(logPMF)
+	consumed := 0.0
+	occ := 0.0
+	for k := 0; ; k++ {
+		f := mass(cur)
+		occ += f * tail
+		consumed += tail
+		if tail < eps {
+			break
+		}
+		if k > 100_000_000 {
+			panic("markov: occupancy series failed to converge")
+		}
+		// Advance the DTMC; shortcut once stationary.
+		p.VecMulTo(next, cur)
+		if linalg.MaxDiff(cur, next) < ssTol {
+			occ += mass(next) * (m - consumed)
+			break
+		}
+		cur, next = next, cur
+		// Advance the Poisson tail: tail_k = tail_{k-1} − pmf_k.
+		logPMF += math.Log(m) - math.Log(float64(k+1))
+		tail -= math.Exp(logPMF)
+		if tail < 0 {
+			tail = 0
+		}
+	}
+	return occ / lambda
+}

@@ -1,0 +1,61 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOccupancyClosedForm: for the repairable two-state chain starting
+// up, π_down(t) = (λ/(λ+μ))(1 − e^{−(λ+μ)t}); its integral over [0, T]
+// is (λ/(λ+μ))(T − (1 − e^{−rT})/r) with r = λ+μ.
+func TestOccupancyClosedForm(t *testing.T) {
+	lam, mu := 2e-5, 1.0/3
+	c := NewChain()
+	c.Transition("up", "down", lam)
+	c.Transition("down", "up", mu)
+	p0 := c.InitialPoint("up")
+	isDown := func(l string) bool { return l == "down" }
+	r := lam + mu
+	for _, T := range []float64{100, 10000, 1e6} {
+		want := lam / r * (T - (1-math.Exp(-r*T))/r)
+		got := c.OccupancyIn(p0, isDown, T, 0)
+		if math.Abs(got-want) > 1e-9*want+1e-12 {
+			t.Fatalf("T=%g: downtime %g, want %g", T, got, want)
+		}
+	}
+}
+
+func TestOccupancyComplementSumsToHorizon(t *testing.T) {
+	c := NewChain()
+	c.Transition("a", "b", 0.01)
+	c.Transition("b", "c", 0.02)
+	c.Transition("c", "a", 0.05)
+	p0 := c.InitialPoint("a")
+	const T = 500.0
+	inA := c.OccupancyIn(p0, func(l string) bool { return l == "a" }, T, 256)
+	notA := c.OccupancyIn(p0, func(l string) bool { return l != "a" }, T, 256)
+	if math.Abs(inA+notA-T) > 1e-6*T {
+		t.Fatalf("occupancies %g + %g != horizon %g", inA, notA, T)
+	}
+}
+
+func TestOccupancyZeroHorizon(t *testing.T) {
+	c := NewChain()
+	c.Transition("a", "b", 1)
+	if got := c.OccupancyIn(c.InitialPoint("a"), func(string) bool { return true }, 0, 8); got != 0 {
+		t.Fatalf("zero-horizon occupancy = %g", got)
+	}
+}
+
+// TestOccupancyAbsorbing: for a pure-death chain, time in the operational
+// state over a long horizon approaches the MTTF.
+func TestOccupancyAbsorbing(t *testing.T) {
+	lam := 1e-3
+	c := NewChain()
+	c.Transition("up", "down", lam)
+	p0 := c.InitialPoint("up")
+	got := c.OccupancyIn(p0, func(l string) bool { return l == "up" }, 20/lam, 2048)
+	if math.Abs(got-1/lam) > 0.01/lam {
+		t.Fatalf("uptime %g, want ~MTTF %g", got, 1/lam)
+	}
+}

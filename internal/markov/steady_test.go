@@ -1,0 +1,58 @@
+package markov
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestPowerMatchesGTHTwoState(t *testing.T) {
+	c := NewChain()
+	c.Transition("up", "down", 2e-5)
+	c.Transition("down", "up", 1.0/3)
+	gth := c.SteadyState()
+	pow, err := c.SteadyStatePower(1e-14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.MaxDiff(gth, pow) > 1e-8 {
+		t.Fatalf("gth %v vs power %v", gth, pow)
+	}
+}
+
+func TestPowerMatchesGTHCycle(t *testing.T) {
+	// A 3-cycle is periodic as a plain DTMC; the inflated-Λ trick must
+	// still converge.
+	c := NewChain()
+	c.Transition("a", "b", 1)
+	c.Transition("b", "c", 1)
+	c.Transition("c", "a", 1)
+	gth := c.SteadyState()
+	pow, err := c.SteadyStatePower(1e-14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linalg.MaxDiff(gth, pow) > 1e-8 {
+		t.Fatalf("gth %v vs power %v", gth, pow)
+	}
+}
+
+func TestPowerNoTransitions(t *testing.T) {
+	c := NewChain()
+	c.State("only")
+	pi, err := c.SteadyStatePower(0, 0)
+	if err != nil || len(pi) != 1 || pi[0] != 1 {
+		t.Fatalf("pi = %v, err = %v", pi, err)
+	}
+}
+
+func TestPowerIterationBudget(t *testing.T) {
+	// A stiff chain with a tiny rate needs many steps; a one-iteration
+	// budget must error, not hang or return garbage.
+	c := NewChain()
+	c.Transition("up", "down", 1e-9)
+	c.Transition("down", "up", 1)
+	if _, err := c.SteadyStatePower(1e-15, 1); err == nil {
+		t.Fatal("expected non-convergence error")
+	}
+}

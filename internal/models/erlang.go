@@ -1,0 +1,141 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/markov"
+)
+
+// The paper says repair takes "a fixed amount of time"; our primary
+// models use exponential repair (the standard CTMC reading, DESIGN.md §3).
+// This file quantifies that substitution: an Erlang-k repair has the same
+// mean 1/μ but variance 1/(k·μ²), approaching a deterministic repair as
+// k grows (the system freezes once the crew is mid-swap, matching the
+// paper's single repair action). The A8 ablation shows staged repair only
+// reduces unavailability — the second-failure window shrinks with the
+// repair variance — so the exponential reading is the conservative one
+// and every published nines figure stands under either reading.
+
+// repairState labels stage j of the repair begun from state origin.
+// Repair states inherit the origin's service status, so they are down
+// exactly when the origin was the F state.
+func repairState(origin string, stage int) string {
+	return fmt.Sprintf("%s|repair%d", origin, stage)
+}
+
+// IsOperationalErlang extends IsOperational to the repair-pipeline
+// labels: a repair stage entered from F is still down.
+func IsOperationalErlang(label string) bool {
+	return !strings.HasPrefix(label, FailState)
+}
+
+// DRAAvailabilityErlangRepair builds the DRA availability chain with an
+// Erlang-k repair process (k ≥ 1; k = 1 is the primary exponential
+// model). During repair the system is frozen — the crew is swapping
+// units — which mirrors the paper's single repair action restoring all
+// failed units at once.
+func DRAAvailabilityErlangRepair(p Params, stages int) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Mu <= 0 {
+		return nil, fmt.Errorf("models: Erlang repair needs μ > 0")
+	}
+	if stages < 1 {
+		return nil, fmt.Errorf("models: Erlang repair needs ≥ 1 stage, got %d", stages)
+	}
+	// Build the failure structure exactly as the primary model does.
+	base, err := buildDRA(p, false)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruct with repair pipelines: copy the base chain's structure
+	// by replaying buildDRA's transitions — the chain does not expose
+	// them, so rebuild from parameters.
+	c := markov.NewChain()
+	init := zState(0, 0)
+	c.State(init)
+	rebuildDRAFailures(c, p)
+
+	stageRate := float64(stages) * p.Mu
+	for i := 0; i < base.chain.Len(); i++ {
+		l := base.chain.Label(i)
+		if l == init {
+			continue
+		}
+		// Pipeline: l -> l|repair1 -> ... -> l|repair(stages-1) -> init.
+		prev := l
+		for j := 1; j < stages; j++ {
+			next := repairState(l, j)
+			c.Transition(prev, next, stageRate)
+			prev = next
+		}
+		c.Transition(prev, init, stageRate)
+	}
+	return &Model{
+		Name:  fmt.Sprintf("DRA availability, Erlang-%d repair (N=%d, M=%d)", stages, p.N, p.M),
+		chain: c,
+		init:  init,
+		p:     p,
+	}, nil
+}
+
+// AvailabilityErlang returns the steady-state availability under the
+// Erlang-repair label convention.
+func (m *Model) AvailabilityErlang() float64 {
+	pi := m.chain.SteadyState()
+	return m.chain.ProbabilityOf(pi, IsOperationalErlang)
+}
+
+// rebuildDRAFailures re-adds the failure-side transitions of the primary
+// DRA chain (identical to buildDRA's failure structure).
+func rebuildDRAFailures(c *markov.Chain, p Params) {
+	nPD := p.M - 1
+	nPI := p.N - 2
+	lcuaEIB := p.LambdaBUS + p.LambdaBC
+	for fp := 0; fp <= nPD; fp++ {
+		for fq := 0; fq <= nPI; fq++ {
+			s := zState(fp, fq)
+			if fp < nPD {
+				c.Transition(s, zState(fp+1, fq), float64(nPD-fp)*p.LambdaPD)
+			}
+			if fq < nPI {
+				c.Transition(s, zState(fp, fq+1), float64(nPI-fq)*p.LambdaPI)
+			}
+			if fp <= nPD-1 {
+				c.Transition(s, pdState(fp), p.LambdaLPD)
+			} else {
+				c.Transition(s, FailState, p.LambdaLPD)
+			}
+			if fq <= nPI-1 {
+				c.Transition(s, piState(fq), p.LambdaLPI)
+			} else {
+				c.Transition(s, FailState, p.LambdaLPI)
+			}
+			c.Transition(s, TPrime, lcuaEIB)
+		}
+	}
+	for i := 0; i <= nPD-1; i++ {
+		s := pdState(i)
+		rate := float64(nPD-i) * p.LambdaPD
+		if i+1 <= nPD-1 {
+			c.Transition(s, pdState(i+1), rate)
+		} else {
+			c.Transition(s, FailState, rate)
+		}
+		c.Transition(s, FailState, lcuaEIB)
+	}
+	for j := 0; j <= nPI-1; j++ {
+		s := piState(j)
+		rate := float64(nPI-j) * p.LambdaPI
+		if j+1 <= nPI-1 {
+			c.Transition(s, piState(j+1), rate)
+		} else {
+			c.Transition(s, FailState, rate)
+		}
+		c.Transition(s, FailState, lcuaEIB)
+	}
+	c.Transition(TPrime, FailState, p.LambdaLC())
+	c.State(FailState)
+}

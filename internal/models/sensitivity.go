@@ -1,0 +1,85 @@
+package models
+
+import "fmt"
+
+// Sensitivity quantifies how strongly each failure rate drives a
+// dependability measure — the quantitative version of the paper's
+// observation that "the number of PI units has a greater impact on R(t)
+// than the number of PDLU's". Derivatives are central finite differences
+// with a relative step; elasticities ((∂R/R)/(∂λ/λ)) make rates of very
+// different magnitude comparable.
+type Sensitivity struct {
+	Param string
+	// Base is the nominal rate.
+	Base float64
+	// Derivative is ∂measure/∂rate at the nominal point.
+	Derivative float64
+	// Elasticity is the dimensionless relative sensitivity.
+	Elasticity float64
+}
+
+// paramAccessors enumerates the perturbable rates.
+func paramAccessors() []struct {
+	name string
+	get  func(*Params) *float64
+} {
+	return []struct {
+		name string
+		get  func(*Params) *float64
+	}{
+		{"lambda_LPD", func(p *Params) *float64 { return &p.LambdaLPD }},
+		{"lambda_LPI", func(p *Params) *float64 { return &p.LambdaLPI }},
+		{"lambda_BC", func(p *Params) *float64 { return &p.LambdaBC }},
+		{"lambda_BUS", func(p *Params) *float64 { return &p.LambdaBUS }},
+		{"lambda_PD", func(p *Params) *float64 { return &p.LambdaPD }},
+		{"lambda_PI", func(p *Params) *float64 { return &p.LambdaPI }},
+	}
+}
+
+// ReliabilitySensitivity returns the sensitivity of DRA R(t) to each
+// failure rate at the given parameters. relStep is the relative
+// finite-difference step (default 1e-3).
+func ReliabilitySensitivity(p Params, t float64, relStep float64) ([]Sensitivity, error) {
+	if relStep <= 0 {
+		relStep = 1e-3
+	}
+	eval := func(q Params) (float64, error) {
+		m, err := DRAReliability(q)
+		if err != nil {
+			return 0, err
+		}
+		return m.ReliabilityAt(t), nil
+	}
+	base, err := eval(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Sensitivity
+	for _, acc := range paramAccessors() {
+		v := *acc.get(&p)
+		if v == 0 {
+			out = append(out, Sensitivity{Param: acc.name, Base: 0})
+			continue
+		}
+		h := v * relStep
+		up := p
+		*acc.get(&up) = v + h
+		dn := p
+		*acc.get(&dn) = v - h
+		rUp, err := eval(up)
+		if err != nil {
+			return nil, fmt.Errorf("models: sensitivity %s: %w", acc.name, err)
+		}
+		rDn, err := eval(dn)
+		if err != nil {
+			return nil, fmt.Errorf("models: sensitivity %s: %w", acc.name, err)
+		}
+		d := (rUp - rDn) / (2 * h)
+		el := 0.0
+		if base != 0 {
+			el = d * v / base
+		}
+		out = append(out, Sensitivity{Param: acc.name, Base: v, Derivative: d, Elasticity: el})
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+func sensMap(t *testing.T, n, m int) map[string]Sensitivity {
+	t.Helper()
+	ss, err := ReliabilitySensitivity(PaperParams(n, m), 40000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]Sensitivity, len(ss))
+	for _, s := range ss {
+		out[s.Param] = s
+	}
+	return out
+}
+
+func TestSensitivityAllNegative(t *testing.T) {
+	// Raising any failure rate can only lower reliability.
+	for name, s := range sensMap(t, 9, 4) {
+		if s.Base == 0 {
+			continue
+		}
+		if s.Derivative >= 0 {
+			t.Fatalf("%s: derivative %g not negative", name, s.Derivative)
+		}
+		if s.Elasticity >= 0 {
+			t.Fatalf("%s: elasticity %g not negative", name, s.Elasticity)
+		}
+	}
+}
+
+func TestSensitivityPIPoolDominatesPDPool(t *testing.T) {
+	// The paper's qualitative claim, quantified: at N=9, M=4 the
+	// intermediate PI rate matters more than the intermediate PD rate.
+	s := sensMap(t, 9, 4)
+	if math.Abs(s["lambda_PI"].Elasticity) <= math.Abs(s["lambda_PD"].Elasticity) {
+		t.Fatalf("PI elasticity %g not above PD %g",
+			s["lambda_PI"].Elasticity, s["lambda_PD"].Elasticity)
+	}
+	// And LCUA's own PI rate dominates its PDLU rate.
+	if math.Abs(s["lambda_LPI"].Elasticity) <= math.Abs(s["lambda_LPD"].Elasticity) {
+		t.Fatalf("LPI elasticity %g not above LPD %g",
+			s["lambda_LPI"].Elasticity, s["lambda_LPD"].Elasticity)
+	}
+}
+
+func TestSensitivityBusMattersMoreWithFewCoverers(t *testing.T) {
+	// With a large covering pool, the shared EIB becomes the weakest
+	// link; its relative importance must be higher at N=9 than the PD
+	// pool's.
+	s9 := sensMap(t, 9, 8)
+	if math.Abs(s9["lambda_BUS"].Elasticity) <= math.Abs(s9["lambda_PD"].Elasticity) {
+		t.Fatalf("at N=9/M=8 bus elasticity %g should exceed PD pool %g",
+			s9["lambda_BUS"].Elasticity, s9["lambda_PD"].Elasticity)
+	}
+}
+
+func TestSensitivityZeroRateSkipped(t *testing.T) {
+	p := PaperParams(6, 3)
+	p.LambdaBUS = 0
+	ss, err := ReliabilitySensitivity(p, 40000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		if s.Param == "lambda_BUS" {
+			if s.Base != 0 || s.Derivative != 0 {
+				t.Fatalf("zero rate not skipped: %+v", s)
+			}
+			return
+		}
+	}
+	t.Fatal("lambda_BUS entry missing")
+}
+
+func TestSensitivityMatchesDirectPerturbation(t *testing.T) {
+	// Cross-check the finite difference against a direct two-point
+	// estimate with a different step.
+	p := PaperParams(6, 3)
+	ss, err := ReliabilitySensitivity(p, 40000, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	for _, s := range ss {
+		if s.Param == "lambda_LPI" {
+			got = s.Derivative
+		}
+	}
+	h := p.LambdaLPI * 0.01
+	up := p
+	up.LambdaLPI += h
+	dn := p
+	dn.LambdaLPI -= h
+	mu, _ := DRAReliability(up)
+	md, _ := DRAReliability(dn)
+	want := (mu.ReliabilityAt(40000) - md.ReliabilityAt(40000)) / (2 * h)
+	if math.Abs(got-want) > math.Abs(want)*0.01 {
+		t.Fatalf("derivative %g vs coarse check %g", got, want)
+	}
+}

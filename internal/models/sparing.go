@@ -1,0 +1,94 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// This file models the baseline the paper's introduction argues against:
+// making linecards fault-tolerant by dedicating standby LCs ("the only way
+// to provide fault tolerance at the LC's in existing systems is to add at
+// least one redundant LC for each protocol type — clearly an expensive
+// proposition"). The comparison DRA-vs-sparing at equal dependability or
+// equal cost is run by the A6 benchmark.
+
+// SparingParams describes one linecard protected by dedicated hot
+// standbys of the same protocol type.
+type SparingParams struct {
+	// LambdaLC is the failure rate of each unit (active or standby —
+	// hot standbys age identically).
+	LambdaLC float64
+	// Spares is the number of dedicated standby LCs (≥ 0; 0 reduces to
+	// the bare BDR linecard).
+	Spares int
+	// Mu is the repair rate; as in the paper's repair process, one
+	// repair action restores all failed units. 0 disables repair.
+	Mu float64
+}
+
+// Validate rejects out-of-range parameters.
+func (p SparingParams) Validate() error {
+	if p.LambdaLC <= 0 {
+		return fmt.Errorf("models: sparing needs λ_LC > 0")
+	}
+	if p.Spares < 0 {
+		return fmt.Errorf("models: negative spare count")
+	}
+	if p.Mu < 0 {
+		return fmt.Errorf("models: negative repair rate")
+	}
+	return nil
+}
+
+// Cost returns the number of linecard-equivalents this protection scheme
+// consumes for one protected linecard: 1 + Spares. (DRA's cost per LC is
+// 1 plus the amortized EIB, which adds no linecards.)
+func (p SparingParams) Cost() int { return 1 + p.Spares }
+
+// buildSparing constructs the k-of-(k+1) hot-standby chain: state i means
+// i units failed; service is up while i ≤ Spares; all units failed is F.
+func buildSparing(p SparingParams, withRepair bool) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if withRepair && p.Mu <= 0 {
+		return nil, fmt.Errorf("models: sparing availability needs μ > 0")
+	}
+	c := newSparingChain(p)
+	name := fmt.Sprintf("1:%d-spared LC reliability", p.Spares)
+	if withRepair {
+		name = fmt.Sprintf("1:%d-spared LC availability (μ=%g)", p.Spares, p.Mu)
+		for i := 1; i <= p.Spares; i++ {
+			c.Transition(sparingState(i), sparingState(0), p.Mu)
+		}
+		c.Transition(FailState, sparingState(0), p.Mu)
+	}
+	return &Model{Name: name, chain: c, init: sparingState(0), p: Params{Mu: p.Mu, N: 2, M: 1,
+		LambdaLPD: p.LambdaLC}, // only Mu is consulted by Model methods
+	}, nil
+}
+
+func sparingState(failed int) string { return fmt.Sprintf("S%d", failed) }
+
+func newSparingChain(p SparingParams) *markov.Chain {
+	c := markov.NewChain()
+	total := p.Spares + 1
+	for i := 0; i < total; i++ {
+		from := sparingState(i)
+		to := sparingState(i + 1)
+		if i+1 == total {
+			to = FailState
+		}
+		// All healthy units age in parallel (hot standby).
+		c.Transition(from, to, float64(total-i)*p.LambdaLC)
+	}
+	c.State(FailState)
+	return c
+}
+
+// SparingReliability builds the no-repair chain.
+func SparingReliability(p SparingParams) (*Model, error) { return buildSparing(p, false) }
+
+// SparingAvailability builds the repairable chain.
+func SparingAvailability(p SparingParams) (*Model, error) { return buildSparing(p, true) }

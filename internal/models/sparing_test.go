@@ -1,0 +1,117 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSparingValidate(t *testing.T) {
+	bad := []SparingParams{
+		{LambdaLC: 0},
+		{LambdaLC: 1, Spares: -1},
+		{LambdaLC: 1, Mu: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if (SparingParams{LambdaLC: 2e-5, Spares: 1}).Cost() != 2 {
+		t.Fatal("cost")
+	}
+}
+
+func TestSparingZeroSparesIsBDR(t *testing.T) {
+	sp, err := SparingReliability(SparingParams{LambdaLC: 2e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdr, _ := BDRReliability(PaperParams(3, 2))
+	for _, tt := range []float64{1000, 40000, 100000} {
+		if math.Abs(sp.ReliabilityAt(tt)-bdr.ReliabilityAt(tt)) > 1e-9 {
+			t.Fatalf("t=%g: spared(0) %g != BDR %g", tt, sp.ReliabilityAt(tt), bdr.ReliabilityAt(tt))
+		}
+	}
+}
+
+func TestSparingHotStandbyClosedForm(t *testing.T) {
+	// Hot 1:1 standby without repair: R(t) = 1 − (1 − e^{−λt})².
+	lam := 2e-5
+	sp, err := SparingReliability(SparingParams{LambdaLC: lam, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{5000, 40000, 100000} {
+		q := 1 - math.Exp(-lam*tt)
+		want := 1 - q*q
+		if got := sp.ReliabilityAt(tt); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("t=%g: R = %.9f, want %.9f", tt, got, want)
+		}
+	}
+}
+
+func TestSparingMoreSparesMoreReliable(t *testing.T) {
+	prev := -1.0
+	for k := 0; k <= 3; k++ {
+		sp, err := SparingReliability(SparingParams{LambdaLC: 2e-5, Spares: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sp.ReliabilityAt(40000)
+		if r < prev {
+			t.Fatalf("spares %d: R %g below %g", k, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestSparingAvailabilityNeedsMu(t *testing.T) {
+	if _, err := SparingAvailability(SparingParams{LambdaLC: 1}); err == nil {
+		t.Fatal("availability without μ accepted")
+	}
+}
+
+// TestDRACheaperThanSparingAtEqualDependability is the quantified version
+// of the paper's cost argument: with repair at μ = 1/3, one dedicated hot
+// spare per linecard (cost 2 LC-equivalents per protected LC) achieves
+// availability in the same band as DRA(3,2) — but DRA gets there with no
+// extra linecards at all.
+func TestDRACheaperThanSparingAtEqualDependability(t *testing.T) {
+	mu := 1.0 / 3
+	spared, err := SparingAvailability(SparingParams{LambdaLC: 2e-5, Spares: 1, Mu: mu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PaperParams(3, 2)
+	p.Mu = mu
+	dra, _ := DRAAvailability(p)
+	aSp := spared.Availability()
+	aDra := dra.Availability()
+	// Both reach at least 9^7; DRA is not worse by more than one nine.
+	if aSp < 0.9999999 {
+		t.Fatalf("spared availability %v below 9^7", aSp)
+	}
+	if aDra < 0.9999999 {
+		t.Fatalf("DRA availability %v below 9^7", aDra)
+	}
+	// And the cost comparison is stark: sparing doubles the linecards.
+	if (SparingParams{LambdaLC: 2e-5, Spares: 1}).Cost() != 2 {
+		t.Fatal("sparing cost accounting")
+	}
+}
+
+func TestSparingAvailabilitySteadyState(t *testing.T) {
+	sp, err := SparingAvailability(SparingParams{LambdaLC: 2e-5, Spares: 1, Mu: 1.0 / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sp.Availability()
+	if a <= 0.9999999 || a >= 1 {
+		t.Fatalf("A = %v", a)
+	}
+	// More spares help.
+	sp2, _ := SparingAvailability(SparingParams{LambdaLC: 2e-5, Spares: 2, Mu: 1.0 / 3})
+	if sp2.Availability() <= a {
+		t.Fatal("second spare did not help")
+	}
+}

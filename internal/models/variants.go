@@ -1,0 +1,150 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// This file holds alternative readings of the paper's under-specified
+// Figure 5(b) state space, used by the interpretation ablation (A4 in
+// EXPERIMENTS.md). DESIGN.md §3 documents why the primary model in
+// models.go is the one we defend; these variants bound the effect of the
+// ambiguity.
+
+// DRAReliabilityConservative builds the strictest literal reading of the
+// paper's State-F prose: the chain moves to F as soon as *all*
+// intermediate PI units or *all* intermediate PDLUs have failed — even
+// while LCUA itself is still healthy — matching the sentence "State F is
+// the state where data transfer through LCUA has stopped due to ... the
+// failure of all (N−2) LCinter PI units or (M−1) LCinter PDLU's" read
+// unconditionally. It is a lower bound on DRA reliability.
+func DRAReliabilityConservative(p Params) (*Model, error) {
+	return buildDRAVariant(p, false, true, true)
+}
+
+// DRAReliabilityOptimisticTPrime builds the loosest reading: EIB or
+// bus-controller failures never become fatal (T' is treated as a safe
+// operational haven; subsequent LCUA failures are ignored because packets
+// "continue via the switching fabric"). It is an upper bound.
+func DRAReliabilityOptimisticTPrime(p Params) (*Model, error) {
+	return buildDRAVariant(p, false, false, false)
+}
+
+// DRAAvailabilityConservative is the availability counterpart of the
+// conservative reading.
+func DRAAvailabilityConservative(p Params) (*Model, error) {
+	return buildDRAVariant(p, true, true, true)
+}
+
+// buildDRAVariant generalizes buildDRA:
+//
+//	poolExhaustionFatal — Zone-LCinter states where a whole pool has
+//	    failed transition to F on the *next pool failure attempt* and are
+//	    not entered at full exhaustion (the conservative reading);
+//	tPrimeFatal — T' can progress to F on a subsequent LCUA failure (the
+//	    primary and conservative readings) or not (optimistic).
+func buildDRAVariant(p Params, withRepair, poolExhaustionFatal, tPrimeFatal bool) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if withRepair && p.Mu <= 0 {
+		return nil, fmt.Errorf("models: availability variant needs μ > 0")
+	}
+	c := markov.NewChain()
+	init := zState(0, 0)
+	c.State(init)
+
+	nPD := p.M - 1
+	nPI := p.N - 2
+	lcuaEIB := p.LambdaBUS + p.LambdaBC
+
+	maxP, maxQ := nPD, nPI
+	if poolExhaustionFatal {
+		// The all-failed corner states collapse into F.
+		maxP, maxQ = nPD-1, nPI-1
+		if maxP < 0 {
+			maxP = 0
+		}
+		if maxQ < 0 {
+			maxQ = 0
+		}
+	}
+	for fp := 0; fp <= maxP; fp++ {
+		for fq := 0; fq <= maxQ; fq++ {
+			s := zState(fp, fq)
+			if fp < nPD {
+				dst := FailState
+				if fp+1 <= maxP {
+					dst = zState(fp+1, fq)
+				}
+				c.Transition(s, dst, float64(nPD-fp)*p.LambdaPD)
+			}
+			if fq < nPI {
+				dst := FailState
+				if fq+1 <= maxQ {
+					dst = zState(fp, fq+1)
+				}
+				c.Transition(s, dst, float64(nPI-fq)*p.LambdaPI)
+			}
+			if fp <= nPD-1 {
+				c.Transition(s, pdState(fp), p.LambdaLPD)
+			} else {
+				c.Transition(s, FailState, p.LambdaLPD)
+			}
+			if fq <= nPI-1 {
+				c.Transition(s, piState(fq), p.LambdaLPI)
+			} else {
+				c.Transition(s, FailState, p.LambdaLPI)
+			}
+			c.Transition(s, TPrime, lcuaEIB)
+		}
+	}
+	for i := 0; i <= nPD-1; i++ {
+		s := pdState(i)
+		rate := float64(nPD-i) * p.LambdaPD
+		if i+1 <= nPD-1 {
+			c.Transition(s, pdState(i+1), rate)
+		} else {
+			c.Transition(s, FailState, rate)
+		}
+		c.Transition(s, FailState, lcuaEIB)
+	}
+	for j := 0; j <= nPI-1; j++ {
+		s := piState(j)
+		rate := float64(nPI-j) * p.LambdaPI
+		if j+1 <= nPI-1 {
+			c.Transition(s, piState(j+1), rate)
+		} else {
+			c.Transition(s, FailState, rate)
+		}
+		c.Transition(s, FailState, lcuaEIB)
+	}
+	if tPrimeFatal {
+		c.Transition(TPrime, FailState, p.LambdaLC())
+	} else {
+		c.State(TPrime)
+	}
+	c.State(FailState)
+
+	if withRepair {
+		for i := 0; i < c.Len(); i++ {
+			if l := c.Label(i); l != init {
+				c.Transition(l, init, p.Mu)
+			}
+		}
+	}
+	name := "DRA reliability (conservative reading)"
+	if !poolExhaustionFatal && !tPrimeFatal {
+		name = "DRA reliability (optimistic T' reading)"
+	}
+	if withRepair {
+		name = "DRA availability (conservative reading)"
+	}
+	return &Model{
+		Name:  fmt.Sprintf("%s N=%d M=%d", name, p.N, p.M),
+		chain: c,
+		init:  init,
+		p:     p,
+	}, nil
+}

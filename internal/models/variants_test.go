@@ -1,0 +1,169 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+// TestInterpretationOrdering: for every configuration, the three readings
+// of the ambiguous Figure 5(b) must be ordered
+// conservative ≤ primary ≤ optimistic at all times.
+func TestInterpretationOrdering(t *testing.T) {
+	for _, nm := range [][2]int{{3, 2}, {6, 3}, {9, 4}, {9, 8}} {
+		p := PaperParams(nm[0], nm[1])
+		cons, err := DRAReliabilityConservative(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prim, err := DRAReliability(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := DRAReliabilityOptimisticTPrime(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tt := range []float64{10000, 40000, 100000} {
+			rc, rp, ro := cons.ReliabilityAt(tt), prim.ReliabilityAt(tt), opt.ReliabilityAt(tt)
+			if rc > rp+1e-9 || rp > ro+1e-9 {
+				t.Fatalf("N=%d M=%d t=%g: ordering violated: cons %g, primary %g, opt %g",
+					nm[0], nm[1], tt, rc, rp, ro)
+			}
+		}
+	}
+}
+
+// TestConservativeSmallConfigBarelyBeatsBDR: under the literal State-F
+// prose a single neighbour failure is fatal for N=3, so DRA(3,2) gains
+// almost nothing over BDR (≈ +0.01 at 40 000 h) — contradicting the
+// paper's "reasonably large improvement", which is why DESIGN.md rejects
+// that reading. The primary reading gains > 0.25.
+func TestConservativeSmallConfigBarelyBeatsBDR(t *testing.T) {
+	cons, err := DRAReliabilityConservative(PaperParams(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim, _ := DRAReliability(PaperParams(3, 2))
+	bdr, _ := BDRReliability(PaperParams(3, 2))
+	at := 40000.0
+	consGain := cons.ReliabilityAt(at) - bdr.ReliabilityAt(at)
+	primGain := prim.ReliabilityAt(at) - bdr.ReliabilityAt(at)
+	if consGain > 0.05 {
+		t.Fatalf("conservative gain %g unexpectedly large", consGain)
+	}
+	if primGain < 0.25 {
+		t.Fatalf("primary gain %g unexpectedly small", primGain)
+	}
+}
+
+// TestOptimisticReadingApproachesPaperCurve: the optimistic reading is
+// the closest to the paper's "remains close to 1.0 for the first 40 000
+// hours" for N=9, M≥4, and strictly dominates the primary reading.
+func TestOptimisticReadingApproachesPaperCurve(t *testing.T) {
+	opt, err := DRAReliabilityOptimisticTPrime(PaperParams(9, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim, _ := DRAReliability(PaperParams(9, 4))
+	r := opt.ReliabilityAt(40000)
+	if r < 0.97 {
+		t.Fatalf("optimistic DRA(9,4) R(40000) = %g, want ≥ 0.97", r)
+	}
+	if r <= prim.ReliabilityAt(40000) {
+		t.Fatal("optimistic reading must dominate the primary reading")
+	}
+}
+
+func TestConservativeAvailabilityStillBeatsBDR(t *testing.T) {
+	p := PaperParams(6, 3)
+	p.Mu = 1.0 / 3
+	cons, err := DRAAvailabilityConservative(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdr, _ := BDRAvailability(p)
+	if cons.Availability() <= bdr.Availability() {
+		t.Fatal("even the conservative reading must beat BDR availability")
+	}
+	prim, _ := DRAAvailability(p)
+	if cons.Availability() > prim.Availability()+1e-15 {
+		t.Fatal("conservative availability above primary")
+	}
+}
+
+func TestVariantValidation(t *testing.T) {
+	if _, err := DRAReliabilityConservative(Params{N: 1, M: 1}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := DRAAvailabilityConservative(PaperParams(4, 2)); err == nil {
+		t.Fatal("availability without μ accepted")
+	}
+}
+
+func TestAvailabilityAtConvergesToSteadyState(t *testing.T) {
+	p := PaperParams(6, 3)
+	p.Mu = 1.0 / 3
+	m, err := DRAAvailability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aInf := m.Availability()
+	aT := m.AvailabilityAt(5e5)
+	if math.Abs(aT-aInf) > 1e-9 {
+		t.Fatalf("A(5e5) = %.12f vs steady %.12f", aT, aInf)
+	}
+	if a0 := m.AvailabilityAt(0); a0 != 1 {
+		t.Fatalf("A(0) = %g", a0)
+	}
+}
+
+func TestIntervalAvailabilityBounds(t *testing.T) {
+	p := PaperParams(3, 2)
+	p.Mu = 1.0 / 3
+	m, err := BDRAvailability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aInf := m.Availability()
+	// Interval availability over [0, T] exceeds the steady state
+	// (the system starts perfect) and is below 1.
+	ia := m.IntervalAvailability(1e6, 64)
+	if ia <= aInf || ia >= 1 {
+		t.Fatalf("interval availability %v outside (%v, 1)", ia, aInf)
+	}
+	// Long horizons converge to the steady state.
+	if d := m.IntervalAvailability(1e8, 128) - aInf; math.Abs(d) > 1e-6 {
+		t.Fatalf("interval availability did not converge: diff %g", d)
+	}
+	if m.IntervalAvailability(0, 8) != 1 {
+		t.Fatal("zero-horizon interval availability must be 1")
+	}
+	// Downtime is the exact complement.
+	const T = 1e6
+	down := m.ExpectedDowntime(T)
+	if math.Abs(down-(1-m.IntervalAvailability(T, 0))*T) > 1e-6 {
+		t.Fatalf("downtime %g inconsistent with interval availability", down)
+	}
+	if m.ExpectedDowntime(0) != 0 {
+		t.Fatal("zero-horizon downtime")
+	}
+}
+
+// TestIntervalAvailabilityClosedForm: for the two-state chain, interval
+// availability has the closed form
+// A_I(T) = A_∞ + (1−A_∞)·(1−e^{−(λ+μ)T})/((λ+μ)T).
+func TestIntervalAvailabilityClosedForm(t *testing.T) {
+	p := PaperParams(3, 2)
+	p.Mu = 1.0 / 3
+	m, _ := BDRAvailability(p)
+	lam := p.LambdaLC()
+	for _, T := range []float64{100, 10000, 1e6} {
+		rate := lam + p.Mu
+		aInf := p.Mu / rate
+		want := aInf + (1-aInf)*(1-math.Exp(-rate*T))/(rate*T)
+		got := m.IntervalAvailability(T, 256)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("T=%g: interval availability %.9f, closed form %.9f", T, got, want)
+		}
+	}
+}

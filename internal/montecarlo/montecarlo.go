@@ -1,0 +1,246 @@
+// Package montecarlo estimates the dependability of the executable router
+// model by replicated fault-injection simulation, providing an independent
+// cross-check of the analytical Markov models: the simulator knows nothing
+// of the chains — it injects per-component exponential lifetimes into the
+// full router and watches the service predicate — so agreement between the
+// two is evidence that both encode the architecture the same way.
+package montecarlo
+
+import (
+	"fmt"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options configures an estimation run.
+type Options struct {
+	Arch linecard.Arch
+	// N is the LC count; M the number of LCs sharing LC 0's protocol.
+	N, M int
+	// Rates are the component failure rates (and repair rate for
+	// availability runs).
+	Rates router.FaultRates
+	// Horizon is the simulated time per replication (hours).
+	Horizon float64
+	// Reps is the number of independent replications.
+	Reps int
+	// Seed makes the whole estimate reproducible; replication r uses
+	// Seed + r.
+	Seed uint64
+	// Workers fans replications out over goroutines (each replication
+	// owns a private router, so they share nothing). 0 or 1 runs
+	// sequentially. Results are aggregated in replication order, so the
+	// estimate is bit-identical regardless of worker count.
+	Workers int
+	// TargetLC selects the linecard under analysis (the paper's LCUA);
+	// default 0.
+	TargetLC int
+}
+
+// Validate rejects nonsensical options.
+func (o Options) Validate() error {
+	if o.N < 2 || o.M < 1 || o.M > o.N {
+		return fmt.Errorf("montecarlo: bad N=%d M=%d", o.N, o.M)
+	}
+	if o.Horizon <= 0 {
+		return fmt.Errorf("montecarlo: horizon must be positive")
+	}
+	if o.Reps < 1 {
+		return fmt.Errorf("montecarlo: need at least one replication")
+	}
+	if o.TargetLC < 0 || o.TargetLC >= o.N {
+		return fmt.Errorf("montecarlo: target LC %d outside [0, N)", o.TargetLC)
+	}
+	return o.Rates.Validate()
+}
+
+// ReliabilityResult is the outcome of EstimateReliability.
+type ReliabilityResult struct {
+	Horizon float64
+	// Survival estimates R(Horizon) for LC 0: the fraction of
+	// replications in which its packet service never failed.
+	Survival stats.Proportion
+	// TTF accumulates observed times to first service failure (only for
+	// replications that failed within the horizon).
+	TTF stats.Welford
+	// TTFSamples holds the raw failure times, in replication order, for
+	// histograms and quantiles.
+	TTFSamples []float64
+}
+
+// Estimate returns the reliability point estimate.
+func (r ReliabilityResult) Estimate() float64 { return r.Survival.Estimate() }
+
+// CI returns the Wilson 95% interval.
+func (r ReliabilityResult) CI() (lo, hi float64) { return r.Survival.Wilson(1.96) }
+
+// EstimateReliability runs Reps replications without repair and reports
+// the fraction in which LC 0's service survived the horizon.
+func EstimateReliability(opt Options) (ReliabilityResult, error) {
+	if err := opt.Validate(); err != nil {
+		return ReliabilityResult{}, err
+	}
+	if opt.Rates.Repair != 0 {
+		return ReliabilityResult{}, fmt.Errorf("montecarlo: reliability runs must not repair")
+	}
+	res := ReliabilityResult{Horizon: opt.Horizon}
+	outcomes, err := runReps(opt, reliabilityRep)
+	if err != nil {
+		return res, err
+	}
+	for _, failedAt := range outcomes {
+		if failedAt >= 0 && failedAt <= opt.Horizon {
+			res.Survival.Add(false)
+			res.TTF.Add(failedAt)
+			res.TTFSamples = append(res.TTFSamples, failedAt)
+		} else {
+			res.Survival.Add(true)
+		}
+	}
+	return res, nil
+}
+
+// reliabilityRep runs one replication and returns the time of the first
+// service failure of LC 0, or -1 if it survived the horizon.
+func reliabilityRep(opt Options, rep uint64) (float64, error) {
+	r, inj, err := build(opt, rep)
+	if err != nil {
+		return 0, err
+	}
+	inj.Start()
+	k := r.Kernel()
+	for k.Now() < sim.Time(opt.Horizon) {
+		if !k.Step() {
+			break
+		}
+		if !r.CanDeliver(opt.TargetLC) {
+			return float64(k.Now()), nil
+		}
+	}
+	return -1, nil
+}
+
+// runReps executes one function per replication, optionally across
+// workers, returning per-replication outcomes in replication order.
+func runReps(opt Options, one func(Options, uint64) (float64, error)) ([]float64, error) {
+	out := make([]float64, opt.Reps)
+	workers := opt.Workers
+	if workers <= 1 {
+		for rep := 0; rep < opt.Reps; rep++ {
+			v, err := one(opt, uint64(rep))
+			if err != nil {
+				return nil, err
+			}
+			out[rep] = v
+		}
+		return out, nil
+	}
+	type result struct {
+		rep int
+		v   float64
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for rep := range jobs {
+				v, err := one(opt, uint64(rep))
+				results <- result{rep, v, err}
+			}
+		}()
+	}
+	go func() {
+		for rep := 0; rep < opt.Reps; rep++ {
+			jobs <- rep
+		}
+		close(jobs)
+	}()
+	var firstErr error
+	for i := 0; i < opt.Reps; i++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		out[r.rep] = r.v
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// AvailabilityResult is the outcome of EstimateAvailability.
+type AvailabilityResult struct {
+	Horizon float64
+	// PerRep accumulates the per-replication time-averaged availability
+	// of LC 0's service.
+	PerRep stats.Welford
+}
+
+// Estimate returns the availability point estimate.
+func (a AvailabilityResult) Estimate() float64 { return a.PerRep.Mean() }
+
+// CI returns the normal 95% interval over replications.
+func (a AvailabilityResult) CI() (lo, hi float64) { return a.PerRep.CI(1.96) }
+
+// EstimateAvailability runs Reps replications with repair and reports the
+// time-averaged fraction of each horizon during which LC 0 delivered
+// service.
+func EstimateAvailability(opt Options) (AvailabilityResult, error) {
+	if err := opt.Validate(); err != nil {
+		return AvailabilityResult{}, err
+	}
+	if opt.Rates.Repair <= 0 {
+		return AvailabilityResult{}, fmt.Errorf("montecarlo: availability runs need repair")
+	}
+	res := AvailabilityResult{Horizon: opt.Horizon}
+	outcomes, err := runReps(opt, availabilityRep)
+	if err != nil {
+		return res, err
+	}
+	for _, a := range outcomes {
+		res.PerRep.Add(a)
+	}
+	return res, nil
+}
+
+// availabilityRep runs one replication and returns the time-averaged
+// availability of LC 0's service.
+func availabilityRep(opt Options, rep uint64) (float64, error) {
+	r, inj, err := build(opt, rep)
+	if err != nil {
+		return 0, err
+	}
+	inj.Start()
+	k := r.Kernel()
+	tracker := sim.NewUpDownTracker(k)
+	for k.Now() < sim.Time(opt.Horizon) {
+		if !k.Step() {
+			break
+		}
+		tracker.SetUp(r.CanDeliver(opt.TargetLC))
+	}
+	k.RunUntil(sim.Time(opt.Horizon))
+	tracker.SetUp(r.CanDeliver(opt.TargetLC))
+	return tracker.Availability(), nil
+}
+
+// build constructs the router and injector for one replication.
+func build(opt Options, rep uint64) (*router.Router, *router.Injector, error) {
+	cfg := router.UniformConfig(opt.Arch, opt.N, opt.M)
+	cfg.Seed = opt.Seed*1_000_003 + rep
+	r, err := router.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.InstallUniformRoutes()
+	inj, err := router.NewInjector(r, opt.Rates)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, inj, nil
+}

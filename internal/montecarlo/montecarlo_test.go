@@ -1,0 +1,278 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/models"
+	"repro/internal/router"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	ok := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0), Horizon: 1000, Reps: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{N: 1, M: 1, Horizon: 1, Reps: 1},
+		{N: 4, M: 5, Horizon: 1, Reps: 1},
+		{N: 4, M: 2, Horizon: 0, Reps: 1},
+		{N: 4, M: 2, Horizon: 1, Reps: 0},
+		{N: 4, M: 2, Horizon: 1, Reps: 1, Rates: router.FaultRates{PDLU: -1}},
+	}
+	for i, o := range bad {
+		if o.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReliabilityRejectsRepair(t *testing.T) {
+	opt := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(1.0 / 3), Horizon: 1000, Reps: 5}
+	if _, err := EstimateReliability(opt); err == nil {
+		t.Fatal("repair accepted in reliability run")
+	}
+}
+
+func TestAvailabilityNeedsRepair(t *testing.T) {
+	opt := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0), Horizon: 1000, Reps: 5}
+	if _, err := EstimateAvailability(opt); err == nil {
+		t.Fatal("availability without repair accepted")
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	opt := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0), Horizon: 40000, Reps: 50, Seed: 5}
+	a, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != b.Estimate() || a.TTF.Mean() != b.TTF.Mean() {
+		t.Fatal("same seed produced different estimates")
+	}
+}
+
+// TestParallelWorkersBitIdentical: the worker count must not change the
+// estimate — replications are seeded per index and aggregated in order.
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	base := Options{Arch: linecard.DRA, N: 6, M: 3, Rates: router.PaperRates(0), Horizon: 40000, Reps: 300, Seed: 17}
+	seq, err := EstimateReliability(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = 8
+	got, err := EstimateReliability(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Estimate() != got.Estimate() || seq.TTF.Mean() != got.TTF.Mean() || seq.TTF.N() != got.TTF.N() {
+		t.Fatalf("parallel result diverged: %v/%v vs %v/%v",
+			seq.Estimate(), seq.TTF.Mean(), got.Estimate(), got.TTF.Mean())
+	}
+
+	// Availability too.
+	av := base
+	av.Rates = router.PaperRates(1.0 / 3)
+	av.Horizon = 200000
+	av.Reps = 40
+	seqA, err := EstimateAvailability(av)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av.Workers = 4
+	parA, err := EstimateAvailability(av)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqA.Estimate() != parA.Estimate() {
+		t.Fatalf("parallel availability diverged: %v vs %v", seqA.Estimate(), parA.Estimate())
+	}
+}
+
+// TestTargetLCSymmetry: LCs sharing a protocol class are statistically
+// interchangeable — estimates for LC 0 and LC 1 (both Ethernet in the
+// M=3 layout) must agree within their confidence bands.
+func TestTargetLCSymmetry(t *testing.T) {
+	base := Options{Arch: linecard.DRA, N: 6, M: 3, Rates: router.PaperRates(0), Horizon: 40000, Reps: 1500, Seed: 21}
+	r0, err := EstimateReliability(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.TargetLC = 1
+	other.Seed = 22 // independent stream
+	r1, err := EstimateReliability(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo0, hi0 := r0.CI()
+	lo1, hi1 := r1.CI()
+	if hi0 < lo1 || hi1 < lo0 {
+		t.Fatalf("LC0 [%.4f, %.4f] and LC1 [%.4f, %.4f] CIs disjoint", lo0, hi0, lo1, hi1)
+	}
+}
+
+func TestTTFSamplesConsistentWithCounters(t *testing.T) {
+	opt := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0), Horizon: 200000, Reps: 300, Seed: 13}
+	res, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TTFSamples) != res.TTF.N() {
+		t.Fatalf("samples %d vs Welford N %d", len(res.TTFSamples), res.TTF.N())
+	}
+	if len(res.TTFSamples)+res.Survival.Successes != res.Survival.Trials {
+		t.Fatal("failures + survivals != trials")
+	}
+	sum := 0.0
+	for _, v := range res.TTFSamples {
+		if v <= 0 || v > opt.Horizon {
+			t.Fatalf("sample %g outside (0, horizon]", v)
+		}
+		sum += v
+	}
+	if n := len(res.TTFSamples); n > 0 {
+		if mean := sum / float64(n); math.Abs(mean-res.TTF.Mean()) > 1e-9 {
+			t.Fatalf("sample mean %g vs Welford %g", mean, res.TTF.Mean())
+		}
+	}
+}
+
+func TestTargetLCValidation(t *testing.T) {
+	opt := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0), Horizon: 1, Reps: 1, TargetLC: 9}
+	if opt.Validate() == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+}
+
+// TestBDRReliabilityMatchesClosedForm: the BDR simulator must reproduce
+// e^{-λ_LC·t} — no architectural subtleties involved.
+func TestBDRReliabilityMatchesClosedForm(t *testing.T) {
+	opt := Options{Arch: linecard.BDR, N: 4, M: 4, Rates: router.PaperRates(0), Horizon: 40000, Reps: 4000, Seed: 1}
+	res, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-2e-5 * 40000)
+	lo, hi := res.CI()
+	if want < lo-0.01 || want > hi+0.01 {
+		t.Fatalf("BDR MC R = %.4f [%.4f, %.4f], closed form %.4f", res.Estimate(), lo, hi, want)
+	}
+}
+
+// TestDRAReliabilityBracketsAnalytic: the paper's chain excludes LC_out
+// from the covering pools (N−2 PI coverers) while the executable
+// architecture has N−1, and it double-counts bus-controller failures into
+// both pools; the analytic model is therefore conservative. The MC
+// estimate must land at or above the paper's model and close to the
+// pool-shifted model (N+1).
+func TestDRAReliabilityBracketsAnalytic(t *testing.T) {
+	for _, nm := range [][2]int{{3, 2}, {6, 3}, {9, 4}} {
+		n, m := nm[0], nm[1]
+		opt := Options{Arch: linecard.DRA, N: n, M: m, Rates: router.PaperRates(0), Horizon: 40000, Reps: 3000, Seed: 9}
+		res, err := EstimateReliability(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paper, err := models.DRAReliability(models.PaperParams(n, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shifted, err := models.DRAReliability(models.PaperParams(n+1, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := res.Estimate()
+		lower := paper.ReliabilityAt(40000)
+		anchor := shifted.ReliabilityAt(40000)
+		if mc < lower-0.02 {
+			t.Fatalf("N=%d M=%d: MC %.4f fell below the conservative analytic %.4f", n, m, mc, lower)
+		}
+		if math.Abs(mc-anchor) > 0.03 {
+			t.Fatalf("N=%d M=%d: MC %.4f vs pool-shifted analytic %.4f", n, m, mc, anchor)
+		}
+	}
+}
+
+// TestDRATTFOrdering: with coverage, the observed mean time to service
+// failure must exceed the BDR MTTF of 50 000 h.
+func TestDRATTFOrdering(t *testing.T) {
+	opt := Options{Arch: linecard.DRA, N: 6, M: 3, Rates: router.PaperRates(0), Horizon: 400000, Reps: 600, Seed: 4}
+	res, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTF.N() < 100 {
+		t.Fatalf("too few failures observed: %d", res.TTF.N())
+	}
+	if res.TTF.Mean() < 50000 {
+		t.Fatalf("DRA mean TTF %.0f h below BDR MTTF", res.TTF.Mean())
+	}
+}
+
+// TestBDRAvailabilityMatchesClosedForm: time-averaged availability against
+// μ/(λ+μ).
+func TestBDRAvailabilityMatchesClosedForm(t *testing.T) {
+	rates := router.PaperRates(1.0 / 3)
+	opt := Options{Arch: linecard.BDR, N: 4, M: 4, Rates: rates, Horizon: 5e6, Reps: 40, Seed: 2}
+	res, err := EstimateAvailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.0 / 3) / (2e-5 + 1.0/3)
+	lo, hi := res.CI()
+	if want < lo-5e-5 || want > hi+5e-5 {
+		t.Fatalf("BDR MC A = %.6f [%.6f, %.6f], closed form %.6f", res.Estimate(), lo, hi, want)
+	}
+}
+
+// TestBDRIntervalAvailabilityMatchesAnalytic: at short horizons the
+// steady state has not been reached; the per-replication time-averaged
+// availability must match the analytic interval availability, not the
+// steady-state value.
+func TestBDRIntervalAvailabilityMatchesAnalytic(t *testing.T) {
+	rates := router.PaperRates(1.0 / 3)
+	const horizon = 50000.0
+	opt := Options{Arch: linecard.BDR, N: 4, M: 4, Rates: rates, Horizon: horizon, Reps: 3000, Seed: 8}
+	res, err := EstimateAvailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := models.PaperParams(4, 4)
+	p.Mu = 1.0 / 3
+	m, err := models.BDRAvailability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.IntervalAvailability(horizon, 128)
+	lo, hi := res.CI()
+	if want < lo-2e-5 || want > hi+2e-5 {
+		t.Fatalf("MC interval availability %.8f [%.8f, %.8f] vs analytic %.8f",
+			res.Estimate(), lo, hi, want)
+	}
+	// Sanity: the interval value sits above the steady state at this
+	// horizon (system starts perfect).
+	if want <= m.Availability() {
+		t.Fatal("interval availability not above steady state")
+	}
+}
+
+// TestDRAAvailabilityExceedsBDR: the headline availability ordering holds
+// in simulation.
+func TestDRAAvailabilityExceedsBDR(t *testing.T) {
+	rates := router.PaperRates(1.0 / 3)
+	dra, err := EstimateAvailability(Options{Arch: linecard.DRA, N: 6, M: 3, Rates: rates, Horizon: 2e6, Reps: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdrClosed := (1.0 / 3) / (2e-5 + 1.0/3)
+	if dra.Estimate() <= bdrClosed {
+		t.Fatalf("DRA MC availability %.8f not above BDR %.8f", dra.Estimate(), bdrClosed)
+	}
+}

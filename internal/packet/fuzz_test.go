@@ -1,0 +1,30 @@
+package packet
+
+import "testing"
+
+// FuzzUnmarshalCell hardens the cell decoder: arbitrary frames must never
+// panic, and any accepted frame must re-encode identically.
+func FuzzUnmarshalCell(f *testing.F) {
+	frame := make([]byte, CellFrameSize)
+	if err := MarshalCell(Cell{PacketID: 7, Total: 3, Seq: 1, Bytes: 10}, frame); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte{}, frame...))
+	f.Add(make([]byte, CellFrameSize))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCell(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, CellFrameSize)
+		if err := MarshalCell(c, out); err != nil {
+			t.Fatalf("accepted cell failed to re-encode: %v", err)
+		}
+		for i := 0; i < CellHeaderSize; i++ {
+			if out[i] != data[i] {
+				t.Fatalf("header re-encode mismatch at byte %d", i)
+			}
+		}
+	})
+}

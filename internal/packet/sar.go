@@ -1,0 +1,83 @@
+package packet
+
+import "fmt"
+
+// Reassembler rebuilds packets from interleaved cell streams, as the SRU of
+// an egress linecard does. Cells from different packets may interleave
+// arbitrarily; cells of one packet must arrive in order (the fabric and the
+// EIB both preserve per-flow order in this model).
+type Reassembler struct {
+	pending map[uint64]*assembly
+	// Completed counts fully reassembled packets; Dropped counts packets
+	// abandoned due to protocol errors (out-of-order or inconsistent
+	// cells).
+	Completed uint64
+	Dropped   uint64
+}
+
+type assembly struct {
+	proto    *Packet
+	next     int
+	total    int
+	gotBytes int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[uint64]*assembly)}
+}
+
+// Pending returns the number of partially reassembled packets.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Add consumes one cell. When the cell completes a packet, the reassembled
+// packet metadata is returned (the original header information travels in
+// the first cell's packet reference supplied via Begin or inferred here).
+// A protocol violation drops the whole in-progress packet and returns an
+// error.
+func (r *Reassembler) Add(c Cell) (*Packet, error) {
+	a, ok := r.pending[c.PacketID]
+	if !ok {
+		if c.Seq != 0 {
+			r.Dropped++
+			return nil, fmt.Errorf("packet: first cell of %d has seq %d", c.PacketID, c.Seq)
+		}
+		a = &assembly{
+			proto: &Packet{ID: c.PacketID, SrcLC: c.SrcLC, DstLC: c.DstLC},
+			total: c.Total,
+		}
+		r.pending[c.PacketID] = a
+	}
+	if c.Seq != a.next || c.Total != a.total {
+		delete(r.pending, c.PacketID)
+		r.Dropped++
+		return nil, fmt.Errorf("packet: cell %d/%d of packet %d violates order (want seq %d, total %d)",
+			c.Seq, c.Total, c.PacketID, a.next, a.total)
+	}
+	a.next++
+	a.gotBytes += c.Bytes
+	if c.Last {
+		if a.next != a.total {
+			delete(r.pending, c.PacketID)
+			r.Dropped++
+			return nil, fmt.Errorf("packet: last cell of %d at seq %d but total is %d", c.PacketID, c.Seq, a.total)
+		}
+		delete(r.pending, c.PacketID)
+		r.Completed++
+		p := a.proto
+		p.Bytes = a.gotBytes
+		return p, nil
+	}
+	return nil, nil
+}
+
+// Abort discards any partial state for the given packet, as happens when an
+// SRU loses its peer mid-packet. It reports whether state existed.
+func (r *Reassembler) Abort(packetID uint64) bool {
+	if _, ok := r.pending[packetID]; ok {
+		delete(r.pending, packetID)
+		r.Dropped++
+		return true
+	}
+	return false
+}

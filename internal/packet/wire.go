@@ -1,0 +1,80 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format for fabric cells. A cell is CellHeaderSize bytes of header
+// followed by exactly CellPayload payload bytes (zero-padded in the last
+// cell of a packet), so every cell occupies the same fixed frame on the
+// fabric — the property cell-based fabrics are built around.
+//
+//	offset size field
+//	0      8    packet ID
+//	1      2    source LC (uint16)
+//	10     2    destination LC (uint16)
+//	12     2    sequence number
+//	14     2    total cells
+//	16     1    flags (bit 0: last cell)
+//	17     1    payload bytes used in this cell (0..CellPayload)
+const CellHeaderSize = 18
+
+// CellFrameSize is the full on-fabric size of one cell.
+const CellFrameSize = CellHeaderSize + CellPayload
+
+// MarshalCell encodes a cell (header + padded payload region) into frame.
+// The payload contents are the caller's concern (this model tracks byte
+// counts, not byte values); the header is fully encoded and verified.
+func MarshalCell(c Cell, frame []byte) error {
+	if len(frame) < CellFrameSize {
+		return fmt.Errorf("packet: frame buffer %d bytes, need %d", len(frame), CellFrameSize)
+	}
+	if c.SrcLC < 0 || c.SrcLC > 0xffff || c.DstLC < 0 || c.DstLC > 0xffff {
+		return fmt.Errorf("packet: LC index out of wire range")
+	}
+	if c.Seq < 0 || c.Seq > 0xffff || c.Total < 1 || c.Total > 0xffff {
+		return fmt.Errorf("packet: seq/total out of wire range")
+	}
+	if c.Bytes < 0 || c.Bytes > CellPayload {
+		return fmt.Errorf("packet: cell carries %d bytes, max %d", c.Bytes, CellPayload)
+	}
+	binary.BigEndian.PutUint64(frame[0:], c.PacketID)
+	binary.BigEndian.PutUint16(frame[8:], uint16(c.SrcLC))
+	binary.BigEndian.PutUint16(frame[10:], uint16(c.DstLC))
+	binary.BigEndian.PutUint16(frame[12:], uint16(c.Seq))
+	binary.BigEndian.PutUint16(frame[14:], uint16(c.Total))
+	var flags byte
+	if c.Last {
+		flags |= 1
+	}
+	frame[16] = flags
+	frame[17] = byte(c.Bytes)
+	return nil
+}
+
+// UnmarshalCell decodes a cell header from frame.
+func UnmarshalCell(frame []byte) (Cell, error) {
+	if len(frame) < CellFrameSize {
+		return Cell{}, fmt.Errorf("packet: frame is %d bytes, need %d", len(frame), CellFrameSize)
+	}
+	if frame[16]&^1 != 0 {
+		return Cell{}, fmt.Errorf("packet: undefined flag bits %#02x", frame[16])
+	}
+	c := Cell{
+		PacketID: binary.BigEndian.Uint64(frame[0:]),
+		SrcLC:    int(binary.BigEndian.Uint16(frame[8:])),
+		DstLC:    int(binary.BigEndian.Uint16(frame[10:])),
+		Seq:      int(binary.BigEndian.Uint16(frame[12:])),
+		Total:    int(binary.BigEndian.Uint16(frame[14:])),
+		Last:     frame[16]&1 != 0,
+		Bytes:    int(frame[17]),
+	}
+	if c.Bytes > CellPayload {
+		return Cell{}, fmt.Errorf("packet: cell claims %d payload bytes, max %d", c.Bytes, CellPayload)
+	}
+	if c.Seq >= c.Total {
+		return Cell{}, fmt.Errorf("packet: cell seq %d outside total %d", c.Seq, c.Total)
+	}
+	return c, nil
+}

@@ -1,0 +1,90 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCellWireRoundTrip(t *testing.T) {
+	p := &Packet{ID: 77, SrcLC: 2, DstLC: 5, Bytes: 2*CellPayload + 3}
+	frame := make([]byte, CellFrameSize)
+	for _, c := range Segment(p) {
+		if err := MarshalCell(c, frame); err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalCell(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("round trip: %+v != %+v", got, c)
+		}
+	}
+}
+
+func TestCellWireRoundTripProperty(t *testing.T) {
+	f := func(id uint64, src, dst, seqRaw, totRaw uint16, bytesRaw uint8, last bool) bool {
+		total := int(totRaw%1000) + 1
+		seq := int(seqRaw) % total
+		c := Cell{
+			PacketID: id,
+			SrcLC:    int(src),
+			DstLC:    int(dst),
+			Seq:      seq,
+			Total:    total,
+			Last:     last,
+			Bytes:    int(bytesRaw) % (CellPayload + 1),
+		}
+		frame := make([]byte, CellFrameSize)
+		if err := MarshalCell(c, frame); err != nil {
+			return false
+		}
+		got, err := UnmarshalCell(frame)
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellWireValidation(t *testing.T) {
+	frame := make([]byte, CellFrameSize)
+	bad := []Cell{
+		{SrcLC: -1, Total: 1},
+		{SrcLC: 70000, Total: 1},
+		{Total: 0},
+		{Total: 1, Bytes: CellPayload + 1},
+		{Total: 1, Seq: -1},
+	}
+	for i, c := range bad {
+		if err := MarshalCell(c, frame); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, c)
+		}
+	}
+	if err := MarshalCell(Cell{Total: 1}, make([]byte, 4)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := UnmarshalCell(make([]byte, 4)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// seq >= total on the wire is rejected.
+	good := Cell{PacketID: 1, Total: 2, Seq: 1, Last: true}
+	if err := MarshalCell(good, frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[12], frame[13] = 0, 9 // seq = 9 > total = 2
+	if _, err := UnmarshalCell(frame); err == nil {
+		t.Fatal("seq past total accepted")
+	}
+}
+
+func TestCellFrameIsFixedSize(t *testing.T) {
+	if CellFrameSize != CellHeaderSize+CellPayload {
+		t.Fatal("frame size drifted")
+	}
+	// 18 + 48 = 66 bytes; the constant the fabric's serialization model
+	// assumes.
+	if CellFrameSize != 66 {
+		t.Fatalf("CellFrameSize = %d", CellFrameSize)
+	}
+}

@@ -1,0 +1,225 @@
+// Package queueing provides the classical single-queue results used to
+// reason about EIB backlog and latency under coverage load — M/M/1,
+// M/D/1, and M/M/c waiting-time formulas — together with a discrete-event
+// queue simulator (built on internal/sim) that cross-validates them. The
+// paper's §5.3 analysis is pure bandwidth; this package extends it with
+// delay, the other half of "performance under failures".
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// MM1 is a single exponential server fed by Poisson arrivals.
+type MM1 struct {
+	Lambda float64 // arrival rate
+	Mu     float64 // service rate
+}
+
+// Rho returns the utilization λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+func (q MM1) check() {
+	if q.Lambda <= 0 || q.Mu <= 0 {
+		panic("queueing: rates must be positive")
+	}
+	if q.Rho() >= 1 {
+		panic(fmt.Sprintf("queueing: unstable queue, ρ = %g", q.Rho()))
+	}
+}
+
+// MeanQueueLength returns E[N], customers in system.
+func (q MM1) MeanQueueLength() float64 {
+	q.check()
+	r := q.Rho()
+	return r / (1 - r)
+}
+
+// MeanSojourn returns E[T], time in system (wait + service).
+func (q MM1) MeanSojourn() float64 {
+	q.check()
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// MeanWait returns E[W], queueing delay before service.
+func (q MM1) MeanWait() float64 {
+	q.check()
+	return q.Rho() / (q.Mu - q.Lambda)
+}
+
+// SojournQuantile returns the p-quantile of the (exponential) sojourn
+// time distribution.
+func (q MM1) SojournQuantile(p float64) float64 {
+	q.check()
+	if p <= 0 || p >= 1 {
+		panic("queueing: quantile outside (0,1)")
+	}
+	return -math.Log(1-p) * q.MeanSojourn()
+}
+
+// MD1 is a deterministic server fed by Poisson arrivals — the natural
+// model for the EIB's fixed-length control slots and for cell-based
+// fabrics.
+type MD1 struct {
+	Lambda  float64 // arrival rate
+	Service float64 // fixed service time
+}
+
+// Rho returns the utilization.
+func (q MD1) Rho() float64 { return q.Lambda * q.Service }
+
+func (q MD1) check() {
+	if q.Lambda <= 0 || q.Service <= 0 {
+		panic("queueing: rates must be positive")
+	}
+	if q.Rho() >= 1 {
+		panic(fmt.Sprintf("queueing: unstable queue, ρ = %g", q.Rho()))
+	}
+}
+
+// MeanWait returns E[W] by Pollaczek–Khinchine: ρ·s / (2(1−ρ)).
+func (q MD1) MeanWait() float64 {
+	q.check()
+	r := q.Rho()
+	return r * q.Service / (2 * (1 - r))
+}
+
+// MeanSojourn returns E[T] = E[W] + s.
+func (q MD1) MeanSojourn() float64 { return q.MeanWait() + q.Service }
+
+// MMc is c parallel exponential servers fed by Poisson arrivals — the
+// model for a covering pool of c linecards serving redirected streams.
+type MMc struct {
+	Lambda  float64
+	Mu      float64 // per-server rate
+	Servers int
+}
+
+// Rho returns the per-server utilization λ/(cμ).
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.Servers) * q.Mu) }
+
+func (q MMc) check() {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.Servers < 1 {
+		panic("queueing: invalid M/M/c parameters")
+	}
+	if q.Rho() >= 1 {
+		panic(fmt.Sprintf("queueing: unstable queue, ρ = %g", q.Rho()))
+	}
+}
+
+// ErlangC returns the probability an arrival must wait.
+func (q MMc) ErlangC() float64 {
+	q.check()
+	c := q.Servers
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Erlang-B by the stable recurrence, then convert to Erlang-C.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Rho()
+	return b / (1 - rho + rho*b)
+}
+
+// MeanWait returns E[W] for M/M/c.
+func (q MMc) MeanWait() float64 {
+	q.check()
+	pw := q.ErlangC()
+	return pw / (float64(q.Servers)*q.Mu - q.Lambda)
+}
+
+// MeanSojourn returns E[T] = E[W] + 1/μ.
+func (q MMc) MeanSojourn() float64 { return q.MeanWait() + 1/q.Mu }
+
+// MM1K is the finite-buffer M/M/1/K queue: arrivals finding K customers
+// in the system are lost. It models a coverage buffer of finite depth —
+// the mechanism behind the paper's "scale back their transmission rates
+// by dropping packets".
+type MM1K struct {
+	Lambda float64
+	Mu     float64
+	K      int // system capacity including the one in service
+}
+
+func (q MM1K) check() {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.K < 1 {
+		panic("queueing: invalid M/M/1/K parameters")
+	}
+}
+
+// LossProbability returns P(arrival is dropped) — the Erlang loss of the
+// single-server finite queue: π_K with π_n ∝ ρⁿ.
+func (q MM1K) LossProbability() float64 {
+	q.check()
+	rho := q.Lambda / q.Mu
+	if rho == 1 {
+		return 1 / float64(q.K+1)
+	}
+	return (1 - rho) * math.Pow(rho, float64(q.K)) / (1 - math.Pow(rho, float64(q.K+1)))
+}
+
+// Throughput returns the accepted rate λ(1 − P_loss).
+func (q MM1K) Throughput() float64 {
+	return q.Lambda * (1 - q.LossProbability())
+}
+
+// MeanQueueLength returns E[N] of the finite system.
+func (q MM1K) MeanQueueLength() float64 {
+	q.check()
+	rho := q.Lambda / q.Mu
+	if rho == 1 {
+		return float64(q.K) / 2
+	}
+	k := float64(q.K)
+	return rho/(1-rho) - (k+1)*math.Pow(rho, k+1)/(1-math.Pow(rho, k+1))
+}
+
+// SimulateQueue runs a FIFO queue with the given arrival process and
+// service-time generator on the DES kernel and returns the empirical mean
+// sojourn time over n served customers. servers ≥ 1.
+func SimulateQueue(rng *xrand.Source, arrivalRate float64, service func() float64, servers, n int) float64 {
+	if servers < 1 || n < 1 {
+		panic("queueing: need servers ≥ 1 and n ≥ 1")
+	}
+	k := sim.NewKernel()
+	type cust struct{ arrived sim.Time }
+	var queue []cust
+	busy := 0
+	served := 0
+	totalSojourn := 0.0
+
+	var depart func()
+	startService := func() {
+		for busy < servers && len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			busy++
+			cc := c
+			k.After(sim.Time(service()), func() {
+				totalSojourn += float64(k.Now() - cc.arrived)
+				served++
+				busy--
+				depart()
+			})
+		}
+	}
+	depart = startService
+
+	var arrive func()
+	arrive = func() {
+		if served+len(queue)+busy >= n+servers {
+			return // stop injecting once enough are in flight
+		}
+		queue = append(queue, cust{arrived: k.Now()})
+		startService()
+		k.After(sim.Time(rng.Exp(arrivalRate)), arrive)
+	}
+	k.After(sim.Time(rng.Exp(arrivalRate)), arrive)
+	for served < n && k.Step() {
+	}
+	return totalSojourn / float64(served)
+}

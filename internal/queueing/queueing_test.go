@@ -1,0 +1,177 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func feq(a, b, rel float64) bool { return math.Abs(a-b) <= rel*math.Abs(b) }
+
+func TestMM1ClosedForms(t *testing.T) {
+	q := MM1{Lambda: 3, Mu: 5}
+	if q.Rho() != 0.6 {
+		t.Fatal("rho")
+	}
+	if !feq(q.MeanSojourn(), 0.5, 1e-12) { // 1/(5-3)
+		t.Fatal("sojourn")
+	}
+	if !feq(q.MeanWait(), 0.3, 1e-12) { // ρ/(μ-λ)
+		t.Fatal("wait")
+	}
+	if !feq(q.MeanQueueLength(), 1.5, 1e-12) { // ρ/(1-ρ)
+		t.Fatal("length")
+	}
+	// Little's law: E[N] = λ E[T].
+	if !feq(q.MeanQueueLength(), q.Lambda*q.MeanSojourn(), 1e-12) {
+		t.Fatal("Little's law")
+	}
+	// Median sojourn of exp distribution.
+	if !feq(q.SojournQuantile(0.5), math.Ln2*0.5, 1e-12) {
+		t.Fatal("quantile")
+	}
+}
+
+func TestMM1UnstablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MM1{Lambda: 5, Mu: 5}.MeanWait()
+}
+
+func TestMD1HalvesMM1Wait(t *testing.T) {
+	// At equal utilization, M/D/1 waiting is exactly half of M/M/1.
+	lam, mu := 4.0, 5.0
+	mm1 := MM1{Lambda: lam, Mu: mu}
+	md1 := MD1{Lambda: lam, Service: 1 / mu}
+	if !feq(md1.MeanWait(), mm1.MeanWait()/2, 1e-12) {
+		t.Fatalf("M/D/1 wait %g, want half of %g", md1.MeanWait(), mm1.MeanWait())
+	}
+	if !feq(md1.MeanSojourn(), md1.MeanWait()+0.2, 1e-12) {
+		t.Fatal("sojourn")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	mmc := MMc{Lambda: 3, Mu: 5, Servers: 1}
+	mm1 := MM1{Lambda: 3, Mu: 5}
+	if !feq(mmc.MeanWait(), mm1.MeanWait(), 1e-9) {
+		t.Fatalf("M/M/1 reduction: %g vs %g", mmc.MeanWait(), mm1.MeanWait())
+	}
+	// Erlang C with one server is just ρ.
+	if !feq(mmc.ErlangC(), 0.6, 1e-9) {
+		t.Fatalf("ErlangC = %g", mmc.ErlangC())
+	}
+}
+
+func TestMMcPoolingHelps(t *testing.T) {
+	// Two half-speed servers wait longer than one full-speed server, but
+	// beat two separate M/M/1 queues each taking half the load.
+	lam := 8.0
+	single := MM1{Lambda: lam, Mu: 10}
+	pooled := MMc{Lambda: lam, Mu: 5, Servers: 2}
+	split := MM1{Lambda: lam / 2, Mu: 5}
+	if pooled.MeanSojourn() <= single.MeanSojourn() {
+		t.Fatal("pooled slow servers beat one fast server — impossible")
+	}
+	if pooled.MeanSojourn() >= split.MeanSojourn() {
+		t.Fatal("pooling did not beat split queues")
+	}
+}
+
+func TestSimulationMatchesMM1(t *testing.T) {
+	rng := xrand.New(11)
+	lam, mu := 3.0, 5.0
+	got := SimulateQueue(rng, lam, func() float64 { return rng.Exp(mu) }, 1, 200000)
+	want := MM1{Lambda: lam, Mu: mu}.MeanSojourn()
+	if !feq(got, want, 0.05) {
+		t.Fatalf("simulated sojourn %g vs analytic %g", got, want)
+	}
+}
+
+func TestSimulationMatchesMD1(t *testing.T) {
+	rng := xrand.New(12)
+	lam, s := 4.0, 0.2
+	got := SimulateQueue(rng, lam, func() float64 { return s }, 1, 200000)
+	want := MD1{Lambda: lam, Service: s}.MeanSojourn()
+	if !feq(got, want, 0.05) {
+		t.Fatalf("simulated sojourn %g vs analytic %g", got, want)
+	}
+}
+
+func TestSimulationMatchesMMc(t *testing.T) {
+	rng := xrand.New(13)
+	q := MMc{Lambda: 8, Mu: 5, Servers: 2}
+	got := SimulateQueue(rng, q.Lambda, func() float64 { return rng.Exp(q.Mu) }, 2, 200000)
+	if !feq(got, q.MeanSojourn(), 0.05) {
+		t.Fatalf("simulated sojourn %g vs analytic %g", got, q.MeanSojourn())
+	}
+}
+
+func TestSimulateQueueValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SimulateQueue(xrand.New(1), 1, func() float64 { return 1 }, 0, 10)
+}
+
+func TestMM1KLossClosedForm(t *testing.T) {
+	// K = 1 is pure Erlang loss with one server: P_loss = ρ/(1+ρ).
+	q := MM1K{Lambda: 3, Mu: 5, K: 1}
+	if !feq(q.LossProbability(), 0.6/1.6, 1e-12) {
+		t.Fatalf("K=1 loss = %g", q.LossProbability())
+	}
+	// Large buffers converge to the stable M/M/1: no loss.
+	big := MM1K{Lambda: 3, Mu: 5, K: 200}
+	if big.LossProbability() > 1e-20 {
+		t.Fatalf("K=200 loss = %g", big.LossProbability())
+	}
+	if !feq(big.MeanQueueLength(), MM1{Lambda: 3, Mu: 5}.MeanQueueLength(), 1e-9) {
+		t.Fatal("large-K queue length should match M/M/1")
+	}
+	// ρ = 1 special case: uniform distribution over K+1 states.
+	crit := MM1K{Lambda: 5, Mu: 5, K: 4}
+	if !feq(crit.LossProbability(), 0.2, 1e-12) {
+		t.Fatalf("critical loss = %g", crit.LossProbability())
+	}
+	if !feq(crit.MeanQueueLength(), 2, 1e-12) {
+		t.Fatalf("critical E[N] = %g", crit.MeanQueueLength())
+	}
+}
+
+func TestMM1KOverloadThroughputCapped(t *testing.T) {
+	// Oversubscribed: the queue accepts about μ regardless of λ.
+	q := MM1K{Lambda: 50, Mu: 5, K: 10}
+	if !feq(q.Throughput(), 5, 0.01) {
+		t.Fatalf("overload throughput = %g, want ~5", q.Throughput())
+	}
+	// Loss grows with load at fixed K.
+	if q.LossProbability() <= (MM1K{Lambda: 6, Mu: 5, K: 10}).LossProbability() {
+		t.Fatal("loss not monotone in load")
+	}
+}
+
+// TestEIBControlSlotWaiting applies M/D/1 to the EIB control lines: 1 µs
+// slots at increasing control loads. At 50% utilization the queueing
+// delay is half a slot — negligible against fault timescales, which is
+// why the coverage handshake latency can be ignored in the dependability
+// models (DESIGN.md §3).
+func TestEIBControlSlotWaiting(t *testing.T) {
+	slot := 1e-6
+	for _, util := range []float64{0.1, 0.5, 0.9} {
+		q := MD1{Lambda: util / slot, Service: slot}
+		w := q.MeanWait()
+		want := util * slot / (2 * (1 - util))
+		if !feq(w, want, 1e-12) {
+			t.Fatalf("util %g: wait %g", util, w)
+		}
+		if w > 1e-4 {
+			t.Fatalf("control-line wait %g implausibly high", w)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package rbd implements classical reliability block diagrams: series,
+// parallel, and k-of-n compositions of components with exponential
+// lifetimes. The closed forms here provide an independent check on the
+// Markov machinery — e.g. the probability that a DRA covering pool is
+// exhausted by time t is exactly a parallel block of the pool members —
+// and a fast first-order tool for the planning examples.
+package rbd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Block is a reliability structure: it can report its survival
+// probability at a time t.
+type Block interface {
+	// Reliability returns P(block functional over [0, t]).
+	Reliability(t float64) float64
+	// String names the structure for reports.
+	String() string
+}
+
+// Exp is a single component with an exponential lifetime.
+type Exp struct {
+	Name string
+	// Lambda is the failure rate per unit time.
+	Lambda float64
+}
+
+// Reliability implements Block.
+func (e Exp) Reliability(t float64) float64 {
+	if e.Lambda < 0 || t < 0 {
+		panic("rbd: negative rate or time")
+	}
+	return math.Exp(-e.Lambda * t)
+}
+
+// String implements Block.
+func (e Exp) String() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return fmt.Sprintf("exp(%g)", e.Lambda)
+}
+
+// Series fails when any child fails.
+type Series []Block
+
+// Reliability implements Block.
+func (s Series) Reliability(t float64) float64 {
+	if len(s) == 0 {
+		panic("rbd: empty series block")
+	}
+	r := 1.0
+	for _, b := range s {
+		r *= b.Reliability(t)
+	}
+	return r
+}
+
+// String implements Block.
+func (s Series) String() string { return compose("series", s) }
+
+// Parallel survives while any child survives.
+type Parallel []Block
+
+// Reliability implements Block.
+func (p Parallel) Reliability(t float64) float64 {
+	if len(p) == 0 {
+		panic("rbd: empty parallel block")
+	}
+	q := 1.0
+	for _, b := range p {
+		q *= 1 - b.Reliability(t)
+	}
+	return 1 - q
+}
+
+// String implements Block.
+func (p Parallel) String() string { return compose("parallel", p) }
+
+// KofN survives while at least K of its children survive. Children need
+// not be identical; the survival probability is computed by dynamic
+// programming over the children (O(n·k)).
+type KofN struct {
+	K      int
+	Blocks []Block
+}
+
+// Reliability implements Block.
+func (k KofN) Reliability(t float64) float64 {
+	n := len(k.Blocks)
+	if n == 0 || k.K < 0 || k.K > n {
+		panic(fmt.Sprintf("rbd: invalid %d-of-%d block", k.K, n))
+	}
+	if k.K == 0 {
+		return 1
+	}
+	// dp[j] = P(exactly j of the first i children survive).
+	dp := make([]float64, n+1)
+	dp[0] = 1
+	for i, b := range k.Blocks {
+		r := b.Reliability(t)
+		for j := i + 1; j >= 1; j-- {
+			dp[j] = dp[j]*(1-r) + dp[j-1]*r
+		}
+		dp[0] *= 1 - r
+	}
+	s := 0.0
+	for j := k.K; j <= n; j++ {
+		s += dp[j]
+	}
+	return s
+}
+
+// String implements Block.
+func (k KofN) String() string {
+	return fmt.Sprintf("%d-of-%d", k.K, len(k.Blocks))
+}
+
+func compose(op string, bs []Block) string {
+	out := op + "("
+	for i, b := range bs {
+		if i > 0 {
+			out += ", "
+		}
+		out += b.String()
+	}
+	return out + ")"
+}
+
+// Identical returns n copies of the same component, the common case for
+// LC pools.
+func Identical(n int, b Block) []Block {
+	out := make([]Block, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// MTTFNumeric integrates R(t) numerically (composite Simpson over a
+// geometric-then-linear grid) as the block's mean time to failure. upper
+// bounds the integration; choose several multiples of the longest
+// component mean.
+func MTTFNumeric(b Block, upper float64, panels int) float64 {
+	if panels < 2 {
+		panels = 1024
+	}
+	if panels%2 == 1 {
+		panels++
+	}
+	h := upper / float64(panels)
+	s := b.Reliability(0) + b.Reliability(upper)
+	for i := 1; i < panels; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4
+		}
+		s += w * b.Reliability(float64(i)*h)
+	}
+	return s * h / 3
+}

@@ -1,0 +1,212 @@
+package rbd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/markov"
+)
+
+func feq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExpClosedForm(t *testing.T) {
+	e := Exp{Lambda: 2e-5}
+	if !feq(e.Reliability(40000), math.Exp(-0.8), 1e-15) {
+		t.Fatal("exp survival")
+	}
+	if e.Reliability(0) != 1 {
+		t.Fatal("R(0)")
+	}
+}
+
+func TestSeriesRatesAdd(t *testing.T) {
+	s := Series{Exp{Lambda: 1e-5}, Exp{Lambda: 2e-5}, Exp{Lambda: 3e-5}}
+	want := math.Exp(-6e-5 * 10000)
+	if !feq(s.Reliability(10000), want, 1e-15) {
+		t.Fatal("series of exponentials must behave as summed rates")
+	}
+}
+
+func TestParallelTwoUnits(t *testing.T) {
+	p := Parallel{Exp{Lambda: 2e-5}, Exp{Lambda: 2e-5}}
+	q := 1 - math.Exp(-2e-5*40000)
+	want := 1 - q*q
+	if !feq(p.Reliability(40000), want, 1e-15) {
+		t.Fatal("parallel closed form")
+	}
+}
+
+func TestKofNDegenerateCases(t *testing.T) {
+	comp := Exp{Lambda: 1e-4}
+	n := 5
+	blocks := Identical(n, comp)
+	// 1-of-n == parallel.
+	k1 := KofN{K: 1, Blocks: blocks}
+	par := Parallel(blocks)
+	// n-of-n == series.
+	kn := KofN{K: n, Blocks: blocks}
+	ser := Series(blocks)
+	for _, tt := range []float64{100, 5000, 50000} {
+		if !feq(k1.Reliability(tt), par.Reliability(tt), 1e-12) {
+			t.Fatalf("1-of-n != parallel at t=%g", tt)
+		}
+		if !feq(kn.Reliability(tt), ser.Reliability(tt), 1e-12) {
+			t.Fatalf("n-of-n != series at t=%g", tt)
+		}
+	}
+	if (KofN{K: 0, Blocks: blocks}).Reliability(1e9) != 1 {
+		t.Fatal("0-of-n must always survive")
+	}
+}
+
+func TestKofNBinomialClosedForm(t *testing.T) {
+	// Identical components: R = Σ_{j≥k} C(n,j) r^j (1-r)^(n-j).
+	comp := Exp{Lambda: 5e-5}
+	n, k := 6, 4
+	blk := KofN{K: k, Blocks: Identical(n, comp)}
+	tt := 20000.0
+	r := comp.Reliability(tt)
+	want := 0.0
+	for j := k; j <= n; j++ {
+		want += float64(binom(n, j)) * math.Pow(r, float64(j)) * math.Pow(1-r, float64(n-j))
+	}
+	if !feq(blk.Reliability(tt), want, 1e-12) {
+		t.Fatalf("k-of-n = %.12f, want %.12f", blk.Reliability(tt), want)
+	}
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}
+
+// TestPoolExhaustionMatchesMarkov: the probability that all members of a
+// DRA covering pool have failed by t is a parallel block — and must match
+// a pure-death Markov chain of the same pool.
+func TestPoolExhaustionMatchesMarkov(t *testing.T) {
+	lambda := 1.5e-5 // λ_PI
+	n := 7           // N-2 intermediate PI units at N=9
+	blk := Parallel(Identical(n, Exp{Lambda: lambda}))
+
+	c := markov.NewChain()
+	for i := 0; i < n; i++ {
+		from := label(i)
+		c.Transition(from, label(i+1), float64(n-i)*lambda)
+	}
+	p0 := c.InitialPoint(label(0))
+	for _, tt := range []float64{10000, 40000, 100000} {
+		dist := c.TransientAt(p0, tt, markov.TransientOptions{})
+		idx, _ := c.Lookup(label(n))
+		chainDead := dist[idx]
+		rbdDead := 1 - blk.Reliability(tt)
+		if !feq(chainDead, rbdDead, 1e-9) {
+			t.Fatalf("t=%g: chain %.12f vs rbd %.12f", tt, chainDead, rbdDead)
+		}
+	}
+}
+
+func label(i int) string { return string(rune('a' + i)) }
+
+// TestFabricRedundancyRBD: the 1:4-redundant fabric is a 4-of-5 block.
+func TestFabricRedundancyRBD(t *testing.T) {
+	card := Exp{Lambda: 1e-5}
+	fabric := KofN{K: 4, Blocks: Identical(5, card)}
+	single := Series(Identical(4, card)) // unprotected 4 cards
+	for _, tt := range []float64{1000, 50000} {
+		if fabric.Reliability(tt) <= single.Reliability(tt) {
+			t.Fatalf("t=%g: redundancy did not help", tt)
+		}
+	}
+}
+
+// Property: composition bounds — series ≤ each child ≤ parallel.
+func TestCompositionBoundsProperty(t *testing.T) {
+	f := func(l1, l2, l3 uint16, tRaw uint16) bool {
+		b := []Block{
+			Exp{Lambda: float64(l1%1000+1) * 1e-6},
+			Exp{Lambda: float64(l2%1000+1) * 1e-6},
+			Exp{Lambda: float64(l3%1000+1) * 1e-6},
+		}
+		tt := float64(tRaw) * 10
+		ser := Series(b).Reliability(tt)
+		par := Parallel(b).Reliability(tt)
+		for _, c := range b {
+			r := c.Reliability(tt)
+			if ser > r+1e-12 || r > par+1e-12 {
+				return false
+			}
+		}
+		// k-of-n is monotone decreasing in k.
+		prev := 1.1
+		for k := 0; k <= 3; k++ {
+			v := (KofN{K: k, Blocks: b}).Reliability(tt)
+			if v > prev+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTTFNumericExp(t *testing.T) {
+	e := Exp{Lambda: 1e-4}
+	got := MTTFNumeric(e, 2e5, 4096)
+	// ∫₀^∞ e^{-λt} = 1/λ = 10000; truncation at 20/λ loses ~2e-9 of it.
+	if !feq(got, 1e4, 1) {
+		t.Fatalf("MTTF = %g, want ~1e4", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	b := Series{Exp{Name: "lc"}, Parallel{Exp{Lambda: 1}, Exp{Lambda: 2}}, KofN{K: 2, Blocks: Identical(3, Exp{Lambda: 1})}}
+	s := b.String()
+	for _, want := range []string{"series", "lc", "parallel", "2-of-3"} {
+		if !containsStr(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEmptyBlocksPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"series":   func() { Series{}.Reliability(1) },
+		"parallel": func() { Parallel{}.Reliability(1) },
+		"kofn":     func() { (KofN{K: 1}).Reliability(1) },
+		"bad k":    func() { (KofN{K: 4, Blocks: Identical(3, Exp{Lambda: 1})}).Reliability(1) },
+		"neg":      func() { Exp{Lambda: -1}.Reliability(1) },
+		"neg time": func() { Exp{Lambda: 1}.Reliability(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

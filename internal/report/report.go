@@ -1,0 +1,222 @@
+// Package report renders the reproduction's tables and figures as text:
+// aligned ASCII tables for Figure 7-style grids and simple ASCII line
+// charts for Figure 6/8-style curves. The cmd tools and EXPERIMENTS.md
+// regeneration are built on it.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders floats compactly: integers without decimals, small
+// values with enough precision to be meaningful.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6 || a < 1e-4:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.6g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one named curve of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart renders one or more series as an ASCII line chart — enough to see
+// the shape the paper's figures show (who wins, where curves cross).
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	series []Series
+	yMin   float64
+	yMax   float64
+	fixedY bool
+}
+
+// NewChart creates a chart with a default 72×20 plotting area.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// SetYRange fixes the Y axis range rather than auto-scaling.
+func (c *Chart) SetYRange(min, max float64) {
+	c.yMin, c.yMax, c.fixedY = min, max, true
+}
+
+// Add appends a series. X and Y must have equal nonzero length.
+func (c *Chart) Add(s Series) {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		panic("report: series needs equal nonzero X/Y lengths")
+	}
+	c.series = append(c.series, s)
+}
+
+var marks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	if len(c.series) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if c.fixedY {
+		yMin, yMax = c.yMin, c.yMax
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, c.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", c.Width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int(math.Round((x - xMin) / (xMax - xMin) * float64(c.Width-1)))
+		row := int(math.Round((yMax - y) / (yMax - yMin) * float64(c.Height-1)))
+		if col < 0 || col >= c.Width || row < 0 || row >= c.Height {
+			return
+		}
+		grid[row][col] = mark
+	}
+	for si, s := range c.series {
+		mark := marks[si%len(marks)]
+		// Linear interpolation between points for a continuous look.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := c.Width
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plot(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, mark)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], mark)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop := FormatFloat(yMax)
+	yBot := FormatFloat(yMin)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		} else if i == len(grid)-1 {
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", labelW), c.Width-len(FormatFloat(xMax)), FormatFloat(xMin), FormatFloat(xMax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s    y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

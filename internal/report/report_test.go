@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Availability", "N", "M", "A")
+	tb.AddRow(3, 2, 0.99998)
+	tb.AddRow(9, 4, 0.9999999)
+	out := tb.String()
+	if !strings.Contains(out, "Availability") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "N") || !strings.Contains(lines[1], "A") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(out, "0.99998") {
+		t.Fatal("row value missing")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1)
+	tb.AddRow(1, 2, 3)
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Fatal("extra column dropped")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		0.5:     "0.5",
+		1e7:     "1e+07",
+		0.00001: "1e-05",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	ch := NewChart("Reliability", "hours", "R(t)")
+	ch.Add(Series{Name: "BDR", X: []float64{0, 1, 2}, Y: []float64{1, 0.6, 0.4}})
+	ch.Add(Series{Name: "DRA", X: []float64{0, 1, 2}, Y: []float64{1, 0.99, 0.97}})
+	out := ch.String()
+	if !strings.Contains(out, "Reliability") || !strings.Contains(out, "BDR") || !strings.Contains(out, "DRA") {
+		t.Fatal("chart missing title or legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("chart missing series marks")
+	}
+	if !strings.Contains(out, "x: hours") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestChartFixedYRange(t *testing.T) {
+	ch := NewChart("", "", "")
+	ch.SetYRange(0, 1)
+	ch.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.4, 0.6}})
+	out := ch.String()
+	if !strings.Contains(out, "1 |") {
+		t.Fatalf("fixed top label missing:\n%s", out)
+	}
+}
+
+func TestChartSinglePointAndEmpty(t *testing.T) {
+	empty := NewChart("E", "", "")
+	if !strings.Contains(empty.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	ch := NewChart("", "", "")
+	ch.Add(Series{Name: "pt", X: []float64{5}, Y: []float64{5}})
+	if !strings.Contains(ch.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestChartBadSeriesPanics(t *testing.T) {
+	ch := NewChart("", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ch.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{}})
+}

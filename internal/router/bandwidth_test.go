@@ -1,0 +1,129 @@
+package router
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linecard"
+)
+
+// figure8Router builds the Section 5.3 configuration: N LCs at load L,
+// B_BUS = 10 Gbps, all LCs same protocol so coverage never fails on
+// protocol grounds.
+func figure8Router(t *testing.T, n int, load float64) *Router {
+	t.Helper()
+	cfg := UniformConfig(linecard.DRA, n, n)
+	cfg.Bus.DataCapacity = 10e9
+	cfg.Bus.CtrlSlot = 1e-9
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InstallUniformRoutes()
+	for i := 0; i < n; i++ {
+		r.SetOfferedLoad(i, load*r.LC(i).Capacity())
+	}
+	return r
+}
+
+func TestCoverageBandwidthNoFailures(t *testing.T) {
+	r := figure8Router(t, 6, 0.15)
+	rep := r.CoverageBandwidth()
+	if len(rep.PerFaulty) != 0 {
+		t.Fatalf("faulty set = %v", rep.PerFaulty)
+	}
+	if math.Abs(rep.SpareTotal-6*8.5e9) > 1 {
+		t.Fatalf("spare = %g", rep.SpareTotal)
+	}
+}
+
+func TestCoverageBandwidthLowLoadFullService(t *testing.T) {
+	// Figure 8 headline: at L = 15%, up to N-1 faulty LCs still get 100%
+	// of their demand (N = 6).
+	r := figure8Router(t, 6, 0.15)
+	for x := 1; x <= 5; x++ {
+		r.FailWholeLC(x - 1)
+		rep := r.CoverageBandwidth()
+		for lc := 0; lc < x; lc++ {
+			if f := rep.FractionOfDemand(lc); math.Abs(f-1) > 1e-9 {
+				t.Fatalf("X_faulty=%d LC%d fraction = %g, want 1", x, lc, f)
+			}
+		}
+	}
+}
+
+func TestCoverageBandwidthHighLoadDegrades(t *testing.T) {
+	// At L = 70% and X_faulty = 5 (N = 6), under 10% of demand remains
+	// (paper's worst case).
+	r := figure8Router(t, 6, 0.7)
+	for x := 0; x < 5; x++ {
+		r.FailWholeLC(x)
+	}
+	rep := r.CoverageBandwidth()
+	f := rep.FractionOfDemand(0)
+	if f >= 0.1 {
+		t.Fatalf("fraction = %g, want < 0.1", f)
+	}
+	if f <= 0 {
+		t.Fatalf("fraction = %g, want > 0", f)
+	}
+	// All faulty LCs share equally under uniform demand.
+	for lc := 1; lc < 5; lc++ {
+		if math.Abs(rep.FractionOfDemand(lc)-f) > 1e-9 {
+			t.Fatal("unequal shares under uniform demand")
+		}
+	}
+}
+
+func TestCoverageBandwidthBusCapBinds(t *testing.T) {
+	// Shrink B_BUS so it binds before the spare pool does.
+	cfg := UniformConfig(linecard.DRA, 6, 6)
+	cfg.Bus.DataCapacity = 1e9 // 1 Gbps bus
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InstallUniformRoutes()
+	for i := 0; i < 6; i++ {
+		r.SetOfferedLoad(i, 0.15*r.LC(i).Capacity()) // 1.5 Gbps demand each
+	}
+	r.FailWholeLC(0)
+	rep := r.CoverageBandwidth()
+	// Demand 1.5 Gbps > bus 1 Gbps → promise = 1 Gbps.
+	if got := rep.PerFaulty[0]; math.Abs(got-1e9) > 1 {
+		t.Fatalf("bus-capped bandwidth = %g, want 1e9", got)
+	}
+}
+
+func TestCoverageBandwidthMonotoneInFailures(t *testing.T) {
+	r := figure8Router(t, 6, 0.5)
+	prev := math.Inf(1)
+	for x := 1; x <= 5; x++ {
+		r.FailWholeLC(x - 1)
+		f := r.CoverageBandwidth().FractionOfDemand(0)
+		if f > prev+1e-12 {
+			t.Fatalf("fraction increased with more failures at X=%d: %g > %g", x, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestCoverageBandwidthBDRIsZero(t *testing.T) {
+	r := newBDRRouter(t, 4)
+	r.SetOfferedLoad(0, 0.15*r.LC(0).Capacity())
+	r.FailWholeLC(0)
+	rep := r.CoverageBandwidth()
+	if rep.PerFaulty[0] != 0 {
+		t.Fatalf("BDR coverage bandwidth = %g, want 0", rep.PerFaulty[0])
+	}
+}
+
+func TestCoverageBandwidthBusFailureIsZero(t *testing.T) {
+	r := figure8Router(t, 6, 0.15)
+	r.FailWholeLC(0)
+	r.FailBus()
+	rep := r.CoverageBandwidth()
+	if rep.PerFaulty[0] != 0 {
+		t.Fatalf("coverage bandwidth over dead bus = %g", rep.PerFaulty[0])
+	}
+}

@@ -1,0 +1,122 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linecard"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// TestDeliverNeverPanicsProperty throws random fault states and packets
+// at the delivery engine and checks the invariants that must hold in any
+// state:
+//
+//   - Deliver never panics;
+//   - a delivered packet has positive latency and a resolved egress;
+//   - a dropped packet carries a reason;
+//   - delivered + dropped equals packets injected;
+//   - a packet delivered from an LC implies CanDeliver of that LC... for
+//     its own-fault dimensions (the ingress predicate), once handshakes
+//     settled.
+func TestDeliverNeverPanicsProperty(t *testing.T) {
+	f := func(seed uint64, faultMask uint16, busDown bool) bool {
+		const n = 6
+		cfg := UniformConfig(linecard.DRA, n, 3)
+		cfg.Seed = seed%1000 + 1
+		r, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r.InstallUniformRoutes()
+
+		// Apply a random fault state: 2 bits per LC choose one component
+		// (or none); an extra bit kills the bus.
+		comps := []linecard.Component{linecard.PDLU, linecard.SRU, linecard.LFE, linecard.PIU, linecard.BusController}
+		rng := xrand.New(seed)
+		faults := int(faultMask % 8)
+		for i := 0; i < faults; i++ {
+			lc := rng.Intn(n)
+			r.FailComponent(lc, comps[rng.Intn(len(comps))])
+		}
+		if busDown {
+			r.FailBus()
+		}
+		r.Kernel().Run(1000000) // settle handshakes
+
+		pool := workload.NewAddrPool(rng, n, -1)
+		var ids uint64
+		injected := 0
+		for i := 0; i < 40; i++ {
+			src := rng.Intn(n)
+			gen, err := workload.NewPoisson(rng, pool, src, r.LC(src).Protocol(), 1e9, &ids)
+			if err != nil {
+				return false
+			}
+			_, p := gen.Next()
+			rep := r.Deliver(p)
+			injected++
+			if rep.Kind == PathDropped {
+				if rep.DropReason == "" {
+					return false
+				}
+				continue
+			}
+			if rep.Latency <= 0 {
+				return false
+			}
+			if p.DstLC < 0 || p.DstLC >= n {
+				return false
+			}
+		}
+		m := r.Metrics()
+		return m.Delivered+m.Dropped == uint64(injected)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliverPredicateConsistencyProperty: after handshakes settle, if
+// CanDeliver holds for both endpoints of a flow and the fault state only
+// involves coverable components, the packet must NOT be dropped for
+// coverage reasons. (Drops via "no route" cannot occur with uniform
+// routes.)
+func TestDeliverPredicateConsistencyProperty(t *testing.T) {
+	f := func(seed uint64, whichComp uint8, faultyLC uint8) bool {
+		const n = 6
+		cfg := UniformConfig(linecard.DRA, n, n) // all same protocol: full coverage
+		cfg.Seed = seed%1000 + 1
+		r, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r.InstallUniformRoutes()
+		comps := []linecard.Component{linecard.PDLU, linecard.SRU, linecard.LFE}
+		lc := int(faultyLC) % n
+		r.FailComponent(lc, comps[whichComp%3])
+		r.Kernel().Run(1000000)
+
+		if !r.CanDeliver(lc) {
+			return false // with M=N and one fault, coverage must exist
+		}
+		rng := xrand.New(seed)
+		pool := workload.NewAddrPool(rng, n, lc)
+		var ids uint64
+		gen, err := workload.NewPoisson(rng, pool, lc, r.LC(lc).Protocol(), 1e9, &ids)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			_, p := gen.Next()
+			if rep := r.Deliver(p); rep.Kind == PathDropped {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package router
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linecard"
+	"repro/internal/sim"
+)
+
+// FaultRates carries the exponential failure rates of the paper's Section
+// 5 (per hour of simulation time) plus the repair rate.
+type FaultRates struct {
+	PDLU float64 // λ_LPD: protocol-dependent logic unit
+	SRU  float64 // part of λ_LPI
+	LFE  float64 // part of λ_LPI
+	PIU  float64 // assumed 0 in the paper's analysis; modellable here
+	BC   float64 // λ_BC: per-LC bus controller (DRA only)
+	Bus  float64 // λ_BUS: the EIB passive lines (DRA only)
+	// Repair is μ; a repair event restores every failed unit in the
+	// router at once, returning the system to state (0, 0). Zero disables
+	// repair (reliability runs).
+	Repair float64
+}
+
+// PaperRates returns the rates of Section 5: λ_LC = 2e-5 split as
+// λ_LPD = 6e-6 and λ_LPI = 1.4e-5 (apportioned 8e-6 SRU / 6e-6 LFE),
+// λ_BC = λ_BUS = 1e-6.
+func PaperRates(repair float64) FaultRates {
+	return FaultRates{
+		PDLU:   6e-6,
+		SRU:    8e-6,
+		LFE:    6e-6,
+		BC:     1e-6,
+		Bus:    1e-6,
+		Repair: repair,
+	}
+}
+
+// LambdaLPI returns the combined PI-unit rate λ_LPI = λ_SRU + λ_LFE.
+func (f FaultRates) LambdaLPI() float64 { return f.SRU + f.LFE }
+
+// LambdaLC returns the whole-LC rate λ_LC = λ_LPD + λ_LPI.
+func (f FaultRates) LambdaLC() float64 { return f.PDLU + f.SRU + f.LFE }
+
+// Validate rejects negative rates.
+func (f FaultRates) Validate() error {
+	for _, v := range []float64{f.PDLU, f.SRU, f.LFE, f.PIU, f.BC, f.Bus, f.Repair} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("router: invalid fault rate %g", v)
+		}
+	}
+	return nil
+}
+
+// Injector drives component lifetimes and the repair process on a router.
+// Each component of each LC (plus the EIB lines) gets an exponential
+// time-to-failure; a failed component stays failed until a repair event
+// restores the whole router.
+type Injector struct {
+	r     *Router
+	rates FaultRates
+	// Faults counts injected component failures; Repairs counts repair
+	// completions.
+	Faults  uint64
+	Repairs uint64
+
+	repairPending bool
+}
+
+// NewInjector validates the rates and attaches an injector to the router.
+func NewInjector(r *Router, rates FaultRates) (*Injector, error) {
+	if err := rates.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{r: r, rates: rates}, nil
+}
+
+// Start schedules the initial lifetime of every component. Call once,
+// before running the kernel.
+func (inj *Injector) Start() {
+	r := inj.r
+	for i := range r.lcs {
+		if r.cfg.Arch == linecard.DRA {
+			inj.arm(i, linecard.PDLU, inj.rates.PDLU)
+			inj.arm(i, linecard.SRU, inj.rates.SRU)
+			inj.arm(i, linecard.BusController, inj.rates.BC)
+		} else {
+			// A BDR LC has no separate PDLU: its protocol-dependent
+			// logic lives inside the PI units, so the PD rate folds into
+			// the SRU and λ_LC is preserved.
+			inj.arm(i, linecard.SRU, inj.rates.SRU+inj.rates.PDLU)
+		}
+		inj.arm(i, linecard.LFE, inj.rates.LFE)
+		inj.arm(i, linecard.PIU, inj.rates.PIU)
+	}
+	if r.cfg.Arch == linecard.DRA {
+		inj.armBus()
+	}
+}
+
+// arm schedules the next failure of one component. Rearming happens after
+// each repair, so a component has exactly one pending lifetime at a time.
+func (inj *Injector) arm(lc int, c linecard.Component, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	r := inj.r
+	r.k.After(simTime(r, rate), func() {
+		if r.lcs[lc].Failed(c) {
+			// Already failed (lifetime raced with an earlier failure);
+			// the repair path rearms it.
+			return
+		}
+		r.FailComponent(lc, c)
+		inj.Faults++
+		inj.scheduleRepair()
+		// The component stays failed until repair; its next lifetime is
+		// armed by the repair handler.
+	})
+}
+
+// armBus schedules the next EIB-lines failure.
+func (inj *Injector) armBus() {
+	if inj.rates.Bus <= 0 {
+		return
+	}
+	r := inj.r
+	r.k.After(simTime(r, inj.rates.Bus), func() {
+		if r.bus.Failed() {
+			return
+		}
+		r.FailBus()
+		inj.Faults++
+		inj.scheduleRepair()
+	})
+}
+
+// scheduleRepair starts one repair countdown if none is pending and repair
+// is enabled. The repair restores every failed unit (the paper's repair
+// process is one action "irrespective of the type and the number" of
+// failed units) and rearms their lifetimes.
+func (inj *Injector) scheduleRepair() {
+	if inj.rates.Repair <= 0 || inj.repairPending {
+		return
+	}
+	inj.repairPending = true
+	r := inj.r
+	r.k.After(simTime(r, inj.rates.Repair), func() {
+		inj.repairPending = false
+		inj.Repairs++
+		// Restore the EIB first so coverage re-forms for LC repairs.
+		if r.bus != nil && r.bus.Failed() {
+			r.RepairBus()
+			inj.armBus()
+		}
+		for i, lc := range r.lcs {
+			for _, c := range lc.FailedComponents() {
+				rate := inj.rateOf(c)
+				r.RepairComponent(i, c)
+				inj.arm(i, c, rate)
+			}
+		}
+	})
+}
+
+func (inj *Injector) rateOf(c linecard.Component) float64 {
+	switch c {
+	case linecard.PDLU:
+		return inj.rates.PDLU
+	case linecard.SRU:
+		if inj.r.cfg.Arch == linecard.BDR {
+			return inj.rates.SRU + inj.rates.PDLU // see Start
+		}
+		return inj.rates.SRU
+	case linecard.LFE:
+		return inj.rates.LFE
+	case linecard.PIU:
+		return inj.rates.PIU
+	case linecard.BusController:
+		return inj.rates.BC
+	default:
+		return 0
+	}
+}
+
+// simTime draws an exponential delay from the router's RNG.
+func simTime(r *Router, rate float64) sim.Time {
+	return sim.Time(r.rng.Exp(rate))
+}

@@ -1,0 +1,93 @@
+package router
+
+import (
+	"repro/internal/linecard"
+	"repro/internal/packet"
+)
+
+// Latency accounting for the packet path. All times are in the router's
+// time unit (seconds under the default configuration). The model charges:
+//
+//   - a fixed per-unit processing time for each LC functional unit the
+//     packet traverses (PIU, PDLU, SRU, LFE);
+//   - the fabric serialization of every cell at the fabric's current
+//     capacity (degraded fabrics are slower, per fabric.CellDelay);
+//   - EIB data-line transfer time at the flow's promised rate for every
+//     EIB hop the path takes;
+//   - one control-line round trip (2 slots) for a remote lookup.
+const (
+	// unitProcessing is the per-functional-unit processing time: 1 µs,
+	// the right order for early-2000s linecard pipelines.
+	unitProcessing = 1e-6
+)
+
+// pathLatency computes the latency of a delivered packet from its path
+// report. It is called by Deliver after the path is decided.
+func (r *Router) pathLatency(rep *PathReport, p *packet.Packet) float64 {
+	if rep.Kind == PathDropped {
+		return 0
+	}
+	bits := float64(p.Bytes * 8)
+
+	// Functional units on the ingress side: PIU (+PDLU under DRA) + SRU
+	// + LFE, wherever they physically ran.
+	units := 3.0
+	if r.cfg.Arch == linecard.DRA {
+		units++
+	}
+	// Egress side: SRU + (PDLU) + PIU.
+	units += 2
+	if r.cfg.Arch == linecard.DRA {
+		units++
+	}
+	lat := units * unitProcessing
+
+	// Remote lookup: REQ_L/REP_L round trip on the control lines.
+	if rep.RemoteLookup >= 0 && r.bus != nil {
+		lat += 2 * r.bus.Config().CtrlSlot
+	}
+
+	// Fabric serialization: per-cell delay at current capacity for every
+	// cell, pipelined (one cell in flight at a time per flow in this
+	// model, so the packet completes after Cells × delay).
+	if rep.Cells > 0 {
+		lat += float64(rep.Cells) * r.fab.CellDelay()
+	}
+
+	// EIB hops: ingress coverage, egress direct/SRU coverage, egress
+	// inter relay, or full fallback each move the packet's bits over the
+	// shared data lines once.
+	hops := 0
+	if rep.IngressVia >= 0 {
+		hops++
+	}
+	switch rep.Kind {
+	case PathEgressDirect, PathEgressSRUCover, PathEgressInter, PathEIBFallback:
+		hops++
+	}
+	if hops > 0 && r.bus != nil {
+		rate := r.eibEffectiveRate()
+		if rate > 0 {
+			lat += float64(hops) * bits / rate
+		}
+	}
+	return lat
+}
+
+// eibEffectiveRate returns the data-line rate a flow currently sees: the
+// full capacity shared by the promise formula when LPs are oversubscribed.
+func (r *Router) eibEffectiveRate() float64 {
+	capacity := r.bus.Config().DataCapacity
+	total := r.bus.TotalAsked()
+	if total <= capacity || total == 0 {
+		return capacity
+	}
+	// Under oversubscription a flow is served at its scaled share; use
+	// the aggregate-preserving effective rate capacity/Σ · ask ≈
+	// capacity/β for accounting.
+	n := r.bus.ActiveLPs()
+	if n == 0 {
+		return capacity
+	}
+	return capacity / float64(n)
+}

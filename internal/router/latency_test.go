@@ -1,0 +1,83 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/linecard"
+)
+
+func TestLatencyPositiveAndRecorded(t *testing.T) {
+	r := newDRARouter(t, 6, 3)
+	p := pkt(1, 0, 4)
+	rep := r.Deliver(p)
+	if rep.Latency <= 0 {
+		t.Fatalf("latency = %g", rep.Latency)
+	}
+	if p.Delivered != p.Arrived+rep.Latency {
+		t.Fatal("packet Delivered timestamp not set")
+	}
+	if m := r.Metrics(); m.LatencySum != rep.Latency {
+		t.Fatalf("LatencySum = %g, want %g", m.LatencySum, rep.Latency)
+	}
+}
+
+func TestLatencyDropIsZero(t *testing.T) {
+	r := newDRARouter(t, 6, 3)
+	r.FailComponent(4, linecard.PIU)
+	settle(r)
+	rep := r.Deliver(pkt(1, 0, 4))
+	if rep.Kind != PathDropped || rep.Latency != 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestLatencyEIBPathCostsMore(t *testing.T) {
+	// The same flow before and after an ingress SRU failure: the EIB
+	// detour must add delay (two extra transfers over shared lines).
+	r := newDRARouter(t, 6, 3)
+	base := r.Deliver(pkt(1, 0, 4)).Latency
+	r.FailComponent(0, linecard.SRU)
+	settle(r)
+	covered := r.Deliver(pkt(2, 0, 4)).Latency
+	if covered <= base {
+		t.Fatalf("EIB path latency %g not above fabric path %g", covered, base)
+	}
+}
+
+func TestLatencyScalesWithPacketSize(t *testing.T) {
+	r := newDRARouter(t, 6, 3)
+	small := pkt(1, 0, 4)
+	small.Bytes = 64
+	big := pkt(2, 0, 4)
+	big.Bytes = 1500
+	ls := r.Deliver(small).Latency
+	lb := r.Deliver(big).Latency
+	if lb <= ls {
+		t.Fatalf("big packet latency %g not above small %g", lb, ls)
+	}
+}
+
+func TestLatencyDegradedFabricSlower(t *testing.T) {
+	r := newDRARouter(t, 6, 3)
+	base := r.Deliver(pkt(1, 0, 4)).Latency
+	// Knock out two fabric cards (one spare + one active): capacity
+	// drops, per-cell delay rises.
+	r.Fabric().FailCard(0)
+	r.Fabric().FailCard(1)
+	slow := r.Deliver(pkt(2, 0, 4)).Latency
+	if slow <= base {
+		t.Fatalf("degraded fabric latency %g not above %g", slow, base)
+	}
+}
+
+func TestLatencyRemoteLookupAddsControlRTT(t *testing.T) {
+	r := newDRARouter(t, 6, 3)
+	base := r.Deliver(pkt(1, 0, 4)).Latency
+	r.FailComponent(0, linecard.LFE)
+	settle(r)
+	remote := r.Deliver(pkt(2, 0, 4)).Latency
+	want := base + 2*r.Bus().Config().CtrlSlot
+	if diff := remote - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("remote-lookup latency %g, want %g", remote, want)
+	}
+}

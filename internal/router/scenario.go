@@ -1,0 +1,128 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/linecard"
+	"repro/internal/sim"
+)
+
+// Scenario is a scripted fault/repair timeline — the reproduction's
+// answer to "replay this outage": integration tests, examples, and the
+// drasim tool use it to drive a router through deterministic multi-phase
+// failure stories and observe the service timeline.
+type Scenario struct {
+	steps []scenarioStep
+}
+
+type scenarioStep struct {
+	at    sim.Time
+	label string
+	do    func(*Router)
+}
+
+// At schedules an arbitrary action.
+func (s *Scenario) At(t float64, label string, do func(*Router)) *Scenario {
+	if do == nil {
+		panic("router: nil scenario action")
+	}
+	s.steps = append(s.steps, scenarioStep{at: sim.Time(t), label: label, do: do})
+	return s
+}
+
+// Fail schedules a component failure.
+func (s *Scenario) Fail(t float64, lc int, c linecard.Component) *Scenario {
+	return s.At(t, fmt.Sprintf("fail LC%d %v", lc, c), func(r *Router) { r.FailComponent(lc, c) })
+}
+
+// Repair schedules a whole-LC repair.
+func (s *Scenario) Repair(t float64, lc int) *Scenario {
+	return s.At(t, fmt.Sprintf("repair LC%d", lc), func(r *Router) { r.RepairLC(lc) })
+}
+
+// FailBus schedules an EIB-lines failure.
+func (s *Scenario) FailBus(t float64) *Scenario {
+	return s.At(t, "fail EIB", func(r *Router) { r.FailBus() })
+}
+
+// RepairBus schedules an EIB-lines repair.
+func (s *Scenario) RepairBus(t float64) *Scenario {
+	return s.At(t, "repair EIB", func(r *Router) { r.RepairBus() })
+}
+
+// FailFabricCard schedules a fabric-card failure.
+func (s *Scenario) FailFabricCard(t float64, card int) *Scenario {
+	return s.At(t, fmt.Sprintf("fail fabric card %d", card), func(r *Router) { r.Fabric().FailCard(card) })
+}
+
+// RepairFabricCard schedules a fabric-card repair.
+func (s *Scenario) RepairFabricCard(t float64, card int) *Scenario {
+	return s.At(t, fmt.Sprintf("repair fabric card %d", card), func(r *Router) { r.Fabric().RepairCard(card) })
+}
+
+// FailFabricPort schedules the loss of an LC's fabric port.
+func (s *Scenario) FailFabricPort(t float64, lc int) *Scenario {
+	return s.At(t, fmt.Sprintf("fail fabric port %d", lc), func(r *Router) { r.Fabric().FailPort(lc) })
+}
+
+// Sample is one observation of the service state after a scenario step.
+type Sample struct {
+	At    float64
+	Label string
+	// Up[i] reports CanDeliver(i) after the step settled.
+	Up []bool
+	// Covers[i] is the covering peer of LC i (-1 if none).
+	Covers []int
+}
+
+// Play executes the scenario on the router. After each step it drains the
+// kernel briefly (settle) so EIB handshakes triggered by the step
+// complete, then records a sample. It returns the samples in step order.
+func (s *Scenario) Play(r *Router) []Sample {
+	steps := make([]scenarioStep, len(s.steps))
+	copy(steps, s.steps)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
+	var out []Sample
+	for _, st := range steps {
+		if st.at < r.k.Now() {
+			panic(fmt.Sprintf("router: scenario step %q at %v is in the simulated past (%v)", st.label, st.at, r.k.Now()))
+		}
+		r.k.RunUntil(st.at)
+		st.do(r)
+		// Settle handshakes: the control-plane converges in microseconds
+		// of simulated time, far below any realistic step spacing.
+		r.k.Run(100000)
+		smp := Sample{At: float64(r.k.Now()), Label: st.label}
+		for i := 0; i < r.NumLCs(); i++ {
+			smp.Up = append(smp.Up, r.CanDeliver(i))
+			smp.Covers = append(smp.Covers, r.CoverPeer(i))
+		}
+		out = append(out, smp)
+	}
+	return out
+}
+
+// TimelineString renders samples compactly, one line per step, for logs
+// and examples: "t=100 fail LC0 SRU | up: 1 1 1 1 | covers: 1 - - -".
+func TimelineString(samples []Sample) string {
+	out := ""
+	for _, s := range samples {
+		ups := ""
+		covers := ""
+		for i, u := range s.Up {
+			if u {
+				ups += " 1"
+			} else {
+				ups += " 0"
+			}
+			if s.Covers[i] >= 0 {
+				covers += fmt.Sprintf(" %d", s.Covers[i])
+			} else {
+				covers += " -"
+			}
+		}
+		out += fmt.Sprintf("t=%-10.0f %-26s | up:%s | covered-by:%s\n", s.At, s.Label, ups, covers)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linecard"
+)
+
+// TestScenarioMultiPhaseOutage walks one coherent outage story through
+// the router and asserts the whole service timeline — the integration
+// test for the coverage machinery.
+func TestScenarioMultiPhaseOutage(t *testing.T) {
+	r := newDRARouter(t, 6, 3)
+	var sc Scenario
+	sc.Fail(100, 0, linecard.SRU). // LC0 degraded, covered
+					Fail(200, 1, linecard.SRU). // the (likely) coverer degrades too
+					FailBus(300).               // EIB lines cut: both uncovered
+					RepairBus(400).             // coverage returns
+					Fail(500, 0, linecard.PIU). // LC0's link dies: uncoverable
+					Repair(600, 0).             // LC0 fully repaired
+					Repair(700, 1)              // LC1 fully repaired
+
+	samples := sc.Play(r)
+	if len(samples) != 7 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	expectUp := func(i int, lc int, want bool) {
+		t.Helper()
+		if samples[i].Up[lc] != want {
+			t.Fatalf("step %d (%s): LC%d up = %v, want %v\n%s",
+				i, samples[i].Label, lc, samples[i].Up[lc], want, TimelineString(samples))
+		}
+	}
+	expectUp(0, 0, true)  // SRU covered
+	expectUp(1, 0, true)  // still covered (another peer)
+	expectUp(1, 1, true)  // LC1 covered as well
+	expectUp(2, 0, false) // bus down: coverage gone
+	expectUp(2, 1, false)
+	expectUp(2, 2, true) // healthy LCs unaffected
+	expectUp(3, 0, true) // bus repaired
+	expectUp(3, 1, true)
+	expectUp(4, 0, false) // PIU failure is final
+	expectUp(5, 0, true)  // repair restores LC0
+	expectUp(6, 1, true)
+
+	// Coverage bindings must re-form after the bus repair.
+	if samples[3].Covers[0] < 0 || samples[3].Covers[1] < 0 {
+		t.Fatalf("bindings missing after bus repair:\n%s", TimelineString(samples))
+	}
+	// And disappear after full repair.
+	if samples[6].Covers[0] != -1 || samples[6].Covers[1] != -1 {
+		t.Fatalf("bindings remain after repair:\n%s", TimelineString(samples))
+	}
+}
+
+func TestScenarioFabricRedundancyStory(t *testing.T) {
+	r := newDRARouter(t, 4, 2)
+	var sc Scenario
+	sc.FailFabricCard(10, 0). // absorbed by the spare
+					FailFabricCard(20, 1).   // capacity degraded but alive
+					RepairFabricCard(30, 0). // back to full
+					FailFabricPort(40, 2)    // LC2's port dies: EIB fallback keeps it up
+
+	samples := sc.Play(r)
+	for i, s := range samples {
+		for lc := 0; lc < 4; lc++ {
+			if !s.Up[lc] {
+				t.Fatalf("step %d (%s): LC%d down — fabric faults must not kill DRA service", i, s.Label, lc)
+			}
+		}
+	}
+	if r.Fabric().CapacityFraction() != 1 {
+		t.Fatal("fabric capacity not restored")
+	}
+	// The BDR router loses LC2's service on the same port fault.
+	b := newBDRRouter(t, 4)
+	var sb Scenario
+	sb.FailFabricPort(40, 2)
+	bs := sb.Play(b)
+	if bs[0].Up[2] {
+		t.Fatal("BDR LC2 survived a fabric port failure")
+	}
+}
+
+func TestScenarioOrderingAndValidation(t *testing.T) {
+	r := newDRARouter(t, 4, 2)
+	var sc Scenario
+	// Steps added out of order are executed in time order.
+	sc.Repair(200, 0)
+	sc.Fail(100, 0, linecard.SRU)
+	samples := sc.Play(r)
+	if !strings.Contains(samples[0].Label, "fail") || !strings.Contains(samples[1].Label, "repair") {
+		t.Fatalf("steps not sorted: %v, %v", samples[0].Label, samples[1].Label)
+	}
+	if !samples[1].Up[0] {
+		t.Fatal("final state should be healthy")
+	}
+}
+
+func TestScenarioNilActionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Scenario{}).At(1, "bad", nil)
+}
+
+func TestScenarioPastStepPanics(t *testing.T) {
+	r := newDRARouter(t, 4, 2)
+	r.Kernel().RunUntil(1000)
+	var sc Scenario
+	sc.Fail(10, 0, linecard.SRU)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sc.Play(r)
+}
+
+func TestTimelineStringFormat(t *testing.T) {
+	r := newDRARouter(t, 4, 2)
+	var sc Scenario
+	sc.Fail(100, 0, linecard.SRU)
+	out := TimelineString(sc.Play(r))
+	if !strings.Contains(out, "fail LC0 SRU") || !strings.Contains(out, "up: 1 1 1 1") {
+		t.Fatalf("timeline format:\n%s", out)
+	}
+}

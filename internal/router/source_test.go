@@ -1,0 +1,93 @@
+package router
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func newSourceFor(t *testing.T, r *Router, src int, bitsPerUnit float64, seed uint64) *Source {
+	t.Helper()
+	rng := xrand.New(seed)
+	pool := workload.NewAddrPool(rng, r.NumLCs(), src)
+	ids := new(uint64)
+	gen, err := workload.NewPoisson(rng, pool, src, r.LC(src).Protocol(), bitsPerUnit, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.NewSource(gen)
+}
+
+func TestSourceGoodputMatchesOfferedLoad(t *testing.T) {
+	r := newDRARouter(t, 6, 3)
+	target := 1.5e9
+	s := newSourceFor(t, r, 0, target, 4)
+	s.Start()
+	r.Kernel().RunUntil(sim.Time(0.02)) // ~7000 packets at 1.5 Gbps
+	if s.Injected < 1000 {
+		t.Fatalf("injected only %d packets", s.Injected)
+	}
+	if s.DeliveredFraction() != 1 {
+		t.Fatalf("healthy router delivered fraction %g", s.DeliveredFraction())
+	}
+	if g := s.Goodput(); math.Abs(g-target)/target > 0.1 {
+		t.Fatalf("goodput %g, want ~%g", g, target)
+	}
+}
+
+func TestSourceSeesFaultWindow(t *testing.T) {
+	// A PIU failure mid-run cuts goodput; repair restores it. The source
+	// must observe a delivered fraction strictly between 0 and 1.
+	r := newDRARouter(t, 6, 3)
+	s := newSourceFor(t, r, 0, 1.5e9, 5)
+	s.Start()
+	k := r.Kernel()
+	k.Schedule(0.01, func() { r.FailComponent(0, linecard.PIU) })
+	k.Schedule(0.02, func() { r.RepairLC(0) })
+	k.RunUntil(0.03)
+	f := s.DeliveredFraction()
+	if f <= 0.5 || f >= 1 {
+		t.Fatalf("delivered fraction %g, want in (0.5, 1) for a 1/3 outage window", f)
+	}
+	// Roughly one third of the window was dark.
+	if math.Abs(f-2.0/3) > 0.05 {
+		t.Fatalf("delivered fraction %g, want ~0.667", f)
+	}
+	if r.LC(0).Dropped == 0 {
+		t.Fatal("ingress drops not charged to LC0")
+	}
+}
+
+func TestSourceStop(t *testing.T) {
+	r := newDRARouter(t, 4, 2)
+	s := newSourceFor(t, r, 1, 1e9, 6)
+	s.Start()
+	r.Kernel().RunUntil(0.005)
+	s.Stop()
+	at := s.Injected
+	r.Kernel().RunUntil(0.01)
+	if s.Injected > at+1 {
+		t.Fatalf("source kept injecting after Stop: %d -> %d", at, s.Injected)
+	}
+}
+
+func TestSourceCoveredLCStillCarriesTraffic(t *testing.T) {
+	// With an SRU fault covered over the EIB, the source keeps its full
+	// goodput (load is far below ψ of the coverer).
+	r := newDRARouter(t, 6, 3)
+	r.FailComponent(0, linecard.SRU)
+	settle(r)
+	s := newSourceFor(t, r, 0, 1.5e9, 7)
+	s.Start()
+	r.Kernel().RunUntil(r.Kernel().Now() + 0.02)
+	if s.DeliveredFraction() != 1 {
+		t.Fatalf("covered LC dropped traffic: fraction %g", s.DeliveredFraction())
+	}
+	if r.Metrics().ViaEIB == 0 {
+		t.Fatal("coverage path not used")
+	}
+}

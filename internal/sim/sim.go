@@ -1,0 +1,164 @@
+// Package sim is a minimal discrete-event simulation kernel: a simulation
+// clock, a binary-heap future event list with stable FIFO ordering among
+// same-time events, and cancellable timers. The router, linecard, EIB, and
+// fabric models are all built on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time. The unit is chosen by the model (the DRA models
+// use hours for dependability runs and microseconds for packet runs; the
+// kernel is unit-agnostic).
+type Time float64
+
+// End is a sentinel for "never".
+const End Time = Time(math.MaxFloat64)
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel it.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel owns the clock and the future event list. It is not safe for
+// concurrent use: a simulation is a single logical thread of control, which
+// keeps runs deterministic and reproducible.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	// Processed counts executed (non-cancelled) events, for tests and
+	// runaway detection.
+	Processed uint64
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics — it
+// is always a model bug.
+func (k *Kernel) Schedule(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After runs fn after a delay from now. Negative delays panic.
+func (k *Kernel) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return k.Schedule(k.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&k.events, e.index)
+	e.index = -1
+}
+
+// Pending returns the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step executes the next event, advancing the clock. It reports whether an
+// event was executed.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*Event)
+		if e.cancel {
+			continue
+		}
+		k.now = e.at
+		k.Processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass deadline or the event
+// list empties, then sets the clock to deadline (if it is ahead). Events
+// scheduled exactly at the deadline are executed.
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.events) > 0 {
+		if k.events[0].at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Run executes events until the list is empty. maxEvents guards against
+// runaway models; 0 means no limit.
+func (k *Kernel) Run(maxEvents uint64) {
+	start := k.Processed
+	for k.Step() {
+		if maxEvents > 0 && k.Processed-start >= maxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events — runaway model?", maxEvents))
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package trace is a lightweight structured event log for the router
+// model: a bounded ring buffer of typed events (faults, repairs, coverage
+// changes, drops) that operators and tests can query or dump. It costs
+// nothing when disabled (the Recorder pointer is nil).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// The event kinds the router emits.
+const (
+	Fault Kind = iota
+	Repair
+	CoverageUp
+	CoverageDown
+	BusDown
+	BusUp
+	Drop
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Fault:
+		return "fault"
+	case Repair:
+		return "repair"
+	case CoverageUp:
+		return "coverage-up"
+	case CoverageDown:
+		return "coverage-down"
+	case BusDown:
+		return "bus-down"
+	case BusUp:
+		return "bus-up"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   float64
+	Kind Kind
+	// LC is the primary linecard involved (-1 when not LC-scoped).
+	LC int
+	// Peer is the secondary LC (covering peer), -1 when absent.
+	Peer int
+	// Detail is a short human-readable tag (component name, drop
+	// reason).
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%-12g %-13s", e.At, e.Kind)
+	if e.LC >= 0 {
+		s += fmt.Sprintf(" LC%d", e.LC)
+	}
+	if e.Peer >= 0 {
+		s += fmt.Sprintf(" peer=LC%d", e.Peer)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Recorder is a bounded ring buffer of events. The zero value is unusable;
+// construct with New. A nil *Recorder is safe to record into (no-op), so
+// callers can leave tracing off without branching.
+type Recorder struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	counts  [numKinds]uint64
+}
+
+// New returns a recorder holding the last capacity events.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event; the oldest event is evicted when full. Safe on
+// a nil receiver.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if int(e.Kind) < len(r.counts) {
+		r.counts[e.Kind]++
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrapped = true
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Count returns the total number of events of the kind ever recorded
+// (including evicted ones).
+func (r *Recorder) Count(k Kind) uint64 {
+	if r == nil || int(k) >= len(r.counts) {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// Events returns the retained events oldest-first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	if r.wrapped {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Filter returns retained events matching the predicate, oldest-first.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: Fault})
+	if r.Len() != 0 || r.Count(Fault) != 0 || r.Events() != nil || r.Filter(func(Event) bool { return true }) != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+}
+
+func TestRecordAndCounts(t *testing.T) {
+	r := New(8)
+	r.Record(Event{At: 1, Kind: Fault, LC: 0, Peer: -1, Detail: "SRU"})
+	r.Record(Event{At: 2, Kind: CoverageUp, LC: 0, Peer: 1})
+	r.Record(Event{At: 3, Kind: Repair, LC: 0, Peer: -1})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Count(Fault) != 1 || r.Count(CoverageUp) != 1 || r.Count(Drop) != 0 {
+		t.Fatal("counts wrong")
+	}
+	es := r.Events()
+	if es[0].At != 1 || es[2].At != 3 {
+		t.Fatalf("order wrong: %v", es)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 7; i++ {
+		r.Record(Event{At: float64(i), Kind: Drop})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	es := r.Events()
+	if es[0].At != 4 || es[1].At != 5 || es[2].At != 6 {
+		t.Fatalf("ring kept wrong window: %v", es)
+	}
+	if r.Count(Drop) != 7 {
+		t.Fatalf("lifetime count = %d", r.Count(Drop))
+	}
+}
+
+func TestFilterAndDump(t *testing.T) {
+	r := New(10)
+	r.Record(Event{At: 1, Kind: Fault, LC: 2, Peer: -1, Detail: "LFE"})
+	r.Record(Event{At: 2, Kind: Drop, LC: -1, Peer: -1, Detail: "no route"})
+	faults := r.Filter(func(e Event) bool { return e.Kind == Fault })
+	if len(faults) != 1 || faults[0].LC != 2 {
+		t.Fatalf("filter = %v", faults)
+	}
+	d := r.Dump()
+	if !strings.Contains(d, "fault") || !strings.Contains(d, "LC2") || !strings.Contains(d, "no route") {
+		t.Fatalf("dump:\n%s", d)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Fault: "fault", Repair: "repair", CoverageUp: "coverage-up",
+		CoverageDown: "coverage-down", BusDown: "bus-down", BusUp: "bus-up", Drop: "drop",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d -> %q", k, k.String())
+		}
+	}
+	if !strings.Contains(Kind(77).String(), "77") {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestNewPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
