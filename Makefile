@@ -3,9 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench report examples clean
+.PHONY: all check build test lint race race-all vet bench report examples clean
 
 all: build test
+
+# The default verification gate: build, vet, full tests, and the race
+# detector over the concurrency-sensitive packages.
+check: build lint test race
 
 build:
 	$(GO) build ./...
@@ -13,7 +17,16 @@ build:
 test:
 	$(GO) test ./...
 
+lint:
+	$(GO) vet ./...
+
+# Race-detect the packages that share state across goroutines: the
+# metrics registry (hammered by concurrent Monte-Carlo workers) and the
+# router/montecarlo pipeline that shares it.
 race:
+	$(GO) test -race ./internal/metrics/... ./internal/router/... ./internal/montecarlo/...
+
+race-all:
 	$(GO) test -race ./...
 
 vet:

@@ -2,6 +2,7 @@ package dra
 
 import (
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/perf"
 	"repro/internal/queueing"
@@ -42,6 +43,23 @@ const (
 	TraceBusUp        = trace.BusUp
 	TraceDrop         = trace.Drop
 )
+
+// MetricsRegistry aggregates live counters, gauges and histograms from
+// routers, kernels, and estimators (see internal/metrics and
+// docs/observability.md). Attach with Router.SetMetrics or
+// MCOptions.Metrics; render with PrometheusText or SnapshotJSON.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry. Routers instrumented
+// against a nil registry pay (almost) nothing.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ChromeTimeline exports a recorder's events as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing. tsScale converts one unit of
+// simulated time into microseconds (1e6 for seconds, 3.6e9 for hours).
+func ChromeTimeline(r *TraceRecorder, tsScale float64) ([]byte, error) {
+	return trace.ChromeExportRecorder(r, tsScale)
+}
 
 // Sensitivity ranks failure rates by their effect on DRA reliability.
 type Sensitivity = models.Sensitivity

@@ -7,6 +7,10 @@
 //	dramodel -analysis reliability -arch dra -n 9 -m 4 -grid 0:100000:5000
 //	dramodel -analysis availability -arch bdr -mu 0.3333
 //	dramodel -analysis mttf -arch dra -n 6 -m 3
+//
+// -metrics-addr serves /metrics (computed results as gauges), expvar
+// and pprof while the solver runs; -metrics-out writes the final dump
+// to a file.
 package main
 
 import (
@@ -17,10 +21,20 @@ import (
 	"strings"
 
 	"repro/internal/linecard"
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
+
+var reg *metrics.Registry // nil unless -metrics-addr / -metrics-out given
+
+// publish records a solved quantity as a gauge so long grid sweeps can be
+// watched (and profiled) over -metrics-addr.
+func publish(name, help string, v float64) {
+	reg.Gauge(name, help).Set(v)
+	reg.Counter("dramodel_solves_total", "Model evaluations performed.").Inc()
+}
 
 func main() {
 	var (
@@ -31,10 +45,14 @@ func main() {
 		t        = flag.Float64("t", 40000, "evaluation time in hours (reliability)")
 		grid     = flag.String("grid", "", "time grid start:end:step (reliability series)")
 		mu       = flag.Float64("mu", 1.0/3, "repair rate μ per hour (availability)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, expvar and pprof on this address (e.g. :9090 or :0)")
+		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus metrics dump to this file")
 	)
 	flag.Parse()
 
-	p := models.PaperParams(*n, *m)
+	// Flag validation: reject bad values with a non-zero exit instead of
+	// silently continuing with defaults.
 	var a linecard.Arch
 	switch strings.ToLower(*arch) {
 	case "dra":
@@ -42,8 +60,41 @@ func main() {
 	case "bdr":
 		a = linecard.BDR
 	default:
-		fatal(fmt.Errorf("unknown arch %q", *arch))
+		usageError(fmt.Errorf("unknown arch %q (want dra or bdr)", *arch))
 	}
+	if *n < 2 {
+		usageError(fmt.Errorf("-n must be at least 2, got %d", *n))
+	}
+	if *m < 1 || *m > *n {
+		usageError(fmt.Errorf("-m must be within [1, %d], got %d", *n, *m))
+	}
+	if *t < 0 {
+		usageError(fmt.Errorf("-t must not be negative, got %g", *t))
+	}
+	if *mu <= 0 {
+		usageError(fmt.Errorf("-mu must be positive, got %g", *mu))
+	}
+
+	if *metricsAddr != "" || *metricsOut != "" {
+		reg = metrics.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := metrics.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dramodel: serving metrics on http://%s/\n", addr)
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := os.WriteFile(*metricsOut, []byte(reg.PrometheusText()), 0o644); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	p := models.PaperParams(*n, *m)
 
 	build := func(withRepair bool) *models.Model {
 		var md *models.Model
@@ -79,11 +130,14 @@ func main() {
 			fmt.Print(tb.String())
 			return
 		}
-		fmt.Printf("%s: R(%g) = %.9f\n", md.Name, *t, md.ReliabilityAt(*t))
+		r := md.ReliabilityAt(*t)
+		publish("dramodel_reliability", "Last computed R(t).", r)
+		fmt.Printf("%s: R(%g) = %.9f\n", md.Name, *t, r)
 	case "availability":
 		p.Mu = *mu
 		md := build(true)
 		av := md.Availability()
+		publish("dramodel_availability", "Last computed steady-state availability.", av)
 		fmt.Printf("%s: A = %.12f (%s)\n", md.Name, av, stats.FormatNines(av, 16))
 	case "transient-availability":
 		p.Mu = *mu
@@ -124,9 +178,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		publish("dramodel_mttf_hours", "Last computed mean time to failure.", v)
 		fmt.Printf("%s: MTTF = %.1f hours (%.2f years)\n", md.Name, v, v/8760)
 	default:
-		fatal(fmt.Errorf("unknown analysis %q", *analysis))
+		usageError(fmt.Errorf("unknown analysis %q", *analysis))
 	}
 }
 
@@ -158,6 +213,13 @@ func parseGrid(s string) ([]float64, error) {
 		out = append(out, t)
 	}
 	return out, nil
+}
+
+// usageError reports a flag-validation failure and exits with status 2,
+// the flag package's own convention for bad invocations.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "dramodel:", err)
+	os.Exit(2)
 }
 
 func fatal(err error) {

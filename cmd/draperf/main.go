@@ -28,9 +28,25 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flag validation: reject bad values with a non-zero exit instead of
+	// silently continuing with defaults.
+	if *n < 2 {
+		usageError(fmt.Errorf("-n must be at least 2, got %d", *n))
+	}
+	if *bus <= 0 {
+		usageError(fmt.Errorf("-bus must be positive, got %g", *bus))
+	}
+	if *clc <= 0 {
+		usageError(fmt.Errorf("-clc must be positive, got %g", *clc))
+	}
 	ls, err := parseLoads(*loads)
 	if err != nil {
-		fatal(err)
+		usageError(err)
+	}
+	for _, l := range ls {
+		if l <= 0 || l > 1 {
+			usageError(fmt.Errorf("loads must be within (0, 1], got %g", l))
+		}
 	}
 	header := []string{"load"}
 	for x := 1; x <= *n-1; x++ {
@@ -72,6 +88,13 @@ func parseLoads(s string) ([]float64, error) {
 		return nil, fmt.Errorf("no loads given")
 	}
 	return out, nil
+}
+
+// usageError reports a flag-validation failure and exits with status 2,
+// the flag package's own convention for bad invocations.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "draperf:", err)
+	os.Exit(2)
 }
 
 func fatal(err error) {

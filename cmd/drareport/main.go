@@ -26,6 +26,20 @@ func main() {
 		outDir = flag.String("o", "", "also write each figure to <dir>/figureN.txt")
 	)
 	flag.Parse()
+
+	// Flag validation: reject bad values with a non-zero exit up front
+	// instead of discovering them after regenerating nothing.
+	switch *fig {
+	case 0, 4, 6, 7, 8:
+	default:
+		usageError(fmt.Errorf("unknown figure %d (paper has 4, 6, 7, 8)", *fig))
+	}
+	if *n < 2 {
+		usageError(fmt.Errorf("-n must be at least 2, got %d", *n))
+	}
+	if *bus <= 0 {
+		usageError(fmt.Errorf("-bus must be positive, got %g", *bus))
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
@@ -61,9 +75,6 @@ func main() {
 	if *fig == 0 || *fig == 8 {
 		emit(8, dra.RenderFigure8(dra.ComputeFigure8With(*n, *bus)))
 	}
-	if *fig != 0 && *fig != 4 && *fig != 6 && *fig != 7 && *fig != 8 {
-		fatal(fmt.Errorf("unknown figure %d (paper has 4, 6, 7, 8)", *fig))
-	}
 }
 
 // renderFigure4 regenerates the paper's Figure 4 scheduling trace with
@@ -81,6 +92,13 @@ func renderFigure4() string {
 	return "Figure 4 — EIB data-line scheduling (slot-accurate TDM trace)\n" +
 		s.RenderTrace() +
 		"LP1 alone, LP2 joins at slot 4 (alternation), LP1 releases at slot 16.\n"
+}
+
+// usageError reports a flag-validation failure and exits with status 2,
+// the flag package's own convention for bad invocations.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "drareport:", err)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -9,6 +9,12 @@
 //	drasim -mode availability -arch dra -n 6 -m 3 -mu 0.3333 -horizon 2e6 -reps 50
 //	drasim -mode packets -arch dra -n 6 -m 3 -fail 0:SRU -packets 1000
 //	drasim -mode scenario -config outage.json
+//
+// Observability: -metrics-addr serves /metrics (Prometheus text),
+// /metrics.json, /timeline.json (Chrome trace-event JSON for Perfetto),
+// /debug/vars, and /debug/pprof/ while the run executes; -metrics-out
+// writes the final Prometheus dump to a file for headless CI runs, and
+// -timeline-out does the same for the timeline.
 package main
 
 import (
@@ -21,12 +27,22 @@ import (
 	dra "repro"
 	"repro/internal/config"
 	"repro/internal/linecard"
+	"repro/internal/metrics"
 	"repro/internal/montecarlo"
 	"repro/internal/router"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
+
+// obs bundles the optional observability state of a run.
+type obs struct {
+	reg *metrics.Registry
+	rec *trace.Recorder
+	out string // -metrics-out path
+	tl  string // -timeline-out path
+}
 
 func main() {
 	var (
@@ -43,19 +59,84 @@ func main() {
 		fail    = flag.String("fail", "", "packets mode: comma-separated lc:COMPONENT faults, e.g. 0:SRU,3:PDLU")
 		packets = flag.Int("packets", 1000, "packets mode: packets to push")
 		load    = flag.Float64("load", 0.15, "packets mode: offered load fraction")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /timeline.json, expvar and pprof on this address (e.g. :9090 or :0)")
+		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus metrics dump to this file")
+		timelineOut = flag.String("timeline-out", "", "write the final Chrome trace-event timeline to this file")
 	)
 	flag.Parse()
 
-	a := linecard.DRA
-	if strings.EqualFold(*arch, "bdr") {
-		a = linecard.BDR
+	// Flag validation: reject bad values with a non-zero exit instead of
+	// silently continuing with defaults.
+	a, err := parseArch(*arch)
+	if err != nil {
+		usageError(err)
+	}
+	md := strings.ToLower(*mode)
+	switch md {
+	case "reliability", "availability", "packets", "scenario":
+	default:
+		usageError(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if md != "scenario" {
+		if *n < 2 {
+			usageError(fmt.Errorf("-n must be at least 2, got %d", *n))
+		}
+		if *m < 1 || *m > *n {
+			usageError(fmt.Errorf("-m must be within [1, %d], got %d", *n, *m))
+		}
+	}
+	if *horizon <= 0 {
+		usageError(fmt.Errorf("-horizon must be positive, got %g", *horizon))
+	}
+	if *reps < 1 {
+		usageError(fmt.Errorf("-reps must be at least 1, got %d", *reps))
+	}
+	if *workers < 0 {
+		usageError(fmt.Errorf("-workers must not be negative, got %d", *workers))
+	}
+	if *mu < 0 {
+		usageError(fmt.Errorf("-mu must not be negative, got %g", *mu))
+	}
+	if *packets < 0 {
+		usageError(fmt.Errorf("-packets must not be negative, got %d", *packets))
+	}
+	if *load < 0 || *load > 1 {
+		usageError(fmt.Errorf("-load must be within [0, 1], got %g", *load))
+	}
+	if md == "scenario" && *cfgPath == "" {
+		usageError(fmt.Errorf("scenario mode needs -config"))
 	}
 
-	switch strings.ToLower(*mode) {
+	// Observability: one registry and recorder shared by whatever the
+	// mode runs. The recorder feeds /timeline.json; Monte-Carlo modes
+	// leave it empty (replications are concurrent and keep private
+	// routers) but still expose registry progress.
+	var ob obs
+	if *metricsAddr != "" || *metricsOut != "" || *timelineOut != "" {
+		ob.reg = metrics.NewRegistry()
+		ob.rec = trace.New(4096)
+		ob.out = *metricsOut
+		ob.tl = *timelineOut
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := metrics.Serve(*metricsAddr, ob.reg, func() ([]byte, error) {
+			return trace.ChromeExportRecorder(ob.rec, 1e6)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "drasim: serving metrics on http://%s/ (endpoints: /metrics /metrics.json /timeline.json /debug/pprof/)\n", addr)
+	}
+	defer ob.dump()
+
+	switch md {
 	case "reliability":
 		res, err := montecarlo.EstimateReliability(montecarlo.Options{
 			Arch: a, N: *n, M: *m, Rates: router.PaperRates(0),
 			Horizon: *horizon, Reps: *reps, Seed: *seed, Workers: *workers,
+			Metrics: ob.reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -79,6 +160,7 @@ func main() {
 		res, err := montecarlo.EstimateAvailability(montecarlo.Options{
 			Arch: a, N: *n, M: *m, Rates: router.PaperRates(*mu),
 			Horizon: *horizon, Reps: *reps, Seed: *seed, Workers: *workers,
+			Metrics: ob.reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -87,11 +169,8 @@ func main() {
 		fmt.Printf("%s N=%d M=%d μ=%g: A = %.8f  (95%% CI [%.8f, %.8f], %d reps of %g h)\n",
 			strings.ToUpper(*arch), *n, *m, *mu, res.Estimate(), lo, hi, *reps, *horizon)
 	case "packets":
-		runPackets(a, *n, *m, *fail, *packets, *load, *seed)
+		runPackets(a, *n, *m, *fail, *packets, *load, *seed, &ob)
 	case "scenario":
-		if *cfgPath == "" {
-			fatal(fmt.Errorf("scenario mode needs -config"))
-		}
 		f, err := config.LoadFile(*cfgPath)
 		if err != nil {
 			fatal(err)
@@ -100,19 +179,49 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		ob.attach(r)
 		fmt.Print(router.TimelineString(sc.Play(r)))
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 }
 
-func runPackets(a linecard.Arch, n, m int, faults string, count int, load float64, seed uint64) {
+// attach wires the shared registry and recorder into a router.
+func (ob *obs) attach(r *router.Router) {
+	if ob.reg == nil {
+		return
+	}
+	r.SetMetrics(ob.reg)
+	r.SetTracer(ob.rec)
+}
+
+// dump writes the headless-CI artifacts configured by -metrics-out and
+// -timeline-out.
+func (ob *obs) dump() {
+	if ob.out != "" {
+		if err := os.WriteFile(ob.out, []byte(ob.reg.PrometheusText()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "drasim: wrote metrics dump to %s\n", ob.out)
+	}
+	if ob.tl != "" {
+		b, err := trace.ChromeExportRecorder(ob.rec, 1e6)
+		if err == nil {
+			err = os.WriteFile(ob.tl, b, 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "drasim: wrote timeline to %s\n", ob.tl)
+	}
+}
+
+func runPackets(a linecard.Arch, n, m int, faults string, count int, load float64, seed uint64, ob *obs) {
 	cfg := router.UniformConfig(a, n, m)
 	cfg.Seed = seed
 	r, err := router.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	ob.attach(r)
 	r.InstallUniformRoutes()
 	for i := 0; i < n; i++ {
 		r.SetOfferedLoad(i, load*r.LC(i).Capacity())
@@ -121,10 +230,10 @@ func runPackets(a linecard.Arch, n, m int, faults string, count int, load float6
 		for _, spec := range strings.Split(faults, ",") {
 			lc, comp, err := parseFault(spec)
 			if err != nil {
-				fatal(err)
+				usageError(err)
 			}
 			if lc < 0 || lc >= n {
-				fatal(fmt.Errorf("linecard %d out of range", lc))
+				usageError(fmt.Errorf("linecard %d out of range [0, %d)", lc, n))
 			}
 			r.FailComponent(lc, comp)
 			fmt.Printf("injected fault: LC %d %v\n", lc, comp)
@@ -162,6 +271,17 @@ func runPackets(a linecard.Arch, n, m int, faults string, count int, load float6
 	fmt.Printf("\n%s", dra.SystemReport(r))
 }
 
+func parseArch(s string) (linecard.Arch, error) {
+	switch strings.ToLower(s) {
+	case "dra":
+		return linecard.DRA, nil
+	case "bdr":
+		return linecard.BDR, nil
+	default:
+		return 0, fmt.Errorf("unknown arch %q (want dra or bdr)", s)
+	}
+}
+
 func parseFault(spec string) (int, linecard.Component, error) {
 	parts := strings.SplitN(strings.TrimSpace(spec), ":", 2)
 	if len(parts) != 2 {
@@ -185,6 +305,13 @@ func parseFault(spec string) (int, linecard.Component, error) {
 	default:
 		return 0, 0, fmt.Errorf("unknown component %q", parts[1])
 	}
+}
+
+// usageError reports a flag-validation failure and exits with status 2,
+// the flag package's own convention for bad invocations.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "drasim:", err)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	dra "repro"
 	"repro/internal/eib"
@@ -44,6 +45,7 @@ func main() {
 
 	fmt.Println("\n== oversubscription: unequal asks scale back to B_prom ==")
 	s3 := eib.NewSlotSim([]int{0, 1, 2, 3})
+	s3.SetMetrics(dra.NewMetricsRegistry()) // per-LC queue depths on /metrics
 	for lc, ask := range []float64{0.8, 0.6, 0.4, 0.2} {
 		s3.Open(lc, ask)
 	}
@@ -58,6 +60,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := dra.NewMetricsRegistry()
+	r.SetMetrics(reg)
+	rec := dra.NewTraceRecorder(256)
+	r.SetTracer(rec)
 	var sc router.Scenario
 	sc.Fail(100, 0, linecard.SRU).
 		Fail(200, 1, linecard.SRU).
@@ -66,6 +72,29 @@ func main() {
 		Repair(500, 0).
 		Repair(600, 1)
 	fmt.Print(router.TimelineString(sc.Play(r)))
+
+	// The outage as a Perfetto-loadable timeline: faults and coverage as
+	// duration slices, one lane per LC plus a bus lane. The model's time
+	// unit here is hours, so one unit becomes 3.6e9 µs.
+	b, err := dra.ChromeTimeline(rec, 3.6e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntimeline: %d trace events -> %d bytes of Chrome trace JSON (load in ui.perfetto.dev)\n",
+		rec.Len(), len(b))
+	fmt.Printf("registry: eib_collisions_total %s\n",
+		firstLine(reg.PrometheusText(), "eib_collisions_total "))
+}
+
+// firstLine returns the value portion of the first exposition line with
+// the given prefix.
+func firstLine(text, prefix string) string {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strings.TrimPrefix(line, prefix)
+		}
+	}
+	return "?"
 }
 
 func fmtMap(m map[int]float64) map[int]string {

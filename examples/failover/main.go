@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	dra "repro"
 	"repro/internal/packet"
@@ -22,6 +23,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := dra.NewMetricsRegistry()
+	r.SetMetrics(reg)
+	rec := dra.NewTraceRecorder(256)
+	r.SetTracer(rec)
 
 	show := func(title string, src, dst int) {
 		p := &packet.Packet{
@@ -114,4 +119,15 @@ func main() {
 	m := r.Metrics()
 	fmt.Printf("\nEIB activity: %d coverage requests, %d established, %d control packets, %d collisions\n",
 		m.CoverageRequests, m.CoverageEstablished, r.Bus().CtrlPackets, r.Bus().Collisions)
+
+	// The same story, from the metrics registry (the /metrics view a
+	// scraper would see) and the structured trace.
+	fmt.Println("\n== registry excerpt ==")
+	for _, line := range strings.Split(reg.PrometheusText(), "\n") {
+		if strings.HasPrefix(line, "router_coverage_") || strings.HasPrefix(line, "eib_ctrl_packets_total{") {
+			fmt.Println(line)
+		}
+	}
+	fmt.Printf("\ntrace: %d events recorded (%d coverage-up); export a Perfetto timeline with dra.ChromeTimeline(rec, 1e6)\n",
+		rec.Len(), rec.Count(dra.TraceCoverageUp))
 }

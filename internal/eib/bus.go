@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -78,6 +79,16 @@ type Bus struct {
 	Collisions  uint64
 	LPsOpened   uint64
 	LPsClosed   uint64
+
+	// Instrumentation, resolved by SetMetrics; all nil (no-op) until a
+	// registry is attached.
+	mCtrlByType  [numControlTypes]*metrics.Counter
+	mCollisions  *metrics.Counter
+	mBackoff     *metrics.Histogram
+	mLPsOpened   *metrics.Counter
+	mLPsClosed   *metrics.Counter
+	mActiveLPs   *metrics.Gauge
+	mUtilization *metrics.Gauge
 }
 
 // NewBus creates an EIB on the given kernel. rng drives CSMA/CD backoff.
@@ -102,6 +113,47 @@ func NewBus(k *sim.Kernel, rng *xrand.Source, cfg BusConfig) (*Bus, error) {
 
 // Config returns the bus configuration.
 func (b *Bus) Config() BusConfig { return b.cfg }
+
+// SetMetrics resolves the bus instruments against reg:
+//
+//	eib_ctrl_packets_total{type} — control packets per protocol tier
+//	                               message type (REQ_D, REP_D, ...);
+//	eib_collisions_total         — CSMA/CD carrier-busy collisions;
+//	eib_backoff_slots            — histogram of drawn backoff slots;
+//	eib_lps_opened_total / eib_lps_closed_total — LP churn;
+//	eib_active_lps               — β, the open logical paths;
+//	eib_data_utilization         — ΣB_LC / B_BUS, capped at 1.
+//
+// A nil registry is a no-op.
+func (b *Bus) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	ctrl := reg.CounterVec("eib_ctrl_packets_total", "Control packets broadcast on the EIB control lines.", "type")
+	for t := ControlType(0); t < numControlTypes; t++ {
+		b.mCtrlByType[t] = ctrl.With(t.String())
+	}
+	b.mCollisions = reg.Counter("eib_collisions_total", "CSMA/CD collisions on the EIB control lines.")
+	b.mBackoff = reg.Histogram("eib_backoff_slots", "Backoff slots drawn after a collision.",
+		metrics.ExpBuckets(1, 2, 11))
+	b.mLPsOpened = reg.Counter("eib_lps_opened_total", "Logical paths opened over the EIB data lines.")
+	b.mLPsClosed = reg.Counter("eib_lps_closed_total", "Logical paths closed or dropped.")
+	b.mActiveLPs = reg.Gauge("eib_active_lps", "Open logical paths (the arbitration counter β).")
+	b.mUtilization = reg.Gauge("eib_data_utilization", "Requested share of the data-line capacity, capped at 1.")
+}
+
+// updateLPGauges refreshes the LP gauges after any open/close/fail.
+func (b *Bus) updateLPGauges() {
+	if b.mActiveLPs == nil {
+		return
+	}
+	b.mActiveLPs.Set(float64(len(b.lps)))
+	u := b.TotalAsked() / b.cfg.DataCapacity
+	if u > 1 {
+		u = 1
+	}
+	b.mUtilization.Set(u)
+}
 
 // Attach registers the bus controller of LC lc. Re-attaching replaces the
 // handler (used after controller repair).
@@ -132,7 +184,9 @@ func (b *Bus) Fail() {
 	for id := range b.lps {
 		delete(b.lps, id)
 		b.LPsClosed++
+		b.mLPsClosed.Inc()
 	}
+	b.updateLPGauges()
 }
 
 // Repair restores the EIB lines.
@@ -164,13 +218,18 @@ func (b *Bus) Broadcast(p ControlPacket, delivered func()) error {
 		// one backoff draw per queued sender.
 		start = b.busyUntil
 		b.Collisions++
+		b.mCollisions.Inc()
 		exp := 1 + b.rng.Intn(b.cfg.MaxBackoffExp)
 		slots := b.rng.Intn(1 << uint(exp))
+		b.mBackoff.Observe(float64(slots))
 		start += sim.Time(float64(slots) * b.cfg.CtrlSlot)
 	}
 	end := start + sim.Time(b.cfg.CtrlSlot)
 	b.busyUntil = end
 	b.CtrlPackets++
+	if int(p.Type) < len(b.mCtrlByType) {
+		b.mCtrlByType[p.Type].Inc()
+	}
 	b.k.Schedule(end, func() {
 		if b.fail {
 			return // lines died in flight
@@ -212,6 +271,8 @@ func (b *Bus) OpenLP(init, rec int, asked float64, dir Direction) (*LP, error) {
 	lp := &LP{ID: b.nextLP, Init: init, Rec: rec, Asked: asked, Dir: dir}
 	b.lps[lp.ID] = lp
 	b.LPsOpened++
+	b.mLPsOpened.Inc()
+	b.updateLPGauges()
 	return lp, nil
 }
 
@@ -221,6 +282,8 @@ func (b *Bus) CloseLP(id int) {
 	if _, ok := b.lps[id]; ok {
 		delete(b.lps, id)
 		b.LPsClosed++
+		b.mLPsClosed.Inc()
+		b.updateLPGauges()
 	}
 }
 

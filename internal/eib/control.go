@@ -28,6 +28,8 @@ const (
 	REPL
 	// RELD releases an established logical path.
 	RELD
+
+	numControlTypes
 )
 
 // String implements fmt.Stringer.

@@ -3,6 +3,8 @@ package eib
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/metrics"
 )
 
 // SlotSim is a slot-accurate simulation of the EIB data lines driven by
@@ -32,6 +34,11 @@ type SlotSim struct {
 	// (-1 for an idle slot).
 	Trace   []int
 	Tracing bool
+
+	// Instrumentation (nil until SetMetrics).
+	mSlots *metrics.Counter
+	mIdle  *metrics.Counter
+	mDepth *metrics.GaugeVec
 }
 
 type slotFlow struct {
@@ -52,6 +59,18 @@ func NewSlotSim(lcs []int) *SlotSim {
 
 // Arbiter exposes the underlying counter machinery for assertions.
 func (s *SlotSim) Arbiter() *Arbiter { return s.arb }
+
+// SetMetrics resolves slot-level instruments against reg: total and
+// idle data-line slots, and the per-LP sender queue depth
+// (eib_slotsim_queue_depth{lc}). A nil registry is a no-op.
+func (s *SlotSim) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mSlots = reg.Counter("eib_slotsim_slots_total", "Data-line slots simulated.")
+	s.mIdle = reg.Counter("eib_slotsim_idle_slots_total", "Data-line slots with no LP transmitting.")
+	s.mDepth = reg.GaugeVec("eib_slotsim_queue_depth", "Sender-side buffered payload per LP, in slot units.", "lc")
+}
 
 // Open establishes an LP for lc asking for the given normalized rate
 // (1.0 = the full data-line capacity). Asks may sum above 1; every sender
@@ -100,16 +119,21 @@ func (s *SlotSim) Promise(lc int) float64 {
 // Step advances one data-line slot.
 func (s *SlotSim) Step() {
 	s.slot++
+	s.mSlots.Inc()
 	scale := s.scale()
-	for _, f := range s.flows {
+	for lc, f := range s.flows {
 		// Arrivals at the ask; anything beyond the promised rate is
 		// dropped at the sender (the paper's scale-back).
 		prom := f.ask * scale
 		f.buffer += prom
 		f.dropped += f.ask - prom
+		if s.mDepth != nil {
+			s.mDepth.With(fmt.Sprint(lc)).Set(f.buffer)
+		}
 	}
 	cur := s.arb.Current()
 	if cur == -1 {
+		s.mIdle.Inc()
 		if s.Tracing {
 			s.Trace = append(s.Trace, -1)
 		}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// This file wires a registry into the live-introspection endpoints the
+// long-running CLIs expose behind --metrics-addr:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON snapshot
+//	/timeline.json  Chrome trace-event timeline (when a source is given)
+//	/debug/vars     expvar
+//	/debug/pprof/   runtime profiling
+//
+// Everything is stdlib; no scrape library is required on either side.
+
+// TimelineFunc produces the current timeline as Chrome trace-event JSON.
+// It runs on the HTTP serving goroutine, so it must only touch state
+// that is safe to read concurrently (or snapshot copies).
+type TimelineFunc func() ([]byte, error)
+
+// Handler returns the introspection mux for the registry. timeline may
+// be nil, in which case /timeline.json reports 404.
+func Handler(reg *Registry, timeline TimelineFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := reg.SnapshotJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/timeline.json", func(w http.ResponseWriter, _ *http.Request) {
+		if timeline == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		b, err := timeline()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "endpoints: /metrics /metrics.json /timeline.json /debug/vars /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve listens on addr (":0" picks a free port) and serves the
+// introspection handler in the background. It returns the server and the
+// bound address; callers print the address so operators can connect.
+func Serve(addr string, reg *Registry, timeline TimelineFunc) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, timeline), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

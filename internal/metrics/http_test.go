@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := goldenRegistry()
+	srv := httptest.NewServer(Handler(reg, func() ([]byte, error) {
+		return []byte(`{"traceEvents":[]}`), nil
+	}))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/metrics"); code != 200 || !strings.Contains(body, "demo_events_total 42") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get(t, srv, "/metrics.json"); code != 200 || !strings.Contains(body, `"demo_depth"`) {
+		t.Fatalf("/metrics.json: %d\n%s", code, body)
+	}
+	if code, body := get(t, srv, "/timeline.json"); code != 200 || !strings.Contains(body, "traceEvents") {
+		t.Fatalf("/timeline.json: %d\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+	if code, body := get(t, srv, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d\n%s", code, body)
+	}
+}
+
+func TestHandlerWithoutTimeline(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry(), nil))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/timeline.json"); code != 404 {
+		t.Fatalf("/timeline.json without exporter: %d, want 404", code)
+	}
+}
+
+func TestServePicksFreePort(t *testing.T) {
+	srv, addr, err := Serve(":0", goldenRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilRegistryHandsOutNoOpInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1})
+	cv := r.CounterVec("cv", "", "l")
+	gv := r.GaugeVec("gv", "", "l")
+	r.GaugeFunc("gf", "", func() float64 { return 1 })
+
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(0.5)
+	cv.With("x").Inc()
+	gv.With("x").Set(2)
+
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments retained state")
+	}
+	if r.Snapshot() != nil || r.PrometheusText() != "" {
+		t.Fatal("nil registry exposed something")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "hits")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if again := r.Counter("hits_total", "hits"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// le semantics: 1 lands in the le=1 bucket.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 106 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("drops_total", "", "reason")
+	cv.With("no route").Inc()
+	cv.With("no route").Inc()
+	cv.With("fabric").Inc()
+	if cv.With("no route").Value() != 2 || cv.With("fabric").Value() != 1 {
+		t.Fatal("vec children miscounted")
+	}
+
+	gv := r.GaugeVec("depth", "", "lc")
+	gv.With("0").Set(7)
+	if gv.With("0").Value() != 7 {
+		t.Fatal("gauge vec child lost value")
+	}
+}
+
+func TestGaugeFuncKeepsFirstRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("ratio", "", func() float64 { return 1 })
+	r.GaugeFunc("ratio", "", func() float64 { return 2 })
+	for _, s := range r.Snapshot() {
+		if s.Name == "ratio" {
+			if s.Samples[0].Value != 1 {
+				t.Fatalf("ratio = %g, want first-registered fn", s.Samples[0].Value)
+			}
+			return
+		}
+	}
+	t.Fatal("ratio family missing")
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic re-registering x as a gauge")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestWithWrongArityPanics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("v", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong label arity")
+		}
+	}()
+	cv.With("only-one")
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	if len(exp) != 4 || exp[0] != 1 || exp[3] != 8 {
+		t.Fatalf("ExpBuckets = %v", exp)
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	if len(lin) != 3 || lin[2] != 1 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+}
+
+func TestGaugeAddIsAtomicOverNaNFreePath(t *testing.T) {
+	g := NewRegistry().Gauge("g", "")
+	g.Set(1)
+	g.Add(math.Pi)
+	if got := g.Value(); math.Abs(got-(1+math.Pi)) > 1e-15 {
+		t.Fatalf("gauge = %g", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/linecard"
+	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -38,6 +39,12 @@ type Options struct {
 	// TargetLC selects the linecard under analysis (the paper's LCUA);
 	// default 0.
 	TargetLC int
+	// Metrics, when non-nil, receives live progress: every replication's
+	// router and kernel are instrumented against it (counters are
+	// atomic, so concurrent workers share it safely), and the estimators
+	// publish montecarlo_trials_total and montecarlo_ci_halfwidth for
+	// convergence watching over /metrics.
+	Metrics *metrics.Registry
 }
 
 // Validate rejects nonsensical options.
@@ -100,7 +107,16 @@ func EstimateReliability(opt Options) (ReliabilityResult, error) {
 			res.Survival.Add(true)
 		}
 	}
+	lo, hi := res.CI()
+	publishCI(opt, lo, hi)
 	return res, nil
+}
+
+// publishCI records the 95% confidence-interval half-width, the
+// convergence measure an operator watches on a long estimation run.
+func publishCI(opt Options, lo, hi float64) {
+	opt.Metrics.Gauge("montecarlo_ci_halfwidth", "Half-width of the estimator's 95% confidence interval.").
+		Set((hi - lo) / 2)
 }
 
 // reliabilityRep runs one replication and returns the time of the first
@@ -126,6 +142,7 @@ func reliabilityRep(opt Options, rep uint64) (float64, error) {
 // runReps executes one function per replication, optionally across
 // workers, returning per-replication outcomes in replication order.
 func runReps(opt Options, one func(Options, uint64) (float64, error)) ([]float64, error) {
+	trials := opt.Metrics.Counter("montecarlo_trials_total", "Completed Monte-Carlo replications.")
 	out := make([]float64, opt.Reps)
 	workers := opt.Workers
 	if workers <= 1 {
@@ -135,6 +152,7 @@ func runReps(opt Options, one func(Options, uint64) (float64, error)) ([]float64
 				return nil, err
 			}
 			out[rep] = v
+			trials.Inc()
 		}
 		return out, nil
 	}
@@ -149,6 +167,7 @@ func runReps(opt Options, one func(Options, uint64) (float64, error)) ([]float64
 		go func() {
 			for rep := range jobs {
 				v, err := one(opt, uint64(rep))
+				trials.Inc()
 				results <- result{rep, v, err}
 			}
 		}()
@@ -205,6 +224,8 @@ func EstimateAvailability(opt Options) (AvailabilityResult, error) {
 	for _, a := range outcomes {
 		res.PerRep.Add(a)
 	}
+	lo, hi := res.CI()
+	publishCI(opt, lo, hi)
 	return res, nil
 }
 
@@ -238,6 +259,7 @@ func build(opt Options, rep uint64) (*router.Router, *router.Injector, error) {
 		return nil, nil, err
 	}
 	r.InstallUniformRoutes()
+	r.SetMetrics(opt.Metrics)
 	inj, err := router.NewInjector(r, opt.Rates)
 	if err != nil {
 		return nil, nil, err

@@ -165,6 +165,7 @@ func (r *Router) reconcileCoverage() {
 					r.ctrl[i].Release(b.lp)
 				}
 				r.cover[i] = nil
+				r.im.coverageRevocations.Inc()
 				r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.CoverageDown, LC: i, Peer: b.peer})
 			}
 		}
@@ -172,6 +173,21 @@ func (r *Router) reconcileCoverage() {
 			r.requestCoverage(i, comp, rate, 0)
 		}
 	}
+	r.updateCoverageGauge()
+}
+
+// updateCoverageGauge refreshes router_coverage_bandwidth from the fluid
+// Section 5.3 computation. It runs only on fault-state transitions (never
+// the packet hot path) and only when a registry is attached.
+func (r *Router) updateCoverageGauge() {
+	if r.im.coverageBW == nil {
+		return
+	}
+	total := 0.0
+	for _, bw := range r.CoverageBandwidth().PerFaulty {
+		total += bw
+	}
+	r.im.coverageBW.Set(total)
 }
 
 // qualifiesHealth re-checks an existing binding peer's health (without the
@@ -231,6 +247,7 @@ func (r *Router) requestCoverage(i int, comp linecard.Component, rate float64, t
 		FaultyComponent: comp,
 	}
 	r.m.CoverageRequests++
+	r.im.coverageRequests.Inc()
 	r.ctrl[i].RequestData(req, func(peer int) {
 		// A fault may have landed while the handshake was in flight;
 		// re-validate before committing.
@@ -246,9 +263,12 @@ func (r *Router) requestCoverage(i int, comp linecard.Component, rate float64, t
 		}
 		r.cover[i] = &binding{peer: peer, lp: lp}
 		r.m.CoverageEstablished++
+		r.im.coverageGrants.Inc()
 		r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.CoverageUp, LC: i, Peer: peer})
+		r.updateCoverageGauge()
 	}, func(error) {
 		r.m.CoverageFailed++
+		r.im.coverageFailed.Inc()
 		if tries >= 4 || r.bus.Failed() || !lc.OnEIB() {
 			return
 		}

@@ -83,6 +83,7 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 	if in < 0 || in >= len(r.lcs) {
 		rep := PathReport{Kind: PathDropped, DropReason: "bad ingress LC"}
 		r.m.drop(rep.DropReason)
+		r.im.drops.With(rep.DropReason).Inc()
 		return rep
 	}
 	rep := PathReport{IngressVia: -1, EgressVia: -1, RemoteLookup: -1}
@@ -106,6 +107,7 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 	rep.RemoteLookup = lrep
 	if lrep >= 0 {
 		r.m.RemoteLookups++
+		r.im.remoteLookups.Inc()
 	}
 	p.DstLC = dst
 	out := dst
@@ -130,6 +132,7 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 		rep.IngressVia = b.peer
 		fromLC = b.peer
 		r.m.ViaEIB++
+		r.im.detours.Inc()
 	}
 
 	// Step 3: egress constraints (Case 3) decide the downstream path.
@@ -150,6 +153,7 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 		srcForDirect := r.lcs[fromLC]
 		if srcForDirect.Protocol() == outLC.Protocol() && srcForDirect.Healthy(linecard.PDLU) {
 			r.m.ViaEIB++
+			r.im.detours.Inc()
 			return r.delivered(&rep, pickKind(rep, PathEgressDirect), out, p)
 		}
 		inter := r.pickInter(outLC.Protocol(), out, fromLC)
@@ -161,6 +165,7 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 		rep2 := r.viaFabric(&rep, p, fromLC, inter, pickKind(rep, PathEgressInter))
 		if rep2.Kind != PathDropped {
 			r.m.ViaEIB++
+			r.im.detours.Inc()
 			// The packet exits through the faulty egress card, not the
 			// intermediate: move the per-LC delivery credit.
 			r.lcs[inter].Delivered--
@@ -176,6 +181,7 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 			return r.dropped(&rep, "no healthy SRU on sending side")
 		}
 		r.m.ViaEIB++
+		r.im.detours.Inc()
 		return r.delivered(&rep, pickKind(rep, PathEgressSRUCover), out, p)
 
 	default:
@@ -254,6 +260,7 @@ func (r *Router) viaFabric(rep *PathReport, p *packet.Packet, src, dst int, kind
 				r.lcs[src].OnEIB() && r.lcs[dst].OnEIB() {
 				r.reasm[dst].Abort(c.PacketID)
 				r.m.ViaEIB++
+				r.im.detours.Inc()
 				return r.delivered(rep, PathEIBFallback, dst, p)
 			}
 			r.reasm[dst].Abort(c.PacketID)
@@ -276,8 +283,11 @@ func (r *Router) delivered(rep *PathReport, kind PathKind, egress int, p *packet
 	p.Delivered = p.Arrived + rep.Latency
 	r.m.Delivered++
 	r.m.LatencySum += rep.Latency
+	r.im.delivered.Inc()
+	r.im.latency.Observe(rep.Latency)
 	if kind == PathFabric {
 		r.m.ViaFabric++
+		r.im.viaFabric.Inc()
 	}
 	r.lcs[egress].Delivered++
 	return *rep
@@ -287,7 +297,8 @@ func (r *Router) dropped(rep *PathReport, reason string) PathReport {
 	rep.Kind = PathDropped
 	rep.DropReason = reason
 	r.m.drop(reason)
-	r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.Drop, LC: -1, Peer: -1, Detail: reason})
+	r.im.drops.With(reason).Inc()
+	r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.Drop, LC: -1, Peer: -1, Reason: reason})
 	return *rep
 }
 
@@ -298,6 +309,9 @@ func (r *Router) DeliverFrom(p *packet.Packet) PathReport {
 	rep := r.Deliver(p)
 	if rep.Kind == PathDropped && p.SrcLC >= 0 && p.SrcLC < len(r.lcs) {
 		r.lcs[p.SrcLC].Dropped++
+		if r.im.lcDrops != nil {
+			r.im.lcDrops.With(r.im.lcLabel[p.SrcLC], rep.DropReason).Inc()
+		}
 	}
 	return rep
 }

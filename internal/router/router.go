@@ -20,11 +20,13 @@ package router
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"repro/internal/eib"
 	"repro/internal/fabric"
 	"repro/internal/forwarding"
 	"repro/internal/linecard"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -105,7 +107,76 @@ type Router struct {
 
 	tr *trace.Recorder // nil unless SetTracer was called
 
-	m Metrics
+	m  Metrics
+	im instruments
+}
+
+// instruments holds the router's resolved registry instruments. The
+// zero value (all nil) is fully functional and nearly free: every hook
+// on the packet hot path degrades to a nil-receiver branch, the same
+// discipline as trace.Recorder.
+type instruments struct {
+	delivered     *metrics.Counter
+	detours       *metrics.Counter // packets that used the EIB data lines
+	viaFabric     *metrics.Counter
+	remoteLookups *metrics.Counter
+	latency       *metrics.Histogram
+
+	drops   *metrics.CounterVec // by reason
+	lcDrops *metrics.CounterVec // by ingress LC and reason (DeliverFrom)
+
+	coverageRequests    *metrics.Counter
+	coverageGrants      *metrics.Counter
+	coverageRevocations *metrics.Counter
+	coverageFailed      *metrics.Counter
+	coverageBW          *metrics.Gauge
+
+	// lcLabel caches per-LC label strings so the drop path does not
+	// format integers.
+	lcLabel []string
+}
+
+// SetMetrics resolves the router's instruments against reg and cascades
+// to the layers it owns: the sim kernel and, under DRA, the EIB. The
+// router-level families:
+//
+//	router_delivered_total / router_drops_total{reason}
+//	router_lc_drops_total{lc,reason}   (ingress attribution, DeliverFrom)
+//	router_detours_total               (packets using the EIB data lines)
+//	router_via_fabric_total
+//	router_remote_lookups_total
+//	router_latency_seconds             (modelled delivery latency)
+//	router_coverage_requests_total / router_coverage_grants_total /
+//	router_coverage_revocations_total / router_coverage_failed_total
+//	router_coverage_bandwidth          (ΣB_faulty over the EIB, bits/unit)
+//
+// A nil registry detaches nothing and is a no-op.
+func (r *Router) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.k.Instrument(reg)
+	if r.bus != nil {
+		r.bus.SetMetrics(reg)
+	}
+	im := &r.im
+	im.delivered = reg.Counter("router_delivered_total", "Packets delivered end to end.")
+	im.detours = reg.Counter("router_detours_total", "Packets that used the EIB data lines at least once.")
+	im.viaFabric = reg.Counter("router_via_fabric_total", "Packets whose data path used only the fabric.")
+	im.remoteLookups = reg.Counter("router_remote_lookups_total", "Lookups served by a peer LFE over the control lines.")
+	im.latency = reg.Histogram("router_latency_seconds", "Modelled end-to-end delivery latency.",
+		metrics.ExpBuckets(1e-6, 4, 12))
+	im.drops = reg.CounterVec("router_drops_total", "Packets dropped, by cause.", "reason")
+	im.lcDrops = reg.CounterVec("router_lc_drops_total", "Packets dropped, by ingress linecard and cause.", "lc", "reason")
+	im.coverageRequests = reg.Counter("router_coverage_requests_total", "REQ_D coverage handshakes started.")
+	im.coverageGrants = reg.Counter("router_coverage_grants_total", "Coverage bindings established over the EIB.")
+	im.coverageRevocations = reg.Counter("router_coverage_revocations_total", "Coverage bindings released or invalidated.")
+	im.coverageFailed = reg.Counter("router_coverage_failed_total", "Coverage handshakes that found no peer.")
+	im.coverageBW = reg.Gauge("router_coverage_bandwidth", "Total bandwidth faulty LCs currently receive over the EIB.")
+	im.lcLabel = make([]string, len(r.lcs))
+	for i := range im.lcLabel {
+		im.lcLabel[i] = strconv.Itoa(i)
+	}
 }
 
 // binding records an established EIB coverage relationship.
@@ -250,8 +321,14 @@ func (r *Router) spare(i int) float64 {
 	return psi
 }
 
-// SetTracer attaches a structured event recorder; nil detaches it.
-func (r *Router) SetTracer(t *trace.Recorder) { r.tr = t }
+// SetTracer attaches a structured event recorder; nil detaches it. The
+// recorder's clock is wired to the simulation kernel, so every event —
+// including ones recorded with a zero At by older call sites — carries a
+// sim timestamp.
+func (r *Router) SetTracer(t *trace.Recorder) {
+	r.tr = t
+	t.SetClock(func() float64 { return float64(r.k.Now()) })
+}
 
 // Tracer returns the attached recorder (nil when tracing is off).
 func (r *Router) Tracer() *trace.Recorder { return r.tr }

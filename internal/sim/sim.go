@@ -8,6 +8,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Time is simulation time. The unit is chosen by the model (the DRA models
@@ -73,10 +76,55 @@ type Kernel struct {
 	// Processed counts executed (non-cancelled) events, for tests and
 	// runaway detection.
 	Processed uint64
+
+	// Instrumentation, resolved by Instrument; nil when the kernel is
+	// not observed, in which case each hook is one predictable branch.
+	mScheduled *metrics.Counter
+	mFired     *metrics.Counter
+	mCancelled *metrics.Counter
+	mHeapDepth *metrics.Gauge
+	mSimNow    *metrics.Gauge
 }
 
 // NewKernel returns a kernel with the clock at zero.
 func NewKernel() *Kernel { return &Kernel{} }
+
+// Instrument resolves the kernel's metrics against reg:
+//
+//	sim_events_scheduled_total / sim_events_fired_total /
+//	sim_events_cancelled_total — future-event-list traffic;
+//	sim_heap_depth             — pending events (updated on every
+//	                             schedule/fire/cancel, so exposition
+//	                             never reads kernel internals);
+//	sim_now                    — the simulation clock;
+//	sim_wall_ratio             — simulated time advanced per wall-clock
+//	                             second since instrumentation.
+//
+// A nil registry detaches nothing and costs nothing. Repeated calls
+// (e.g. one kernel per Monte-Carlo replication sharing one registry)
+// accumulate into the same family.
+func (k *Kernel) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	k.mScheduled = reg.Counter("sim_events_scheduled_total", "Events pushed onto the future event list.")
+	k.mFired = reg.Counter("sim_events_fired_total", "Events executed by the kernel.")
+	k.mCancelled = reg.Counter("sim_events_cancelled_total", "Pending events cancelled before firing.")
+	k.mHeapDepth = reg.Gauge("sim_heap_depth", "Events currently pending in the future event list.")
+	k.mSimNow = reg.Gauge("sim_now", "Current simulation time in model units.")
+	wallStart := time.Now()
+	simStart := k.now
+	simNow := k.mSimNow
+	reg.GaugeFunc("sim_wall_ratio", "Simulated time units advanced per wall-clock second.", func() float64 {
+		wall := time.Since(wallStart).Seconds()
+		if wall <= 0 {
+			return 0
+		}
+		return (simNow.Value() - float64(simStart)) / wall
+	})
+	k.mSimNow.Set(float64(k.now))
+	k.mHeapDepth.Set(float64(len(k.events)))
+}
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
@@ -93,6 +141,8 @@ func (k *Kernel) Schedule(at Time, fn func()) *Event {
 	e := &Event{at: at, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.events, e)
+	k.mScheduled.Inc()
+	k.mHeapDepth.Set(float64(len(k.events)))
 	return e
 }
 
@@ -116,6 +166,8 @@ func (k *Kernel) Cancel(e *Event) {
 	e.cancel = true
 	heap.Remove(&k.events, e.index)
 	e.index = -1
+	k.mCancelled.Inc()
+	k.mHeapDepth.Set(float64(len(k.events)))
 }
 
 // Pending returns the number of events still queued.
@@ -131,6 +183,9 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = e.at
 		k.Processed++
+		k.mFired.Inc()
+		k.mSimNow.Set(float64(k.now))
+		k.mHeapDepth.Set(float64(len(k.events)))
 		e.fn()
 		return true
 	}

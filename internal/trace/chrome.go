@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file exports recorded events as Chrome trace-event JSON — the
+// format chrome://tracing and Perfetto load — so an EIB failover can be
+// inspected visually: one lane (tid) per linecard plus a bus lane,
+// faults and coverage rendered as duration slices, drops as instant
+// events.
+//
+// Format reference: the Trace Event Format spec (JSON Object Format).
+// Only the fields every viewer understands are emitted: name, cat, ph,
+// ts (microseconds), pid, tid, args, and "M" metadata records naming
+// the process and threads.
+
+// ChromeEvent is one trace-event record.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace file object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromePid is the single process id used for the router.
+const chromePid = 1
+
+// busTid is the lane used for router-wide events (the EIB lines); LC i
+// uses lane i+1 so lane numbers stay positive and dense.
+const busTid = 0
+
+func laneOf(lc int) int {
+	if lc < 0 {
+		return busTid
+	}
+	return lc + 1
+}
+
+// ChromeExport converts events into a Chrome trace. tsScale converts
+// one unit of simulated time into microseconds (the trace-event time
+// base): pass 1e6 when the model's unit is seconds, 3.6e9 for hours.
+// Fault/Repair, CoverageUp/CoverageDown, and BusDown/BusUp are paired
+// into duration slices ("B"/"E"); unmatched begins are closed at the
+// last timestamp so the file always loads. Drops become instant events.
+func ChromeExport(events []Event, tsScale float64) ([]byte, error) {
+	if tsScale <= 0 {
+		return nil, fmt.Errorf("trace: tsScale must be positive, got %g", tsScale)
+	}
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+
+	tr := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []ChromeEvent{}}
+	lanes := map[int]string{busTid: "EIB / router"}
+	end := 0.0
+	if n := len(evs); n > 0 {
+		end = evs[n-1].At * tsScale
+	}
+
+	// openSlices tracks unmatched "B" events: faults by (lane, detail),
+	// coverage by lane, the bus outage by the bus lane.
+	type sliceKey struct {
+		lane int
+		name string
+	}
+	open := map[sliceKey]bool{}
+	begin := func(lane int, name, cat string, ts float64, args map[string]any) {
+		k := sliceKey{lane, name}
+		if open[k] {
+			// Duplicate begin (e.g. a second fault event before repair):
+			// close the previous slice first so B/E stay balanced.
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: name, Cat: cat, Ph: "E", Ts: ts, Pid: chromePid, Tid: lane})
+		}
+		open[k] = true
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: name, Cat: cat, Ph: "B", Ts: ts, Pid: chromePid, Tid: lane, Args: args})
+	}
+	finish := func(lane int, name, cat string, ts float64) {
+		k := sliceKey{lane, name}
+		if !open[k] {
+			return // repair without a recorded fault (ring evicted it)
+		}
+		delete(open, k)
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: name, Cat: cat, Ph: "E", Ts: ts, Pid: chromePid, Tid: lane})
+	}
+
+	for _, e := range evs {
+		ts := e.At * tsScale
+		lane := laneOf(e.LC)
+		if e.LC >= 0 {
+			lanes[lane] = fmt.Sprintf("LC %d", e.LC)
+		}
+		switch e.Kind {
+		case Fault:
+			begin(lane, "fault "+e.Detail, "fault", ts, map[string]any{"component": e.Detail})
+		case Repair:
+			if e.Detail == "all" {
+				// Whole-LC repair closes every open fault slice on the
+				// lane, in name order so output stays deterministic.
+				var names []string
+				for k := range open {
+					if k.lane == lane && len(k.name) > 6 && k.name[:6] == "fault " {
+						names = append(names, k.name)
+					}
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					finish(lane, name, "fault", ts)
+				}
+			} else {
+				finish(lane, "fault "+e.Detail, "fault", ts)
+			}
+		case CoverageUp:
+			begin(lane, "coverage", "coverage", ts, map[string]any{"peer": e.Peer})
+		case CoverageDown:
+			finish(lane, "coverage", "coverage", ts)
+		case BusDown:
+			begin(busTid, "bus outage", "bus", ts, nil)
+		case BusUp:
+			finish(busTid, "bus outage", "bus", ts)
+		case Drop:
+			reason := e.Reason
+			if reason == "" {
+				reason = e.Detail
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+				Name: "drop", Cat: "drop", Ph: "i", Ts: ts, Pid: chromePid, Tid: lane,
+				S: "t", Args: map[string]any{"reason": reason}})
+		}
+	}
+
+	// Close any slices still open at the end of the recording.
+	stillOpen := make([]sliceKey, 0, len(open))
+	for k := range open {
+		stillOpen = append(stillOpen, k)
+	}
+	sort.Slice(stillOpen, func(i, j int) bool {
+		if stillOpen[i].lane != stillOpen[j].lane {
+			return stillOpen[i].lane < stillOpen[j].lane
+		}
+		return stillOpen[i].name < stillOpen[j].name
+	})
+	for _, k := range stillOpen {
+		finish(k.lane, k.name, "", end)
+	}
+
+	// Metadata: process and thread names, emitted lane order.
+	meta := []ChromeEvent{{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "dra-router"},
+	}}
+	laneIDs := make([]int, 0, len(lanes))
+	for id := range lanes {
+		laneIDs = append(laneIDs, id)
+	}
+	sort.Ints(laneIDs)
+	for _, id := range laneIDs {
+		meta = append(meta, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: id,
+			Args: map[string]any{"name": lanes[id]},
+		})
+	}
+	tr.TraceEvents = append(meta, tr.TraceEvents...)
+	return json.MarshalIndent(tr, "", "  ")
+}
+
+// ChromeExportRecorder exports the recorder's retained events. A nil
+// recorder exports an empty (but valid) trace.
+func ChromeExportRecorder(r *Recorder, tsScale float64) ([]byte, error) {
+	return ChromeExport(r.Events(), tsScale)
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents replays a small failover: two faults, coverage up, a
+// drop, a bus outage, and a whole-LC repair.
+func goldenEvents() []Event {
+	return []Event{
+		{At: 0, Seq: 0, Kind: Fault, LC: 0, Peer: -1, Detail: "SRU"},
+		{At: 0, Seq: 1, Kind: Fault, LC: 3, Peer: -1, Detail: "PDLU"},
+		{At: 0.5, Seq: 2, Kind: CoverageUp, LC: 0, Peer: 1},
+		{At: 1.0, Seq: 3, Kind: Drop, LC: -1, Peer: -1, Reason: "ingress fault uncovered"},
+		{At: 1.5, Seq: 4, Kind: BusDown, LC: -1, Peer: -1},
+		{At: 1.5, Seq: 5, Kind: CoverageDown, LC: 0, Peer: 1},
+		{At: 2.0, Seq: 6, Kind: BusUp, LC: -1, Peer: -1},
+		{At: 3.0, Seq: 7, Kind: Repair, LC: 0, Peer: -1, Detail: "all"},
+	}
+}
+
+func TestChromeExportGolden(t *testing.T) {
+	got, err := ChromeExport(goldenEvents(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "timeline.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("timeline differs from %s:\n--- got ---\n%s", path, got)
+	}
+}
+
+// TestChromeExportStructure checks every record carries the fields a
+// trace viewer requires, with a valid phase, non-negative microsecond
+// timestamps, and balanced B/E pairs per lane.
+func TestChromeExportStructure(t *testing.T) {
+	b, err := ChromeExport(goldenEvents(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.Unit)
+	}
+	valid := map[string]bool{"B": true, "E": true, "i": true, "M": true}
+	depth := map[int]int{} // per-tid open-slice depth
+	for _, e := range tr.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if !valid[ph] {
+			t.Fatalf("invalid ph %v in %v", e["ph"], e)
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("bad ts in %v", e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("missing pid in %v", e)
+		}
+		tid, ok := e["tid"].(float64)
+		if !ok {
+			t.Fatalf("missing tid in %v", e)
+		}
+		switch ph {
+		case "B":
+			depth[int(tid)]++
+		case "E":
+			depth[int(tid)]--
+			if depth[int(tid)] < 0 {
+				t.Fatalf("E without B on tid %d", int(tid))
+			}
+		case "i":
+			if e["s"] != "t" {
+				t.Fatalf("instant without thread scope: %v", e)
+			}
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("tid %d left %d slices open", tid, d)
+		}
+	}
+}
+
+func TestChromeExportNilRecorder(t *testing.T) {
+	var r *Recorder
+	b, err := ChromeExportRecorder(r, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr ChromeTrace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	// Only the process_name metadata record — but still a loadable file.
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("empty trace lost its metadata")
+	}
+}
+
+func TestChromeExportRejectsBadScale(t *testing.T) {
+	if _, err := ChromeExport(nil, 0); err == nil {
+		t.Fatal("expected error for tsScale 0")
+	}
+}

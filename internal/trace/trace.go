@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -54,9 +55,17 @@ type Event struct {
 	LC int
 	// Peer is the secondary LC (covering peer), -1 when absent.
 	Peer int
-	// Detail is a short human-readable tag (component name, drop
-	// reason).
+	// Detail is a short human-readable tag (component name, coverage
+	// context).
 	Detail string
+	// Reason is the drop cause for Kind == Drop ("no route",
+	// "fabric transfer failed", ...); empty otherwise.
+	Reason string
+	// Seq is the recorder-assigned sequence number, monotonically
+	// increasing across the recorder's lifetime (including evicted
+	// events). It breaks ties between simultaneous events, keeping
+	// Dump order stable.
+	Seq uint64
 }
 
 // String implements fmt.Stringer.
@@ -71,6 +80,9 @@ func (e Event) String() string {
 	if e.Detail != "" {
 		s += " " + e.Detail
 	}
+	if e.Reason != "" {
+		s += " reason=" + e.Reason
+	}
 	return s
 }
 
@@ -81,7 +93,9 @@ type Recorder struct {
 	buf     []Event
 	next    int
 	wrapped bool
+	seq     uint64
 	counts  [numKinds]uint64
+	clock   func() float64
 }
 
 // New returns a recorder holding the last capacity events.
@@ -92,12 +106,28 @@ func New(capacity int) *Recorder {
 	return &Recorder{buf: make([]Event, 0, capacity)}
 }
 
+// SetClock attaches a simulation-time source. Events recorded with a
+// zero At are stamped from the clock, so call sites cannot produce
+// zero-time events once the owning model wires its kernel in. Safe on a
+// nil receiver; nil detaches the clock.
+func (r *Recorder) SetClock(now func() float64) {
+	if r != nil {
+		r.clock = now
+	}
+}
+
 // Record appends an event; the oldest event is evicted when full. Safe on
-// a nil receiver.
+// a nil receiver. The event is stamped with the next sequence number,
+// and with the clock time when At is zero and a clock is attached.
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
 	}
+	if e.At == 0 && r.clock != nil {
+		e.At = r.clock()
+	}
+	e.Seq = r.seq
+	r.seq++
 	if int(e.Kind) < len(r.counts) {
 		r.counts[e.Kind]++
 	}
@@ -153,10 +183,19 @@ func (r *Recorder) Filter(keep func(Event) bool) []Event {
 	return out
 }
 
-// Dump renders the retained events one per line.
+// Dump renders the retained events one per line, ordered by timestamp
+// with recording order (Seq) breaking ties — a stable order even when
+// delayed callbacks record out of time order.
 func (r *Recorder) Dump() string {
+	evs := r.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
 	var b strings.Builder
-	for _, e := range r.Events() {
+	for _, e := range evs {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
 	}

@@ -76,6 +76,61 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
+func TestClockStampsZeroTimeEvents(t *testing.T) {
+	r := New(4)
+	now := 7.5
+	r.SetClock(func() float64 { return now })
+	r.Record(Event{Kind: Fault})
+	now = 9
+	r.Record(Event{Kind: Repair})
+	r.Record(Event{At: 2, Kind: Drop}) // explicit At wins over the clock
+	es := r.Events()
+	if es[0].At != 7.5 || es[1].At != 9 || es[2].At != 2 {
+		t.Fatalf("stamps = %v %v %v", es[0].At, es[1].At, es[2].At)
+	}
+	var nilR *Recorder
+	nilR.SetClock(func() float64 { return 1 }) // must not panic
+}
+
+func TestSeqIsMonotonic(t *testing.T) {
+	r := New(2) // small ring: eviction must not reuse sequence numbers
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: 1, Kind: Drop})
+	}
+	es := r.Events()
+	if es[0].Seq != 3 || es[1].Seq != 4 {
+		t.Fatalf("seqs = %d %d", es[0].Seq, es[1].Seq)
+	}
+}
+
+func TestDumpOrderIsStable(t *testing.T) {
+	// Events recorded out of time order (delayed callbacks do this):
+	// Dump must sort by At, with recording order breaking the tie.
+	r := New(8)
+	r.Record(Event{At: 5, Kind: Repair, LC: 1, Peer: -1})
+	r.Record(Event{At: 1, Kind: Fault, LC: 0, Peer: -1, Detail: "SRU"})
+	r.Record(Event{At: 1, Kind: Fault, LC: 2, Peer: -1, Detail: "PDLU"})
+	d := r.Dump()
+	lines := strings.Split(strings.TrimSpace(d), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump:\n%s", d)
+	}
+	if !strings.Contains(lines[0], "LC0") || !strings.Contains(lines[1], "LC2") || !strings.Contains(lines[2], "repair") {
+		t.Fatalf("order wrong:\n%s", d)
+	}
+	if d != r.Dump() {
+		t.Fatal("Dump not deterministic")
+	}
+}
+
+func TestDropReasonInDump(t *testing.T) {
+	r := New(4)
+	r.Record(Event{At: 1, Kind: Drop, LC: -1, Peer: -1, Reason: "fabric transfer failed"})
+	if !strings.Contains(r.Dump(), "reason=fabric transfer failed") {
+		t.Fatalf("dump:\n%s", r.Dump())
+	}
+}
+
 func TestNewPanicsOnZeroCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {
