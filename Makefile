@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test lint race race-all vet bench report examples clean
+.PHONY: all check build test lint race race-all vet bench fuzz-smoke report examples clean
 
 all: build test
 
@@ -22,9 +22,11 @@ lint:
 
 # Race-detect the packages that share state across goroutines: the
 # metrics registry (hammered by concurrent Monte-Carlo workers) and the
-# router/montecarlo pipeline that shares it.
+# router/montecarlo pipeline that shares it. Short mode: the point is
+# data-race coverage (the montecarlo race soak), not statistical power —
+# the long cross-validation runs stay in plain `make test`.
 race:
-	$(GO) test -race ./internal/metrics/... ./internal/router/... ./internal/montecarlo/...
+	$(GO) test -race -short ./internal/metrics/... ./internal/router/... ./internal/montecarlo/...
 
 race-all:
 	$(GO) test -race ./...
@@ -35,6 +37,13 @@ vet:
 # Regenerate every paper figure + ablations, with timings.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Bounded fuzzing of the wire-format decoders: enough to catch decode
+# panics and encoder/decoder asymmetries in CI without open-ended runs.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzUnmarshalControl -fuzztime $(FUZZTIME) ./internal/eib/
+	$(GO) test -fuzz=FuzzUnmarshalCell -fuzztime $(FUZZTIME) ./internal/packet/
 
 # Write the Figure 4/6/7/8 artifacts under ./artifacts/.
 report:

@@ -7,8 +7,14 @@
 //
 //	drasim -mode reliability -arch dra -n 6 -m 3 -horizon 40000 -reps 2000
 //	drasim -mode availability -arch dra -n 6 -m 3 -mu 0.3333 -horizon 2e6 -reps 50
+//	drasim -mode rareevent -arch dra -n 9 -m 4 -mu 0.3333 -reps 10000 -delta 0.3 -target-relerr 0.1
 //	drasim -mode packets -arch dra -n 6 -m 3 -fail 0:SRU -packets 1000
 //	drasim -mode scenario -config outage.json
+//
+// Rare-event mode estimates steady-state unavailability by regenerative
+// simulation with balanced failure biasing and relative-error stopping
+// (see docs/rare-event.md); -bench-out writes a JSON artifact with a
+// crude-MC comparison at the same budget.
 //
 // Observability: -metrics-addr serves /metrics (Prometheus text),
 // /metrics.json, /timeline.json (Chrome trace-event JSON for Perfetto),
@@ -60,6 +66,12 @@ func main() {
 		packets = flag.Int("packets", 1000, "packets mode: packets to push")
 		load    = flag.Float64("load", 0.15, "packets mode: offered load fraction")
 
+		delta        = flag.Float64("delta", 0.3, "rareevent mode: balanced failure-biasing δ in [0, 0.5); 0 = crude MC")
+		targetRelErr = flag.Float64("target-relerr", 0.1, "rareevent mode: stop at this relative 95% CI half-width; 0 = fixed budget")
+		batch        = flag.Int("batch", 0, "rareevent mode: replications per sequential batch (0 = default)")
+		cyclesPerRep = flag.Int("cycles-per-rep", 0, "rareevent mode: repair cycles per replication (0 = default)")
+		benchOut     = flag.String("bench-out", "", "rareevent mode: write a JSON benchmark artifact (adds a crude comparison run)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /timeline.json, expvar and pprof on this address (e.g. :9090 or :0)")
 		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus metrics dump to this file")
 		timelineOut = flag.String("timeline-out", "", "write the final Chrome trace-event timeline to this file")
@@ -74,7 +86,7 @@ func main() {
 	}
 	md := strings.ToLower(*mode)
 	switch md {
-	case "reliability", "availability", "packets", "scenario":
+	case "reliability", "availability", "rareevent", "packets", "scenario":
 	default:
 		usageError(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -106,6 +118,21 @@ func main() {
 	}
 	if md == "scenario" && *cfgPath == "" {
 		usageError(fmt.Errorf("scenario mode needs -config"))
+	}
+	if *delta < 0 || *delta >= 1 {
+		usageError(fmt.Errorf("-delta must be within [0, 1), got %g", *delta))
+	}
+	if *targetRelErr < 0 || *targetRelErr >= 1 {
+		usageError(fmt.Errorf("-target-relerr must be within [0, 1), got %g", *targetRelErr))
+	}
+	if *batch < 0 {
+		usageError(fmt.Errorf("-batch must not be negative, got %d", *batch))
+	}
+	if *cyclesPerRep < 0 {
+		usageError(fmt.Errorf("-cycles-per-rep must not be negative, got %d", *cyclesPerRep))
+	}
+	if md == "rareevent" && *mu <= 0 {
+		usageError(fmt.Errorf("rareevent mode needs -mu > 0 (cycles end at repair completions)"))
 	}
 
 	// Observability: one registry and recorder shared by whatever the
@@ -168,6 +195,14 @@ func main() {
 		lo, hi := res.CI()
 		fmt.Printf("%s N=%d M=%d μ=%g: A = %.8f  (95%% CI [%.8f, %.8f], %d reps of %g h)\n",
 			strings.ToUpper(*arch), *n, *m, *mu, res.Estimate(), lo, hi, *reps, *horizon)
+	case "rareevent":
+		runRareEvent(a, *n, *m, *mu, *reps, *seed, *workers, rareEventFlags{
+			delta:        *delta,
+			targetRelErr: *targetRelErr,
+			batch:        *batch,
+			cyclesPerRep: *cyclesPerRep,
+			benchOut:     *benchOut,
+		}, &ob)
 	case "packets":
 		runPackets(a, *n, *m, *fail, *packets, *load, *seed, &ob)
 	case "scenario":

@@ -46,7 +46,11 @@ func (p ControlPacket) Marshal() [WireSize]byte {
 }
 
 // UnmarshalControl decodes a control-line frame, verifying the frame
-// check sequence.
+// check sequence and that every field lies in its defined domain: the
+// checksum catches line noise, but a frame can sum correctly and still
+// carry an out-of-range enum or a non-finite rate, and letting those
+// escape the decoder turns every downstream switch and arithmetic step
+// into a validation site.
 func UnmarshalControl(b []byte) (ControlPacket, error) {
 	if len(b) != WireSize {
 		return ControlPacket{}, fmt.Errorf("eib: control frame is %d bytes, want %d", len(b), WireSize)
@@ -65,6 +69,22 @@ func UnmarshalControl(b []byte) (ControlPacket, error) {
 		LookupAddr:      binary.BigEndian.Uint32(b[20:]),
 		LookupResult:    int(int32(binary.BigEndian.Uint32(b[24:]))),
 		LPID:            int(int32(binary.BigEndian.Uint32(b[28:]))),
+	}
+	switch {
+	case p.Type >= numControlTypes:
+		return ControlPacket{}, fmt.Errorf("eib: undefined control type %d", uint8(p.Type))
+	case p.Direction > Reverse:
+		return ControlPacket{}, fmt.Errorf("eib: undefined direction %d", uint8(p.Direction))
+	case int(p.FaultyComponent) >= linecard.NumComponents:
+		return ControlPacket{}, fmt.Errorf("eib: undefined component %d", uint8(p.FaultyComponent))
+	case int(p.Proto) >= packet.NumProtocols:
+		return ControlPacket{}, fmt.Errorf("eib: undefined protocol %d", uint8(p.Proto))
+	case p.Init < 0:
+		return ControlPacket{}, fmt.Errorf("eib: negative initiator LC %d", p.Init)
+	case p.Rec < Broadcast:
+		return ControlPacket{}, fmt.Errorf("eib: receiver LC %d below broadcast sentinel", p.Rec)
+	case math.IsNaN(p.DataRate) || math.IsInf(p.DataRate, 0) || p.DataRate < 0:
+		return ControlPacket{}, fmt.Errorf("eib: data rate %g not a finite non-negative value", p.DataRate)
 	}
 	return p, nil
 }

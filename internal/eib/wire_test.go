@@ -1,6 +1,7 @@
 package eib
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -32,7 +33,20 @@ func TestWireRoundTrip(t *testing.T) {
 }
 
 func TestWireRoundTripProperty(t *testing.T) {
+	// Generators stay inside each field's defined domain: the decoder now
+	// enforces the domains, so out-of-range values are covered by
+	// TestWireRejectsInvalidFields instead.
 	f := func(typ, dir, comp, proto uint8, init, rec, result, lpid int32, rate float64, addr uint32) bool {
+		init &= 0x7fffffff // non-negative, incl. for math.MinInt32
+		if rate < 0 {
+			rate = -rate
+		}
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			rate = 1e9
+		}
+		if rec < Broadcast {
+			rec = Broadcast
+		}
 		p := ControlPacket{
 			Type:            ControlType(typ % 5),
 			Direction:       Direction(dir % 2),
@@ -47,15 +61,39 @@ func TestWireRoundTripProperty(t *testing.T) {
 		}
 		b := p.Marshal()
 		got, err := UnmarshalControl(b[:])
-		if err != nil {
-			return false
-		}
-		// NaN rates compare unequal through ==; compare bitwise via
-		// re-marshal instead.
-		return got.Marshal() == b
+		return err == nil && got == p && got.Marshal() == b
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWireRejectsInvalidFields: frames whose checksum is valid but whose
+// fields fall outside their defined domains must not decode — the
+// checksum guards against line noise, the field validation against a
+// confused or malicious sender.
+func TestWireRejectsInvalidFields(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*ControlPacket)
+	}{
+		{"control type", func(p *ControlPacket) { p.Type = 200 }},
+		{"direction", func(p *ControlPacket) { p.Direction = 7 }},
+		{"component", func(p *ControlPacket) { p.FaultyComponent = 99 }},
+		{"protocol", func(p *ControlPacket) { p.Proto = 50 }},
+		{"negative init", func(p *ControlPacket) { p.Init = -3 }},
+		{"rec below broadcast", func(p *ControlPacket) { p.Rec = -2 }},
+		{"NaN rate", func(p *ControlPacket) { p.DataRate = math.NaN() }},
+		{"infinite rate", func(p *ControlPacket) { p.DataRate = math.Inf(1) }},
+		{"negative rate", func(p *ControlPacket) { p.DataRate = -1 }},
+	}
+	for _, m := range mutations {
+		p := ControlPacket{Type: REQD, Init: 1, Rec: 2, DataRate: 2.4e9}
+		m.mut(&p)
+		b := p.Marshal() // recomputes the checksum, so only the field is bad
+		if _, err := UnmarshalControl(b[:]); err == nil {
+			t.Errorf("%s: invalid frame decoded", m.name)
+		}
 	}
 }
 

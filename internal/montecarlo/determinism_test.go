@@ -1,0 +1,139 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+)
+
+// The engine's contract is that Options.Seed fully determines every
+// estimate: replication streams are split off the master generator in
+// replication order and results are folded in replication order, so the
+// worker count is pure scheduling. These tests pin that contract
+// bit-for-bit across Workers ∈ {1, 4, 16} for every estimator — nothing
+// guarded it before, and a map-ordered iteration or a racy fold would
+// break it silently.
+
+var workerGrid = []int{1, 4, 16}
+
+func TestReliabilityBitIdenticalAcrossWorkers(t *testing.T) {
+	base := Options{
+		Arch: linecard.DRA, N: 6, M: 3,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 240, Seed: 17,
+	}
+	type snap struct {
+		est, ttfMean float64
+		ttfN         int
+	}
+	var first snap
+	for i, w := range workerGrid {
+		opt := base
+		opt.Workers = w
+		res, err := EstimateReliability(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := snap{res.Estimate(), res.TTF.Mean(), res.TTF.N()}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("Workers=%d diverged: %+v vs %+v", w, got, first)
+		}
+	}
+}
+
+func TestBiasedReliabilityBitIdenticalAcrossWorkers(t *testing.T) {
+	base := Options{
+		Arch: linecard.DRA, N: 6, M: 3,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 240, Seed: 23,
+		Biasing: router.Biasing{Enabled: true, Delta: 0.6},
+	}
+	type snap struct {
+		est, failMean, wMax, wMin float64
+	}
+	var first snap
+	for i, w := range workerGrid {
+		opt := base
+		opt.Workers = w
+		res, err := EstimateReliability(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := snap{res.Estimate(), res.Failure.Mean(), res.Weights.Max, res.Weights.Min}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("Workers=%d diverged: %+v vs %+v", w, got, first)
+		}
+	}
+}
+
+func TestAvailabilityBitIdenticalAcrossWorkers(t *testing.T) {
+	base := Options{
+		Arch: linecard.DRA, N: 4, M: 2,
+		Rates:   router.PaperRates(1.0 / 3),
+		Horizon: 200000, Reps: 32, Seed: 29,
+	}
+	var first float64
+	for i, w := range workerGrid {
+		opt := base
+		opt.Workers = w
+		res, err := EstimateAvailability(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res.Estimate()
+			continue
+		}
+		if res.Estimate() != first {
+			t.Fatalf("Workers=%d diverged: %v vs %v", w, res.Estimate(), first)
+		}
+	}
+}
+
+// TestUnavailabilityBitIdenticalAcrossWorkers also runs with sequential
+// stopping engaged, so the batch scheduler itself is covered: batch
+// boundaries depend only on folded results, never on scheduling.
+func TestUnavailabilityBitIdenticalAcrossWorkers(t *testing.T) {
+	base := Options{
+		Arch: linecard.DRA, N: 4, M: 2,
+		Rates: router.PaperRates(1.0 / 3),
+		Reps:  600, Seed: 31,
+		Biasing:      router.Biasing{Enabled: true, Delta: 0.3},
+		TargetRelErr: 0.5,
+		Batch:        100,
+		CyclesPerRep: 20,
+	}
+	type snap struct {
+		est, wMax, wMin float64
+		cycles, down    uint64
+		batches         int
+		stop            string
+	}
+	var first snap
+	for i, w := range workerGrid {
+		opt := base
+		opt.Workers = w
+		res, err := EstimateUnavailability(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := snap{res.Estimate(), res.Weights.Max, res.Weights.Min,
+			res.Cycles, res.DownCycles, res.Batches, res.StopReason}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("Workers=%d diverged:\n  %+v\nvs\n  %+v", w, got, first)
+		}
+	}
+}

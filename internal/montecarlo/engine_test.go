@@ -1,0 +1,155 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+)
+
+// TestBiasedReliabilityMatchesCrude checks the likelihood-ratio
+// reliability estimator end to end: on a parameterisation where crude
+// Monte Carlo has plenty of signal, the biased and crude estimates of
+// F(Horizon) must agree within their combined CIs.
+func TestBiasedReliabilityMatchesCrude(t *testing.T) {
+	base := Options{
+		Arch: linecard.DRA, N: 4, M: 2,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 2000, Seed: 41,
+		Workers: 4,
+	}
+	crude, err := EstimateReliability(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := base
+	biased.Seed = 42
+	// Without repair, δ > 0.5 inflates the post-first-failure rates
+	// (Λ' = odds(δ)·Λ_alive), accelerating the failure accumulation that
+	// takes a DRA service down.
+	biased.Biasing = router.Biasing{Enabled: true, Delta: 0.7}
+	bres, err := EstimateReliability(biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bres.Biased || bres.Weights.N() != base.Reps {
+		t.Fatalf("biased bookkeeping: Biased=%v weights=%d", bres.Biased, bres.Weights.N())
+	}
+	if bres.TTF.N() != 0 || len(bres.TTFSamples) != 0 {
+		t.Fatal("biased runs must not report TTF statistics (biased failure times)")
+	}
+	diff := math.Abs(crude.Estimate() - bres.Estimate())
+	// 99.9% band on the difference of independent estimates.
+	cse := crude.Failure.StdErr()
+	bse := bres.Failure.StdErr()
+	tol := 3.29 * math.Hypot(cse, bse)
+	if diff > tol {
+		t.Fatalf("crude R %.4f vs biased R %.4f: |Δ| = %.4g > %.4g",
+			crude.Estimate(), bres.Estimate(), diff, tol)
+	}
+}
+
+// TestSequentialStoppingReliability: with TargetRelErr set, the engine
+// must run batches only until the failure estimate's relative CI
+// half-width reaches the target, and report the stop faithfully.
+func TestSequentialStoppingReliability(t *testing.T) {
+	opt := Options{
+		Arch: linecard.BDR, N: 4, M: 4,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 100000, Seed: 7,
+		Workers:      4,
+		TargetRelErr: 0.05,
+		Batch:        500,
+	}
+	res, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopTarget {
+		t.Fatalf("stop = %q, want %q (rel err %g)", res.StopReason, StopTarget, res.Failure.RelHalfWidth(1.96))
+	}
+	if got := res.Failure.RelHalfWidth(1.96); got > 0.05 {
+		t.Fatalf("stopped at rel err %g > target", got)
+	}
+	n := res.Survival.Trials
+	if n >= opt.Reps {
+		t.Fatalf("sequential stopping ran the whole %d budget", n)
+	}
+	if n%500 != 0 || res.Batches != n/500 {
+		t.Fatalf("batch accounting: %d trials in %d batches", n, res.Batches)
+	}
+	// BDR closed form as a sanity anchor.
+	want := math.Exp(-2e-5 * 40000)
+	lo, hi := res.CI()
+	if want < lo-0.02 || want > hi+0.02 {
+		t.Fatalf("R = %.4f [%.4f, %.4f], closed form %.4f", res.Estimate(), lo, hi, want)
+	}
+}
+
+// TestSequentialStoppingBudgetCap: an unreachable target must exhaust the
+// Reps budget and say so.
+func TestSequentialStoppingBudgetCap(t *testing.T) {
+	opt := Options{
+		Arch: linecard.BDR, N: 4, M: 4,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 600, Seed: 7,
+		TargetRelErr: 0.001, // needs ~10^6 reps: not reachable in 600
+		Batch:        200,
+	}
+	res, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopBudget {
+		t.Fatalf("stop = %q, want %q", res.StopReason, StopBudget)
+	}
+	if res.Survival.Trials != 600 || res.Batches != 3 {
+		t.Fatalf("budget accounting: %d trials, %d batches", res.Survival.Trials, res.Batches)
+	}
+}
+
+// TestFixedRepsStopReason: without a target the scheduler runs exactly
+// Reps replications in one batch and reports the fixed stop.
+func TestFixedRepsStopReason(t *testing.T) {
+	opt := Options{
+		Arch: linecard.BDR, N: 4, M: 4,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 50, Seed: 7,
+	}
+	res, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopFixed || res.Batches != 1 || res.Survival.Trials != 50 {
+		t.Fatalf("fixed run: stop %q, %d batches, %d trials", res.StopReason, res.Batches, res.Survival.Trials)
+	}
+}
+
+// TestOptionsValidateNewKnobs covers the engine's new configuration
+// surface.
+func TestOptionsValidateNewKnobs(t *testing.T) {
+	base := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0), Horizon: 1000, Reps: 10}
+	bad := []func(*Options){
+		func(o *Options) { o.TargetRelErr = -0.1 },
+		func(o *Options) { o.TargetRelErr = 1 },
+		func(o *Options) { o.Batch = -5 },
+		func(o *Options) { o.CyclesPerRep = -1 },
+		func(o *Options) { o.Biasing = router.Biasing{Enabled: true, Delta: 2} },
+	}
+	for i, mod := range bad {
+		o := base
+		mod(&o)
+		if o.Validate() == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	ok := base
+	ok.TargetRelErr = 0.1
+	ok.Batch = 7
+	ok.CyclesPerRep = 3
+	ok.Biasing = router.Biasing{Enabled: true, Delta: 0.3}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

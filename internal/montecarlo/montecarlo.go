@@ -4,17 +4,47 @@
 // of the chains — it injects per-component exponential lifetimes into the
 // full router and watches the service predicate — so agreement between the
 // two is evidence that both encode the architecture the same way.
+//
+// Two estimation regimes coexist:
+//
+//   - Crude Monte Carlo (EstimateReliability, EstimateAvailability):
+//     replications under the true failure dynamics. Adequate wherever the
+//     event of interest is common enough to be observed.
+//   - Rare-event importance sampling (Options.Biasing, plus the
+//     regenerative EstimateUnavailability in rareevent.go): replications
+//     under balanced failure biasing, de-biased by the injector's
+//     likelihood ratio. This is how the 9^7–9^8 nines band of the paper's
+//     Fig. 7 becomes measurable — crude MC observes zero failures there
+//     at any feasible budget.
+//
+// Both regimes share one batch scheduler: replications are dispatched in
+// batches over the worker pool, each replication on its own xrand Jump
+// stream split sequentially from the master seed, and results are folded
+// in replication order — so every estimate is bit-identical for any
+// Workers value, and sequential stopping (Options.TargetRelErr) composes
+// with parallelism.
 package montecarlo
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/linecard"
 	"repro/internal/metrics"
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/xrand"
 )
+
+// DefaultBatch is the batch size used by sequential stopping when
+// Options.Batch is zero: large enough to amortise the stopping-rule check,
+// small enough to not overshoot the target badly.
+const DefaultBatch = 1024
+
+// DefaultCyclesPerRep is the number of regenerative cycles one
+// replication's router is reused for in EstimateUnavailability.
+const DefaultCyclesPerRep = 100
 
 // Options configures an estimation run.
 type Options struct {
@@ -24,26 +54,52 @@ type Options struct {
 	// Rates are the component failure rates (and repair rate for
 	// availability runs).
 	Rates router.FaultRates
-	// Horizon is the simulated time per replication (hours).
+	// Horizon is the simulated time per replication (hours). Ignored by
+	// the regenerative EstimateUnavailability, whose replication unit is
+	// the repair cycle.
 	Horizon float64
-	// Reps is the number of independent replications.
+	// Reps is the number of independent replications. With TargetRelErr
+	// set it becomes the replication budget cap instead of a fixed count.
 	Reps int
-	// Seed makes the whole estimate reproducible; replication r uses
-	// Seed + r.
+	// Seed makes the whole estimate reproducible: a master generator is
+	// seeded with it and every replication receives its own
+	// non-overlapping stream via sequential Jump splits, in replication
+	// order.
 	Seed uint64
 	// Workers fans replications out over goroutines (each replication
 	// owns a private router, so they share nothing). 0 or 1 runs
-	// sequentially. Results are aggregated in replication order, so the
-	// estimate is bit-identical regardless of worker count.
+	// sequentially. Streams are split and results aggregated in
+	// replication order, so the estimate is bit-identical regardless of
+	// worker count.
 	Workers int
 	// TargetLC selects the linecard under analysis (the paper's LCUA);
 	// default 0.
 	TargetLC int
+	// Biasing enables balanced failure biasing in every replication's
+	// fault injector (see router.Biasing). Estimates are de-biased by the
+	// accumulated likelihood ratios and stay unbiased; variance collapses
+	// for rare failure events. EstimateAvailability rejects it — use
+	// EstimateUnavailability, whose regenerative cycles keep the weights
+	// bounded.
+	Biasing router.Biasing
+	// TargetRelErr, when positive, switches to sequential stopping: the
+	// engine runs batches of replications until the 95% relative CI
+	// half-width of the rare quantity (the failure probability, or the
+	// unavailability) drops to this target, or the Reps budget runs out.
+	TargetRelErr float64
+	// Batch is the sequential-stopping batch size; 0 selects DefaultBatch.
+	Batch int
+	// CyclesPerRep is how many regenerative cycles EstimateUnavailability
+	// simulates per replication (router construction is amortised across
+	// them); 0 selects DefaultCyclesPerRep.
+	CyclesPerRep int
 	// Metrics, when non-nil, receives live progress: every replication's
 	// router and kernel are instrumented against it (counters are
 	// atomic, so concurrent workers share it safely), and the estimators
-	// publish montecarlo_trials_total and montecarlo_ci_halfwidth for
-	// convergence watching over /metrics.
+	// publish montecarlo_trials_total, montecarlo_batches_total,
+	// montecarlo_ci_halfwidth, montecarlo_relative_error, the
+	// montecarlo_logweight_max/min extremes and montecarlo_stops_total
+	// for convergence watching over /metrics.
 	Metrics *metrics.Registry
 }
 
@@ -61,31 +117,221 @@ func (o Options) Validate() error {
 	if o.TargetLC < 0 || o.TargetLC >= o.N {
 		return fmt.Errorf("montecarlo: target LC %d outside [0, N)", o.TargetLC)
 	}
+	if o.TargetRelErr < 0 || o.TargetRelErr >= 1 {
+		return fmt.Errorf("montecarlo: target relative error %g outside [0, 1)", o.TargetRelErr)
+	}
+	if o.Batch < 0 {
+		return fmt.Errorf("montecarlo: negative batch size")
+	}
+	if o.CyclesPerRep < 0 {
+		return fmt.Errorf("montecarlo: negative cycles per replication")
+	}
+	if err := o.Biasing.Validate(); err != nil {
+		return err
+	}
 	return o.Rates.Validate()
+}
+
+// batchSize resolves the sequential-stopping increment.
+func (o Options) batchSize() int {
+	b := o.Batch
+	if b == 0 {
+		b = DefaultBatch
+	}
+	if b > o.Reps {
+		b = o.Reps
+	}
+	return b
+}
+
+// Stop reasons reported by the batch scheduler.
+const (
+	// StopTarget: the relative CI half-width reached TargetRelErr.
+	StopTarget = "target"
+	// StopBudget: the Reps budget ran out before the target was reached.
+	StopBudget = "budget"
+	// StopFixed: no TargetRelErr was set; the fixed Reps count ran.
+	StopFixed = "fixed"
+)
+
+// splitN carves n sequential non-overlapping streams off the master
+// generator. Allocation order is replication order — the cornerstone of
+// worker-count independence.
+func splitN(master *xrand.Source, n int) []*xrand.Source {
+	out := make([]*xrand.Source, n)
+	for i := range out {
+		out[i] = master.Split()
+	}
+	return out
+}
+
+// runBatch executes one replication function per pre-split stream,
+// optionally across workers, returning per-replication outcomes in
+// replication order. rep numbering starts at base.
+func runBatch[T any](opt Options, base uint64, streams []*xrand.Source,
+	one func(Options, uint64, *xrand.Source) (T, error)) ([]T, error) {
+	trials := opt.Metrics.Counter("montecarlo_trials_total", "Completed Monte-Carlo replications.")
+	n := len(streams)
+	out := make([]T, n)
+	workers := opt.Workers
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := one(opt, base+uint64(i), streams[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+			trials.Inc()
+		}
+		return out, nil
+	}
+	type result struct {
+		i   int
+		v   T
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				v, err := one(opt, base+uint64(i), streams[i])
+				trials.Inc()
+				results <- result{i, v, err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	var firstErr error
+	for k := 0; k < n; k++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		out[r.i] = r.v
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// drive is the sequential-stopping batch scheduler shared by every
+// estimator: it splits streams, runs batches through runBatch, folds each
+// batch in replication order via fold, and keeps going until relErr()
+// reaches the target or the Reps budget is exhausted. It returns the
+// number of batches run and the stop reason.
+func drive[T any](opt Options,
+	one func(Options, uint64, *xrand.Source) (T, error),
+	fold func(T),
+	relErr func() float64) (batches int, stopReason string, err error) {
+
+	master := xrand.New(opt.Seed)
+	batchesCtr := opt.Metrics.Counter("montecarlo_batches_total", "Batches dispatched by the sequential-stopping scheduler.")
+	relGauge := opt.Metrics.Gauge("montecarlo_relative_error", "Relative 95% CI half-width of the rare-quantity estimate.")
+	stops := opt.Metrics.CounterVec("montecarlo_stops_total", "Estimation runs finished, by stop reason.", "reason")
+
+	batch := opt.Reps
+	if opt.TargetRelErr > 0 {
+		batch = opt.batchSize()
+	}
+	stopReason = StopFixed
+	for done := 0; done < opt.Reps; {
+		n := batch
+		if rest := opt.Reps - done; n > rest {
+			n = rest
+		}
+		streams := splitN(master, n)
+		outs, err := runBatch(opt, uint64(done), streams, one)
+		if err != nil {
+			return batches, "", err
+		}
+		for _, v := range outs {
+			fold(v)
+		}
+		done += n
+		batches++
+		batchesCtr.Inc()
+		re := relErr()
+		relGauge.Set(re)
+		if opt.TargetRelErr > 0 {
+			if re <= opt.TargetRelErr {
+				stopReason = StopTarget
+				break
+			}
+			stopReason = StopBudget
+		}
+	}
+	stops.With(stopReason).Inc()
+	return batches, stopReason, nil
 }
 
 // ReliabilityResult is the outcome of EstimateReliability.
 type ReliabilityResult struct {
 	Horizon float64
-	// Survival estimates R(Horizon) for LC 0: the fraction of
-	// replications in which its packet service never failed.
+	// Biased records whether the run used failure biasing; it selects
+	// which accumulator backs Estimate and CI.
+	Biased bool
+	// Survival estimates R(Horizon) for the target LC: the fraction of
+	// replications in which its packet service never failed. Meaningful
+	// only for unbiased runs (under biasing the raw fraction estimates
+	// the *biased* dynamics).
 	Survival stats.Proportion
+	// Failure accumulates the per-replication unbiased failure estimate
+	// W·1{failed by Horizon} (W ≡ 1 without biasing). Its mean estimates
+	// F(Horizon) = 1 − R(Horizon) under both regimes and drives the
+	// sequential stopping rule.
+	Failure stats.Welford
+	// Weights tallies the likelihood ratios of a biased run (weight
+	// extremes, effective sample size). Empty for unbiased runs.
+	Weights stats.LogWeights
 	// TTF accumulates observed times to first service failure (only for
-	// replications that failed within the horizon).
+	// replications that failed within the horizon, only unbiased runs —
+	// biased failure times follow the biased dynamics).
 	TTF stats.Welford
 	// TTFSamples holds the raw failure times, in replication order, for
-	// histograms and quantiles.
+	// histograms and quantiles. Unbiased runs only.
 	TTFSamples []float64
+	// Batches and StopReason report the scheduler outcome.
+	Batches    int
+	StopReason string
 }
 
 // Estimate returns the reliability point estimate.
-func (r ReliabilityResult) Estimate() float64 { return r.Survival.Estimate() }
+func (r ReliabilityResult) Estimate() float64 {
+	if r.Biased {
+		return 1 - r.Failure.Mean()
+	}
+	return r.Survival.Estimate()
+}
 
-// CI returns the Wilson 95% interval.
-func (r ReliabilityResult) CI() (lo, hi float64) { return r.Survival.Wilson(1.96) }
+// CI returns the 95% interval for the reliability: Wilson for crude runs,
+// the normal interval of the weighted failure estimator for biased ones.
+func (r ReliabilityResult) CI() (lo, hi float64) {
+	if r.Biased {
+		flo, fhi := r.Failure.CI(1.96)
+		return 1 - fhi, 1 - flo
+	}
+	return r.Survival.Wilson(1.96)
+}
 
-// EstimateReliability runs Reps replications without repair and reports
-// the fraction in which LC 0's service survived the horizon.
+// relOut is one reliability replication's outcome.
+type relOut struct {
+	failedAt float64 // -1 when the service survived the horizon
+	logW     float64 // accumulated log likelihood ratio (0 unbiased)
+}
+
+// EstimateReliability runs replications without repair and reports the
+// fraction in which the target LC's service survived the horizon. With
+// Options.Biasing the failure probability is estimated by the unbiased
+// likelihood-ratio estimator instead of the raw fraction; with
+// Options.TargetRelErr replications run in batches until the failure
+// estimate's relative CI half-width reaches the target.
 func EstimateReliability(opt Options) (ReliabilityResult, error) {
 	if err := opt.Validate(); err != nil {
 		return ReliabilityResult{}, err
@@ -93,22 +339,38 @@ func EstimateReliability(opt Options) (ReliabilityResult, error) {
 	if opt.Rates.Repair != 0 {
 		return ReliabilityResult{}, fmt.Errorf("montecarlo: reliability runs must not repair")
 	}
-	res := ReliabilityResult{Horizon: opt.Horizon}
-	outcomes, err := runReps(opt, reliabilityRep)
+	res := ReliabilityResult{Horizon: opt.Horizon, Biased: opt.Biasing.Enabled}
+	fold := func(o relOut) {
+		failed := o.failedAt >= 0 && o.failedAt <= opt.Horizon
+		if res.Biased {
+			w := 0.0
+			if failed {
+				w = math.Exp(o.logW)
+			}
+			res.Failure.Add(w)
+			res.Weights.Add(o.logW)
+			return
+		}
+		res.Survival.Add(!failed)
+		if failed {
+			res.Failure.Add(1)
+			res.TTF.Add(o.failedAt)
+			res.TTFSamples = append(res.TTFSamples, o.failedAt)
+		} else {
+			res.Failure.Add(0)
+		}
+	}
+	batches, reason, err := drive(opt, reliabilityRep, fold,
+		func() float64 { return res.Failure.RelHalfWidth(1.96) })
 	if err != nil {
 		return res, err
 	}
-	for _, failedAt := range outcomes {
-		if failedAt >= 0 && failedAt <= opt.Horizon {
-			res.Survival.Add(false)
-			res.TTF.Add(failedAt)
-			res.TTFSamples = append(res.TTFSamples, failedAt)
-		} else {
-			res.Survival.Add(true)
-		}
-	}
+	res.Batches, res.StopReason = batches, reason
 	lo, hi := res.CI()
 	publishCI(opt, lo, hi)
+	if res.Biased {
+		publishWeights(opt, &res.Weights)
+	}
 	return res, nil
 }
 
@@ -119,12 +381,24 @@ func publishCI(opt Options, lo, hi float64) {
 		Set((hi - lo) / 2)
 }
 
+// publishWeights records the likelihood-ratio extremes of a biased run —
+// the first thing to look at when an importance-sampling estimate
+// misbehaves (a runaway max weight means the biasing is mis-tuned).
+func publishWeights(opt Options, w *stats.LogWeights) {
+	if w.N() == 0 {
+		return
+	}
+	opt.Metrics.Gauge("montecarlo_logweight_max", "Largest log likelihood ratio observed.").Set(w.Max)
+	opt.Metrics.Gauge("montecarlo_logweight_min", "Smallest log likelihood ratio observed.").Set(w.Min)
+}
+
 // reliabilityRep runs one replication and returns the time of the first
-// service failure of LC 0, or -1 if it survived the horizon.
-func reliabilityRep(opt Options, rep uint64) (float64, error) {
-	r, inj, err := build(opt, rep)
+// service failure of the target LC (or -1) plus the trajectory's log
+// likelihood ratio up to that stopping time.
+func reliabilityRep(opt Options, rep uint64, src *xrand.Source) (relOut, error) {
+	r, inj, err := build(opt, src)
 	if err != nil {
-		return 0, err
+		return relOut{}, err
 	}
 	inj.Start()
 	k := r.Kernel()
@@ -133,71 +407,21 @@ func reliabilityRep(opt Options, rep uint64) (float64, error) {
 			break
 		}
 		if !r.CanDeliver(opt.TargetLC) {
-			return float64(k.Now()), nil
+			return relOut{failedAt: float64(k.Now()), logW: inj.CheckpointLR()}, nil
 		}
 	}
-	return -1, nil
-}
-
-// runReps executes one function per replication, optionally across
-// workers, returning per-replication outcomes in replication order.
-func runReps(opt Options, one func(Options, uint64) (float64, error)) ([]float64, error) {
-	trials := opt.Metrics.Counter("montecarlo_trials_total", "Completed Monte-Carlo replications.")
-	out := make([]float64, opt.Reps)
-	workers := opt.Workers
-	if workers <= 1 {
-		for rep := 0; rep < opt.Reps; rep++ {
-			v, err := one(opt, uint64(rep))
-			if err != nil {
-				return nil, err
-			}
-			out[rep] = v
-			trials.Inc()
-		}
-		return out, nil
-	}
-	type result struct {
-		rep int
-		v   float64
-		err error
-	}
-	jobs := make(chan int)
-	results := make(chan result)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for rep := range jobs {
-				v, err := one(opt, uint64(rep))
-				trials.Inc()
-				results <- result{rep, v, err}
-			}
-		}()
-	}
-	go func() {
-		for rep := 0; rep < opt.Reps; rep++ {
-			jobs <- rep
-		}
-		close(jobs)
-	}()
-	var firstErr error
-	for i := 0; i < opt.Reps; i++ {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-		out[r.rep] = r.v
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return relOut{failedAt: -1, logW: inj.CheckpointLR()}, nil
 }
 
 // AvailabilityResult is the outcome of EstimateAvailability.
 type AvailabilityResult struct {
 	Horizon float64
 	// PerRep accumulates the per-replication time-averaged availability
-	// of LC 0's service.
+	// of the target LC's service.
 	PerRep stats.Welford
+	// Batches and StopReason report the scheduler outcome.
+	Batches    int
+	StopReason string
 }
 
 // Estimate returns the availability point estimate.
@@ -206,9 +430,15 @@ func (a AvailabilityResult) Estimate() float64 { return a.PerRep.Mean() }
 // CI returns the normal 95% interval over replications.
 func (a AvailabilityResult) CI() (lo, hi float64) { return a.PerRep.CI(1.96) }
 
-// EstimateAvailability runs Reps replications with repair and reports the
-// time-averaged fraction of each horizon during which LC 0 delivered
-// service.
+// EstimateAvailability runs replications with repair and reports the
+// time-averaged fraction of each horizon during which the target LC
+// delivered service.
+//
+// It rejects Options.Biasing: a whole-horizon likelihood ratio spans many
+// repair cycles, so its variance grows exponentially with the horizon and
+// the weighted estimate degenerates. The regenerative
+// EstimateUnavailability applies the weight per repair cycle — where it
+// stays bounded — and is the correct tool for rare-event availability.
 func EstimateAvailability(opt Options) (AvailabilityResult, error) {
 	if err := opt.Validate(); err != nil {
 		return AvailabilityResult{}, err
@@ -216,23 +446,26 @@ func EstimateAvailability(opt Options) (AvailabilityResult, error) {
 	if opt.Rates.Repair <= 0 {
 		return AvailabilityResult{}, fmt.Errorf("montecarlo: availability runs need repair")
 	}
+	if opt.Biasing.Enabled {
+		return AvailabilityResult{}, fmt.Errorf("montecarlo: whole-horizon availability cannot be importance-sampled (weight variance explodes across repair cycles); use EstimateUnavailability")
+	}
 	res := AvailabilityResult{Horizon: opt.Horizon}
-	outcomes, err := runReps(opt, availabilityRep)
+	batches, reason, err := drive(opt, availabilityRep,
+		func(a float64) { res.PerRep.Add(a) },
+		func() float64 { return res.PerRep.RelHalfWidth(1.96) })
 	if err != nil {
 		return res, err
 	}
-	for _, a := range outcomes {
-		res.PerRep.Add(a)
-	}
+	res.Batches, res.StopReason = batches, reason
 	lo, hi := res.CI()
 	publishCI(opt, lo, hi)
 	return res, nil
 }
 
 // availabilityRep runs one replication and returns the time-averaged
-// availability of LC 0's service.
-func availabilityRep(opt Options, rep uint64) (float64, error) {
-	r, inj, err := build(opt, rep)
+// availability of the target LC's service.
+func availabilityRep(opt Options, rep uint64, src *xrand.Source) (float64, error) {
+	r, inj, err := build(opt, src)
 	if err != nil {
 		return 0, err
 	}
@@ -250,10 +483,11 @@ func availabilityRep(opt Options, rep uint64) (float64, error) {
 	return tracker.Availability(), nil
 }
 
-// build constructs the router and injector for one replication.
-func build(opt Options, rep uint64) (*router.Router, *router.Injector, error) {
+// build constructs the router and injector for one replication on its own
+// pre-split random stream.
+func build(opt Options, src *xrand.Source) (*router.Router, *router.Injector, error) {
 	cfg := router.UniformConfig(opt.Arch, opt.N, opt.M)
-	cfg.Seed = opt.Seed*1_000_003 + rep
+	cfg.Source = src
 	r, err := router.New(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -262,6 +496,17 @@ func build(opt Options, rep uint64) (*router.Router, *router.Injector, error) {
 	r.SetMetrics(opt.Metrics)
 	inj, err := router.NewInjector(r, opt.Rates)
 	if err != nil {
+		return nil, nil, err
+	}
+	b := opt.Biasing
+	if b.Enabled {
+		// Switch the biasing off once the target LC's service is down:
+		// the rare set has been hit, and continuing to inflate rates
+		// while waiting for the repair only adds exposure variance to the
+		// very cycles that carry the estimate (see router.Biasing).
+		b.StopWhen = func() bool { return !r.CanDeliver(opt.TargetLC) }
+	}
+	if err := inj.SetBiasing(b); err != nil {
 		return nil, nil, err
 	}
 	return r, inj, nil

@@ -1,0 +1,162 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/models"
+	"repro/internal/router"
+)
+
+// TestRareEventUnavailabilityMatchesGTH is experiment E5b: the
+// importance-sampled regenerative estimate of DRA(9,4) steady-state
+// unavailability at μ = 1/3 must agree with the analytical chain's GTH
+// steady state — deep inside the 9^7–9^8 band where crude Monte Carlo
+// observes nothing. The run stops at a 10% relative CI half-width within
+// a 10^6-cycle budget; agreement is asserted at the 99.9% band (3.29σ)
+// to keep the suite quiet.
+func TestRareEventUnavailabilityMatchesGTH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rare-event E5b cross-validation is a long test")
+	}
+	p := models.PaperParams(9, 4)
+	p.Mu = 1.0 / 3
+	m, err := models.DRAAvailability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := 1 - m.Availability()
+
+	opt := Options{
+		Arch:         linecard.DRA,
+		N:            9,
+		M:            4,
+		Rates:        router.PaperRates(1.0 / 3),
+		Reps:         10_000, // × CyclesPerRep = 10^6-cycle budget cap
+		Seed:         5,
+		Workers:      4,
+		Biasing:      router.Biasing{Enabled: true, Delta: 0.3},
+		TargetRelErr: 0.10,
+		CyclesPerRep: 100,
+	}
+	res, err := EstimateUnavailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("analytic U = %.4g, estimate = %.4g (rel err %.3f, %d cycles, %d down, ESS %.0f, stop %q)",
+		analytic, res.Estimate(), res.RelHalfWidth(), res.Cycles, res.DownCycles, res.Weights.ESS(), res.StopReason)
+	if res.StopReason != StopTarget {
+		t.Fatalf("did not reach the 10%% target within budget: stop = %q, rel err = %g", res.StopReason, res.RelHalfWidth())
+	}
+	if res.Cycles > 1_000_000 {
+		t.Fatalf("budget exceeded: %d cycles", res.Cycles)
+	}
+	est := res.Estimate()
+	// 99.9% agreement band: scale the 95% half-width by 3.29/1.96.
+	band := res.RelHalfWidth() * 3.29 / 1.96 * est
+	if math.Abs(est-analytic) > band {
+		t.Fatalf("estimate %.4g vs GTH %.4g: outside ±%.4g", est, analytic, band)
+	}
+	if res.DownCycles == 0 {
+		t.Fatal("biased run must observe down cycles")
+	}
+}
+
+// TestCrudeRegenerativeObservesNothing pins the motivation for the whole
+// engine: at the same per-cycle budget, crude regenerative simulation of
+// the DRA(9,4) μ=1/3 system observes zero down cycles, so its estimate
+// degenerates to 0 with an uninformative CI.
+func TestCrudeRegenerativeObservesNothing(t *testing.T) {
+	opt := Options{
+		Arch:         linecard.DRA,
+		N:            9,
+		M:            4,
+		Rates:        router.PaperRates(1.0 / 3),
+		Reps:         200, // × 100 = 2·10^4 cycles: P(any down cycle) ≈ 10^-3
+		Seed:         5,
+		Workers:      4,
+		CyclesPerRep: 100,
+	}
+	res, err := EstimateUnavailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownCycles != 0 {
+		// Not impossible (p ≈ 6·10^-5 per cycle is the multi-failure
+		// probability bound) but at this seed it does not happen.
+		t.Fatalf("crude run observed %d down cycles", res.DownCycles)
+	}
+	if res.Estimate() != 0 {
+		t.Fatalf("estimate = %g, want degenerate 0", res.Estimate())
+	}
+	if !math.IsInf(res.RelHalfWidth(), 1) {
+		t.Fatal("degenerate estimate must report +Inf relative error")
+	}
+	// Crude weights are exactly 1.
+	if res.Weights.Max != 0 || res.Weights.Min != 0 {
+		t.Fatalf("crude log-weights [%g, %g], want [0, 0]", res.Weights.Min, res.Weights.Max)
+	}
+}
+
+// TestUnavailabilityBiasedMatchesCrudeWhereBothWork checks unbiasedness
+// end to end on a failure-prone parameterisation where crude regenerative
+// simulation has plenty of signal: the biased and crude estimates must
+// agree within their combined CIs.
+func TestUnavailabilityBiasedMatchesCrudeWhereBothWork(t *testing.T) {
+	base := Options{
+		Arch:         linecard.DRA,
+		N:            4,
+		M:            2,
+		Rates:        router.FaultRates{PDLU: 2e-3, SRU: 2e-3, LFE: 2e-3, BC: 1e-3, Bus: 1e-3, Repair: 0.05},
+		Reps:         300,
+		Seed:         11,
+		Workers:      4,
+		CyclesPerRep: 50,
+	}
+	crude, err := EstimateUnavailability(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased := base
+	biased.Seed = 12
+	biased.Biasing = router.Biasing{Enabled: true, Delta: 0.5}
+	bres, err := EstimateUnavailability(biased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crude.DownCycles == 0 || bres.DownCycles == 0 {
+		t.Fatalf("parameterisation not failure-prone enough: crude %d, biased %d down cycles", crude.DownCycles, bres.DownCycles)
+	}
+	diff := math.Abs(crude.Estimate() - bres.Estimate())
+	// 99.9% band on the difference of independent estimates.
+	tol := 3.29 * math.Hypot(crude.Ratio.StdErr(), bres.Ratio.StdErr())
+	if diff > tol {
+		t.Fatalf("crude %.4g vs biased %.4g: |Δ| = %.3g > %.3g", crude.Estimate(), bres.Estimate(), diff, tol)
+	}
+}
+
+// TestUnavailabilityRejectsNoRepair: regenerative cycles end at repair
+// completions, so a zero repair rate is a configuration error.
+func TestUnavailabilityRejectsNoRepair(t *testing.T) {
+	opt := Options{Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0), Reps: 10}
+	if _, err := EstimateUnavailability(opt); err == nil {
+		t.Fatal("no-repair run accepted")
+	}
+}
+
+// TestAvailabilityRejectsBiasing: the whole-horizon availability
+// estimator must refuse importance sampling (its weights degenerate
+// across repair cycles) and point at the regenerative estimator.
+func TestAvailabilityRejectsBiasing(t *testing.T) {
+	opt := Options{
+		Arch: linecard.DRA, N: 4, M: 2,
+		Rates:   router.PaperRates(1.0 / 3),
+		Horizon: 1000, Reps: 10,
+		Biasing: router.Biasing{Enabled: true},
+	}
+	_, err := EstimateAvailability(opt)
+	if err == nil {
+		t.Fatal("biased availability run accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package montecarlo
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+)
+
+// TestTuningSweep is a development harness, not a regression test: set
+// MC_TUNE=1 to print the relative error reached by 2·10^5 cycles for a
+// grid of biasing parameters.
+func TestTuningSweep(t *testing.T) {
+	if os.Getenv("MC_TUNE") == "" {
+		t.Skip("set MC_TUNE=1 to run the tuning sweep")
+	}
+	for _, delta := range []float64{0.3, 0.35, 0.4, 0.45} {
+		opt := Options{
+			Arch:         linecard.DRA,
+			N:            9,
+			M:            4,
+			Rates:        router.PaperRates(1.0 / 3),
+			Reps:         2_000,
+			Seed:         5,
+			Workers:      8,
+			Biasing:      router.Biasing{Enabled: true, Delta: delta},
+			CyclesPerRep: 100,
+		}
+		res, err := EstimateUnavailability(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("delta=%.2f: est=%.4g relerr=%.3f down=%d ess=%.0f logW=[%.1f, %.1f]",
+			delta, res.Estimate(), res.RelHalfWidth(), res.DownCycles, res.Weights.ESS(), res.Weights.Min, res.Weights.Max)
+	}
+}

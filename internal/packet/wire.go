@@ -39,6 +39,9 @@ func MarshalCell(c Cell, frame []byte) error {
 	if c.Bytes < 0 || c.Bytes > CellPayload {
 		return fmt.Errorf("packet: cell carries %d bytes, max %d", c.Bytes, CellPayload)
 	}
+	if c.Last != (c.Seq == c.Total-1) {
+		return fmt.Errorf("packet: last flag %v inconsistent with seq %d of %d", c.Last, c.Seq, c.Total)
+	}
 	binary.BigEndian.PutUint64(frame[0:], c.PacketID)
 	binary.BigEndian.PutUint16(frame[8:], uint16(c.SrcLC))
 	binary.BigEndian.PutUint16(frame[10:], uint16(c.DstLC))
@@ -75,6 +78,11 @@ func UnmarshalCell(frame []byte) (Cell, error) {
 	}
 	if c.Seq >= c.Total {
 		return Cell{}, fmt.Errorf("packet: cell seq %d outside total %d", c.Seq, c.Total)
+	}
+	// The last flag is redundant with the sequence position; a frame where
+	// they disagree was not produced by MarshalCell and must not decode.
+	if c.Last != (c.Seq == c.Total-1) {
+		return Cell{}, fmt.Errorf("packet: last flag %v inconsistent with seq %d of %d", c.Last, c.Seq, c.Total)
 	}
 	return c, nil
 }

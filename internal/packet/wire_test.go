@@ -23,7 +23,7 @@ func TestCellWireRoundTrip(t *testing.T) {
 }
 
 func TestCellWireRoundTripProperty(t *testing.T) {
-	f := func(id uint64, src, dst, seqRaw, totRaw uint16, bytesRaw uint8, last bool) bool {
+	f := func(id uint64, src, dst, seqRaw, totRaw uint16, bytesRaw uint8) bool {
 		total := int(totRaw%1000) + 1
 		seq := int(seqRaw) % total
 		c := Cell{
@@ -32,7 +32,7 @@ func TestCellWireRoundTripProperty(t *testing.T) {
 			DstLC:    int(dst),
 			Seq:      seq,
 			Total:    total,
-			Last:     last,
+			Last:     seq == total-1,
 			Bytes:    int(bytesRaw) % (CellPayload + 1),
 		}
 		frame := make([]byte, CellFrameSize)
@@ -55,6 +55,8 @@ func TestCellWireValidation(t *testing.T) {
 		{Total: 0},
 		{Total: 1, Bytes: CellPayload + 1},
 		{Total: 1, Seq: -1},
+		{Total: 1, Seq: 0, Last: false}, // final position without the flag
+		{Total: 3, Seq: 0, Last: true},  // flag on a non-final cell
 	}
 	for i, c := range bad {
 		if err := MarshalCell(c, frame); err == nil {
@@ -75,6 +77,15 @@ func TestCellWireValidation(t *testing.T) {
 	frame[12], frame[13] = 0, 9 // seq = 9 > total = 2
 	if _, err := UnmarshalCell(frame); err == nil {
 		t.Fatal("seq past total accepted")
+	}
+	// A last flag that disagrees with the sequence position is rejected:
+	// such a frame cannot come from MarshalCell, only from corruption.
+	if err := MarshalCell(good, frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[16] = 0 // clear the last flag on the final cell
+	if _, err := UnmarshalCell(frame); err == nil {
+		t.Fatal("final cell without last flag accepted")
 	}
 }
 

@@ -53,10 +53,82 @@ func (f FaultRates) Validate() error {
 	return nil
 }
 
+// DefaultBiasDelta is the balanced-failure-biasing δ used when Biasing
+// leaves Delta zero: the probability that the next busy-period event is a
+// further component failure rather than the repair completion. It stays
+// below 0.5 so the inflated total rate Λ' = μ·δ/(1−δ) stays below μ,
+// which keeps the exposure weight e^{Λ'·B} of a busy period square-
+// integrable (at δ = 0.5 the estimator is still unbiased but its variance
+// is infinite).
+const DefaultBiasDelta = 0.3
+
+// Biasing configures balanced failure biasing, the standard rare-event
+// importance-sampling scheme for dependability models: while a repair is
+// pending (the "busy period" that starts at the first component failure),
+// component lifetimes are drawn from inflated exponential rates so that
+// the multi-failure paths leading to service loss stop being rare, and the
+// injector accumulates the log likelihood ratio that de-biases any
+// estimate computed from the trajectory.
+//
+// The biased dynamics are balanced: the total biased failure rate Λ' is
+// split equally over the components still alive, so low-rate components
+// (the EIB lines, the bus controllers) are sampled as often as high-rate
+// ones — exactly the components the DRA failure paths need. Λ' is chosen
+// from Delta as the rate that makes the next busy-period event a failure
+// with probability Delta when racing the repair (Λ' = μ·Delta/(1−Delta));
+// without repair the same odds are applied to the surviving components'
+// aggregate true rate.
+type Biasing struct {
+	// Enabled turns the scheme on. The zero value (off) leaves the
+	// injector's sampling byte-for-byte identical to the unbiased one.
+	Enabled bool
+	// Delta is the target probability that the next busy-period event is
+	// a failure; it must lie in (0, 1). Zero selects DefaultBiasDelta.
+	// Values below 0.5 keep Λ' < μ and the weight variance finite.
+	Delta float64
+	// StopWhen, when non-nil, is consulted after every injected failure:
+	// once it reports true, the remaining lifetimes of the current busy
+	// period return to their true rates. This is the standard "switch off
+	// the importance sampling after hitting the rare set" refinement —
+	// without it, the exposure term e^{Λ'·t} keeps growing precisely on
+	// the down cycles that carry all of the estimate's mass, giving W·D a
+	// heavy tail that dominates the estimator variance. The predicate
+	// must depend only on the current trajectory (e.g. "the target LC is
+	// down"), which keeps the measure change adapted and the estimate
+	// unbiased.
+	StopWhen func() bool
+}
+
+// Validate rejects out-of-range parameters.
+func (b Biasing) Validate() error {
+	if !b.Enabled {
+		return nil
+	}
+	if b.Delta < 0 || b.Delta >= 1 || math.IsNaN(b.Delta) {
+		return fmt.Errorf("router: biasing delta %g outside [0, 1)", b.Delta)
+	}
+	return nil
+}
+
+// delta returns the effective δ.
+func (b Biasing) delta() float64 {
+	if b.Delta == 0 {
+		return DefaultBiasDelta
+	}
+	return b.Delta
+}
+
 // Injector drives component lifetimes and the repair process on a router.
 // Each component of each LC (plus the EIB lines) gets an exponential
 // time-to-failure; a failed component stays failed until a repair event
 // restores the whole router.
+//
+// With biasing enabled the injector additionally maintains the path's log
+// likelihood ratio log(dP/dQ): for every lifetime segment simulated at
+// rate λ' while the true rate is λ, an exposure term (λ'−λ)·Δt accrues,
+// plus log(λ/λ') when the lifetime actually fires. Segments simulated at
+// the true rate contribute exactly zero, so the unbiased phases cost
+// nothing and CheckpointLR can be called at any boundary.
 type Injector struct {
 	r     *Router
 	rates FaultRates
@@ -66,6 +138,25 @@ type Injector struct {
 	Repairs uint64
 
 	repairPending bool
+
+	bias   Biasing
+	busy   bool // in a busy period (≥1 failure since last repair)
+	damped bool // StopWhen fired: biasing off for the rest of the period
+	logLR  float64
+	// pending is the insertion-ordered registry of armed lifetimes. The
+	// order is fixed by Start and preserved across retargets so that the
+	// RNG draw sequence — and therefore every estimate — is reproducible.
+	pending []*lifetime
+}
+
+// lifetime is one armed component (or EIB-lines) time-to-failure.
+type lifetime struct {
+	lc       int                // -1 for the EIB passive lines
+	comp     linecard.Component // valid when lc >= 0
+	trueRate float64
+	simRate  float64
+	armedAt  sim.Time
+	ev       *sim.Event
 }
 
 // NewInjector validates the rates and attaches an injector to the router.
@@ -74,6 +165,32 @@ func NewInjector(r *Router, rates FaultRates) (*Injector, error) {
 		return nil, err
 	}
 	return &Injector{r: r, rates: rates}, nil
+}
+
+// SetBiasing configures balanced failure biasing. Call before Start.
+func (inj *Injector) SetBiasing(b Biasing) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	inj.bias = b
+	return nil
+}
+
+// LogLR returns the accumulated log likelihood ratio of the trajectory so
+// far, excluding the still-open exposure segments (see CheckpointLR). It
+// is exactly 0 when biasing is off.
+func (inj *Injector) LogLR() float64 { return inj.logLR }
+
+// CheckpointLR closes every open lifetime segment at the current kernel
+// time and returns the accumulated log likelihood ratio. It is safe to
+// call at any observation boundary (a cycle end, the horizon); accounting
+// continues correctly afterwards because each segment restarts at the
+// checkpoint time.
+func (inj *Injector) CheckpointLR() float64 {
+	for _, lt := range inj.pending {
+		inj.closeSegment(lt, false)
+	}
+	return inj.logLR
 }
 
 // Start schedules the initial lifetime of every component. Call once,
@@ -99,41 +216,136 @@ func (inj *Injector) Start() {
 	}
 }
 
-// arm schedules the next failure of one component. Rearming happens after
-// each repair, so a component has exactly one pending lifetime at a time.
+// arm registers and schedules the next failure of one component. Rearming
+// happens after each repair, so a component has exactly one pending
+// lifetime at a time.
 func (inj *Injector) arm(lc int, c linecard.Component, rate float64) {
 	if rate <= 0 {
 		return
 	}
-	r := inj.r
-	r.k.After(simTime(r, rate), func() {
-		if r.lcs[lc].Failed(c) {
-			// Already failed (lifetime raced with an earlier failure);
-			// the repair path rearms it.
-			return
-		}
-		r.FailComponent(lc, c)
-		inj.Faults++
-		inj.scheduleRepair()
-		// The component stays failed until repair; its next lifetime is
-		// armed by the repair handler.
-	})
+	lt := &lifetime{lc: lc, comp: c, trueRate: rate, simRate: rate, armedAt: inj.r.k.Now()}
+	inj.pending = append(inj.pending, lt)
+	inj.schedule(lt)
 }
 
-// armBus schedules the next EIB-lines failure.
+// armBus registers and schedules the next EIB-lines failure.
 func (inj *Injector) armBus() {
 	if inj.rates.Bus <= 0 {
 		return
 	}
+	lt := &lifetime{lc: -1, trueRate: inj.rates.Bus, simRate: inj.rates.Bus, armedAt: inj.r.k.Now()}
+	inj.pending = append(inj.pending, lt)
+	inj.schedule(lt)
+}
+
+// schedule draws the lifetime's delay at its current simulated rate.
+func (inj *Injector) schedule(lt *lifetime) {
 	r := inj.r
-	r.k.After(simTime(r, inj.rates.Bus), func() {
+	lt.ev = r.k.After(sim.Time(r.rng.Exp(lt.simRate)), func() { inj.fire(lt) })
+}
+
+// fire handles a lifetime expiring: likelihood accounting, the component
+// (or bus) failure, the repair countdown, and the busy-period rebias.
+func (inj *Injector) fire(lt *lifetime) {
+	r := inj.r
+	inj.closeSegment(lt, true)
+	inj.remove(lt)
+	if lt.lc < 0 {
 		if r.bus.Failed() {
+			// Already failed through an external injection; the repair
+			// path rearms it.
 			return
 		}
 		r.FailBus()
-		inj.Faults++
-		inj.scheduleRepair()
-	})
+	} else {
+		if r.lcs[lt.lc].Failed(lt.comp) {
+			// Already failed (raced with an external fault injection);
+			// the repair path rearms it.
+			return
+		}
+		r.FailComponent(lt.lc, lt.comp)
+	}
+	inj.Faults++
+	inj.scheduleRepair()
+	if inj.bias.Enabled && !inj.damped {
+		// Every failure opens or reshapes the busy period: the alive set
+		// shrank, so the balanced per-component rate changes — unless the
+		// rare set has been reached, in which case biasing switches off
+		// for the rest of the period.
+		inj.busy = true
+		if inj.bias.StopWhen != nil && inj.bias.StopWhen() {
+			inj.damped = true
+			inj.retarget(0)
+		} else {
+			inj.rebias()
+		}
+	}
+}
+
+// closeSegment folds the likelihood contribution of the segment since the
+// lifetime was last (re)armed and restarts the segment at now. A lifetime
+// simulated at its true rate contributes exactly zero.
+func (inj *Injector) closeSegment(lt *lifetime, fired bool) {
+	now := inj.r.k.Now()
+	if lt.simRate != lt.trueRate {
+		if dt := float64(now - lt.armedAt); dt > 0 {
+			inj.logLR += (lt.simRate - lt.trueRate) * dt
+		}
+		if fired {
+			inj.logLR += math.Log(lt.trueRate) - math.Log(lt.simRate)
+		}
+	}
+	lt.armedAt = now
+}
+
+// remove deletes a lifetime from the registry, preserving order.
+func (inj *Injector) remove(lt *lifetime) {
+	for i, p := range inj.pending {
+		if p == lt {
+			inj.pending = append(inj.pending[:i], inj.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// rebias retargets every pending lifetime to the balanced busy-period
+// rate: the total biased failure rate Λ' = odds(δ)·μ (or odds(δ)·Λ_alive
+// without repair) split equally over the alive components.
+func (inj *Injector) rebias() {
+	n := len(inj.pending)
+	if n == 0 {
+		return
+	}
+	odds := inj.bias.delta() / (1 - inj.bias.delta())
+	var total float64
+	if inj.rates.Repair > 0 {
+		total = odds * inj.rates.Repair
+	} else {
+		alive := 0.0
+		for _, lt := range inj.pending {
+			alive += lt.trueRate
+		}
+		total = odds * alive
+	}
+	inj.retarget(total / float64(n))
+}
+
+// retarget closes every open segment and redraws each pending lifetime at
+// the given simulated rate (0 restores each lifetime's true rate). The
+// memorylessness of the exponential makes the redraw statistically
+// transparent; the segment accounting makes it measure-theoretically so.
+func (inj *Injector) retarget(per float64) {
+	r := inj.r
+	for _, lt := range inj.pending {
+		inj.closeSegment(lt, false)
+		r.k.Cancel(lt.ev)
+		if per > 0 {
+			lt.simRate = per
+		} else {
+			lt.simRate = lt.trueRate
+		}
+		inj.schedule(lt)
+	}
 }
 
 // scheduleRepair starts one repair countdown if none is pending and repair
@@ -149,6 +361,16 @@ func (inj *Injector) scheduleRepair() {
 	r.k.After(simTime(r, inj.rates.Repair), func() {
 		inj.repairPending = false
 		inj.Repairs++
+		if inj.bias.Enabled && inj.busy {
+			// The busy period ends here: close the biased segments of the
+			// surviving components and return them to their true rates
+			// (already true if StopWhen damped the period).
+			inj.busy = false
+			if !inj.damped {
+				inj.retarget(0)
+			}
+			inj.damped = false
+		}
 		// Restore the EIB first so coverage re-forms for LC repairs.
 		if r.bus != nil && r.bus.Failed() {
 			r.RepairBus()

@@ -54,6 +54,10 @@ type Config struct {
 	// Seed drives all stochastic behaviour (CSMA/CD backoff, fault
 	// injection).
 	Seed uint64
+	// Source, when non-nil, supplies the router's RNG directly and Seed is
+	// ignored. The Monte-Carlo engine uses this to hand each replication a
+	// Jump-spaced stream from one master sequence.
+	Source *xrand.Source
 }
 
 // UniformConfig is a convenience constructor for the paper's standard
@@ -214,10 +218,14 @@ func New(cfg Config) (*Router, error) {
 		cfg.Bus.MaxBackoffExp = def.MaxBackoffExp
 	}
 
+	rng := cfg.Source
+	if rng == nil {
+		rng = xrand.New(cfg.Seed)
+	}
 	r := &Router{
 		cfg:     cfg,
 		k:       sim.NewKernel(),
-		rng:     xrand.New(cfg.Seed),
+		rng:     rng,
 		rp:      forwarding.NewRouteProcessor(),
 		cover:   make([]*binding, n),
 		offered: make([]float64, n),

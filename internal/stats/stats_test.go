@@ -197,3 +197,50 @@ func TestQuantilePanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestWilsonDegenerateZeroFailures pins the k=0 behaviour that motivates
+// the rare-event engine: with zero observed failures the Wilson interval
+// collapses to [0, z²/(n+z²)] — informative about the *bound* but silent
+// about the estimate, which is why crude Monte Carlo cannot resolve the
+// 9^7–9^8 band at any feasible number of replications.
+func TestWilsonDegenerateZeroFailures(t *testing.T) {
+	var p Proportion
+	for i := 0; i < 1000; i++ {
+		p.Add(false) // k = 0 successes
+	}
+	lo, hi := p.Wilson(1.96)
+	if lo != 0 {
+		t.Fatalf("k=0 lower bound = %g, want 0", lo)
+	}
+	z2 := 1.96 * 1.96
+	want := z2 / (1000 + z2)
+	if math.Abs(hi-want) > 1e-12 {
+		t.Fatalf("k=0 upper bound = %g, want %g", hi, want)
+	}
+	if p.Estimate() != 0 {
+		t.Fatal("k=0 estimate must be 0")
+	}
+	// And the fully empty case stays the vacuous [0, 1].
+	var empty Proportion
+	if lo, hi := empty.Wilson(1.96); lo != 0 || hi != 1 {
+		t.Fatalf("n=0 Wilson = [%g, %g], want [0, 1]", lo, hi)
+	}
+}
+
+// TestWelfordCITiny: with fewer than two observations the variance is
+// defined as 0, so the CI must collapse onto the mean rather than go NaN.
+func TestWelfordCITiny(t *testing.T) {
+	var w Welford
+	lo, hi := w.CI(1.96)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("n=0 CI = [%g, %g], want [0, 0]", lo, hi)
+	}
+	w.Add(42)
+	lo, hi = w.CI(1.96)
+	if lo != 42 || hi != 42 {
+		t.Fatalf("n=1 CI = [%g, %g], want [42, 42]", lo, hi)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatal("CI must never be NaN")
+	}
+}
