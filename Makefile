@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test lint race race-all vet bench fuzz-smoke report examples clean
+.PHONY: all check build test lint race race-all vet bench bench-smoke cover fuzz-smoke report examples clean
 
 all: build test
 
@@ -37,6 +37,25 @@ vet:
 # Regenerate every paper figure + ablations, with timings.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Coverage gate for the solver core: every package on the numeric hot
+# path (markov, sweep, linalg) must stay at or above COVER_MIN percent
+# statement coverage.
+COVER_MIN ?= 80
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
+		pct=$$(echo "$$line" | grep -o '[0-9.]*%' | head -1 | tr -d '%'); \
+		if [ -z "$$pct" ]; then echo "coverage gate: no coverage for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p=$$pct -v min=$(COVER_MIN) 'BEGIN { print (p+0 >= min+0) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "coverage gate: $$pkg at $$pct% < $(COVER_MIN)%"; exit 1; fi; \
+	done
+
+# One-iteration benchmark smoke: regenerates BENCH_solver.json and
+# catches benchmark-path regressions without full -bench timings.
+bench-smoke:
+	$(GO) test -short -run xxx -bench BenchmarkSolverComparison -benchtime 1x .
 
 # Bounded fuzzing of the wire-format decoders: enough to catch decode
 # panics and encoder/decoder asymmetries in CI without open-ended runs.

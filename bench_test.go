@@ -7,9 +7,14 @@ package dra
 // EXPERIMENTS.md. Run with -v or read bench_output.txt for the artifacts.
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"math"
+	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/eib"
 	"repro/internal/fabric"
@@ -179,14 +184,18 @@ func BenchmarkSimulatedDegradation(b *testing.B) {
 func BenchmarkAblationBusCapacity(b *testing.B) {
 	caps := []float64{2.5e9, 5e9, 10e9, 20e9}
 	for i := 0; i < b.N; i++ {
-		var out string
-		for _, bc := range caps {
-			fig := ComputeFigure8With(6, bc)
-			if i == 0 {
-				out += fmt.Sprintf("  B_BUS=%4.1f Gbps: L=15%% curve = %v\n", bc/1e9, roundAll(fig.Frac[0]))
-			}
+		figs, err := SweepMap(context.Background(), caps, SweepOptions{Name: "a1_buscap"},
+			func(_ context.Context, bc float64) (Figure8, error) {
+				return ComputeFigure8With(6, bc), nil
+			})
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
+			var out string
+			for j, bc := range caps {
+				out += fmt.Sprintf("  B_BUS=%4.1f Gbps: L=15%% curve = %v\n", bc/1e9, roundAll(figs[j].Frac[0]))
+			}
 			printFirst(b, "ablation-bus", "A1 B_BUS ablation (fraction of demand, X=1..5):\n"+out)
 		}
 	}
@@ -198,22 +207,27 @@ func BenchmarkAblationBusCapacity(b *testing.B) {
 func BenchmarkAblationLambdaSplit(b *testing.B) {
 	fractions := []float64{0.1, 0.3, 0.5, 0.7, 0.9} // λ_LPD / λ_LC
 	for i := 0; i < b.N; i++ {
-		var out string
-		for _, f := range fractions {
-			p := models.PaperParams(9, 4)
-			p.LambdaLPD = f * 2e-5
-			p.LambdaLPI = (1 - f) * 2e-5
-			p.LambdaPD = p.LambdaLPD + p.LambdaBC
-			p.LambdaPI = p.LambdaLPI + p.LambdaBC
-			m, err := models.DRAReliability(p)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if i == 0 {
-				out += fmt.Sprintf("  λ_LPD/λ_LC=%.1f: R(40000)=%.5f\n", f, m.ReliabilityAt(40000))
-			}
+		rs, err := SweepMap(context.Background(), fractions, SweepOptions{Name: "a2_split"},
+			func(_ context.Context, f float64) (float64, error) {
+				p := models.PaperParams(9, 4)
+				p.LambdaLPD = f * 2e-5
+				p.LambdaLPI = (1 - f) * 2e-5
+				p.LambdaPD = p.LambdaLPD + p.LambdaBC
+				p.LambdaPI = p.LambdaLPI + p.LambdaBC
+				m, err := models.DRAReliability(p)
+				if err != nil {
+					return 0, err
+				}
+				return m.ReliabilityAt(40000), nil
+			})
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
+			var out string
+			for j, f := range fractions {
+				out += fmt.Sprintf("  λ_LPD/λ_LC=%.1f: R(40000)=%.5f\n", f, rs[j])
+			}
 			printFirst(b, "ablation-split", "A2 λ split ablation, DRA(9,4), λ_LC fixed at 2e-5:\n"+out)
 		}
 	}
@@ -314,22 +328,31 @@ func BenchmarkAblationSparingCost(b *testing.B) {
 // response time varies from 1 hour to 3 days.
 func BenchmarkAblationRepairRate(b *testing.B) {
 	hours := []float64{1, 3, 12, 24, 72}
+	type a10 struct{ dra, bdr float64 }
 	for i := 0; i < b.N; i++ {
-		var out string
-		for _, h := range hours {
-			p := models.PaperParams(6, 3)
-			p.Mu = 1 / h
-			m, err := models.DRAAvailability(p)
-			if err != nil {
-				b.Fatal(err)
-			}
-			bdr, _ := models.BDRAvailability(p)
-			if i == 0 {
-				out += fmt.Sprintf("  repair %3.0f h: DRA %s | BDR %s\n",
-					h, FormatNines(m.Availability()), FormatNines(bdr.Availability()))
-			}
+		rows, err := SweepMap(context.Background(), hours, SweepOptions{Name: "a10_repair"},
+			func(_ context.Context, h float64) (a10, error) {
+				p := models.PaperParams(6, 3)
+				p.Mu = 1 / h
+				m, err := models.DRAAvailability(p)
+				if err != nil {
+					return a10{}, err
+				}
+				bdr, err := models.BDRAvailability(p)
+				if err != nil {
+					return a10{}, err
+				}
+				return a10{dra: m.Availability(), bdr: bdr.Availability()}, nil
+			})
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
+			var out string
+			for j, h := range hours {
+				out += fmt.Sprintf("  repair %3.0f h: DRA %s | BDR %s\n",
+					h, FormatNines(rows[j].dra), FormatNines(rows[j].bdr))
+			}
 			printFirst(b, "ablation-mu", "A10 repair-time sweep, DRA(6,3) vs BDR:\n"+out)
 		}
 	}
@@ -339,15 +362,21 @@ func BenchmarkAblationRepairRate(b *testing.B) {
 // the paper's remark that "a larger N results in higher values for
 // B_faulty as long as the number of failed LCs is small".
 func BenchmarkAblationDegradationN(b *testing.B) {
+	ns := []int{4, 6, 9, 12}
 	for i := 0; i < b.N; i++ {
-		var out string
-		for _, n := range []int{4, 6, 9, 12} {
-			p := perf.Params{N: n, CLC: 10e9, Load: 0.5, BusCapacity: 10e9}
-			if i == 0 {
-				out += fmt.Sprintf("  N=%-2d: X=1..%d -> %v\n", n, n-1, roundAll(p.Curve()))
-			}
+		curves, err := SweepMap(context.Background(), ns, SweepOptions{Name: "a9_degradation"},
+			func(_ context.Context, n int) ([]float64, error) {
+				p := perf.Params{N: n, CLC: 10e9, Load: 0.5, BusCapacity: 10e9}
+				return p.Curve(), nil
+			})
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
+			var out string
+			for j, n := range ns {
+				out += fmt.Sprintf("  N=%-2d: X=1..%d -> %v\n", n, n-1, roundAll(curves[j]))
+			}
 			printFirst(b, "ablation-n", "A9 degradation vs N at L=50% (fraction of demand):\n"+out)
 		}
 	}
@@ -368,17 +397,22 @@ func BenchmarkAblationRepairDistribution(b *testing.B) {
 		if i == 0 {
 			out += fmt.Sprintf("  exponential repair: A=%.12f (%s)\n", exp.Availability(), FormatNines(exp.Availability()))
 		}
-		for _, k := range []int{2, 4, 8} {
-			erl, err := models.DRAAvailabilityErlangRepair(p, k)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if i == 0 {
-				a := erl.AvailabilityErlang()
-				out += fmt.Sprintf("  Erlang-%d repair:    A=%.12f (%s)\n", k, a, FormatNines(a))
-			}
+		ks := []int{2, 4, 8}
+		as, err := SweepMap(context.Background(), ks, SweepOptions{Name: "a8_erlang"},
+			func(_ context.Context, k int) (float64, error) {
+				erl, err := models.DRAAvailabilityErlangRepair(p, k)
+				if err != nil {
+					return 0, err
+				}
+				return erl.AvailabilityErlang(), nil
+			})
+		if err != nil {
+			b.Fatal(err)
 		}
 		if i == 0 {
+			for j, k := range ks {
+				out += fmt.Sprintf("  Erlang-%d repair:    A=%.12f (%s)\n", k, as[j], FormatNines(as[j]))
+			}
 			printFirst(b, "ablation-repair", "A8 repair-distribution ablation, DRA(9,4), μ=1/3:\n"+out)
 		}
 	}
@@ -499,6 +533,117 @@ func BenchmarkSolverComparison(b *testing.B) {
 			_ = surv
 		}
 	})
+
+	// Seed-vs-rewrite comparison on the full Figure 6 grid: the seed
+	// serial-dense path (per-point dense uniformization rebuilds,
+	// from-zero solves) against the sweep-routed cached CSR solver with
+	// checkpointed series, over the same prebuilt chains. The measured
+	// ratio is written to BENCH_solver.json at the repo root.
+	times := Figure6Times()
+	gridModels := fig6GridModels(b)
+	serialDense := func() {
+		for _, m := range gridModels {
+			_ = m.ReliabilitySeriesSerialDense(times)
+		}
+	}
+	sweepSparse := func() {
+		if _, err := SweepMap(context.Background(), gridModels, SweepOptions{Name: "fig6_bench"},
+			func(_ context.Context, m *models.Model) ([]float64, error) {
+				return m.ReliabilitySeries(times), nil
+			}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("fig6-serial-dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			serialDense()
+		}
+	})
+	b.Run("fig6-sweep-sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweepSparse()
+		}
+	})
+	emitBenchSolverJSON(b, serialDense, sweepSparse)
+}
+
+// fig6GridModels builds the 13 reliability models of the Figure 6 grid.
+func fig6GridModels(b *testing.B) []*models.Model {
+	var ms []*models.Model
+	add := func(m *models.Model, err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	add(models.BDRReliability(models.PaperParams(3, 2)))
+	for n := 3; n <= 9; n++ {
+		add(models.DRAReliability(models.PaperParams(n, 2)))
+	}
+	for mm := 4; mm <= 8; mm++ {
+		add(models.DRAReliability(models.PaperParams(9, mm)))
+	}
+	return ms
+}
+
+// emitBenchSolverJSON measures the seed baseline against the rewrite
+// (min-of-3 wall time on the Figure 6 grid, allocations per series on
+// DRA(9,4)) and records the result in BENCH_solver.json.
+func emitBenchSolverJSON(b *testing.B, serial, fast func()) {
+	if _, loaded := printOnce.LoadOrStore("bench-solver-json", true); loaded {
+		return
+	}
+	minOf3 := func(f func()) float64 {
+		best := math.MaxFloat64
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	// Warm both paths once so min-of-3 measures the steady regime the
+	// caching is designed for (the dense path has no caches to warm).
+	serial()
+	fast()
+	serialSec := minOf3(serial)
+	fastSec := minOf3(fast)
+
+	times := Figure6Times()
+	md, err := models.DRAReliability(models.PaperParams(9, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	denseAllocs := testing.AllocsPerRun(1, func() { _ = md.ReliabilitySeriesSerialDense(times) })
+	sparseAllocs := testing.AllocsPerRun(1, func() { _ = md.ReliabilitySeries(times) })
+
+	payload := map[string]any{
+		"benchmark": "BenchmarkSolverComparison (go test -bench SolverComparison)",
+		"workload":  "Figure 6 grid: 13 models x 21 time points",
+		"serial_dense": map[string]any{
+			"description":       "seed solver: dense uniformization rebuild + independent from-zero solve per point",
+			"wall_seconds":      serialSec,
+			"allocs_per_series": denseAllocs,
+		},
+		"parallel_sparse": map[string]any{
+			"description":       "rewrite: cached CSR-native uniformization, checkpointed series, sweep-routed",
+			"wall_seconds":      fastSec,
+			"allocs_per_series": sparseAllocs,
+		},
+		"speedup":          serialSec / fastSec,
+		"allocs_reduction": denseAllocs / sparseAllocs,
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_solver.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("BENCH_solver.json: speedup %.1fx (%.4fs -> %.4fs), allocs/series %.0f -> %.0f (%.0fx)",
+		serialSec/fastSec, serialSec, fastSec, denseAllocs, sparseAllocs, denseAllocs/sparseAllocs)
 }
 
 // BenchmarkPacketPath measures the per-packet cost of the executable

@@ -7,6 +7,10 @@
 //	dramodel -analysis reliability -arch dra -n 9 -m 4 -grid 0:100000:5000
 //	dramodel -analysis availability -arch bdr -mu 0.3333
 //	dramodel -analysis mttf -arch dra -n 6 -m 3
+//	dramodel -analysis reliability -sweep -nrange 3:9 -mrange 2:8 -workers 4
+//
+// -sweep fans the analysis out over an N×M grid on the worker-pool
+// sweep engine; cells with M > N are skipped.
 //
 // -metrics-addr serves /metrics (computed results as gauges), expvar
 // and pprof while the solver runs; -metrics-out writes the final dump
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +30,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 var reg *metrics.Registry // nil unless -metrics-addr / -metrics-out given
@@ -45,6 +51,11 @@ func main() {
 		t        = flag.Float64("t", 40000, "evaluation time in hours (reliability)")
 		grid     = flag.String("grid", "", "time grid start:end:step (reliability series)")
 		mu       = flag.Float64("mu", 1.0/3, "repair rate μ per hour (availability)")
+
+		sweepMode = flag.Bool("sweep", false, "sweep the analysis over an N×M grid (-nrange/-mrange/-workers)")
+		nRange    = flag.String("nrange", "", "N range lo:hi for -sweep (default -n alone)")
+		mRange    = flag.String("mrange", "", "M range lo:hi for -sweep (default -m alone)")
+		workers   = flag.Int("workers", 0, "sweep worker-pool size; 0 = NumCPU")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, expvar and pprof on this address (e.g. :9090 or :0)")
 		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus metrics dump to this file")
@@ -74,6 +85,12 @@ func main() {
 	if *mu <= 0 {
 		usageError(fmt.Errorf("-mu must be positive, got %g", *mu))
 	}
+	if *workers < 0 {
+		usageError(fmt.Errorf("-workers must not be negative, got %d", *workers))
+	}
+	if (*nRange != "" || *mRange != "") && !*sweepMode {
+		usageError(fmt.Errorf("-nrange/-mrange require -sweep"))
+	}
 
 	if *metricsAddr != "" || *metricsOut != "" {
 		reg = metrics.NewRegistry()
@@ -94,21 +111,15 @@ func main() {
 		}()
 	}
 
+	if *sweepMode {
+		runSweep(a, strings.ToLower(*analysis), *nRange, *mRange, *n, *m, *t, *mu, *workers)
+		return
+	}
+
 	p := models.PaperParams(*n, *m)
 
 	build := func(withRepair bool) *models.Model {
-		var md *models.Model
-		var err error
-		switch {
-		case a == linecard.BDR && withRepair:
-			md, err = models.BDRAvailability(p)
-		case a == linecard.BDR:
-			md, err = models.BDRReliability(p)
-		case withRepair:
-			md, err = models.DRAAvailability(p)
-		default:
-			md, err = models.DRAReliability(p)
-		}
+		md, err := buildModel(a, p, withRepair)
 		if err != nil {
 			fatal(err)
 		}
@@ -183,6 +194,136 @@ func main() {
 	default:
 		usageError(fmt.Errorf("unknown analysis %q", *analysis))
 	}
+}
+
+func buildModel(a linecard.Arch, p models.Params, withRepair bool) (*models.Model, error) {
+	switch {
+	case a == linecard.BDR && withRepair:
+		return models.BDRAvailability(p)
+	case a == linecard.BDR:
+		return models.BDRReliability(p)
+	case withRepair:
+		return models.DRAAvailability(p)
+	default:
+		return models.DRAReliability(p)
+	}
+}
+
+// runSweep fans one analysis out over an N×M grid on the sweep engine
+// and prints the results as a table (cells in deterministic grid order
+// whatever the worker count).
+func runSweep(a linecard.Arch, analysis, nRange, mRange string, n, m int, t, mu float64, workers int) {
+	ns, err := parseRange(nRange, n)
+	if err != nil {
+		usageError(err)
+	}
+	ms, err := parseRange(mRange, m)
+	if err != nil {
+		usageError(err)
+	}
+	type cell struct{ N, M int }
+	var cells []cell
+	for _, nn := range ns {
+		for _, mm := range ms {
+			if nn >= 2 && mm >= 1 && mm <= nn {
+				cells = append(cells, cell{nn, mm})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		usageError(fmt.Errorf("sweep grid %q × %q has no valid (N, M) cells", nRange, mRange))
+	}
+
+	var header string
+	eval := func(p models.Params) (float64, error) {
+		switch analysis {
+		case "reliability":
+			md, err := buildModel(a, p, false)
+			if err != nil {
+				return 0, err
+			}
+			return md.ReliabilityAt(t), nil
+		case "availability":
+			p.Mu = mu
+			md, err := buildModel(a, p, true)
+			if err != nil {
+				return 0, err
+			}
+			return md.Availability(), nil
+		case "mttf":
+			md, err := buildModel(a, p, false)
+			if err != nil {
+				return 0, err
+			}
+			return md.MTTF()
+		default:
+			return 0, fmt.Errorf("analysis %q does not support -sweep", analysis)
+		}
+	}
+	switch analysis {
+	case "reliability":
+		header = fmt.Sprintf("R(%g)", t)
+	case "availability":
+		header = "A"
+	case "mttf":
+		header = "MTTF (h)"
+	}
+
+	opt := sweep.Options{Workers: workers, Metrics: reg, Name: "dramodel_" + analysis}
+	vals, err := sweep.Map(context.Background(), cells, opt, func(_ context.Context, c cell) (float64, error) {
+		return eval(models.PaperParams(c.N, c.M))
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	tb := report.NewTable(fmt.Sprintf("%s sweep (%s)", analysis, archName(a)), "N", "M", header)
+	for i, c := range cells {
+		v := fmt.Sprintf("%.9f", vals[i])
+		if analysis == "availability" {
+			v = fmt.Sprintf("%.12f (%s)", vals[i], stats.FormatNines(vals[i], 16))
+		} else if analysis == "mttf" {
+			v = fmt.Sprintf("%.1f", vals[i])
+		}
+		tb.AddRow(c.N, c.M, v)
+		publish(fmt.Sprintf("dramodel_sweep_n%d_m%d", c.N, c.M), "Sweep cell result.", vals[i])
+	}
+	fmt.Print(tb.String())
+}
+
+func archName(a linecard.Arch) string {
+	if a == linecard.BDR {
+		return "BDR"
+	}
+	return "DRA"
+}
+
+// parseRange parses "lo:hi" into the inclusive integer range; an empty
+// string collapses to the single fallback value.
+func parseRange(s string, fallback int) ([]int, error) {
+	if s == "" {
+		return []int{fallback}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("range must be lo:hi, got %q", s)
+	}
+	lo, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	hi, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad range %q: %v", s, err)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("bad range %q: hi < lo", s)
+	}
+	var out []int
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func gridOrDefault(s, def string) string {

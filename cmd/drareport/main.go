@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +21,11 @@ import (
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "figure to regenerate (4, 6, 7, 8); 0 = all")
-		bus    = flag.Float64("bus", 10e9, "B_BUS for figure 8 (bits/s)")
-		n      = flag.Int("n", 6, "N for figure 8")
-		outDir = flag.String("o", "", "also write each figure to <dir>/figureN.txt")
+		fig     = flag.Int("fig", 0, "figure to regenerate (4, 6, 7, 8); 0 = all")
+		bus     = flag.Float64("bus", 10e9, "B_BUS for figure 8 (bits/s)")
+		n       = flag.Int("n", 6, "N for figure 8")
+		outDir  = flag.String("o", "", "also write each figure to <dir>/figureN.txt")
+		workers = flag.Int("workers", 0, "sweep worker-pool size; 0 = NumCPU")
 	)
 	flag.Parse()
 
@@ -40,6 +42,9 @@ func main() {
 	if *bus <= 0 {
 		usageError(fmt.Errorf("-bus must be positive, got %g", *bus))
 	}
+	if *workers < 0 {
+		usageError(fmt.Errorf("-workers must not be negative, got %d", *workers))
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
@@ -55,25 +60,32 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	opt := dra.SweepOptions{Workers: *workers}
+
 	if *fig == 0 || *fig == 4 {
 		emit(4, renderFigure4())
 	}
 	if *fig == 0 || *fig == 6 {
-		f6, err := dra.ComputeFigure6()
+		f6, err := dra.ComputeFigure6With(ctx, opt)
 		if err != nil {
 			fatal(err)
 		}
 		emit(6, dra.RenderFigure6(f6))
 	}
 	if *fig == 0 || *fig == 7 {
-		f7, err := dra.ComputeFigure7()
+		f7, err := dra.ComputeFigure7With(ctx, opt)
 		if err != nil {
 			fatal(err)
 		}
 		emit(7, dra.RenderFigure7(f7))
 	}
 	if *fig == 0 || *fig == 8 {
-		emit(8, dra.RenderFigure8(dra.ComputeFigure8With(*n, *bus)))
+		f8, err := dra.ComputeFigure8Sweep(ctx, opt, *n, *bus)
+		if err != nil {
+			fatal(err)
+		}
+		emit(8, dra.RenderFigure8(f8))
 	}
 }
 

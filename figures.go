@@ -1,12 +1,14 @@
 package dra
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/models"
 	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // This file regenerates the paper's evaluation artifacts — Figures 6, 7,
@@ -35,37 +37,61 @@ func Figure6Times() []float64 {
 	return ts
 }
 
-// ComputeFigure6 evaluates R(t) for the paper's two sweeps — M = 2 with
-// 3 ≤ N ≤ 9 and N = 9 with 4 ≤ M ≤ 8, exactly the published ranges —
-// plus the BDR baseline.
+// curveSpec is one Figure 6 cell: a model to build and the label its
+// reliability curve carries.
+type curveSpec struct {
+	Label string
+	N, M  int
+	BDR   bool
+}
+
+// figure6Specs enumerates the paper's two sweeps — M = 2 with 3 ≤ N ≤ 9
+// and N = 9 with 4 ≤ M ≤ 8, exactly the published ranges — plus the BDR
+// baseline.
+func figure6Specs() []curveSpec {
+	specs := []curveSpec{{Label: "BDR", N: 3, M: 2, BDR: true}}
+	for n := 3; n <= 9; n++ {
+		specs = append(specs, curveSpec{Label: fmt.Sprintf("DRA M=2 N=%d", n), N: n, M: 2})
+	}
+	for mm := 4; mm <= 8; mm++ {
+		specs = append(specs, curveSpec{Label: fmt.Sprintf("DRA N=9 M=%d", mm), N: 9, M: mm})
+	}
+	return specs
+}
+
+// ComputeFigure6 evaluates R(t) over the paper's grid on the default
+// sweep pool.
 func ComputeFigure6() (Figure6, error) {
+	return ComputeFigure6With(context.Background(), sweep.Options{Name: "figure6"})
+}
+
+// ComputeFigure6With fans the Figure 6 curves out over the sweep worker
+// pool. Results are bit-identical for any worker count.
+func ComputeFigure6With(ctx context.Context, opt sweep.Options) (Figure6, error) {
 	times := Figure6Times()
 	fig := Figure6{Times: times}
-
-	bdr, err := models.BDRReliability(models.PaperParams(3, 2))
+	if opt.Name == "" {
+		opt.Name = "figure6"
+	}
+	curves, err := sweep.Map(ctx, figure6Specs(), opt, func(_ context.Context, s curveSpec) (Curve, error) {
+		var (
+			m   *models.Model
+			err error
+		)
+		if s.BDR {
+			m, err = models.BDRReliability(models.PaperParams(s.N, s.M))
+		} else {
+			m, err = models.DRAReliability(models.PaperParams(s.N, s.M))
+		}
+		if err != nil {
+			return Curve{}, err
+		}
+		return Curve{Label: s.Label, X: times, Y: m.ReliabilitySeries(times)}, nil
+	})
 	if err != nil {
 		return fig, err
 	}
-	fig.Curves = append(fig.Curves, Curve{Label: "BDR", X: times, Y: bdr.ReliabilitySeries(times)})
-
-	for n := 3; n <= 9; n++ {
-		m, err := models.DRAReliability(models.PaperParams(n, 2))
-		if err != nil {
-			return fig, err
-		}
-		fig.Curves = append(fig.Curves, Curve{
-			Label: fmt.Sprintf("DRA M=2 N=%d", n), X: times, Y: m.ReliabilitySeries(times),
-		})
-	}
-	for mm := 4; mm <= 8; mm++ {
-		m, err := models.DRAReliability(models.PaperParams(9, mm))
-		if err != nil {
-			return fig, err
-		}
-		fig.Curves = append(fig.Curves, Curve{
-			Label: fmt.Sprintf("DRA N=9 M=%d", mm), X: times, Y: m.ReliabilitySeries(times),
-		})
-	}
+	fig.Curves = curves
 	return fig, nil
 }
 
@@ -78,32 +104,52 @@ type Figure7Row struct {
 	Nines int
 }
 
+// figure7Specs enumerates the Figure 7 grid: BDR plus the paper's
+// (N, M) pairs, at both repair rates.
+func figure7Specs() []Figure7Row {
+	var specs []Figure7Row
+	for _, mu := range []float64{1.0 / 3, 1.0 / 12} {
+		specs = append(specs, Figure7Row{Arch: "BDR", Mu: mu})
+		for _, nm := range [][2]int{{3, 2}, {5, 2}, {7, 2}, {9, 2}, {9, 4}, {9, 6}, {9, 8}} {
+			specs = append(specs, Figure7Row{Arch: "DRA", N: nm[0], M: nm[1], Mu: mu})
+		}
+	}
+	return specs
+}
+
 // ComputeFigure7 evaluates steady-state availability for BDR and for DRA
 // over the paper's (M, N) grid at both repair rates.
 func ComputeFigure7() ([]Figure7Row, error) {
-	var rows []Figure7Row
-	for _, mu := range []float64{1.0 / 3, 1.0 / 12} {
-		p := models.PaperParams(3, 2)
-		p.Mu = mu
-		b, err := models.BDRAvailability(p)
-		if err != nil {
-			return nil, err
-		}
-		a := b.Availability()
-		rows = append(rows, Figure7Row{Arch: "BDR", N: 0, M: 0, Mu: mu, A: a, Nines: stats.Nines(a, 16)})
+	return ComputeFigure7With(context.Background(), sweep.Options{Name: "figure7"})
+}
 
-		for _, nm := range [][2]int{{3, 2}, {5, 2}, {7, 2}, {9, 2}, {9, 4}, {9, 6}, {9, 8}} {
-			p := models.PaperParams(nm[0], nm[1])
-			p.Mu = mu
-			d, err := models.DRAAvailability(p)
-			if err != nil {
-				return nil, err
-			}
-			a := d.Availability()
-			rows = append(rows, Figure7Row{Arch: "DRA", N: nm[0], M: nm[1], Mu: mu, A: a, Nines: stats.Nines(a, 16)})
-		}
+// ComputeFigure7With fans the Figure 7 grid out over the sweep worker
+// pool. Results are bit-identical for any worker count.
+func ComputeFigure7With(ctx context.Context, opt sweep.Options) ([]Figure7Row, error) {
+	if opt.Name == "" {
+		opt.Name = "figure7"
 	}
-	return rows, nil
+	return sweep.Map(ctx, figure7Specs(), opt, func(_ context.Context, row Figure7Row) (Figure7Row, error) {
+		var (
+			m   *models.Model
+			err error
+		)
+		if row.Arch == "BDR" {
+			p := models.PaperParams(3, 2)
+			p.Mu = row.Mu
+			m, err = models.BDRAvailability(p)
+		} else {
+			p := models.PaperParams(row.N, row.M)
+			p.Mu = row.Mu
+			m, err = models.DRAAvailability(p)
+		}
+		if err != nil {
+			return Figure7Row{}, err
+		}
+		row.A = m.Availability()
+		row.Nines = stats.Nines(row.A, 16)
+		return row, nil
+	})
 }
 
 // Figure8 holds the degradation curves of the paper's Figure 8.
@@ -127,12 +173,27 @@ func ComputeFigure8() Figure8 {
 // ComputeFigure8With evaluates the degradation curves for any N and
 // B_BUS — the knob the A1 ablation sweeps.
 func ComputeFigure8With(n int, busCap float64) Figure8 {
-	fig := Figure8{N: n, BusCap: busCap, Loads: Figure8Loads()}
-	for _, load := range fig.Loads {
-		p := perf.Params{N: n, CLC: 10e9, Load: load, BusCapacity: busCap}
-		fig.Frac = append(fig.Frac, p.Curve())
-	}
+	fig, _ := ComputeFigure8Sweep(context.Background(), sweep.Options{Name: "figure8"}, n, busCap)
 	return fig
+}
+
+// ComputeFigure8Sweep evaluates the degradation curves on the sweep
+// worker pool (the Figure 8 cells are closed-form, so this mainly buys
+// cancellation and instrumentation on the A1 ablation path).
+func ComputeFigure8Sweep(ctx context.Context, opt sweep.Options, n int, busCap float64) (Figure8, error) {
+	fig := Figure8{N: n, BusCap: busCap, Loads: Figure8Loads()}
+	if opt.Name == "" {
+		opt.Name = "figure8"
+	}
+	frac, err := sweep.Map(ctx, fig.Loads, opt, func(_ context.Context, load float64) ([]float64, error) {
+		p := perf.Params{N: n, CLC: 10e9, Load: load, BusCapacity: busCap}
+		return p.Curve(), nil
+	})
+	if err != nil {
+		return fig, err
+	}
+	fig.Frac = frac
+	return fig, nil
 }
 
 // --- Rendering ---

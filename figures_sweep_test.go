@@ -1,0 +1,100 @@
+package dra
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// TestFigure6SweepEquivalence: the sweep-routed Figure 6 is bit-identical
+// across worker counts and to a plain serial loop over the same grid.
+func TestFigure6SweepEquivalence(t *testing.T) {
+	serial := serialFigure6(t)
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		fig, err := ComputeFigure6With(context.Background(), SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(fig.Curves) != len(serial.Curves) {
+			t.Fatalf("workers=%d: %d curves, want %d", workers, len(fig.Curves), len(serial.Curves))
+		}
+		for ci, c := range fig.Curves {
+			ref := serial.Curves[ci]
+			if c.Label != ref.Label {
+				t.Fatalf("workers=%d: curve %d label %q, want %q", workers, ci, c.Label, ref.Label)
+			}
+			for i := range c.Y {
+				if c.Y[i] != ref.Y[i] {
+					t.Fatalf("workers=%d: %s Y[%d] = %g, serial %g", workers, c.Label, i, c.Y[i], ref.Y[i])
+				}
+			}
+		}
+	}
+}
+
+// serialFigure6 replays the pre-sweep serial evaluation order.
+func serialFigure6(t *testing.T) Figure6 {
+	t.Helper()
+	times := Figure6Times()
+	fig := Figure6{Times: times}
+	bdr, err := models.BDRReliability(models.PaperParams(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig.Curves = append(fig.Curves, Curve{Label: "BDR", X: times, Y: bdr.ReliabilitySeries(times)})
+	for n := 3; n <= 9; n++ {
+		m, err := models.DRAReliability(models.PaperParams(n, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig.Curves = append(fig.Curves, Curve{Label: fmt.Sprintf("DRA M=2 N=%d", n), X: times, Y: m.ReliabilitySeries(times)})
+	}
+	for mm := 4; mm <= 8; mm++ {
+		m, err := models.DRAReliability(models.PaperParams(9, mm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig.Curves = append(fig.Curves, Curve{Label: fmt.Sprintf("DRA N=9 M=%d", mm), X: times, Y: m.ReliabilitySeries(times)})
+	}
+	return fig
+}
+
+// TestFigure7SweepEquivalence: the availability grid is worker-count
+// invariant too.
+func TestFigure7SweepEquivalence(t *testing.T) {
+	ref, err := ComputeFigure7With(context.Background(), SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		rows, err := ComputeFigure7With(context.Background(), SweepOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rows) != len(ref) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(rows), len(ref))
+		}
+		for i := range rows {
+			if rows[i] != ref[i] {
+				t.Fatalf("workers=%d: row %d = %+v, want %+v", workers, i, rows[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestFigure6Cancellation: a cancelled context yields an ordered prefix
+// and the context error, not a partial garbage figure.
+func TestFigure6Cancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fig, err := ComputeFigure6With(ctx, SweepOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if len(fig.Curves) != 0 {
+		t.Fatalf("cancelled-before-start sweep produced %d curves", len(fig.Curves))
+	}
+}

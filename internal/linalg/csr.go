@@ -147,6 +147,62 @@ func (m *CSR) VecMulTo(y, x []float64) {
 	}
 }
 
+// ScaleAddIdentity returns I + alpha·m as a new CSR matrix, built in a
+// single O(nnz + n) pass over the CSR arrays — no dense round-trip, no
+// triplet sort. Rows without a stored diagonal entry (e.g. absorbing
+// states of a generator matrix) get one. The matrix must be square.
+// This is the uniformization primitive: P = I + Q/Λ is
+// q.ScaleAddIdentity(1/Λ).
+func (m *CSR) ScaleAddIdentity(alpha float64) *CSR {
+	if m.rows != m.cols {
+		panic("linalg: ScaleAddIdentity needs a square matrix")
+	}
+	n := m.rows
+	out := &CSR{rows: n, cols: n, rowPtr: make([]int, n+1)}
+	nnz := 0
+	for i := 0; i < n; i++ {
+		cnt := m.rowPtr[i+1] - m.rowPtr[i]
+		hasDiag := false
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if m.colIdx[k] == i {
+				hasDiag = true
+				break
+			}
+		}
+		if !hasDiag {
+			cnt++
+		}
+		nnz += cnt
+		out.rowPtr[i+1] = nnz
+	}
+	out.colIdx = make([]int, nnz)
+	out.vals = make([]float64, nnz)
+	for i := 0; i < n; i++ {
+		w := out.rowPtr[i]
+		wroteDiag := false
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			c, v := m.colIdx[k], alpha*m.vals[k]
+			switch {
+			case c == i:
+				v++
+				wroteDiag = true
+			case !wroteDiag && c > i:
+				// The diagonal slot comes before this column; insert it.
+				out.colIdx[w], out.vals[w] = i, 1
+				w++
+				wroteDiag = true
+			}
+			out.colIdx[w], out.vals[w] = c, v
+			w++
+		}
+		if !wroteDiag {
+			out.colIdx[w], out.vals[w] = i, 1
+			w++
+		}
+	}
+	return out
+}
+
 // Dense expands the matrix to dense form (for tests and small systems).
 func (m *CSR) Dense() *Dense {
 	d := NewDense(m.rows, m.cols)

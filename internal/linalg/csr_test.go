@@ -54,6 +54,79 @@ func TestCSRVecMulTo(t *testing.T) {
 	}
 }
 
+func TestCSRScaleAddIdentity(t *testing.T) {
+	// Generator-shaped matrix: row 1 has no stored diagonal (absorbing),
+	// so the identity entry must be inserted, not just added.
+	q := NewCSR(3, 3, []Triplet{
+		{0, 0, -4}, {0, 1, 3}, {0, 2, 1},
+		{2, 0, 2}, {2, 2, -2},
+	})
+	p := q.ScaleAddIdentity(0.25)
+	want := [3][3]float64{
+		{0, 0.75, 0.25},
+		{0, 1, 0},
+		{0.5, 0, 0.5},
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got := p.At(i, j); got != want[i][j] {
+				t.Fatalf("P[%d,%d] = %g, want %g", i, j, got, want[i][j])
+			}
+		}
+	}
+	if p.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6 (3 + inserted diagonal + 2; cancelled diagonal stays stored)", p.NNZ())
+	}
+	// Original must be untouched.
+	if q.At(1, 1) != 0 || q.At(0, 0) != -4 {
+		t.Fatal("ScaleAddIdentity mutated its receiver")
+	}
+}
+
+func TestCSRScaleAddIdentityNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 3, nil).ScaleAddIdentity(1)
+}
+
+// Property: ScaleAddIdentity agrees with the dense I + αQ on random
+// sparse matrices and keeps columns sorted within each row.
+func TestCSRScaleAddIdentityMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(uint64(seed))
+		n := 1 + int(uint(seed)%7)
+		var trips []Triplet
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.next() < 0.4 {
+					trips = append(trips, Triplet{i, j, 2*rng.next() - 1})
+				}
+			}
+		}
+		q := NewCSR(n, n, trips)
+		alpha := 2*rng.next() - 1
+		p := q.ScaleAddIdentity(alpha)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := alpha * q.At(i, j)
+				if i == j {
+					want++
+				}
+				if p.At(i, j) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCSROutOfRangeTripletPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -8,6 +8,7 @@ package markov
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -22,6 +23,18 @@ type Chain struct {
 	entries []linalg.Triplet // off-diagonal rates only
 	frozen  bool
 	gen     *linalg.CSR // built lazily by Generator
+
+	// Memoized by Generator so uniformization setup is O(nnz) once:
+	// the row exit rates (negated diagonal of Q) and their maximum (Λ).
+	exit    []float64
+	maxExit float64
+
+	// The uniformized DTMC P = I + Q/Λ and a pool of solver scratch
+	// state, built once per sealed chain and shared by every transient
+	// and occupancy query (see solver.go).
+	uniOnce sync.Once
+	uni     *linalg.CSR
+	solvers sync.Pool
 }
 
 // NewChain returns an empty chain.
@@ -103,8 +116,32 @@ func (c *Chain) Generator() *linalg.CSR {
 			trips = append(trips, linalg.Triplet{Row: i, Col: i, Val: d})
 		}
 	}
+	// Memoize the exit rates alongside the matrix: ExitRate/MaxExitRate
+	// are on the uniformization setup path and must not pay a per-call
+	// binary search over the CSR, let alone a rebuild.
+	c.exit = make([]float64, n)
+	c.maxExit = 0
+	for i, d := range diag {
+		c.exit[i] = -d
+		if c.exit[i] > c.maxExit {
+			c.maxExit = c.exit[i]
+		}
+	}
 	c.gen = linalg.NewCSR(n, n, trips)
 	return c.gen
+}
+
+// uniformized returns the cached uniformized DTMC P = I + Q/Λ and Λ
+// itself, building both exactly once per sealed chain. When the chain
+// has no transitions at all (Λ = 0) the matrix is nil.
+func (c *Chain) uniformized() (*linalg.CSR, float64) {
+	c.uniOnce.Do(func() {
+		q := c.Generator()
+		if c.maxExit > 0 {
+			c.uni = q.ScaleAddIdentity(1 / c.maxExit)
+		}
+	})
+	return c.uni, c.maxExit
 }
 
 // DenseGenerator returns the generator as a dense matrix (for GTH and for
@@ -112,19 +149,18 @@ func (c *Chain) Generator() *linalg.CSR {
 func (c *Chain) DenseGenerator() *linalg.Dense { return c.Generator().Dense() }
 
 // ExitRate returns the total departure rate of state i (the negated
-// diagonal of Q).
-func (c *Chain) ExitRate(i int) float64 { return -c.Generator().At(i, i) }
+// diagonal of Q). The value is memoized when the generator is first
+// built; subsequent calls are O(1) and allocation-free.
+func (c *Chain) ExitRate(i int) float64 {
+	c.Generator()
+	return c.exit[i]
+}
 
 // MaxExitRate returns the largest departure rate over all states, the Λ of
-// uniformization.
+// uniformization. Memoized with the generator; O(1) after sealing.
 func (c *Chain) MaxExitRate() float64 {
-	max := 0.0
-	for i := 0; i < c.Len(); i++ {
-		if r := c.ExitRate(i); r > max {
-			max = r
-		}
-	}
-	return max
+	c.Generator()
+	return c.maxExit
 }
 
 // InitialPoint returns a distribution concentrated on the given state.

@@ -1,0 +1,54 @@
+package markov
+
+import (
+	"testing"
+)
+
+// TestExitRateMemoized asserts that once the chain is sealed, exit-rate
+// queries are O(1) reads of the memo: no generator rebuild (pointer
+// identity) and no allocation per call, so uniformization setup is
+// O(nnz) exactly once.
+func TestExitRateMemoized(t *testing.T) {
+	c := NewChain()
+	c.Transition("a", "b", 3)
+	c.Transition("b", "c", 2)
+	c.Transition("c", "a", 5)
+	c.Transition("a", "c", 1)
+
+	g1 := c.Generator() // seal
+	for i := 0; i < 4; i++ {
+		c.ExitRate(0)
+		c.MaxExitRate()
+	}
+	if g2 := c.Generator(); g2 != g1 {
+		t.Fatal("Generator rebuilt after the chain was sealed")
+	}
+
+	// The memoized values must agree with the generator diagonal.
+	for i := 0; i < c.Len(); i++ {
+		if got, want := c.ExitRate(i), -g1.At(i, i); got != want {
+			t.Fatalf("ExitRate(%d) = %g, generator diagonal says %g", i, got, want)
+		}
+	}
+	if got, want := c.MaxExitRate(), 5.0; got != want {
+		t.Fatalf("MaxExitRate = %g, want %g", got, want)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		if c.MaxExitRate() <= 0 {
+			t.Error("MaxExitRate lost its value")
+		}
+		if c.ExitRate(1) <= 0 {
+			t.Error("ExitRate lost its value")
+		}
+	}); allocs != 0 {
+		t.Fatalf("exit-rate queries allocate %.1f per call, want 0", allocs)
+	}
+
+	// The uniformized DTMC is likewise built once and shared.
+	p1, l1 := c.uniformized()
+	p2, l2 := c.uniformized()
+	if p1 != p2 || l1 != l2 {
+		t.Fatal("uniformized DTMC rebuilt on second call")
+	}
+}

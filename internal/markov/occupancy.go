@@ -30,13 +30,11 @@ func (c *Chain) OccupancyIn(p0 []float64, keep func(label string) bool, horizon 
 	if len(p0) != c.Len() {
 		panic("markov: initial distribution length mismatch")
 	}
-	q := c.Generator()
-	lambda := c.MaxExitRate()
+	p, lambda := c.uniformized()
 	if lambda == 0 {
 		// No transitions: the chain sits in p0 forever.
 		return c.ProbabilityOf(p0, keep) * horizon
 	}
-	p := uniformized(q, lambda)
 	m := lambda * horizon
 
 	cur := linalg.CloneVec(p0)

@@ -34,7 +34,7 @@ func (c *Chain) SteadyStatePower(tol float64, maxIter int) ([]float64, error) {
 	}
 	// Slightly inflate Λ so P has strictly positive diagonals, which
 	// makes the DTMC aperiodic and power iteration convergent.
-	p := uniformized(q, lambda*1.05)
+	p := q.ScaleAddIdentity(1 / (lambda * 1.05))
 
 	cur := make([]float64, c.Len())
 	next := make([]float64, c.Len())

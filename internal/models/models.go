@@ -98,15 +98,47 @@ func (m *Model) ReliabilityAt(t float64) float64 {
 	return m.chain.ProbabilityOf(dist, IsOperational)
 }
 
-// ReliabilitySeries evaluates R over a time grid.
+// ReliabilitySeries evaluates R over a time grid. Sorted grids (the
+// common case — every figure sweep uses one) are solved in a single
+// checkpointed uniformization pass; unsorted grids fall back to
+// independent per-point solves.
 func (m *Model) ReliabilitySeries(times []float64) []float64 {
 	p0 := m.chain.InitialPoint(m.init)
 	out := make([]float64, len(times))
+	if sortedTimes(times) {
+		for i, dist := range m.chain.TransientSeries(p0, times, markov.TransientOptions{}) {
+			out[i] = m.chain.ProbabilityOf(dist, IsOperational)
+		}
+		return out
+	}
 	for i, t := range times {
 		dist := m.chain.TransientAt(p0, t, markov.TransientOptions{})
 		out[i] = m.chain.ProbabilityOf(dist, IsOperational)
 	}
 	return out
+}
+
+// ReliabilitySeriesSerialDense evaluates R over the grid with the seed
+// solver preserved in markov's reference.go: dense-round-trip
+// uniformization and one independent from-zero solve per point. It is
+// the committed baseline BenchmarkSolverComparison measures the cached
+// CSR-native solver against; not a production path.
+func (m *Model) ReliabilitySeriesSerialDense(times []float64) []float64 {
+	p0 := m.chain.InitialPoint(m.init)
+	out := make([]float64, len(times))
+	for i, dist := range m.chain.TransientSeriesSerialDense(p0, times, markov.TransientOptions{}) {
+		out[i] = m.chain.ProbabilityOf(dist, IsOperational)
+	}
+	return out
+}
+
+func sortedTimes(times []float64) bool {
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // Availability returns the steady-state probability of being operational.

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestRunOrdering: results come back in index order whatever the worker
+// count, and are bit-identical across pool sizes.
+func TestRunOrdering(t *testing.T) {
+	const n = 97
+	var ref []float64
+	for _, workers := range []int{1, 4, runtime.NumCPU(), 16} {
+		got, err := Run(context.Background(), n, Options{Workers: workers},
+			func(_ context.Context, i int) (float64, error) {
+				return float64(i) * 1.5, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %g, workers=1 got %g", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMapPreservesOrder: Map is Run with the indexing handled.
+func TestMapPreservesOrder(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd"}
+	got, err := Map(context.Background(), items, Options{Workers: 3},
+		func(_ context.Context, s string) (int, error) { return len(s), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+// TestCancellationPrefix: cancelling mid-sweep returns promptly with a
+// correctly-ordered prefix of completed cells.
+func TestCancellationPrefix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 1000
+	var count atomic.Int64
+	start := time.Now()
+	got, err := Run(ctx, n, Options{Workers: 2}, func(ctx context.Context, i int) (int, error) {
+		if count.Add(1) == 50 {
+			cancel()
+		}
+		return i * i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", took)
+	}
+	if len(got) == n {
+		t.Fatalf("sweep ran to completion despite cancellation")
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("prefix[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestCancelledBeforeStart: an already-cancelled context runs nothing.
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	got, err := Run(ctx, 100, Options{Workers: 4}, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d results from a cancelled sweep", len(got))
+	}
+}
+
+// TestPanicIsolation: a panicking cell surfaces as an error naming the
+// cell; other cells still complete and the process survives.
+func TestPanicIsolation(t *testing.T) {
+	var completed atomic.Int64
+	_, err := Run(context.Background(), 20, Options{Workers: 4}, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			panic("cell exploded")
+		}
+		completed.Add(1)
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "cell 7") || !strings.Contains(err.Error(), "cell exploded") {
+		t.Fatalf("err = %v, want panic error naming cell 7", err)
+	}
+	if completed.Load() != 19 {
+		t.Fatalf("%d cells completed, want 19", completed.Load())
+	}
+}
+
+// TestFirstErrorByIndex: the lowest-index cell error is reported, so
+// error reporting is deterministic across worker counts.
+func TestFirstErrorByIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Run(context.Background(), 30, Options{Workers: workers}, func(_ context.Context, i int) (int, error) {
+			if i == 11 || i == 23 {
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 11 failed" {
+			t.Fatalf("workers=%d: err = %v, want cell 11 failed", workers, err)
+		}
+	}
+}
+
+// TestMetricsInstrumentation: the sweep_* families count dispatches and
+// completions and drain the queue-depth gauge to zero.
+func TestMetricsInstrumentation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, err := Run(context.Background(), 25, Options{Workers: 4, Metrics: reg, Name: "figure6"},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterVec("sweep_cells_done_total", "", "sweep").With("figure6").Value(); got != 25 {
+		t.Fatalf("sweep_cells_done_total = %d, want 25", got)
+	}
+	if got := reg.CounterVec("sweep_cells_started_total", "", "sweep").With("figure6").Value(); got != 25 {
+		t.Fatalf("sweep_cells_started_total = %d, want 25", got)
+	}
+	if got := reg.GaugeVec("sweep_queue_depth", "", "sweep").With("figure6").Value(); got != 0 {
+		t.Fatalf("sweep_queue_depth = %g after completion, want 0", got)
+	}
+	if got := reg.Histogram("sweep_cell_seconds", "", []float64{1}).Count(); got != 25 {
+		t.Fatalf("sweep_cell_seconds count = %d, want 25", got)
+	}
+}
+
+// TestNilMetricsFree: a nil registry must be accepted (all instruments
+// are no-ops), matching the repo-wide nil-safe metrics convention.
+func TestNilMetricsFree(t *testing.T) {
+	got, err := Run(context.Background(), 5, Options{}, func(_ context.Context, i int) (int, error) {
+		return i + 1, nil
+	})
+	if err != nil || len(got) != 5 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestEmptyGrid: n = 0 is a no-op, not a hang.
+func TestEmptyGrid(t *testing.T) {
+	got, err := Run(context.Background(), 0, Options{}, func(_ context.Context, i int) (int, error) {
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,27 @@
+package dra
+
+import (
+	"context"
+
+	"repro/internal/sweep"
+)
+
+// SweepOptions tunes a parameter sweep: pool size, metrics registry,
+// and metric label. The zero value runs on NumCPU workers without
+// instrumentation.
+type SweepOptions = sweep.Options
+
+// SweepRun evaluates fn(ctx, 0) … fn(ctx, n-1) on a worker pool and
+// returns the results in index order — bit-identical for any worker
+// count. On cancellation it returns the longest completed prefix of
+// results alongside the context error; a panicking cell surfaces as an
+// error naming the cell without taking down the process.
+func SweepRun[T any](ctx context.Context, n int, opt SweepOptions, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return sweep.Run(ctx, n, opt, fn)
+}
+
+// SweepMap evaluates fn over every item on a worker pool, preserving
+// input order in the output. It is SweepRun with the indexing handled.
+func SweepMap[In, Out any](ctx context.Context, items []In, opt SweepOptions, fn func(ctx context.Context, item In) (Out, error)) ([]Out, error) {
+	return sweep.Map(ctx, items, opt, fn)
+}
