@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test lint race race-all vet bench bench-smoke cover fuzz-smoke report examples clean
+.PHONY: all check build test lint race race-all vet bench bench-smoke cover fuzz-smoke chaos report examples clean
 
 all: build test
 
@@ -38,11 +38,12 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Coverage gate for the solver core: every package on the numeric hot
-# path (markov, sweep, linalg) must stay at or above COVER_MIN percent
+# Coverage gate for the solver core and the robustness wall: every
+# package on the numeric hot path (markov, sweep, linalg) plus the
+# chaos/invariant machinery must stay at or above COVER_MIN percent
 # statement coverage.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
@@ -57,12 +58,22 @@ cover:
 bench-smoke:
 	$(GO) test -short -run xxx -bench BenchmarkSolverComparison -benchtime 1x .
 
-# Bounded fuzzing of the wire-format decoders: enough to catch decode
-# panics and encoder/decoder asymmetries in CI without open-ended runs.
+# Bounded fuzzing of the wire-format decoders and the three-tier
+# control protocol: enough to catch decode panics, encoder/decoder
+# asymmetries, and LP-bookkeeping drift in CI without open-ended runs.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshalControl -fuzztime $(FUZZTIME) ./internal/eib/
+	$(GO) test -fuzz=FuzzControlProtocol -fuzztime $(FUZZTIME) ./internal/eib/
 	$(GO) test -fuzz=FuzzUnmarshalCell -fuzztime $(FUZZTIME) ./internal/packet/
+
+# Run every example chaos campaign through drasim with the invariant
+# wall armed; any assertion failure or invariant violation is fatal.
+chaos:
+	@for spec in examples/campaigns/*.json; do \
+		echo "== $$spec"; \
+		$(GO) run ./cmd/drasim -mode chaos -config $$spec || exit 1; \
+	done
 
 # Write the Figure 4/6/7/8 artifacts under ./artifacts/.
 report:

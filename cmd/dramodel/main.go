@@ -19,11 +19,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/linecard"
 	"repro/internal/metrics"
@@ -43,6 +46,13 @@ func publish(name, help string, v float64) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; returning instead of exiting lets the deferred
+// -metrics-out flush execute before the process exits, including on the
+// interrupted path (exit 130).
+func run() int {
 	var (
 		analysis = flag.String("analysis", "reliability", "reliability | availability | mttf")
 		arch     = flag.String("arch", "dra", "dra | bdr")
@@ -92,6 +102,12 @@ func main() {
 		usageError(fmt.Errorf("-nrange/-mrange require -sweep"))
 	}
 
+	// A SIGINT/SIGTERM cancels the sweep engine at the next cell
+	// boundary; partial -metrics-out output still flushes and the
+	// process exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *metricsAddr != "" || *metricsOut != "" {
 		reg = metrics.NewRegistry()
 	}
@@ -112,8 +128,7 @@ func main() {
 	}
 
 	if *sweepMode {
-		runSweep(a, strings.ToLower(*analysis), *nRange, *mRange, *n, *m, *t, *mu, *workers)
-		return
+		return runSweep(ctx, a, strings.ToLower(*analysis), *nRange, *mRange, *n, *m, *t, *mu, *workers)
 	}
 
 	p := models.PaperParams(*n, *m)
@@ -139,7 +154,7 @@ func main() {
 				tb.AddRow(times[i], fmt.Sprintf("%.9f", r))
 			}
 			fmt.Print(tb.String())
-			return
+			return 0
 		}
 		r := md.ReliabilityAt(*t)
 		publish("dramodel_reliability", "Last computed R(t).", r)
@@ -194,6 +209,7 @@ func main() {
 	default:
 		usageError(fmt.Errorf("unknown analysis %q", *analysis))
 	}
+	return 0
 }
 
 func buildModel(a linecard.Arch, p models.Params, withRepair bool) (*models.Model, error) {
@@ -211,8 +227,9 @@ func buildModel(a linecard.Arch, p models.Params, withRepair bool) (*models.Mode
 
 // runSweep fans one analysis out over an N×M grid on the sweep engine
 // and prints the results as a table (cells in deterministic grid order
-// whatever the worker count).
-func runSweep(a linecard.Arch, analysis, nRange, mRange string, n, m int, t, mu float64, workers int) {
+// whatever the worker count). An interrupt cancels the pool at the next
+// cell boundary and yields exit 130.
+func runSweep(ctx context.Context, a linecard.Arch, analysis, nRange, mRange string, n, m int, t, mu float64, workers int) int {
 	ns, err := parseRange(nRange, n)
 	if err != nil {
 		usageError(err)
@@ -270,9 +287,13 @@ func runSweep(a linecard.Arch, analysis, nRange, mRange string, n, m int, t, mu 
 	}
 
 	opt := sweep.Options{Workers: workers, Metrics: reg, Name: "dramodel_" + analysis}
-	vals, err := sweep.Map(context.Background(), cells, opt, func(_ context.Context, c cell) (float64, error) {
+	vals, err := sweep.Map(ctx, cells, opt, func(_ context.Context, c cell) (float64, error) {
 		return eval(models.PaperParams(c.N, c.M))
 	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dramodel: interrupted; partial results flushed")
+		return 130
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -289,6 +310,7 @@ func runSweep(a linecard.Arch, analysis, nRange, mRange string, n, m int, t, mu 
 		publish(fmt.Sprintf("dramodel_sweep_n%d_m%d", c.N, c.M), "Sweep cell result.", vals[i])
 	}
 	fmt.Print(tb.String())
+	return 0
 }
 
 func archName(a linecard.Arch) string {

@@ -10,16 +10,26 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	dra "repro"
 	"repro/internal/eib"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; an interrupt cancels the figure sweeps at the
+// next cell boundary and exits 130, keeping whatever figures already
+// emitted.
+func run() int {
 	var (
 		fig     = flag.Int("fig", 0, "figure to regenerate (4, 6, 7, 8); 0 = all")
 		bus     = flag.Float64("bus", 10e9, "B_BUS for figure 8 (bits/s)")
@@ -60,33 +70,48 @@ func main() {
 		}
 	}
 
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	opt := dra.SweepOptions{Workers: *workers}
+
+	// interrupted converts a cancelled sweep into the 130 exit path;
+	// any other error is fatal.
+	interrupted := func(err error) bool {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "drareport: interrupted")
+			return true
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return false
+	}
 
 	if *fig == 0 || *fig == 4 {
 		emit(4, renderFigure4())
 	}
 	if *fig == 0 || *fig == 6 {
 		f6, err := dra.ComputeFigure6With(ctx, opt)
-		if err != nil {
-			fatal(err)
+		if interrupted(err) {
+			return 130
 		}
 		emit(6, dra.RenderFigure6(f6))
 	}
 	if *fig == 0 || *fig == 7 {
 		f7, err := dra.ComputeFigure7With(ctx, opt)
-		if err != nil {
-			fatal(err)
+		if interrupted(err) {
+			return 130
 		}
 		emit(7, dra.RenderFigure7(f7))
 	}
 	if *fig == 0 || *fig == 8 {
 		f8, err := dra.ComputeFigure8Sweep(ctx, opt, *n, *bus)
-		if err != nil {
-			fatal(err)
+		if interrupted(err) {
+			return 130
 		}
 		emit(8, dra.RenderFigure8(f8))
 	}
+	return 0
 }
 
 // renderFigure4 regenerates the paper's Figure 4 scheduling trace with

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildDrasim compiles the binary under test into a temp dir.
+func buildDrasim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "drasim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// rareArgs is a rare-event run sized so the full run takes a couple of
+// seconds — long enough to interrupt mid-run, short enough for CI.
+func rareArgs() []string {
+	return []string{
+		"-mode", "rareevent", "-arch", "dra", "-n", "4", "-m", "2",
+		"-mu", "0.3333", "-delta", "0.3", "-target-relerr", "0",
+		"-reps", "3000", "-batch", "25", "-cycles-per-rep", "40", "-seed", "42",
+	}
+}
+
+// TestSIGINTCheckpointResumeE2E is the ISSUE's crash-safety acceptance
+// test end to end through the real binary: SIGINT a rare-event run
+// mid-batch, verify it exits 130 leaving a checkpoint, resume from that
+// checkpoint, and require the final checkpoint state to be byte-for-byte
+// identical to an uninterrupted run of the same budget.
+func TestSIGINTCheckpointResumeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e binary test")
+	}
+	bin := buildDrasim(t)
+	dir := t.TempDir()
+
+	// Reference: the uninterrupted run, checkpointing along the way.
+	cpFull := filepath.Join(dir, "full.checkpoint")
+	if out, err := exec.Command(bin, append(rareArgs(), "-checkpoint", cpFull)...).CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	// Interrupted run: wait for the first checkpoint, then SIGINT.
+	cp := filepath.Join(dir, "int.checkpoint")
+	cmd := exec.Command(bin, append(rareArgs(), "-checkpoint", cp)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, err := os.Stat(cp); err == nil && st.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("no checkpoint appeared before the deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("interrupted run: err = %v (stderr: %s), want exit 130", err, stderr.String())
+	}
+
+	// The checkpoint must record a genuinely partial run.
+	var partial struct {
+		Mode     string `json:"mode"`
+		RepsDone uint64 `json:"reps_done"`
+	}
+	data, readErr := os.ReadFile(cp)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if err := json.Unmarshal(data, &partial); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Mode != "unavailability" || partial.RepsDone == 0 || partial.RepsDone >= 3000 {
+		t.Fatalf("checkpoint = %+v, want a mid-run unavailability state", partial)
+	}
+
+	// Resume to completion from the interrupted checkpoint.
+	if out, err := exec.Command(bin,
+		append(rareArgs(), "-resume", cp, "-checkpoint", cp)...).CombinedOutput(); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, out)
+	}
+
+	// Bit-for-bit: the final checkpoints carry the exact accumulator
+	// states, so the files must be identical byte for byte.
+	got, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(cpFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed final checkpoint differs from uninterrupted run:\nresumed:  %s\nfull:     %s", got, want)
+	}
+}
+
+// TestChaosCampaignE2E runs the shipped example campaigns through the
+// binary: every campaign must pass its assertions with zero invariant
+// violations, and the emitted repro bundle must exist.
+func TestChaosCampaignE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e binary test")
+	}
+	bin := buildDrasim(t)
+	campaigns, err := filepath.Glob("../../examples/campaigns/*.json")
+	if err != nil || len(campaigns) == 0 {
+		t.Fatalf("no example campaigns found: %v", err)
+	}
+	for _, spec := range campaigns {
+		bundle := filepath.Join(t.TempDir(), "bundle.json")
+		out, err := exec.Command(bin, "-mode", "chaos", "-config", spec, "-bundle-out", bundle).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", spec, err, out)
+		}
+		if !bytes.Contains(out, []byte("campaign passed")) {
+			t.Fatalf("%s did not pass:\n%s", spec, out)
+		}
+		if st, err := os.Stat(bundle); err != nil || st.Size() == 0 {
+			t.Fatalf("%s: no repro bundle written", spec)
+		}
+	}
+}

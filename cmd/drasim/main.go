@@ -10,11 +10,23 @@
 //	drasim -mode rareevent -arch dra -n 9 -m 4 -mu 0.3333 -reps 10000 -delta 0.3 -target-relerr 0.1
 //	drasim -mode packets -arch dra -n 6 -m 3 -fail 0:SRU -packets 1000
 //	drasim -mode scenario -config outage.json
+//	drasim -mode chaos -config campaign.json -bundle-out repro.json
 //
 // Rare-event mode estimates steady-state unavailability by regenerative
 // simulation with balanced failure biasing and relative-error stopping
 // (see docs/rare-event.md); -bench-out writes a JSON artifact with a
 // crude-MC comparison at the same budget.
+//
+// Chaos mode runs a scripted fault campaign (see docs/chaos.md) under
+// the runtime invariant wall and writes a deterministic repro bundle.
+//
+// Lifecycle: SIGINT/SIGTERM stop Monte-Carlo runs at the next batch
+// boundary and campaign runs at the next step; partial -metrics-out /
+// -timeline-out / -bench-out artifacts are still flushed and the
+// process exits 130. Monte-Carlo modes accept -checkpoint to persist a
+// resumable batch checkpoint and -resume to continue from one — a
+// resumed run's estimate is bit-identical to an uninterrupted run of
+// the same total budget.
 //
 // Observability: -metrics-addr serves /metrics (Prometheus text),
 // /metrics.json, /timeline.json (Chrome trace-event JSON for Perfetto),
@@ -24,14 +36,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	dra "repro"
+	"repro/internal/chaos"
 	"repro/internal/config"
+	"repro/internal/invariant"
 	"repro/internal/linecard"
 	"repro/internal/metrics"
 	"repro/internal/montecarlo"
@@ -51,9 +69,16 @@ type obs struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body; returning instead of exiting lets the deferred
+// artifact flush execute before the process exits (in particular on the
+// interrupted path, which returns 130).
+func run() int {
 	var (
-		mode    = flag.String("mode", "reliability", "reliability | availability | packets | scenario")
-		cfgPath = flag.String("config", "", "scenario mode: JSON router+timeline file")
+		mode    = flag.String("mode", "reliability", "reliability | availability | rareevent | packets | scenario | chaos")
+		cfgPath = flag.String("config", "", "scenario/chaos mode: JSON spec file")
 		arch    = flag.String("arch", "dra", "dra | bdr")
 		n       = flag.Int("n", 6, "number of linecards N")
 		m       = flag.Int("m", 3, "linecards sharing LC0's protocol, M")
@@ -72,11 +97,22 @@ func main() {
 		cyclesPerRep = flag.Int("cycles-per-rep", 0, "rareevent mode: repair cycles per replication (0 = default)")
 		benchOut     = flag.String("bench-out", "", "rareevent mode: write a JSON benchmark artifact (adds a crude comparison run)")
 
+		checkpoint = flag.String("checkpoint", "", "Monte-Carlo modes: write a resumable batch checkpoint to this file after every batch")
+		resume     = flag.String("resume", "", "Monte-Carlo modes: resume from a checkpoint file written by -checkpoint")
+		bundleOut  = flag.String("bundle-out", "", "chaos mode: write the repro bundle (seed, spec, timeline) to this file")
+		watchdog   = flag.Duration("watchdog", 0, "wall-clock watchdog; aborts the run at the next batch/step boundary (0 = off)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /timeline.json, expvar and pprof on this address (e.g. :9090 or :0)")
 		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus metrics dump to this file")
 		timelineOut = flag.String("timeline-out", "", "write the final Chrome trace-event timeline to this file")
 	)
 	flag.Parse()
+
+	// Interrupt handling: the context reaches every engine; a SIGINT or
+	// SIGTERM stops the run at the next batch/step boundary, the partial
+	// artifacts are flushed on the way out, and the process exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Flag validation: reject bad values with a non-zero exit instead of
 	// silently continuing with defaults.
@@ -86,11 +122,11 @@ func main() {
 	}
 	md := strings.ToLower(*mode)
 	switch md {
-	case "reliability", "availability", "rareevent", "packets", "scenario":
+	case "reliability", "availability", "rareevent", "packets", "scenario", "chaos":
 	default:
 		usageError(fmt.Errorf("unknown mode %q", *mode))
 	}
-	if md != "scenario" {
+	if md != "scenario" && md != "chaos" {
 		if *n < 2 {
 			usageError(fmt.Errorf("-n must be at least 2, got %d", *n))
 		}
@@ -116,8 +152,14 @@ func main() {
 	if *load < 0 || *load > 1 {
 		usageError(fmt.Errorf("-load must be within [0, 1], got %g", *load))
 	}
-	if md == "scenario" && *cfgPath == "" {
-		usageError(fmt.Errorf("scenario mode needs -config"))
+	if (md == "scenario" || md == "chaos") && *cfgPath == "" {
+		usageError(fmt.Errorf("%s mode needs -config", md))
+	}
+	if *watchdog < 0 {
+		usageError(fmt.Errorf("-watchdog must not be negative, got %v", *watchdog))
+	}
+	if (*checkpoint != "" || *resume != "") && md != "reliability" && md != "availability" && md != "rareevent" {
+		usageError(fmt.Errorf("-checkpoint/-resume apply only to Monte-Carlo modes"))
 	}
 	if *delta < 0 || *delta >= 1 {
 		usageError(fmt.Errorf("-delta must be within [0, 1), got %g", *delta))
@@ -158,19 +200,44 @@ func main() {
 	}
 	defer ob.dump()
 
+	// lifecycle threads the interrupt context, watchdog, and the
+	// checkpoint/resume files into a Monte-Carlo option set.
+	lifecycle := func(opt montecarlo.Options) montecarlo.Options {
+		opt.Ctx = ctx
+		opt.Watchdog = *watchdog
+		if *checkpoint != "" {
+			path := *checkpoint
+			opt.OnBatch = func(cp montecarlo.Checkpoint) {
+				if err := cp.WriteFile(path); err != nil {
+					fmt.Fprintln(os.Stderr, "drasim: checkpoint:", err)
+				}
+			}
+		}
+		if *resume != "" {
+			cp, err := montecarlo.LoadCheckpoint(*resume)
+			if err != nil {
+				fatal(err)
+			}
+			opt.Resume = &cp
+		}
+		return opt
+	}
+
+	exit := 0
 	switch md {
 	case "reliability":
-		res, err := montecarlo.EstimateReliability(montecarlo.Options{
+		res, err := montecarlo.EstimateReliability(lifecycle(montecarlo.Options{
 			Arch: a, N: *n, M: *m, Rates: router.PaperRates(0),
 			Horizon: *horizon, Reps: *reps, Seed: *seed, Workers: *workers,
-			Metrics: ob.reg,
-		})
+			Batch: *batch, Metrics: ob.reg,
+		}))
 		if err != nil {
 			fatal(err)
 		}
 		lo, hi := res.CI()
-		fmt.Printf("%s N=%d M=%d: R(%g h) = %.5f  (95%% CI [%.5f, %.5f], %d reps)\n",
-			strings.ToUpper(*arch), *n, *m, *horizon, res.Estimate(), lo, hi, *reps)
+		fmt.Printf("%s N=%d M=%d: R(%g h) = %.5f  (95%% CI [%.5f, %.5f], %d reps, stop: %s)\n",
+			strings.ToUpper(*arch), *n, *m, *horizon, res.Estimate(), lo, hi, res.Survival.Trials, res.StopReason)
+		reportFailedTrials(res.Failed)
 		if res.TTF.N() > 0 {
 			fmt.Printf("observed failures: %d, mean time to service failure %.0f h\n",
 				res.TTF.N(), res.TTF.Mean())
@@ -184,17 +251,18 @@ func main() {
 				stats.Quantile(res.TTFSamples, 0.5), h.String())
 		}
 	case "availability":
-		res, err := montecarlo.EstimateAvailability(montecarlo.Options{
+		res, err := montecarlo.EstimateAvailability(lifecycle(montecarlo.Options{
 			Arch: a, N: *n, M: *m, Rates: router.PaperRates(*mu),
 			Horizon: *horizon, Reps: *reps, Seed: *seed, Workers: *workers,
-			Metrics: ob.reg,
-		})
+			Batch: *batch, Metrics: ob.reg,
+		}))
 		if err != nil {
 			fatal(err)
 		}
 		lo, hi := res.CI()
-		fmt.Printf("%s N=%d M=%d μ=%g: A = %.8f  (95%% CI [%.8f, %.8f], %d reps of %g h)\n",
-			strings.ToUpper(*arch), *n, *m, *mu, res.Estimate(), lo, hi, *reps, *horizon)
+		fmt.Printf("%s N=%d M=%d μ=%g: A = %.8f  (95%% CI [%.8f, %.8f], %d reps of %g h, stop: %s)\n",
+			strings.ToUpper(*arch), *n, *m, *mu, res.Estimate(), lo, hi, res.PerRep.N(), *horizon, res.StopReason)
+		reportFailedTrials(res.Failed)
 	case "rareevent":
 		runRareEvent(a, *n, *m, *mu, *reps, *seed, *workers, rareEventFlags{
 			delta:        *delta,
@@ -202,7 +270,7 @@ func main() {
 			batch:        *batch,
 			cyclesPerRep: *cyclesPerRep,
 			benchOut:     *benchOut,
-		}, &ob)
+		}, &ob, lifecycle)
 	case "packets":
 		runPackets(a, *n, *m, *fail, *packets, *load, *seed, &ob)
 	case "scenario":
@@ -216,7 +284,74 @@ func main() {
 		}
 		ob.attach(r)
 		fmt.Print(router.TimelineString(sc.Play(r)))
+	case "chaos":
+		exit = runChaos(ctx, *cfgPath, *bundleOut, *watchdog, &ob)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "drasim: interrupted; partial results flushed")
+		return 130
+	}
+	return exit
+}
+
+// reportFailedTrials surfaces panicked replications (each carries a
+// deterministic repro bundle) without failing the run.
+func reportFailedTrials(failed []montecarlo.FailedTrial) {
+	for _, ft := range failed {
+		fmt.Fprintf(os.Stderr, "drasim: failed %s\n", ft)
+	}
+}
+
+// runChaos executes a scripted fault campaign under the invariant wall
+// and writes the repro bundle. Exit 0 on a passing campaign, 1 when an
+// assertion failed or the wall raised violations.
+func runChaos(ctx context.Context, cfgPath, bundleOut string, watchdog time.Duration, ob *obs) int {
+	c, err := chaos.LoadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := chaos.Run(c, chaos.Options{
+		Ctx:      ctx,
+		Checker:  invariant.New(),
+		Metrics:  ob.reg,
+		Watchdog: watchdog,
+	})
+	if err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+	if res == nil {
+		return 1
+	}
+	fmt.Printf("campaign %q (%s N=%d M=%d, seed %d): %d steps sampled, %d timeline events\n",
+		c.Name, strings.ToUpper(c.Arch), c.N, c.M, c.Seed, len(res.Samples), len(res.Timeline))
+	up := 0
+	for _, u := range res.FinalUp {
+		if u {
+			up++
+		}
+	}
+	fmt.Printf("final state: %d/%d linecards delivering, %d delivered / %d dropped packets\n",
+		up, len(res.FinalUp), res.Metrics.Delivered, res.Metrics.Dropped)
+	for _, e := range res.Expects {
+		fmt.Printf("FAILED assertion: t=%g LC%d want up=%v got %v\n", e.At, e.LC, e.Want, e.Got)
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("INVARIANT VIOLATION: %s\n", v)
+	}
+	if bundleOut != "" {
+		if err := res.Bundle().WriteFile(bundleOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "drasim: wrote repro bundle to %s\n", bundleOut)
+	}
+	if res.Err() != nil {
+		fmt.Fprintln(os.Stderr, "drasim:", res.Err())
+		return 1
+	}
+	if ctx.Err() == nil {
+		fmt.Println("campaign passed: all assertions held, zero invariant violations")
+	}
+	return 0
 }
 
 // attach wires the shared registry and recorder into a router.

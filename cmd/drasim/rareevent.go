@@ -64,8 +64,9 @@ type benchFile struct {
 // sequential stopping (-target-relerr > 0). With -bench-out it also runs
 // the crude estimator at the same cycle budget and writes both, plus the
 // analytic GTH value, as a JSON benchmark artifact.
-func runRareEvent(a linecard.Arch, n, m int, mu float64, reps int, seed uint64, workers int, fl rareEventFlags, ob *obs) {
-	opt := montecarlo.Options{
+func runRareEvent(a linecard.Arch, n, m int, mu float64, reps int, seed uint64, workers int, fl rareEventFlags, ob *obs,
+	lifecycle func(montecarlo.Options) montecarlo.Options) {
+	opt := lifecycle(montecarlo.Options{
 		Arch: a, N: n, M: m,
 		Rates:        router.PaperRates(mu),
 		Reps:         reps,
@@ -75,7 +76,7 @@ func runRareEvent(a linecard.Arch, n, m int, mu float64, reps int, seed uint64, 
 		Batch:        fl.batch,
 		CyclesPerRep: fl.cyclesPerRep,
 		Metrics:      ob.reg,
-	}
+	})
 	if fl.delta > 0 {
 		opt.Biasing = router.Biasing{Enabled: true, Delta: fl.delta}
 	}
@@ -83,6 +84,7 @@ func runRareEvent(a linecard.Arch, n, m int, mu float64, reps int, seed uint64, 
 	if err != nil {
 		fatal(err)
 	}
+	reportFailedTrials(res.Failed)
 
 	regime := fmt.Sprintf("balanced failure biasing δ=%g", fl.delta)
 	if fl.delta == 0 {
@@ -123,6 +125,10 @@ func runRareEvent(a linecard.Arch, n, m int, mu float64, reps int, seed uint64, 
 		// band it observes zero down cycles and exhausts the budget.
 		copt := opt
 		copt.Biasing = router.Biasing{}
+		// The contrast run must not overwrite the main run's checkpoint
+		// file or resume from its state.
+		copt.OnBatch = nil
+		copt.Resume = nil
 		cres, csecs, err := timedUnavailability(copt)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// Bundle is the repro artifact every campaign run emits: the seed, the
+// full spec, and the recorded event timeline. Re-running the bundle's
+// spec must reproduce the timeline exactly — Replay verifies it.
+type Bundle struct {
+	Spec Campaign `json:"spec"`
+	// Seed duplicates Spec.Seed for at-a-glance triage of a bundle file.
+	Seed uint64 `json:"seed"`
+	// Timeline is the trace recorded by the run, Seq-ordered.
+	Timeline []trace.Event `json:"timeline"`
+}
+
+// Bundle packages the run for reproduction.
+func (res *Result) Bundle() Bundle {
+	return Bundle{Spec: res.Campaign, Seed: res.Campaign.Seed, Timeline: res.Timeline}
+}
+
+// MarshalIndent renders the bundle as indented JSON for bundle files.
+func (b Bundle) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// WriteFile writes the bundle to path (the repro-bundle workflow's
+// hand-off artifact).
+func (b Bundle) WriteFile(path string) error {
+	data, err := b.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBundle reads a bundle file.
+func LoadBundle(path string) (Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Bundle{}, fmt.Errorf("chaos: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Bundle{}, fmt.Errorf("chaos: %w", err)
+	}
+	return b, nil
+}
+
+// Replay re-runs the bundle's campaign and verifies the fresh timeline
+// matches the recorded one event for event — the determinism contract
+// of the repro workflow. It returns the fresh result; the error is
+// non-nil when the run diverged (or itself failed).
+func Replay(b Bundle, opt Options) (*Result, error) {
+	res, err := Run(b.Spec, opt)
+	if err != nil {
+		return res, err
+	}
+	if len(res.Timeline) != len(b.Timeline) {
+		return res, fmt.Errorf("chaos: replay diverged: %d timeline events, bundle has %d",
+			len(res.Timeline), len(b.Timeline))
+	}
+	for i := range b.Timeline {
+		if res.Timeline[i] != b.Timeline[i] {
+			return res, fmt.Errorf("chaos: replay diverged at event %d: got %v, bundle has %v",
+				i, res.Timeline[i], b.Timeline[i])
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,340 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func up(b bool) *bool { return &b }
+
+// TestMarkovVerdictCampaign scripts a campaign that fails every
+// component class the analytical Markov models cover and asserts the
+// executable model's CanDeliver verdict against the paper's Case 1–3
+// coverage rules, with zero invariant violations. The layout is the
+// standard DRA(6,3): LCs 0–2 share Ethernet, LCs 3–5 each speak a
+// unique protocol, so LC 1 has same-protocol PDLU donors and LC 3 has
+// none.
+func TestMarkovVerdictCampaign(t *testing.T) {
+	c := Campaign{
+		Name: "markov-verdict", N: 6, M: 3, Seed: 7, Load: 0.3,
+		Events: []Event{
+			// Case 1 (PDLU): coverable only by a same-protocol healthy PDLU.
+			{At: 10, Kind: "fail", LC: 1, Component: "PDLU"},
+			{At: 11, Kind: "expect", LC: 1, Up: up(true)},
+			{At: 20, Kind: "repair-storm"},
+			{At: 21, Kind: "expect", LC: 1, Up: up(true)},
+
+			// Case 1, no same-protocol donor: LC 3's protocol is unique.
+			{At: 30, Kind: "fail", LC: 3, Component: "PDLU"},
+			{At: 31, Kind: "expect", LC: 3, Up: up(false)},
+			{At: 40, Kind: "repair", LC: 3},
+			{At: 41, Kind: "expect", LC: 3, Up: up(true)},
+
+			// Case 2 (SRU): any healthy PI path elsewhere covers it.
+			{At: 50, Kind: "fail", LC: 4, Component: "SRU"},
+			{At: 51, Kind: "expect", LC: 4, Up: up(true)},
+
+			// LFE: lookups served by any healthy peer LFE.
+			{At: 60, Kind: "fail", LC: 5, Component: "LFE"},
+			{At: 61, Kind: "expect", LC: 5, Up: up(true)},
+
+			// PIU: never coverable — the external link terminates there.
+			{At: 70, Kind: "fail", LC: 0, Component: "PIU"},
+			{At: 71, Kind: "expect", LC: 0, Up: up(false)},
+			{At: 80, Kind: "repair-storm"},
+
+			// Bus controller alone leaves the local path intact...
+			{At: 90, Kind: "fail", LC: 2, Component: "BC"},
+			{At: 91, Kind: "expect", LC: 2, Up: up(true)},
+			// ...but combined with an SRU fault the LC needs the EIB it
+			// cannot reach.
+			{At: 100, Kind: "fail", LC: 2, Component: "SRU"},
+			{At: 101, Kind: "expect", LC: 2, Up: up(false)},
+			{At: 110, Kind: "repair", LC: 2},
+
+			// Case 3 via the bus: a PDLU fault is covered until the EIB
+			// lines die, and recovers when they return.
+			{At: 120, Kind: "fail", LC: 1, Component: "PDLU"},
+			{At: 121, Kind: "expect", LC: 1, Up: up(true)},
+			{At: 130, Kind: "fail-bus"},
+			{At: 131, Kind: "expect", LC: 1, Up: up(false)},
+			{At: 140, Kind: "repair-bus"},
+			{At: 141, Kind: "expect", LC: 1, Up: up(true)},
+			{At: 150, Kind: "repair-storm"},
+
+			// Fabric redundancy (Case 1 of the fabric chain): losing one
+			// of five cards degrades capacity but not service; losing the
+			// whole fabric pushes DRA onto the EIB data lines.
+			{At: 160, Kind: "fail-fabric-card", Card: 0},
+			{At: 161, Kind: "expect", LC: 0, Up: up(true)},
+			{At: 170, Kind: "common-mode", Sub: []Event{
+				{Kind: "fail-fabric-card", Card: 1},
+				{Kind: "fail-fabric-card", Card: 2},
+				{Kind: "fail-fabric-card", Card: 3},
+				{Kind: "fail-fabric-card", Card: 4},
+			}},
+			{At: 171, Kind: "expect", LC: 0, Up: up(true)}, // EIB fallback
+			{At: 180, Kind: "fail-fabric-port", LC: 2},
+			{At: 181, Kind: "expect", LC: 2, Up: up(true)}, // EIB fallback
+			{At: 190, Kind: "repair-storm"},
+			{At: 191, Kind: "expect", LC: 2, Up: up(true)},
+		},
+		Horizon: 200,
+	}
+	res, err := Run(c, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("campaign verdict: %v\ntimeline:\n%s", err, timelineForDebug(res))
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("expected zero invariant violations, got %v", res.Violations)
+	}
+}
+
+// TestBDRVerdict checks the degenerate BDR rule: any single component
+// failure takes the LC down (no coverage paths exist).
+func TestBDRVerdict(t *testing.T) {
+	c := Campaign{
+		Name: "bdr", Arch: "bdr", N: 4, M: 2, Seed: 3,
+		Events: []Event{
+			{At: 10, Kind: "fail", LC: 1, Component: "SRU"},
+			{At: 11, Kind: "expect", LC: 1, Up: up(false)},
+			{At: 20, Kind: "repair", LC: 1},
+			{At: 21, Kind: "expect", LC: 1, Up: up(true)},
+		},
+	}
+	res, err := Run(c, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("campaign verdict: %v", err)
+	}
+}
+
+// TestProtocolGroupWipeout kills every SRU of the Ethernet group in one
+// correlated event: the group's LCs survive only while a healthy PI
+// path exists elsewhere, which it does (LCs 3–5), so all stay up.
+func TestProtocolGroupWipeout(t *testing.T) {
+	c := Campaign{
+		Name: "group-wipeout", N: 6, M: 3, Seed: 11,
+		Events: []Event{
+			{At: 10, Kind: "fail-protocol-group", Protocol: "ethernet", Component: "SRU"},
+			{At: 11, Kind: "expect", LC: 0, Up: up(true)},
+			{At: 11, Kind: "expect", LC: 1, Up: up(true)},
+			{At: 11, Kind: "expect", LC: 2, Up: up(true)},
+			// Now take the whole bus too: common-mode with LC 3's bus
+			// controller, the fabric stays up so LC 3 itself survives,
+			// but the covered Ethernet LCs lose their EIB coverage.
+			{At: 20, Kind: "common-mode", Sub: []Event{
+				{Kind: "fail-bus"},
+				{Kind: "fail", LC: 3, Component: "BC"},
+			}},
+			{At: 21, Kind: "expect", LC: 0, Up: up(false)},
+			{At: 21, Kind: "expect", LC: 3, Up: up(true)},
+		},
+	}
+	res, err := Run(c, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("campaign verdict: %v\n%s", err, timelineForDebug(res))
+	}
+}
+
+// TestTransientAndDeferredRepair exercises self-clearing faults and the
+// deferred maintenance policy.
+func TestTransientAndDeferredRepair(t *testing.T) {
+	c := Campaign{
+		Name: "transient", N: 4, M: 4, Seed: 5,
+		Repair: &RepairPolicy{Mode: "deferred", Interval: 50},
+		Events: []Event{
+			// Transient LFE blip clears on its own before the visit.
+			{At: 10, Kind: "transient", LC: 0, Component: "LFE", ClearAfter: 5},
+			{At: 16, Kind: "expect", LC: 0, Up: up(true)},
+			// A hard PIU fault waits for the t=50 maintenance visit.
+			{At: 20, Kind: "fail", LC: 1, Component: "PIU"},
+			{At: 21, Kind: "expect", LC: 1, Up: up(false)},
+			{At: 49, Kind: "expect", LC: 1, Up: up(false)},
+			{At: 55, Kind: "expect", LC: 1, Up: up(true)},
+		},
+		Horizon: 60,
+	}
+	res, err := Run(c, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("campaign verdict: %v\n%s", err, timelineForDebug(res))
+	}
+	// The transient must have left a fault and a repair in the timeline.
+	var sawFault, sawClear bool
+	for _, e := range res.Timeline {
+		if e.At == 10 && e.Detail == "LFE" {
+			sawFault = true
+		}
+		if e.At == 15 && e.Detail == "LFE" {
+			sawClear = true
+		}
+	}
+	if !sawFault || !sawClear {
+		t.Fatalf("transient fault/clear missing from timeline (fault=%v clear=%v)", sawFault, sawClear)
+	}
+}
+
+// TestBundleReplayDeterminism runs a campaign twice through the bundle
+// workflow: the replay must reproduce the timeline event for event.
+func TestBundleReplayDeterminism(t *testing.T) {
+	c := Campaign{
+		Name: "replay", N: 6, M: 3, Seed: 99, Load: 0.4,
+		Events: []Event{
+			{At: 5, Kind: "fail", LC: 0, Component: "PDLU"},
+			{At: 8, Kind: "fail", LC: 4, Component: "SRU"},
+			{At: 12, Kind: "fail-bus"},
+			{At: 15, Kind: "repair-bus"},
+			{At: 20, Kind: "repair-storm"},
+		},
+	}
+	res, err := Run(c, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("expected a non-empty timeline")
+	}
+	b := res.Bundle()
+	if _, err := Replay(b, Options{}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	// A different seed must diverge (the CSMA/CD backoff draws differ),
+	// proving Replay actually compares something.
+	b2 := b
+	b2.Spec.Seed = b.Spec.Seed + 1
+	if _, err := Replay(b2, Options{}); err == nil {
+		t.Fatal("Replay with a different seed should diverge")
+	}
+}
+
+// TestBundleRoundTrip writes and reloads a bundle file.
+func TestBundleRoundTrip(t *testing.T) {
+	c := Campaign{
+		Name: "roundtrip", N: 4, M: 2, Seed: 1,
+		Events: []Event{{At: 1, Kind: "fail", LC: 0, Component: "SRU"}},
+	}
+	res, err := Run(c, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	path := t.TempDir() + "/bundle.json"
+	if err := res.Bundle().WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	b, err := LoadBundle(path)
+	if err != nil {
+		t.Fatalf("LoadBundle: %v", err)
+	}
+	if _, err := Replay(b, Options{}); err != nil {
+		t.Fatalf("Replay of reloaded bundle: %v", err)
+	}
+}
+
+// TestPanicCapture drives the model into a genuine panic (a fabric card
+// index past the chassis size — validation cannot know the fabric
+// geometry) and checks the run converts it into a *PanicError with the
+// partial result intact, instead of crashing the caller.
+func TestPanicCapture(t *testing.T) {
+	c := Campaign{
+		Name: "boom", N: 4, M: 2, Seed: 1,
+		Events: []Event{
+			{At: 1, Kind: "fail", LC: 0, Component: "SRU"},
+			{At: 2, Kind: "fail-fabric-card", Card: 99},
+		},
+	}
+	res, err := Run(c, Options{})
+	if err == nil {
+		t.Fatal("expected a captured panic")
+	}
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("expected *PanicError, got %T: %v", err, err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+	if res == nil || len(res.Samples) == 0 {
+		t.Fatal("partial result lost with the panic")
+	}
+}
+
+// TestContextCancel stops a run between steps.
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := Campaign{
+		Name: "cancelled", N: 4, M: 2, Seed: 1,
+		Events: []Event{{At: 1, Kind: "fail", LC: 0, Component: "SRU"}},
+	}
+	res, err := Run(c, Options{Ctx: ctx})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run should still return the partial result")
+	}
+}
+
+// TestValidation rejects malformed specs loudly.
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Campaign
+		want string
+	}{
+		{"too few LCs", Campaign{N: 1}, "two linecards"},
+		{"bad kind", Campaign{N: 4, Events: []Event{{Kind: "explode"}}}, "unknown kind"},
+		{"bad component", Campaign{N: 4, Events: []Event{{Kind: "fail", LC: 0, Component: "warp-core"}}}, "unknown component"},
+		{"lc range", Campaign{N: 4, Events: []Event{{Kind: "fail", LC: 9, Component: "SRU"}}}, "outside"},
+		{"bdr pdlu", Campaign{N: 4, Arch: "bdr", Events: []Event{{Kind: "fail", LC: 0, Component: "PDLU"}}}, "BDR has no"},
+		{"bdr bus", Campaign{N: 4, Arch: "bdr", Events: []Event{{Kind: "fail-bus"}}}, "BDR has no EIB"},
+		{"transient clear", Campaign{N: 4, Events: []Event{{Kind: "transient", LC: 0, Component: "SRU"}}}, "clear_after"},
+		{"expect verdict", Campaign{N: 4, Events: []Event{{Kind: "expect", LC: 0}}}, "up verdict"},
+		{"nested common-mode", Campaign{N: 4, Events: []Event{{Kind: "common-mode", Sub: []Event{{Kind: "common-mode", Sub: []Event{{Kind: "fail-bus"}}}}}}}, "nest"},
+		{"bad repair mode", Campaign{N: 4, Repair: &RepairPolicy{Mode: "eager", Interval: 1}}, "repair mode"},
+		{"bad protocol group", Campaign{N: 4, Events: []Event{{Kind: "fail-protocol-group", Protocol: "token-ring", Component: "SRU"}}}, "unknown protocol"},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestParseRejectsUnknownFields makes spec typos loud.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"x","n":4,"evnets":[]}`))
+	if err == nil {
+		t.Fatal("unknown field should be rejected")
+	}
+}
+
+func timelineForDebug(res *Result) string {
+	var b strings.Builder
+	for _, s := range res.Samples {
+		b.WriteString(s.Label)
+		b.WriteString(" up=")
+		for _, u := range s.Up {
+			if u {
+				b.WriteString("1")
+			} else {
+				b.WriteString("0")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+// Package chaos is a deterministic, JSON-scriptable fault-campaign
+// engine layered over the router's fault entry points. A campaign is a
+// timeline of scheduled and correlated failure events — protocol-group
+// wipeouts, common-mode fabric+bus-controller events, transient faults
+// that self-clear, repair storms, deferred repair policies — plus
+// inline service-level assertions. Campaigns are replayable: every run
+// emits a repro bundle (seed, spec, event timeline) from which the
+// exact run can be reproduced and verified bit-for-bit.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/linecard"
+	"repro/internal/packet"
+)
+
+// Campaign is the top-level JSON campaign document.
+type Campaign struct {
+	// Name labels the campaign in bundles and reports.
+	Name string `json:"name"`
+	// Arch is "dra" (default) or "bdr".
+	Arch string `json:"arch,omitempty"`
+	// N is the linecard count; M the number sharing LC 0's protocol
+	// (default N) — the paper's uniform layout.
+	N int    `json:"n"`
+	M int    `json:"m,omitempty"`
+	// Seed drives every stochastic choice (CSMA/CD backoff). The same
+	// spec and seed reproduce the identical event timeline.
+	Seed uint64 `json:"seed"`
+	// Load is the uniform offered-load fraction in [0, 1].
+	Load float64 `json:"load,omitempty"`
+	// Horizon extends the run past the last event (model time units).
+	// Zero means the run ends after the last event settles.
+	Horizon float64 `json:"horizon,omitempty"`
+	// Repair selects a deferred/batched repair policy applied on top of
+	// the scripted events.
+	Repair *RepairPolicy `json:"repair,omitempty"`
+	// Events is the fault timeline.
+	Events []Event `json:"events"`
+}
+
+// RepairPolicy describes the campaign's standing repair process.
+type RepairPolicy struct {
+	// Mode is "deferred": every Interval, a maintenance visit repairs
+	// all accumulated faults in one batch (LCs, EIB lines, fabric).
+	Mode string `json:"mode"`
+	// Interval is the time between maintenance visits.
+	Interval float64 `json:"interval"`
+}
+
+// Event is one campaign timeline entry.
+type Event struct {
+	At   float64 `json:"at"`
+	// Kind selects the action:
+	//
+	//	fail                 — fail one component of one LC
+	//	repair-component     — repair one component of one LC
+	//	repair               — whole-LC repair (all failed units)
+	//	fail-bus / repair-bus
+	//	fail-fabric-card / repair-fabric-card   (Card)
+	//	fail-fabric-port / repair-fabric-port   (LC)
+	//	fail-protocol-group  — fail Component on every LC speaking
+	//	                       Protocol (correlated wipeout)
+	//	common-mode          — apply every Sub event at this instant
+	//	                       before the model settles
+	//	transient            — fail, then self-clear after ClearAfter
+	//	repair-storm         — repair everything failed at once
+	//	expect               — assert CanDeliver(LC) == Up after settle
+	Kind       string  `json:"kind"`
+	LC         int     `json:"lc,omitempty"`
+	Component  string  `json:"component,omitempty"`
+	Protocol   string  `json:"protocol,omitempty"`
+	Card       int     `json:"card,omitempty"`
+	ClearAfter float64 `json:"clear_after,omitempty"`
+	Sub        []Event `json:"sub,omitempty"`
+	Up         *bool   `json:"up,omitempty"`
+}
+
+// Parse decodes and validates a campaign document. Unknown fields are
+// rejected so a typo in a spec fails loudly instead of silently doing
+// nothing.
+func Parse(data []byte) (Campaign, error) {
+	var c Campaign
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("chaos: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// LoadFile reads and parses a campaign file.
+func LoadFile(path string) (Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("chaos: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate checks the campaign for structural errors: unknown kinds,
+// out-of-range linecards, components the architecture does not have
+// (failing a PDLU on BDR would panic deep in the linecard model), and
+// malformed assertions.
+func (c Campaign) Validate() error {
+	if !strings.EqualFold(c.Arch, "") && !strings.EqualFold(c.Arch, "dra") && !strings.EqualFold(c.Arch, "bdr") {
+		return fmt.Errorf("chaos: unknown arch %q", c.Arch)
+	}
+	if c.N < 2 {
+		return fmt.Errorf("chaos: need at least two linecards, got %d", c.N)
+	}
+	if c.M < 0 || c.M > c.N {
+		return fmt.Errorf("chaos: m %d outside [0, %d]", c.M, c.N)
+	}
+	if c.Load < 0 || c.Load > 1 {
+		return fmt.Errorf("chaos: load %g outside [0, 1]", c.Load)
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("chaos: negative horizon %g", c.Horizon)
+	}
+	if c.Repair != nil {
+		if !strings.EqualFold(c.Repair.Mode, "deferred") {
+			return fmt.Errorf("chaos: unknown repair mode %q", c.Repair.Mode)
+		}
+		if c.Repair.Interval <= 0 {
+			return fmt.Errorf("chaos: repair interval must be positive, got %g", c.Repair.Interval)
+		}
+	}
+	for i, e := range c.Events {
+		if err := c.validateEvent(e, false); err != nil {
+			return fmt.Errorf("chaos: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (c Campaign) isBDR() bool { return strings.EqualFold(c.Arch, "bdr") }
+
+func (c Campaign) validateEvent(e Event, nested bool) error {
+	if e.At < 0 {
+		return fmt.Errorf("negative time %g", e.At)
+	}
+	needLC, needComp := false, false
+	switch strings.ToLower(e.Kind) {
+	case "fail", "repair-component":
+		needLC, needComp = true, true
+	case "transient":
+		needLC, needComp = true, true
+		if e.ClearAfter <= 0 {
+			return fmt.Errorf("transient needs a positive clear_after, got %g", e.ClearAfter)
+		}
+	case "repair":
+		needLC = true
+	case "fail-bus", "repair-bus":
+		if c.isBDR() {
+			return fmt.Errorf("%s: BDR has no EIB", e.Kind)
+		}
+	case "fail-fabric-card", "repair-fabric-card":
+		if e.Card < 0 {
+			return fmt.Errorf("negative fabric card %d", e.Card)
+		}
+	case "fail-fabric-port", "repair-fabric-port":
+		needLC = true
+	case "fail-protocol-group":
+		needComp = true
+		if _, err := parseProtocol(e.Protocol); err != nil {
+			return err
+		}
+	case "repair-storm":
+	case "common-mode":
+		if nested {
+			return fmt.Errorf("common-mode events cannot nest")
+		}
+		if len(e.Sub) == 0 {
+			return fmt.Errorf("common-mode needs sub events")
+		}
+		for j, s := range e.Sub {
+			if strings.EqualFold(s.Kind, "expect") {
+				return fmt.Errorf("sub %d: expect cannot be a common-mode sub event", j)
+			}
+			if err := c.validateEvent(s, true); err != nil {
+				return fmt.Errorf("sub %d: %w", j, err)
+			}
+		}
+	case "expect":
+		needLC = true
+		if e.Up == nil {
+			return fmt.Errorf("expect needs an up verdict")
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", e.Kind)
+	}
+	if needLC && (e.LC < 0 || e.LC >= c.N) {
+		return fmt.Errorf("lc %d outside [0, %d)", e.LC, c.N)
+	}
+	if needComp {
+		comp, err := parseComponent(e.Component)
+		if err != nil {
+			return err
+		}
+		if c.isBDR() && (comp == linecard.PDLU || comp == linecard.BusController) {
+			return fmt.Errorf("BDR has no %v", comp)
+		}
+	}
+	return nil
+}
+
+func parseProtocol(s string) (packet.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "ethernet":
+		return packet.ProtoEthernet, nil
+	case "sonet":
+		return packet.ProtoSONET, nil
+	case "atm":
+		return packet.ProtoATM, nil
+	case "framerelay", "frame-relay":
+		return packet.ProtoFrameRelay, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+func parseComponent(s string) (linecard.Component, error) {
+	switch strings.ToUpper(s) {
+	case "PIU":
+		return linecard.PIU, nil
+	case "PDLU":
+		return linecard.PDLU, nil
+	case "SRU":
+		return linecard.SRU, nil
+	case "LFE":
+		return linecard.LFE, nil
+	case "BC", "BUSCONTROLLER", "BUS-CONTROLLER":
+		return linecard.BusController, nil
+	default:
+		return 0, fmt.Errorf("unknown component %q", s)
+	}
+}

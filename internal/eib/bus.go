@@ -74,6 +74,11 @@ type Bus struct {
 	lps    map[int]*LP
 	nextLP int
 
+	// OnLP, when non-nil, observes every LP open (opened=true) and every
+	// close or drop (opened=false) — the attachment point for shadow
+	// arbitration bookkeeping such as the distributed-counter invariant.
+	OnLP func(opened bool, lp *LP)
+
 	// Stats
 	CtrlPackets uint64
 	Collisions  uint64
@@ -181,10 +186,13 @@ func (b *Bus) Sniff(h Handler) {
 // are dropped.
 func (b *Bus) Fail() {
 	b.fail = true
-	for id := range b.lps {
+	for id, lp := range b.lps {
 		delete(b.lps, id)
 		b.LPsClosed++
 		b.mLPsClosed.Inc()
+		if b.OnLP != nil {
+			b.OnLP(false, lp)
+		}
 	}
 	b.updateLPGauges()
 }
@@ -272,6 +280,9 @@ func (b *Bus) OpenLP(init, rec int, asked float64, dir Direction) (*LP, error) {
 	b.lps[lp.ID] = lp
 	b.LPsOpened++
 	b.mLPsOpened.Inc()
+	if b.OnLP != nil {
+		b.OnLP(true, lp)
+	}
 	b.updateLPGauges()
 	return lp, nil
 }
@@ -279,16 +290,30 @@ func (b *Bus) OpenLP(init, rec int, asked float64, dir Direction) (*LP, error) {
 // CloseLP releases an LP. Closing an unknown LP is a no-op (it may have
 // been dropped by a bus failure).
 func (b *Bus) CloseLP(id int) {
-	if _, ok := b.lps[id]; ok {
+	if lp, ok := b.lps[id]; ok {
 		delete(b.lps, id)
 		b.LPsClosed++
 		b.mLPsClosed.Inc()
+		if b.OnLP != nil {
+			b.OnLP(false, lp)
+		}
 		b.updateLPGauges()
 	}
 }
 
 // ActiveLPs returns the number of open logical paths (β).
 func (b *Bus) ActiveLPs() int { return len(b.lps) }
+
+// LPs returns the open logical paths sorted by ID — a read-only view
+// for invariant checks and diagnostics.
+func (b *Bus) LPs() []*LP {
+	out := make([]*LP, 0, len(b.lps))
+	for _, lp := range b.lps {
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // TotalAsked returns B_LCT, the sum of requested rates.
 func (b *Bus) TotalAsked() float64 {

@@ -1,0 +1,171 @@
+package eib
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// FuzzControlProtocol drives the three-tier control protocol with an
+// arbitrary op script: REQ_D/REQ_L exchanges, LP releases, controller
+// detach/reattach, bus failure and repair, all interleaved with partial
+// kernel progress so exchanges overlap. Whatever the script does, the bus
+// must never panic and its logical-path bookkeeping must stay coherent:
+//
+//   - every LP open/close is mirrored exactly once through OnLP,
+//   - ActiveLPs == opened − closed == live shadow set,
+//   - a failed bus holds zero LPs,
+//   - the bandwidth promise follows the paper's proportional scale-back
+//     formula for every live LP.
+//
+// The script is consumed two bytes per op: (opcode, argument).
+func FuzzControlProtocol(f *testing.F) {
+	// Regression seeds: a clean handshake+release, a bus failure with LPs
+	// in flight, a detach storm, and an overload that triggers the
+	// proportional scale-back.
+	f.Add([]byte{0, 1, 7, 0, 2, 0})                         // request, settle, release
+	f.Add([]byte{0, 1, 0, 2, 4, 0, 7, 0, 5, 0, 0, 3})       // overlap, bus fail/repair
+	f.Add([]byte{3, 0, 3, 1, 3, 2, 3, 3, 0, 1, 7, 0, 4, 0}) // detach all, request into silence
+	f.Add([]byte{0, 200, 7, 0, 0, 220, 7, 0, 0, 250, 7, 0}) // ΣB_LC > B_BUS scale-back
+	f.Add([]byte{1, 9, 7, 0, 1, 9, 6, 0, 7, 0})             // lookups, one into a failed bus
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		k := sim.NewKernel()
+		bus, err := NewBus(k, xrand.New(1), BusConfig{
+			// Tiny capacity so fuzzed rates cross the scale-back threshold.
+			DataCapacity: 500, CtrlSlot: 1e-6, MaxBackoffExp: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const n = 4
+		ctrls := make([]*Controller, n)
+		attached := make([]bool, n)
+		for i := range ctrls {
+			ctrls[i] = NewController(bus, i)
+			attached[i] = true
+			ctrls[i].AcceptData = func(ControlPacket) bool { return true }
+			egress := i
+			ctrls[i].ServeLookup = func(uint32) (int, bool) { return egress, true }
+		}
+
+		// Shadow LP set maintained purely from OnLP notifications; it must
+		// track the bus's own table move for move.
+		shadow := make(map[int]float64)
+		bus.OnLP = func(opened bool, lp *LP) {
+			if opened {
+				if _, dup := shadow[lp.ID]; dup {
+					t.Fatalf("LP %d opened twice without a close", lp.ID)
+				}
+				shadow[lp.ID] = lp.Asked
+			} else {
+				if _, ok := shadow[lp.ID]; !ok {
+					t.Fatalf("close notification for unknown LP %d", lp.ID)
+				}
+				delete(shadow, lp.ID)
+			}
+		}
+
+		var lps []*LP // LPs this script opened and has not yet released
+		steps := func(c int) {
+			for i := 0; i < c; i++ {
+				if !k.Step() {
+					return
+				}
+			}
+		}
+
+		for pos := 0; pos+1 < len(script); pos += 2 {
+			op, arg := script[pos], int(script[pos+1])
+			lc := arg % n
+			switch op % 8 {
+			case 0: // forward-path REQ_D; open an LP on acceptance
+				init := lc
+				rate := float64(1 + arg)
+				ctrls[init].RequestData(
+					ControlPacket{Rec: Broadcast, DataRate: rate},
+					func(rec int) {
+						if lp, err := bus.OpenLP(init, rec, rate, Forward); err == nil {
+							lps = append(lps, lp)
+						}
+					},
+					func(error) {})
+			case 1: // REQ_L lookup exchange
+				ctrls[lc].RequestLookup(uint32(arg), func(int) {}, func(error) {})
+			case 2: // REL_D release of a script-opened LP
+				if len(lps) > 0 {
+					i := arg % len(lps)
+					lp := lps[i]
+					lps = append(lps[:i], lps[i+1:]...)
+					ctrls[lp.Init%n].Release(lp)
+				}
+			case 3: // bus-controller failure
+				if attached[lc] {
+					ctrls[lc].Detach()
+					attached[lc] = false
+				}
+			case 4: // controller repair
+				if !attached[lc] {
+					ctrls[lc].Reattach()
+					attached[lc] = true
+				}
+			case 5: // EIB line cut: every LP must drop
+				bus.Fail()
+				if bus.ActiveLPs() != 0 {
+					t.Fatalf("failed bus still holds %d LPs", bus.ActiveLPs())
+				}
+				lps = lps[:0]
+			case 6: // EIB repair
+				bus.Repair()
+			case 7: // let the kernel make partial progress
+				steps(1 + arg%16)
+			}
+		}
+		k.Run(0) // quiesce: every timeout and in-flight delivery fires
+
+		// Bookkeeping coherence after an arbitrary history.
+		if got, want := bus.ActiveLPs(), len(shadow); got != want {
+			t.Fatalf("ActiveLPs = %d, shadow set has %d", got, want)
+		}
+		if bus.LPsOpened < bus.LPsClosed {
+			t.Fatalf("closed %d LPs but only opened %d", bus.LPsClosed, bus.LPsOpened)
+		}
+		if live := bus.LPsOpened - bus.LPsClosed; live != uint64(len(shadow)) {
+			t.Fatalf("counters say %d live LPs, shadow set has %d", live, len(shadow))
+		}
+		var sum float64
+		for _, asked := range shadow {
+			sum += asked
+		}
+		if got := bus.TotalAsked(); got != sum {
+			t.Fatalf("TotalAsked = %g, shadow sum = %g", got, sum)
+		}
+
+		// The promise formula: full ask under capacity, proportional share
+		// beyond it (paper §4).
+		if !bus.Failed() {
+			cap := bus.Config().DataCapacity
+			for id, got := range bus.PromisedAll() {
+				want := shadow[id]
+				if sum > cap {
+					want = want / sum * cap
+				}
+				// One multiply order differs from the oracle, so allow a
+				// relative error of a few ulps.
+				if diff := got - want; diff > 1e-9*want || diff < -1e-9*want {
+					t.Fatalf("Promised(LP %d) = %g, want %g (Σ=%g, cap=%g)", id, got, want, sum, cap)
+				}
+			}
+		}
+
+		// LPs() is the sorted read-only view invariant checks rely on.
+		view := bus.LPs()
+		for i := 1; i < len(view); i++ {
+			if view[i-1].ID >= view[i].ID {
+				t.Fatalf("LPs() not strictly ascending at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package montecarlo
+
+// Crash-safe run lifecycle: panic capture per replication (a defective
+// trial is recorded with a repro bundle instead of aborting the batch),
+// deterministic single-trial replay from that bundle, and batch
+// checkpoints from which an interrupted run resumes bit-for-bit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// FailedTrial is the repro bundle of one replication that panicked: the
+// master seed and replication index determine the trial's random stream
+// exactly, so Replay*Trial reproduces the panic deterministically.
+type FailedTrial struct {
+	Rep  uint64 `json:"rep"`
+	Seed uint64 `json:"seed"`
+	// Panic is the captured panic value, Stack the goroutine stack at
+	// capture time.
+	Panic string `json:"panic"`
+	Stack string `json:"stack"`
+}
+
+// String implements fmt.Stringer.
+func (f FailedTrial) String() string {
+	return fmt.Sprintf("trial rep=%d seed=%d panicked: %s", f.Rep, f.Seed, f.Panic)
+}
+
+// TrialPanicError is returned by the Replay*Trial helpers when the
+// replayed replication panics again (the expected outcome of replaying
+// a genuine repro bundle).
+type TrialPanicError struct {
+	Trial FailedTrial
+}
+
+// Error implements error.
+func (e *TrialPanicError) Error() string { return "montecarlo: " + e.Trial.String() }
+
+// TrialStream re-derives the exact random stream replication rep
+// received in a run seeded with seed: streams are split sequentially
+// from the master in replication order, so the stream of rep i is the
+// master state after i jumps.
+func TrialStream(seed, rep uint64) *xrand.Source {
+	m := xrand.New(seed)
+	for i := uint64(0); i < rep; i++ {
+		m.Jump()
+	}
+	return m.Split()
+}
+
+// runOne executes one replication under panic capture. A panic becomes
+// a *FailedTrial (the batch continues); a returned error still aborts
+// the run (it signals a misconfiguration, not a model defect).
+func runOne[T any](opt Options, rep uint64, src *xrand.Source,
+	one func(Options, uint64, *xrand.Source) (T, error)) (v T, ft *FailedTrial, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ft = &FailedTrial{Rep: rep, Seed: opt.Seed, Panic: fmt.Sprint(rec), Stack: string(debug.Stack())}
+		}
+	}()
+	v, err = one(opt, rep, src)
+	return
+}
+
+// replayTrial re-runs a single replication on its re-derived stream.
+func replayTrial[T any](opt Options, rep uint64,
+	one func(Options, uint64, *xrand.Source) (T, error)) error {
+	if opt.Horizon == 0 {
+		opt.Horizon = 1 // regenerative runs ignore it; satisfy validation
+	}
+	if err := opt.Validate(); err != nil {
+		return err
+	}
+	_, ft, err := runOne(opt, rep, TrialStream(opt.Seed, rep), one)
+	if err != nil {
+		return err
+	}
+	if ft != nil {
+		return &TrialPanicError{Trial: *ft}
+	}
+	return nil
+}
+
+// ReplayReliabilityTrial re-runs replication rep of a reliability run
+// with the given options. It returns nil when the trial completes, a
+// *TrialPanicError when it panics (the repro case), or a configuration
+// error.
+func ReplayReliabilityTrial(opt Options, rep uint64) error {
+	return replayTrial(opt, rep, reliabilityRep)
+}
+
+// ReplayAvailabilityTrial re-runs replication rep of an availability
+// run.
+func ReplayAvailabilityTrial(opt Options, rep uint64) error {
+	return replayTrial(opt, rep, availabilityRep)
+}
+
+// ReplayUnavailabilityTrial re-runs replication rep of a regenerative
+// unavailability run.
+func ReplayUnavailabilityTrial(opt Options, rep uint64) error {
+	return replayTrial(opt, rep, unavailabilityRep)
+}
+
+// Estimation modes recorded in checkpoints.
+const (
+	ModeReliability    = "reliability"
+	ModeAvailability   = "availability"
+	ModeUnavailability = "unavailability"
+)
+
+// Checkpoint is the exact resumable state of an estimation run at a
+// batch boundary. Accumulator states capture the raw streaming
+// recurrence variables and encoding/json round-trips float64 exactly,
+// so a run resumed from a checkpoint folds the remaining replications
+// into bit-identical accumulators — the final estimate matches an
+// uninterrupted run of the same total budget exactly.
+type Checkpoint struct {
+	Mode     string `json:"mode"`
+	Seed     uint64 `json:"seed"`
+	RepsDone uint64 `json:"reps_done"`
+	Batches  int    `json:"batches"`
+
+	// Weights and Failed are shared across modes.
+	Weights *stats.LogWeightsState `json:"weights,omitempty"`
+	Failed  []FailedTrial          `json:"failed,omitempty"`
+
+	// Unavailability accumulators.
+	Ratio      *stats.RatioState `json:"ratio,omitempty"`
+	Cycles     uint64            `json:"cycles,omitempty"`
+	DownCycles uint64            `json:"down_cycles,omitempty"`
+
+	// Reliability accumulators.
+	Survival   *stats.Proportion   `json:"survival,omitempty"`
+	Failure    *stats.WelfordState `json:"failure,omitempty"`
+	TTF        *stats.WelfordState `json:"ttf,omitempty"`
+	TTFSamples []float64           `json:"ttf_samples,omitempty"`
+
+	// Availability accumulator.
+	PerRep *stats.WelfordState `json:"per_rep,omitempty"`
+}
+
+// WriteFile persists the checkpoint atomically (write to a temp file in
+// the same directory, then rename), so a crash — even kill -9 — during
+// the write never corrupts an existing checkpoint.
+func (c Checkpoint) WriteFile(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Checkpoint{}, fmt.Errorf("montecarlo: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Checkpoint{}, fmt.Errorf("montecarlo: %w", err)
+	}
+	if c.Mode == "" {
+		return Checkpoint{}, fmt.Errorf("montecarlo: checkpoint %s has no mode", path)
+	}
+	return c, nil
+}

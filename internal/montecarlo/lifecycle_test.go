@@ -1,0 +1,309 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+)
+
+// unavailOpts is a small rare-event configuration shared by the
+// lifecycle tests: repair present, biasing on, fixed replication count.
+func unavailOpts() Options {
+	return Options{
+		Arch:         linecard.DRA,
+		N:            4,
+		M:            2,
+		Rates:        router.PaperRates(1.0 / 3),
+		Reps:         12,
+		Seed:         99,
+		CyclesPerRep: 20,
+		Batch:        4,
+		Biasing:      router.Biasing{Enabled: true, Delta: 0.3},
+	}
+}
+
+// TestPanicDoesNotAbortBatch: a replication that panics is recorded as a
+// failed trial with a repro bundle; the rest of the batch — and the run —
+// completes, and the bundle replays the panic deterministically.
+func TestPanicDoesNotAbortBatch(t *testing.T) {
+	const victim = 5
+	boom := func(rep uint64, r *router.Router) {
+		if rep == victim {
+			panic("deliberate lifecycle-test panic")
+		}
+	}
+	opt := unavailOpts()
+	opt.OnBuild = boom
+	res, err := EstimateUnavailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 {
+		t.Fatalf("Failed = %v, want exactly one trial", res.Failed)
+	}
+	ft := res.Failed[0]
+	if ft.Rep != victim || ft.Seed != opt.Seed {
+		t.Fatalf("bundle = %+v", ft)
+	}
+	if !strings.Contains(ft.Panic, "deliberate lifecycle-test panic") || len(ft.Stack) == 0 {
+		t.Fatalf("bundle lacks panic context: %+v", ft)
+	}
+	// The other replications all folded.
+	wantCycles := uint64((opt.Reps - 1) * opt.CyclesPerRep)
+	if res.Cycles != wantCycles {
+		t.Fatalf("Cycles = %d, want %d", res.Cycles, wantCycles)
+	}
+
+	// Replaying the bundle reproduces the panic deterministically…
+	replayOpt := unavailOpts()
+	replayOpt.OnBuild = boom
+	err = ReplayUnavailabilityTrial(replayOpt, ft.Rep)
+	var tp *TrialPanicError
+	if !errors.As(err, &tp) {
+		t.Fatalf("replay err = %v, want TrialPanicError", err)
+	}
+	if tp.Trial.Panic != ft.Panic {
+		t.Fatalf("replayed panic %q, recorded %q", tp.Trial.Panic, ft.Panic)
+	}
+	// …and a neighbouring replication replays clean on the same stream
+	// derivation, so the panic is pinned to the trial, not the helper.
+	if err := ReplayUnavailabilityTrial(replayOpt, victim+1); err != nil {
+		t.Fatalf("healthy trial replay failed: %v", err)
+	}
+}
+
+// TestFailedTrialsExcludedDeterministically: with workers > 1 the failed
+// trial is still attributed to the same replication and the estimate is
+// bit-identical to the sequential run.
+func TestFailedTrialsExcludedDeterministically(t *testing.T) {
+	boom := func(rep uint64, r *router.Router) {
+		if rep == 3 {
+			panic("worker-pool panic")
+		}
+	}
+	seq := unavailOpts()
+	seq.OnBuild = boom
+	a, err := EstimateUnavailability(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := unavailOpts()
+	par.OnBuild = boom
+	par.Workers = 4
+	b, err := EstimateUnavailability(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != b.Estimate() || a.Cycles != b.Cycles {
+		t.Fatalf("sequential %v/%d vs parallel %v/%d", a.Estimate(), a.Cycles, b.Estimate(), b.Cycles)
+	}
+	if len(a.Failed) != 1 || len(b.Failed) != 1 {
+		t.Fatalf("failed trials diverge: %v vs %v", a.Failed, b.Failed)
+	}
+	// Stacks differ across runs (goroutine addresses); the repro triple
+	// must not.
+	fa, fb := a.Failed[0], b.Failed[0]
+	if fa.Rep != fb.Rep || fa.Seed != fb.Seed || fa.Panic != fb.Panic {
+		t.Fatalf("failed trials diverge: %v vs %v", fa, fb)
+	}
+}
+
+// TestCheckpointResumeBitForBit: interrupt a run at a batch boundary,
+// resume from the persisted checkpoint, and the final estimate matches
+// the uninterrupted run exactly at equal total cycles.
+func TestCheckpointResumeBitForBit(t *testing.T) {
+	full, err := EstimateUnavailability(unavailOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after the second batch via a context cancelled from
+	// OnBatch — the same boundary a SIGINT lands on.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	path := filepath.Join(t.TempDir(), "mc.checkpoint")
+	interrupted := unavailOpts()
+	interrupted.Ctx = ctx
+	interrupted.OnBatch = func(cp Checkpoint) {
+		if err := cp.WriteFile(path); err != nil {
+			t.Errorf("checkpoint write: %v", err)
+		}
+		if cp.Batches == 2 {
+			cancel()
+		}
+	}
+	partial, err := EstimateUnavailability(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.StopReason != StopInterrupted {
+		t.Fatalf("StopReason = %q, want %q", partial.StopReason, StopInterrupted)
+	}
+	if partial.Batches != 2 {
+		t.Fatalf("Batches = %d, want 2", partial.Batches)
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Mode != ModeUnavailability || cp.RepsDone != 8 || cp.Batches != 2 {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	resumed := unavailOpts()
+	resumed.Resume = &cp
+	res, err := EstimateUnavailability(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate() != full.Estimate() {
+		t.Fatalf("resumed estimate %v != uninterrupted %v", res.Estimate(), full.Estimate())
+	}
+	rlo, rhi := res.CI()
+	flo, fhi := full.CI()
+	if rlo != flo || rhi != fhi {
+		t.Fatalf("resumed CI [%v, %v] != uninterrupted [%v, %v]", rlo, rhi, flo, fhi)
+	}
+	if res.Cycles != full.Cycles || res.DownCycles != full.DownCycles {
+		t.Fatalf("resumed cycles %d/%d != %d/%d", res.Cycles, res.DownCycles, full.Cycles, full.DownCycles)
+	}
+	if res.Weights.Max != full.Weights.Max || res.Weights.Min != full.Weights.Min {
+		t.Fatal("resumed weight extremes diverge")
+	}
+}
+
+// TestCheckpointResumeReliability: the reliability estimator checkpoints
+// and resumes bit-for-bit too, including the raw TTF sample list.
+func TestCheckpointResumeReliability(t *testing.T) {
+	base := Options{
+		Arch:    linecard.DRA,
+		N:       4,
+		M:       2,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000,
+		Reps:    60,
+		Seed:    7,
+		Batch:   20,
+	}
+	full, err := EstimateReliability(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *Checkpoint
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := base
+	interrupted.Ctx = ctx
+	interrupted.OnBatch = func(cp Checkpoint) {
+		if cp.Batches == 1 {
+			snap = &cp
+			cancel()
+		}
+	}
+	if _, err := EstimateReliability(interrupted); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	resumed := base
+	resumed.Resume = snap
+	res, err := EstimateReliability(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate() != full.Estimate() {
+		t.Fatalf("resumed %v != full %v", res.Estimate(), full.Estimate())
+	}
+	if res.TTF.Mean() != full.TTF.Mean() || len(res.TTFSamples) != len(full.TTFSamples) {
+		t.Fatalf("TTF state diverges: %v/%d vs %v/%d",
+			res.TTF.Mean(), len(res.TTFSamples), full.TTF.Mean(), len(full.TTFSamples))
+	}
+	for i := range res.TTFSamples {
+		if res.TTFSamples[i] != full.TTFSamples[i] {
+			t.Fatalf("TTF sample %d diverges", i)
+		}
+	}
+}
+
+// TestResumeRejectsMismatch: a checkpoint from a different mode or seed
+// must be refused, not silently folded into a corrupt estimate.
+func TestResumeRejectsMismatch(t *testing.T) {
+	opt := unavailOpts()
+	opt.Resume = &Checkpoint{Mode: ModeReliability, Seed: opt.Seed}
+	if _, err := EstimateUnavailability(opt); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+	opt = unavailOpts()
+	opt.Resume = &Checkpoint{Mode: ModeUnavailability, Seed: opt.Seed + 1}
+	if _, err := EstimateUnavailability(opt); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+}
+
+// TestContextCancelledBeforeStart: an already-cancelled context yields
+// an empty interrupted result, not a hang or an error.
+func TestContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := unavailOpts()
+	opt.Ctx = ctx
+	res, err := EstimateUnavailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopInterrupted || res.Cycles != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestWatchdogStopsRun: an expired watchdog deadline behaves like a
+// cancelled context.
+func TestWatchdogStopsRun(t *testing.T) {
+	opt := unavailOpts()
+	opt.Reps = 10000
+	opt.Batch = 2
+	opt.Watchdog = time.Nanosecond
+	res, err := EstimateUnavailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopInterrupted {
+		t.Fatalf("StopReason = %q", res.StopReason)
+	}
+	if res.Batches > 1 {
+		t.Fatalf("watchdog let %d batches through", res.Batches)
+	}
+}
+
+// TestCheckpointFileRoundTrip: WriteFile/LoadCheckpoint preserve the
+// accumulator states exactly (JSON float64 round-trip).
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	var got Checkpoint
+	opt := unavailOpts()
+	opt.OnBatch = func(cp Checkpoint) { got = cp }
+	if _, err := EstimateUnavailability(opt); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := got.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back.Ratio != *got.Ratio || *back.Weights != *got.Weights {
+		t.Fatalf("round-trip changed state: %+v vs %+v", back, got)
+	}
+	if back.RepsDone != got.RepsDone || back.Mode != got.Mode || back.Seed != got.Seed {
+		t.Fatalf("round-trip changed header: %+v vs %+v", back, got)
+	}
+}

@@ -26,8 +26,10 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/linecard"
 	"repro/internal/metrics"
@@ -88,6 +90,9 @@ type Options struct {
 	// unavailability) drops to this target, or the Reps budget runs out.
 	TargetRelErr float64
 	// Batch is the sequential-stopping batch size; 0 selects DefaultBatch.
+	// It is also the granularity of checkpoints (OnBatch) and of
+	// interruption (Ctx/Watchdog): an explicit Batch carves even a
+	// fixed-count run into that many replications per batch.
 	Batch int
 	// CyclesPerRep is how many regenerative cycles EstimateUnavailability
 	// simulates per replication (router construction is amortised across
@@ -101,6 +106,35 @@ type Options struct {
 	// montecarlo_logweight_max/min extremes and montecarlo_stops_total
 	// for convergence watching over /metrics.
 	Metrics *metrics.Registry
+	// Ctx, when non-nil, is checked at every batch boundary: once it is
+	// cancelled the run stops with StopInterrupted and returns the
+	// partial estimate folded so far (plus, via OnBatch, a checkpoint to
+	// resume from). Replications already dispatched finish their batch —
+	// interruption never lands mid-fold, which is what makes resumed
+	// runs bit-identical.
+	Ctx context.Context
+	// Watchdog, when positive, bounds the run's wall-clock time: a batch
+	// boundary past the deadline stops the run with StopInterrupted,
+	// exactly like a cancelled Ctx. It guards unattended campaign and CI
+	// runs against a pathological configuration spinning forever.
+	Watchdog time.Duration
+	// OnBuild, when non-nil, is called with every replication's freshly
+	// constructed router before injection starts — the hook for fault
+	// campaigns and tests to pre-damage or instrument per-replication
+	// state. It runs inside the replication's panic capture: a panic
+	// here is recorded as a failed trial, not a crashed run.
+	OnBuild func(rep uint64, r *router.Router)
+	// OnBatch, when non-nil, receives an exact resumable Checkpoint
+	// after every folded batch. Persist it (Checkpoint.WriteFile is
+	// atomic) and a killed run resumes via Resume with no lost work
+	// beyond the batch in flight.
+	OnBatch func(Checkpoint)
+	// Resume, when non-nil, restores a prior run's accumulators and
+	// skips its RepsDone replication streams, continuing at the next
+	// batch boundary. The checkpoint's Mode and Seed must match the run;
+	// the resumed estimate is bit-identical to an uninterrupted run of
+	// the same total budget.
+	Resume *Checkpoint
 }
 
 // Validate rejects nonsensical options.
@@ -152,6 +186,10 @@ const (
 	StopBudget = "budget"
 	// StopFixed: no TargetRelErr was set; the fixed Reps count ran.
 	StopFixed = "fixed"
+	// StopInterrupted: Options.Ctx was cancelled or the Watchdog
+	// deadline passed; the result is the partial estimate at the last
+	// completed batch.
+	StopInterrupted = "interrupted"
 )
 
 // splitN carves n sequential non-overlapping streams off the master
@@ -165,39 +203,56 @@ func splitN(master *xrand.Source, n int) []*xrand.Source {
 	return out
 }
 
+// trialResult is one replication's outcome inside a batch: either a
+// value to fold or a captured panic (the batch survives the latter).
+type trialResult[T any] struct {
+	v      T
+	failed *FailedTrial
+}
+
 // runBatch executes one replication function per pre-split stream,
 // optionally across workers, returning per-replication outcomes in
-// replication order. rep numbering starts at base.
+// replication order. rep numbering starts at base. A replication that
+// panics is recorded as a failed trial — the rest of the batch runs to
+// completion; only returned errors (misconfiguration) abort the run.
 func runBatch[T any](opt Options, base uint64, streams []*xrand.Source,
-	one func(Options, uint64, *xrand.Source) (T, error)) ([]T, error) {
+	one func(Options, uint64, *xrand.Source) (T, error)) ([]trialResult[T], error) {
 	trials := opt.Metrics.Counter("montecarlo_trials_total", "Completed Monte-Carlo replications.")
+	failedCtr := opt.Metrics.Counter("montecarlo_failed_trials_total", "Replications that panicked and were recorded as failed trials.")
 	n := len(streams)
-	out := make([]T, n)
+	out := make([]trialResult[T], n)
+	record := func(i int, v T, ft *FailedTrial) {
+		out[i] = trialResult[T]{v: v, failed: ft}
+		if ft != nil {
+			failedCtr.Inc()
+		} else {
+			trials.Inc()
+		}
+	}
 	workers := opt.Workers
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := one(opt, base+uint64(i), streams[i])
+			v, ft, err := runOne(opt, base+uint64(i), streams[i], one)
 			if err != nil {
 				return nil, err
 			}
-			out[i] = v
-			trials.Inc()
+			record(i, v, ft)
 		}
 		return out, nil
 	}
 	type result struct {
-		i   int
-		v   T
-		err error
+		i      int
+		v      T
+		failed *FailedTrial
+		err    error
 	}
 	jobs := make(chan int)
 	results := make(chan result)
 	for w := 0; w < workers; w++ {
 		go func() {
 			for i := range jobs {
-				v, err := one(opt, base+uint64(i), streams[i])
-				trials.Inc()
-				results <- result{i, v, err}
+				v, ft, err := runOne(opt, base+uint64(i), streams[i], one)
+				results <- result{i, v, ft, err}
 			}
 		}()
 	}
@@ -213,7 +268,7 @@ func runBatch[T any](opt Options, base uint64, streams []*xrand.Source,
 		if r.err != nil && firstErr == nil {
 			firstErr = r.err
 		}
-		out[r.i] = r.v
+		record(r.i, r.v, r.failed)
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -224,24 +279,71 @@ func runBatch[T any](opt Options, base uint64, streams []*xrand.Source,
 // drive is the sequential-stopping batch scheduler shared by every
 // estimator: it splits streams, runs batches through runBatch, folds each
 // batch in replication order via fold, and keeps going until relErr()
-// reaches the target or the Reps budget is exhausted. It returns the
-// number of batches run and the stop reason.
-func drive[T any](opt Options,
+// reaches the target, the Reps budget is exhausted, or the run is
+// interrupted (Ctx/Watchdog). It returns the number of batches run, the
+// stop reason and the failed trials recorded along the way.
+//
+// snap captures the estimator's accumulator state; drive stamps the
+// scheduler fields onto it for Options.OnBatch checkpoints. With
+// Options.Resume set, drive verifies the checkpoint matches, advances
+// the master generator past the already-consumed streams and continues
+// at the next batch boundary.
+func drive[T any](opt Options, mode string,
 	one func(Options, uint64, *xrand.Source) (T, error),
 	fold func(T),
-	relErr func() float64) (batches int, stopReason string, err error) {
+	relErr func() float64,
+	snap func() Checkpoint) (batches int, stopReason string, failed []FailedTrial, err error) {
 
 	master := xrand.New(opt.Seed)
 	batchesCtr := opt.Metrics.Counter("montecarlo_batches_total", "Batches dispatched by the sequential-stopping scheduler.")
 	relGauge := opt.Metrics.Gauge("montecarlo_relative_error", "Relative 95% CI half-width of the rare-quantity estimate.")
 	stops := opt.Metrics.CounterVec("montecarlo_stops_total", "Estimation runs finished, by stop reason.", "reason")
 
+	done := 0
+	if cp := opt.Resume; cp != nil {
+		if cp.Mode != mode {
+			return 0, "", nil, fmt.Errorf("montecarlo: resume checkpoint is a %s run, this is %s", cp.Mode, mode)
+		}
+		if cp.Seed != opt.Seed {
+			return 0, "", nil, fmt.Errorf("montecarlo: resume checkpoint seed %d does not match option seed %d", cp.Seed, opt.Seed)
+		}
+		done = int(cp.RepsDone)
+		batches = cp.Batches
+		failed = append(failed, cp.Failed...)
+		// Streams are split sequentially in replication order, so the
+		// master state after RepsDone replications is RepsDone jumps in.
+		for i := 0; i < done; i++ {
+			master.Jump()
+		}
+	}
+
 	batch := opt.Reps
-	if opt.TargetRelErr > 0 {
+	if opt.TargetRelErr > 0 || opt.Batch > 0 {
+		// An explicit Batch also sets the checkpoint/interrupt
+		// granularity of fixed-count runs.
 		batch = opt.batchSize()
 	}
 	stopReason = StopFixed
-	for done := 0; done < opt.Reps; {
+	if opt.Resume != nil && opt.TargetRelErr > 0 && done > 0 && relErr() <= opt.TargetRelErr {
+		// The uninterrupted run would already have stopped at this batch
+		// boundary; resuming must not overshoot it.
+		stopReason = StopTarget
+		stops.With(stopReason).Inc()
+		return batches, stopReason, failed, nil
+	}
+	var deadline time.Time
+	if opt.Watchdog > 0 {
+		deadline = time.Now().Add(opt.Watchdog)
+	}
+	for done < opt.Reps {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			stopReason = StopInterrupted
+			break
+		}
+		if opt.Watchdog > 0 && time.Now().After(deadline) {
+			stopReason = StopInterrupted
+			break
+		}
 		n := batch
 		if rest := opt.Reps - done; n > rest {
 			n = rest
@@ -249,14 +351,27 @@ func drive[T any](opt Options,
 		streams := splitN(master, n)
 		outs, err := runBatch(opt, uint64(done), streams, one)
 		if err != nil {
-			return batches, "", err
+			return batches, "", failed, err
 		}
-		for _, v := range outs {
-			fold(v)
+		for _, tr := range outs {
+			if tr.failed != nil {
+				failed = append(failed, *tr.failed)
+				continue
+			}
+			fold(tr.v)
 		}
 		done += n
 		batches++
 		batchesCtr.Inc()
+		if opt.OnBatch != nil {
+			cp := snap()
+			cp.Mode = mode
+			cp.Seed = opt.Seed
+			cp.RepsDone = uint64(done)
+			cp.Batches = batches
+			cp.Failed = append([]FailedTrial(nil), failed...)
+			opt.OnBatch(cp)
+		}
 		re := relErr()
 		relGauge.Set(re)
 		if opt.TargetRelErr > 0 {
@@ -268,7 +383,7 @@ func drive[T any](opt Options,
 		}
 	}
 	stops.With(stopReason).Inc()
-	return batches, stopReason, nil
+	return batches, stopReason, failed, nil
 }
 
 // ReliabilityResult is the outcome of EstimateReliability.
@@ -300,6 +415,10 @@ type ReliabilityResult struct {
 	// Batches and StopReason report the scheduler outcome.
 	Batches    int
 	StopReason string
+	// Failed lists replications that panicked; each entry is a repro
+	// bundle (ReplayReliabilityTrial reproduces the panic). Failed
+	// trials are excluded from every accumulator above.
+	Failed []FailedTrial
 }
 
 // Estimate returns the reliability point estimate.
@@ -340,6 +459,21 @@ func EstimateReliability(opt Options) (ReliabilityResult, error) {
 		return ReliabilityResult{}, fmt.Errorf("montecarlo: reliability runs must not repair")
 	}
 	res := ReliabilityResult{Horizon: opt.Horizon, Biased: opt.Biasing.Enabled}
+	if cp := opt.Resume; cp != nil {
+		if cp.Survival != nil {
+			res.Survival = *cp.Survival
+		}
+		if cp.Failure != nil {
+			res.Failure.Restore(*cp.Failure)
+		}
+		if cp.TTF != nil {
+			res.TTF.Restore(*cp.TTF)
+		}
+		if cp.Weights != nil {
+			res.Weights.Restore(*cp.Weights)
+		}
+		res.TTFSamples = append(res.TTFSamples, cp.TTFSamples...)
+	}
 	fold := func(o relOut) {
 		failed := o.failedAt >= 0 && o.failedAt <= opt.Horizon
 		if res.Biased {
@@ -360,12 +494,22 @@ func EstimateReliability(opt Options) (ReliabilityResult, error) {
 			res.Failure.Add(0)
 		}
 	}
-	batches, reason, err := drive(opt, reliabilityRep, fold,
-		func() float64 { return res.Failure.RelHalfWidth(1.96) })
+	snap := func() Checkpoint {
+		sv, f, ttf, w := res.Survival, res.Failure.State(), res.TTF.State(), res.Weights.State()
+		return Checkpoint{
+			Survival:   &sv,
+			Failure:    &f,
+			TTF:        &ttf,
+			Weights:    &w,
+			TTFSamples: append([]float64(nil), res.TTFSamples...),
+		}
+	}
+	batches, reason, failed, err := drive(opt, ModeReliability, reliabilityRep, fold,
+		func() float64 { return res.Failure.RelHalfWidth(1.96) }, snap)
 	if err != nil {
 		return res, err
 	}
-	res.Batches, res.StopReason = batches, reason
+	res.Batches, res.StopReason, res.Failed = batches, reason, failed
 	lo, hi := res.CI()
 	publishCI(opt, lo, hi)
 	if res.Biased {
@@ -396,7 +540,7 @@ func publishWeights(opt Options, w *stats.LogWeights) {
 // service failure of the target LC (or -1) plus the trajectory's log
 // likelihood ratio up to that stopping time.
 func reliabilityRep(opt Options, rep uint64, src *xrand.Source) (relOut, error) {
-	r, inj, err := build(opt, src)
+	r, inj, err := build(opt, rep, src)
 	if err != nil {
 		return relOut{}, err
 	}
@@ -422,6 +566,9 @@ type AvailabilityResult struct {
 	// Batches and StopReason report the scheduler outcome.
 	Batches    int
 	StopReason string
+	// Failed lists replications that panicked (repro bundles; excluded
+	// from PerRep).
+	Failed []FailedTrial
 }
 
 // Estimate returns the availability point estimate.
@@ -450,13 +597,20 @@ func EstimateAvailability(opt Options) (AvailabilityResult, error) {
 		return AvailabilityResult{}, fmt.Errorf("montecarlo: whole-horizon availability cannot be importance-sampled (weight variance explodes across repair cycles); use EstimateUnavailability")
 	}
 	res := AvailabilityResult{Horizon: opt.Horizon}
-	batches, reason, err := drive(opt, availabilityRep,
+	if cp := opt.Resume; cp != nil && cp.PerRep != nil {
+		res.PerRep.Restore(*cp.PerRep)
+	}
+	snap := func() Checkpoint {
+		pr := res.PerRep.State()
+		return Checkpoint{PerRep: &pr}
+	}
+	batches, reason, failed, err := drive(opt, ModeAvailability, availabilityRep,
 		func(a float64) { res.PerRep.Add(a) },
-		func() float64 { return res.PerRep.RelHalfWidth(1.96) })
+		func() float64 { return res.PerRep.RelHalfWidth(1.96) }, snap)
 	if err != nil {
 		return res, err
 	}
-	res.Batches, res.StopReason = batches, reason
+	res.Batches, res.StopReason, res.Failed = batches, reason, failed
 	lo, hi := res.CI()
 	publishCI(opt, lo, hi)
 	return res, nil
@@ -465,7 +619,7 @@ func EstimateAvailability(opt Options) (AvailabilityResult, error) {
 // availabilityRep runs one replication and returns the time-averaged
 // availability of the target LC's service.
 func availabilityRep(opt Options, rep uint64, src *xrand.Source) (float64, error) {
-	r, inj, err := build(opt, src)
+	r, inj, err := build(opt, rep, src)
 	if err != nil {
 		return 0, err
 	}
@@ -485,7 +639,7 @@ func availabilityRep(opt Options, rep uint64, src *xrand.Source) (float64, error
 
 // build constructs the router and injector for one replication on its own
 // pre-split random stream.
-func build(opt Options, src *xrand.Source) (*router.Router, *router.Injector, error) {
+func build(opt Options, rep uint64, src *xrand.Source) (*router.Router, *router.Injector, error) {
 	cfg := router.UniformConfig(opt.Arch, opt.N, opt.M)
 	cfg.Source = src
 	r, err := router.New(cfg)
@@ -494,6 +648,9 @@ func build(opt Options, src *xrand.Source) (*router.Router, *router.Injector, er
 	}
 	r.InstallUniformRoutes()
 	r.SetMetrics(opt.Metrics)
+	if opt.OnBuild != nil {
+		opt.OnBuild(rep, r)
+	}
 	inj, err := router.NewInjector(r, opt.Rates)
 	if err != nil {
 		return nil, nil, err

@@ -51,6 +51,9 @@ type UnavailabilityResult struct {
 	// Batches and StopReason report the scheduler outcome.
 	Batches    int
 	StopReason string
+	// Failed lists replications that panicked (repro bundles; their
+	// cycles are excluded from the estimator).
+	Failed []FailedTrial
 }
 
 // Estimate returns the steady-state unavailability point estimate.
@@ -112,6 +115,15 @@ func EstimateUnavailability(opt Options) (UnavailabilityResult, error) {
 		return UnavailabilityResult{}, fmt.Errorf("montecarlo: regenerative unavailability needs repair (cycles end at repair completions)")
 	}
 	res := UnavailabilityResult{}
+	if cp := opt.Resume; cp != nil {
+		if cp.Ratio != nil {
+			res.Ratio.Restore(*cp.Ratio)
+		}
+		if cp.Weights != nil {
+			res.Weights.Restore(*cp.Weights)
+		}
+		res.Cycles, res.DownCycles = cp.Cycles, cp.DownCycles
+	}
 	cyclesCtr := opt.Metrics.Counter("montecarlo_cycles_total", "Regenerative repair cycles simulated.")
 	downCtr := opt.Metrics.Counter("montecarlo_down_cycles_total", "Cycles in which the target LC lost service.")
 	fold := func(cs []cycleOut) {
@@ -127,12 +139,16 @@ func EstimateUnavailability(opt Options) (UnavailabilityResult, error) {
 			}
 		}
 	}
-	batches, reason, err := drive(opt, unavailabilityRep, fold,
-		func() float64 { return res.Ratio.RelHalfWidth(1.96) })
+	snap := func() Checkpoint {
+		ra, w := res.Ratio.State(), res.Weights.State()
+		return Checkpoint{Ratio: &ra, Weights: &w, Cycles: res.Cycles, DownCycles: res.DownCycles}
+	}
+	batches, reason, failed, err := drive(opt, ModeUnavailability, unavailabilityRep, fold,
+		func() float64 { return res.Ratio.RelHalfWidth(1.96) }, snap)
 	if err != nil {
 		return res, err
 	}
-	res.Batches, res.StopReason = batches, reason
+	res.Batches, res.StopReason, res.Failed = batches, reason, failed
 	lo, hi := res.CI()
 	publishCI(opt, lo, hi)
 	publishWeights(opt, &res.Weights)
@@ -142,7 +158,7 @@ func EstimateUnavailability(opt Options) (UnavailabilityResult, error) {
 // unavailabilityRep simulates CyclesPerRep regenerative cycles on one
 // router and returns their outcomes in cycle order.
 func unavailabilityRep(opt Options, rep uint64, src *xrand.Source) ([]cycleOut, error) {
-	r, inj, err := build(opt, src)
+	r, inj, err := build(opt, rep, src)
 	if err != nil {
 		return nil, err
 	}

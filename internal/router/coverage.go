@@ -100,7 +100,14 @@ func (r *Router) RepairComponent(i int, c linecard.Component) {
 	if !lc.Failed(c) {
 		return
 	}
+	before := 0
+	if r.inv != nil {
+		before = r.failedUnits()
+	}
 	lc.Repair(c)
+	if r.inv != nil {
+		r.repairMonotonic("RepairComponent", before, r.failedUnits())
+	}
 	r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.Repair, LC: i, Peer: -1, Detail: c.String()})
 	if c == linecard.BusController && r.ctrl != nil {
 		r.ctrl[i].Reattach()
@@ -113,7 +120,14 @@ func (r *Router) RepairComponent(i int, c linecard.Component) {
 func (r *Router) RepairLC(i int) {
 	lc := r.lcs[i]
 	wasBC := lc.Failed(linecard.BusController)
+	before := 0
+	if r.inv != nil {
+		before = r.failedUnits()
+	}
 	lc.RepairAll()
+	if r.inv != nil {
+		r.repairMonotonic("RepairLC", before, r.failedUnits())
+	}
 	r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.Repair, LC: i, Peer: -1, Detail: "all"})
 	if wasBC && r.ctrl != nil {
 		r.ctrl[i].Reattach()
@@ -140,7 +154,14 @@ func (r *Router) RepairBus() {
 	if r.bus == nil || !r.bus.Failed() {
 		return
 	}
+	before := 0
+	if r.inv != nil {
+		before = r.failedUnits()
+	}
 	r.bus.Repair()
+	if r.inv != nil {
+		r.repairMonotonic("RepairBus", before, r.failedUnits())
+	}
 	r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.BusUp, LC: -1, Peer: -1})
 	r.reconcileCoverage()
 }

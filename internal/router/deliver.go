@@ -79,11 +79,14 @@ type PathReport struct {
 // state, updating all counters, and returns the path taken. The packet's
 // DstLC is resolved by lookup as a side effect.
 func (r *Router) Deliver(p *packet.Packet) PathReport {
+	r.attempts++
 	in := p.SrcLC
 	if in < 0 || in >= len(r.lcs) {
 		rep := PathReport{Kind: PathDropped, DropReason: "bad ingress LC"}
 		r.m.drop(rep.DropReason)
 		r.im.drops.With(rep.DropReason).Inc()
+		r.completed++
+		r.conservation()
 		return rep
 	}
 	rep := PathReport{IngressVia: -1, EgressVia: -1, RemoteLookup: -1}
@@ -290,6 +293,8 @@ func (r *Router) delivered(rep *PathReport, kind PathKind, egress int, p *packet
 		r.im.viaFabric.Inc()
 	}
 	r.lcs[egress].Delivered++
+	r.completed++
+	r.conservation()
 	return *rep
 }
 
@@ -299,6 +304,8 @@ func (r *Router) dropped(rep *PathReport, reason string) PathReport {
 	r.m.drop(reason)
 	r.im.drops.With(reason).Inc()
 	r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.Drop, LC: -1, Peer: -1, Reason: reason})
+	r.completed++
+	r.conservation()
 	return *rep
 }
 

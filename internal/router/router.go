@@ -25,6 +25,7 @@ import (
 	"repro/internal/eib"
 	"repro/internal/fabric"
 	"repro/internal/forwarding"
+	"repro/internal/invariant"
 	"repro/internal/linecard"
 	"repro/internal/metrics"
 	"repro/internal/packet"
@@ -110,6 +111,15 @@ type Router struct {
 	reasm []*packet.Reassembler
 
 	tr *trace.Recorder // nil unless SetTracer was called
+
+	// inv is the runtime invariant wall (nil = disabled; every hook is
+	// one branch). shadowArb mirrors LP churn for the counter-agreement
+	// check. attempts/completed are the delivery-funnel conservation
+	// counters.
+	inv       *invariant.Checker
+	shadowArb *eib.Arbiter
+	attempts  uint64
+	completed uint64
 
 	m  Metrics
 	im instruments

@@ -77,6 +77,11 @@ type Kernel struct {
 	// runaway detection.
 	Processed uint64
 
+	// afterStep, when set, runs after every executed event. It is the
+	// attachment point for runtime invariant checking: the hook sees the
+	// model in its post-event (quiescent) state. Nil costs one branch.
+	afterStep func()
+
 	// Instrumentation, resolved by Instrument; nil when the kernel is
 	// not observed, in which case each hook is one predictable branch.
 	mScheduled *metrics.Counter
@@ -128,6 +133,13 @@ func (k *Kernel) Instrument(reg *metrics.Registry) {
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetAfterStep installs fn to run after every executed event (nil
+// removes it). The hook must not schedule into the past or mutate the
+// model; it is intended for observation — invariant sweeps, progress
+// probes. Only one hook is held; callers that need several should
+// compose them before installing.
+func (k *Kernel) SetAfterStep(fn func()) { k.afterStep = fn }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics — it
 // is always a model bug.
@@ -187,6 +199,9 @@ func (k *Kernel) Step() bool {
 		k.mSimNow.Set(float64(k.now))
 		k.mHeapDepth.Set(float64(len(k.events)))
 		e.fn()
+		if k.afterStep != nil {
+			k.afterStep()
+		}
 		return true
 	}
 	return false

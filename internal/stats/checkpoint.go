@@ -1,0 +1,83 @@
+package stats
+
+// This file gives each streaming accumulator an exact, serialisable
+// state snapshot for checkpoint/resume of long Monte-Carlo runs. The
+// states expose the raw recurrence variables, not derived quantities:
+// restoring a state and continuing to Add produces bit-identical
+// results to a run that never paused, because encoding/json round-trips
+// float64 exactly (shortest-representation formatting).
+
+// WelfordState is the exact internal state of a Welford accumulator.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State snapshots the accumulator.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// Restore overwrites the accumulator with a snapshot.
+func (w *Welford) Restore(s WelfordState) {
+	w.n, w.mean, w.m2 = s.N, s.Mean, s.M2
+}
+
+// RatioState is the exact internal state of a Ratio accumulator.
+type RatioState struct {
+	N   int     `json:"n"`
+	MX  float64 `json:"mx"`
+	MY  float64 `json:"my"`
+	CXX float64 `json:"cxx"`
+	CYY float64 `json:"cyy"`
+	CXY float64 `json:"cxy"`
+}
+
+// State snapshots the accumulator.
+func (r *Ratio) State() RatioState {
+	return RatioState{N: r.n, MX: r.mx, MY: r.my, CXX: r.cxx, CYY: r.cyy, CXY: r.cxy}
+}
+
+// Restore overwrites the accumulator with a snapshot.
+func (r *Ratio) Restore(s RatioState) {
+	r.n, r.mx, r.my = s.N, s.MX, s.MY
+	r.cxx, r.cyy, r.cxy = s.CXX, s.CYY, s.CXY
+}
+
+// LogSumState is the exact internal state of a LogSum accumulator.
+type LogSumState struct {
+	N   int     `json:"n"`
+	Max float64 `json:"max"`
+	Sum float64 `json:"sum"`
+}
+
+// State snapshots the accumulator.
+func (s *LogSum) State() LogSumState {
+	return LogSumState{N: s.n, Max: s.max, Sum: s.sum}
+}
+
+// Restore overwrites the accumulator with a snapshot.
+func (s *LogSum) Restore(st LogSumState) {
+	s.n, s.max, s.sum = st.N, st.Max, st.Sum
+}
+
+// LogWeightsState is the exact internal state of a LogWeights tally.
+type LogWeightsState struct {
+	Sum   LogSumState `json:"sum"`
+	SumSq LogSumState `json:"sum_sq"`
+	Max   float64     `json:"max"`
+	Min   float64     `json:"min"`
+}
+
+// State snapshots the tally.
+func (w *LogWeights) State() LogWeightsState {
+	return LogWeightsState{Sum: w.sum.State(), SumSq: w.sumSq.State(), Max: w.Max, Min: w.Min}
+}
+
+// Restore overwrites the tally with a snapshot.
+func (w *LogWeights) Restore(s LogWeightsState) {
+	w.sum.Restore(s.Sum)
+	w.sumSq.Restore(s.SumSq)
+	w.Max, w.Min = s.Max, s.Min
+}

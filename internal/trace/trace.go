@@ -22,6 +22,7 @@ const (
 	BusDown
 	BusUp
 	Drop
+	Violation
 	numKinds
 )
 
@@ -42,6 +43,8 @@ func (k Kind) String() string {
 		return "bus-up"
 	case Drop:
 		return "drop"
+	case Violation:
+		return "violation"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

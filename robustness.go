@@ -1,0 +1,78 @@
+package dra
+
+import (
+	"repro/internal/chaos"
+	"repro/internal/invariant"
+	"repro/internal/montecarlo"
+)
+
+// This file extends the facade with the robustness machinery: scripted
+// chaos campaigns, the runtime invariant wall, and the crash-safe run
+// lifecycle (checkpoints, failed-trial records, deterministic replay).
+// See docs/chaos.md for the workflow.
+
+// Campaign is a JSON-scriptable fault campaign against a router build
+// (see internal/chaos for the schema and docs/chaos.md for a guide).
+type Campaign = chaos.Campaign
+
+// ChaosOptions configures a campaign run: context, invariant checker,
+// metrics, trace, watchdog.
+type ChaosOptions = chaos.Options
+
+// ChaosResult is the outcome of a campaign: step samples, assertion
+// failures, invariant violations, and the event timeline.
+type ChaosResult = chaos.Result
+
+// ChaosBundle is the self-contained repro artifact of a campaign run.
+type ChaosBundle = chaos.Bundle
+
+// LoadCampaign reads and validates a campaign spec file.
+func LoadCampaign(path string) (Campaign, error) { return chaos.LoadFile(path) }
+
+// RunCampaign executes a campaign and returns its result. Assertion
+// failures and invariant violations are recorded in the result, not
+// returned as errors; res.Err() folds them into a verdict.
+func RunCampaign(c Campaign, opt ChaosOptions) (*ChaosResult, error) { return chaos.Run(c, opt) }
+
+// LoadChaosBundle reads a previously written repro bundle.
+func LoadChaosBundle(path string) (ChaosBundle, error) { return chaos.LoadBundle(path) }
+
+// InvariantChecker is the runtime invariant wall. Attach to a router
+// with Router.AttachInvariants; a nil checker costs one branch per hook.
+type InvariantChecker = invariant.Checker
+
+// Violation is one recorded invariant breach.
+type Violation = invariant.Violation
+
+// NewInvariantChecker returns an empty checker ready to attach.
+func NewInvariantChecker() *InvariantChecker { return invariant.New() }
+
+// FailedTrial records a Monte-Carlo replication that panicked: its
+// replication index and seed are a complete deterministic repro.
+type FailedTrial = montecarlo.FailedTrial
+
+// MCCheckpoint is a resumable snapshot of a Monte-Carlo run, written at
+// batch boundaries via MCOptions.OnBatch and restored via
+// MCOptions.Resume. Resuming reproduces the uninterrupted run bit for
+// bit at equal total replications.
+type MCCheckpoint = montecarlo.Checkpoint
+
+// LoadMCCheckpoint reads a checkpoint file written by
+// MCCheckpoint.WriteFile.
+func LoadMCCheckpoint(path string) (MCCheckpoint, error) { return montecarlo.LoadCheckpoint(path) }
+
+// ReplayTrial re-runs a single failed replication deterministically from
+// the options and replication index recorded in a FailedTrial. mode is
+// one of the montecarlo mode constants ("reliability", "availability",
+// "unavailability"); a reproduced panic is returned as
+// *montecarlo.TrialPanicError.
+func ReplayTrial(mode string, opt MCOptions, rep uint64) error {
+	switch mode {
+	case montecarlo.ModeAvailability:
+		return montecarlo.ReplayAvailabilityTrial(opt, rep)
+	case montecarlo.ModeUnavailability:
+		return montecarlo.ReplayUnavailabilityTrial(opt, rep)
+	default:
+		return montecarlo.ReplayReliabilityTrial(opt, rep)
+	}
+}
