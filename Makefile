@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test lint race race-all vet bench bench-smoke cover fuzz-smoke chaos report examples clean
+.PHONY: all check build test lint race race-all vet bench bench-smoke cover fuzz-smoke chaos report examples serve-e2e serve-bench clean
 
 all: build test
 
@@ -43,7 +43,7 @@ bench:
 # chaos/invariant machinery must stay at or above COVER_MIN percent
 # statement coverage.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
@@ -78,6 +78,27 @@ chaos:
 # Write the Figure 4/6/7/8 artifacts under ./artifacts/.
 report:
 	$(GO) run ./cmd/drareport -o artifacts
+
+# End-to-end test of the serving stack: builds the real drad/dractl
+# binaries, boots drad on a loopback port, SIGTERMs it mid-Monte-Carlo,
+# and proves the restarted server resumes the job bit-identically.
+serve-e2e:
+	$(GO) test -v -run 'TestServeE2E|TestBenchSmoke' ./cmd/drad
+
+# Regenerate BENCH_serve.json: cold-vs-cache-hit throughput and latency
+# percentiles against a freshly booted drad.
+SERVE_BENCH_JOBS ?= 32
+SERVE_BENCH_REPS ?= 200
+serve-bench:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/drad ./cmd/drad && $(GO) build -o $$tmp/dractl ./cmd/dractl || exit 1; \
+	$$tmp/drad -addr 127.0.0.1:0 -state-dir $$tmp/state > $$tmp/drad.log 2>&1 & pid=$$!; \
+	for i in 1 2 3 4 5 6 7 8 9 10; do grep -q http $$tmp/drad.log 2>/dev/null && break; sleep 0.3; done; \
+	addr=$$(sed -n 's|.*\(http://[0-9.:]*\).*|\1|p' $$tmp/drad.log | head -1); \
+	if [ -z "$$addr" ]; then echo "serve-bench: drad did not start"; cat $$tmp/drad.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	$$tmp/dractl -addr $$addr bench -jobs $(SERVE_BENCH_JOBS) -reps $(SERVE_BENCH_REPS) -out BENCH_serve.json; rc=$$?; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -rf $$tmp; exit $$rc
 
 examples:
 	$(GO) run ./examples/quickstart

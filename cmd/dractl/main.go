@@ -1,0 +1,458 @@
+// Command dractl is the drad client and load generator.
+//
+// Usage:
+//
+//	dractl [-addr http://127.0.0.1:8080] <command> [args]
+//
+//	dractl submit spec.json        submit a job spec (add -wait to block)
+//	dractl status <id>             job snapshot
+//	dractl result <id>             stored result document
+//	dractl cancel <id>             cancel a queued or running job
+//	dractl list                    all known jobs
+//	dractl watch <id>              stream NDJSON progress until the job rests
+//	dractl bench                   cold-vs-cache-hit load test → BENCH_serve.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/config"
+	"repro/internal/jobs"
+)
+
+// lc owns the shared lifecycle (interrupt context, exit conventions).
+var lc = cli.New("dractl")
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "drad base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usageError(fmt.Errorf("want a command: submit, status, result, cancel, list, watch, bench"))
+	}
+	c := &client{base: trimSlash(*addr), hc: &http.Client{}}
+
+	switch args[0] {
+	case "submit":
+		return cmdSubmit(c, args[1:])
+	case "status":
+		return cmdStatus(c, args[1:])
+	case "result":
+		return cmdResult(c, args[1:])
+	case "cancel":
+		return cmdCancel(c, args[1:])
+	case "list":
+		return cmdList(c)
+	case "watch":
+		return cmdWatch(c, args[1:])
+	case "bench":
+		return cmdBench(c, args[1:])
+	default:
+		usageError(fmt.Errorf("unknown command %q", args[0]))
+	}
+	return cli.ExitOK
+}
+
+func trimSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// --- HTTP client ---
+
+// client wraps the drad API. Every method threads the lifecycle context
+// so SIGINT aborts an in-flight request.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// do issues one request and returns (body, status). Transport-level
+// failures are fatal — a client that cannot reach the server at all has
+// nothing useful to print but the error.
+func (c *client) do(method, path string, body []byte) ([]byte, int) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(lc.Context(), method, c.base+path, rd)
+	if err != nil {
+		fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if lc.Interrupted() {
+			os.Exit(lc.Exit(0))
+		}
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	return data, resp.StatusCode
+}
+
+// submit posts a spec; on 429 it honors Retry-After and retries until
+// admitted or the context dies.
+func (c *client) submit(spec []byte) (jobs.Snapshot, int) {
+	for {
+		data, code := c.do(http.MethodPost, "/v1/jobs", spec)
+		if code == http.StatusTooManyRequests {
+			select {
+			case <-time.After(time.Second):
+				continue
+			case <-lc.Context().Done():
+				os.Exit(lc.Exit(0))
+			}
+		}
+		if code != http.StatusOK && code != http.StatusAccepted {
+			fatal(apiErr(data, code))
+		}
+		var snap jobs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fatal(fmt.Errorf("decoding response: %w", err))
+		}
+		return snap, code
+	}
+}
+
+// poll blocks until the job rests (terminal or interrupted) and returns
+// its final snapshot.
+func (c *client) poll(id string) jobs.Snapshot {
+	for {
+		data, code := c.do(http.MethodGet, "/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		var snap jobs.Snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			fatal(err)
+		}
+		if snap.State.Terminal() || snap.State == jobs.StateInterrupted {
+			return snap
+		}
+		select {
+		case <-time.After(25 * time.Millisecond):
+		case <-lc.Context().Done():
+			os.Exit(lc.Exit(0))
+		}
+	}
+}
+
+// apiErr decodes the server's uniform {"error": ...} body.
+func apiErr(body []byte, code int) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, code)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", code, bytes.TrimSpace(body))
+}
+
+// printJSON pretty-prints a JSON document to stdout.
+func printJSON(data []byte) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, "", "  "); err != nil {
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	fmt.Println(buf.String())
+}
+
+// --- subcommands ---
+
+func cmdSubmit(c *client, args []string) int {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	wait := fs.Bool("wait", false, "block until the job rests, then print its result")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usageError(fmt.Errorf("submit wants exactly one spec file"))
+	}
+	spec, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	snap, code := c.submit(spec)
+	if code == http.StatusOK {
+		fmt.Fprintf(os.Stderr, "dractl: cache hit for job %s\n", snap.ID)
+	}
+	if !*wait {
+		out, _ := json.MarshalIndent(snap, "", "  ")
+		fmt.Println(string(out))
+		return lc.Exit(cli.ExitOK)
+	}
+	final := c.poll(snap.ID)
+	if final.State != jobs.StateDone {
+		fatal(fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
+	}
+	data, rc := c.do(http.MethodGet, "/v1/jobs/"+final.ID+"/result", nil)
+	if rc != http.StatusOK {
+		fatal(apiErr(data, rc))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+func cmdStatus(c *client, args []string) int {
+	id := oneID("status", args)
+	data, code := c.do(http.MethodGet, "/v1/jobs/"+id, nil)
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+func cmdResult(c *client, args []string) int {
+	id := oneID("result", args)
+	data, code := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+func cmdCancel(c *client, args []string) int {
+	id := oneID("cancel", args)
+	data, code := c.do(http.MethodDelete, "/v1/jobs/"+id, nil)
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+func cmdList(c *client) int {
+	data, code := c.do(http.MethodGet, "/v1/jobs", nil)
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+// cmdWatch streams the job's NDJSON progress lines to stdout verbatim
+// until the job rests or the user interrupts.
+func cmdWatch(c *client, args []string) int {
+	id := oneID("watch", args)
+	req, err := http.NewRequestWithContext(lc.Context(), http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if lc.Interrupted() {
+			return lc.Exit(0)
+		}
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fatal(apiErr(body, resp.StatusCode))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	return lc.Exit(cli.ExitOK)
+}
+
+func oneID(cmd string, args []string) string {
+	if len(args) != 1 {
+		usageError(fmt.Errorf("%s wants exactly one job ID", cmd))
+	}
+	return args[0]
+}
+
+// --- bench ---
+
+// phaseStats summarizes one bench phase.
+type phaseStats struct {
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// benchDoc is the BENCH_serve.json schema.
+type benchDoc struct {
+	Jobs       int        `json:"jobs"`
+	RepsPerJob int        `json:"reps_per_job"`
+	Cold       phaseStats `json:"cold"`
+	CacheHit   phaseStats `json:"cache_hit"`
+	// SpeedupP50 is cold p50 latency over cache-hit p50 latency: how
+	// much the content-addressed store buys on a repeated request.
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// cmdBench drives the serve benchmark: a cold phase submitting distinct
+// Monte-Carlo reliability jobs concurrently and waiting each to
+// completion, then a cache-hit phase resubmitting the identical specs.
+// Identical specs content-address to the same job IDs, so the second
+// phase never touches a solver — the latency gap is the cache win.
+func cmdBench(c *client, args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		n     = fs.Int("jobs", 32, "distinct jobs per phase")
+		reps  = fs.Int("reps", 200, "Monte-Carlo replications per job (job cost knob)")
+		seed0 = fs.Uint64("seed-base", 1000, "seed of the first job; job i uses seed-base+i")
+		out   = fs.String("out", "BENCH_serve.json", "benchmark artifact path")
+	)
+	fs.Parse(args)
+	if *n < 1 {
+		usageError(fmt.Errorf("bench -jobs must be positive, got %d", *n))
+	}
+	if *reps < 1 {
+		usageError(fmt.Errorf("bench -reps must be positive, got %d", *reps))
+	}
+
+	specs := make([][]byte, *n)
+	for i := range specs {
+		spec := config.Spec{
+			Kind:   config.KindReliability,
+			Router: &config.RouterSpec{N: 4, M: 2},
+			MC:     &config.MCSpec{Horizon: 1000, Reps: *reps, Seed: *seed0 + uint64(i)},
+		}
+		b, err := json.Marshal(spec)
+		if err != nil {
+			fatal(err)
+		}
+		specs[i] = b
+	}
+
+	fmt.Fprintf(os.Stderr, "dractl: bench cold phase: %d jobs × %d reps\n", *n, *reps)
+	cold, ids := runPhase(c, specs, false)
+	fmt.Fprintf(os.Stderr, "dractl: bench cache-hit phase: resubmitting %d identical specs\n", *n)
+	hit, hitIDs := runPhase(c, specs, true)
+	for i := range ids {
+		if ids[i] != hitIDs[i] {
+			fatal(fmt.Errorf("job %d changed ID between phases: %s vs %s (content addressing broken)", i, ids[i], hitIDs[i]))
+		}
+	}
+
+	doc := benchDoc{Jobs: *n, RepsPerJob: *reps, Cold: cold, CacheHit: hit}
+	if hit.P50Ms > 0 {
+		doc.SpeedupP50 = cold.P50Ms / hit.P50Ms
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serve bench: %d jobs\n", *n)
+	fmt.Printf("  cold:      %8.1f jobs/s   p50 %8.2fms  p90 %8.2fms  p99 %8.2fms\n",
+		cold.JobsPerSec, cold.P50Ms, cold.P90Ms, cold.P99Ms)
+	fmt.Printf("  cache hit: %8.1f jobs/s   p50 %8.2fms  p90 %8.2fms  p99 %8.2fms\n",
+		hit.JobsPerSec, hit.P50Ms, hit.P90Ms, hit.P99Ms)
+	fmt.Printf("  p50 speedup from cache: %.1fx\n", doc.SpeedupP50)
+	fmt.Printf("wrote %s\n", *out)
+	return lc.Exit(cli.ExitOK)
+}
+
+// runPhase submits every spec concurrently. Cold jobs are timed
+// submit→terminal (computation latency); cache hits are timed as the
+// request round-trip, and the phase fails if the server reports it
+// actually scheduled work (expectCached guards the acceptance criterion
+// that a repeated spec skips recomputation).
+func runPhase(c *client, specs [][]byte, expectCached bool) (phaseStats, []string) {
+	n := len(specs)
+	lat := make([]time.Duration, n)
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			snap, code := c.submit(specs[i])
+			ids[i] = snap.ID
+			if expectCached {
+				if code != http.StatusOK || !snap.Cached {
+					fail(fmt.Errorf("job %s: expected a cache hit, got HTTP %d cached=%v", snap.ID, code, snap.Cached))
+				}
+				lat[i] = time.Since(t0)
+				return
+			}
+			final := c.poll(snap.ID)
+			if final.State != jobs.StateDone {
+				fail(fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error))
+			}
+			lat[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		fatal(firstErr)
+	}
+	return summarize(lat, wall), ids
+}
+
+// summarize reduces per-job latencies to the phase stats.
+func summarize(lat []time.Duration, wall time.Duration) phaseStats {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		idx := int(p*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
+	s := phaseStats{P50Ms: pct(0.50), P90Ms: pct(0.90), P99Ms: pct(0.99)}
+	if wall > 0 {
+		s.JobsPerSec = float64(len(lat)) / wall.Seconds()
+	}
+	return s
+}
+
+// usageError and fatal delegate to the shared lifecycle conventions
+// (exit 2 for bad invocations, 1 for malfunctions).
+func usageError(err error) { lc.UsageError(err) }
+
+func fatal(err error) { lc.Fatal(err) }

@@ -1,0 +1,159 @@
+// Command drad is the dependable simulation service: a long-lived HTTP
+// server that schedules figure/sweep/Monte-Carlo/chaos/scenario jobs
+// over a priority queue with bounded admission control, serves repeated
+// requests from a content-addressed result cache, and streams per-job
+// progress as chunked NDJSON. SIGTERM drains gracefully: running
+// Monte-Carlo jobs checkpoint, queued jobs stay persisted, and a
+// restarted drad over the same -state-dir resumes them bit-identically.
+//
+// Usage:
+//
+//	drad -addr 127.0.0.1:8080 -state-dir /var/lib/drad
+//	drad -addr 127.0.0.1:0 -state-dir ./state -workers 4 -max-queued 256
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	dra "repro"
+	"repro/internal/cli"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// lc owns the shared lifecycle: SIGINT/SIGTERM cancel its context,
+// which is the drain trigger, and the process exits 130 afterwards.
+var lc = cli.New("drad")
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the bound address is printed)")
+		stateDir     = flag.String("state-dir", "drad-state", "directory for the result cache, pending job specs, and checkpoints")
+		workers      = flag.Int("workers", 0, "execution pool size; 0 = NumCPU")
+		maxQueued    = flag.Int("max-queued", 128, "admission bound on queued+running jobs (past it, submits get 429)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "result-cache disk budget in bytes; 0 = unlimited")
+		classLimits  = flag.String("class-limits", "chaos=1,scenario=2", "per-kind running-job caps as kind=n pairs; empty disables")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs to checkpoint")
+	)
+	flag.Parse()
+
+	if *workers < 0 {
+		usageError(fmt.Errorf("-workers must not be negative, got %d", *workers))
+	}
+	if *maxQueued < 1 {
+		usageError(fmt.Errorf("-max-queued must be positive, got %d", *maxQueued))
+	}
+	if *cacheBytes < 0 {
+		usageError(fmt.Errorf("-cache-bytes must not be negative, got %d", *cacheBytes))
+	}
+	if *stateDir == "" {
+		usageError(fmt.Errorf("-state-dir is required"))
+	}
+	limits, err := parseClassLimits(*classLimits)
+	if err != nil {
+		usageError(err)
+	}
+
+	// One service-wide registry feeds /metrics for the store, the
+	// scheduler, and anything else that hangs off this process.
+	reg := metrics.NewRegistry()
+
+	st, err := store.Open(filepath.Join(*stateDir, "cache"), store.Options{
+		MaxBytes: *cacheBytes,
+		Metrics:  reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mgr, err := jobs.NewManager(jobs.Options{
+		Store:       st,
+		Dir:         *stateDir,
+		Runners:     dra.DefaultRunners(),
+		Workers:     *workers,
+		MaxQueued:   *maxQueued,
+		ClassLimits: limits,
+		Metrics:     reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Options{Manager: mgr, Metrics: reg})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The bound address goes to stdout first thing so wrappers (and the
+	// e2e test) can discover a port-0 allocation.
+	fmt.Printf("drad: serving on http://%s (state %s)\n", ln.Addr(), *stateDir)
+
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-lc.Context().Done():
+		// Graceful drain: stop admitting, cancel running jobs with the
+		// drain cause so checkpointing engines persist resumable state,
+		// then close the listener. Order matters — draining first means
+		// every in-flight job reaches rest (checkpointed) before the
+		// HTTP server stops answering status queries about it.
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := mgr.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "drad: drain: %v\n", err)
+		}
+		httpSrv.Shutdown(dctx)
+		cancel()
+	}
+	return lc.Exit(0)
+}
+
+// parseClassLimits decodes "kind=n,kind=n" into the scheduler's
+// per-kind concurrency caps.
+func parseClassLimits(s string) (map[string]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-class-limits: want kind=n pairs, got %q", pair)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-class-limits: %s needs a positive count, got %q", k, v)
+		}
+		out[strings.TrimSpace(k)] = n
+	}
+	return out, nil
+}
+
+// usageError and fatal delegate to the shared lifecycle conventions
+// (exit 2 for bad invocations, 1 for malfunctions).
+func usageError(err error) { lc.UsageError(err) }
+
+func fatal(err error) { lc.Fatal(err) }

@@ -23,11 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
+	"repro/internal/cli"
+	"repro/internal/config"
 	"repro/internal/linecard"
 	"repro/internal/metrics"
 	"repro/internal/models"
@@ -37,6 +37,10 @@ import (
 )
 
 var reg *metrics.Registry // nil unless -metrics-addr / -metrics-out given
+
+// lc owns the shared lifecycle: interrupt context, artifact flushers,
+// and the exit-code conventions (130 on SIGINT/SIGTERM after flushing).
+var lc = cli.New("dramodel")
 
 // publish records a solved quantity as a gauge so long grid sweeps can be
 // watched (and profiled) over -metrics-addr.
@@ -55,6 +59,7 @@ func main() {
 func run() int {
 	var (
 		analysis = flag.String("analysis", "reliability", "reliability | availability | mttf")
+		spec     = flag.String("spec", "", "run a sweep job-spec JSON file (overrides -analysis/-sweep and the grid flags)")
 		arch     = flag.String("arch", "dra", "dra | bdr")
 		n        = flag.Int("n", 6, "number of linecards N")
 		m        = flag.Int("m", 3, "linecards sharing LCUA's protocol, M")
@@ -71,6 +76,35 @@ func run() int {
 		metricsOut  = flag.String("metrics-out", "", "write the final Prometheus metrics dump to this file")
 	)
 	flag.Parse()
+
+	// -spec: a sweep job-spec document drives the run instead of the
+	// grid flags; the same document submitted to drad produces the same
+	// table (and the same content address).
+	if *spec != "" {
+		sp, err := config.LoadSpec(*spec)
+		if err != nil {
+			usageError(err)
+		}
+		sp = sp.Normalize()
+		if sp.Kind != config.KindSweep {
+			usageError(fmt.Errorf("spec kind %q is not runnable by dramodel (only %q; use drasim or drad for the rest)", sp.Kind, config.KindSweep))
+		}
+		*analysis = sp.Sweep.Analysis
+		*sweepMode = true
+		*nRange = fmt.Sprintf("%d:%d", sp.Sweep.NLo, sp.Sweep.NHi)
+		*mRange = fmt.Sprintf("%d:%d", sp.Sweep.MLo, sp.Sweep.MHi)
+		// Normalize zeroes the fields the analysis ignores; keep the
+		// flag defaults there so validation still passes.
+		if sp.Sweep.T > 0 {
+			*t = sp.Sweep.T
+		}
+		if sp.Sweep.Mu > 0 {
+			*mu = sp.Sweep.Mu
+		}
+		if sp.Sweep.Workers > 0 {
+			*workers = sp.Sweep.Workers
+		}
+	}
 
 	// Flag validation: reject bad values with a non-zero exit instead of
 	// silently continuing with defaults.
@@ -104,9 +138,8 @@ func run() int {
 
 	// A SIGINT/SIGTERM cancels the sweep engine at the next cell
 	// boundary; partial -metrics-out output still flushes and the
-	// process exits 130.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// process exits 130 (see internal/cli).
+	ctx := lc.Context()
 
 	if *metricsAddr != "" || *metricsOut != "" {
 		reg = metrics.NewRegistry()
@@ -120,15 +153,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dramodel: serving metrics on http://%s/\n", addr)
 	}
 	if *metricsOut != "" {
-		defer func() {
-			if err := os.WriteFile(*metricsOut, []byte(reg.PrometheusText()), 0o644); err != nil {
-				fatal(err)
-			}
-		}()
+		lc.OnExit("metrics dump", func() error {
+			return os.WriteFile(*metricsOut, []byte(reg.PrometheusText()), 0o644)
+		})
 	}
 
 	if *sweepMode {
-		return runSweep(ctx, a, strings.ToLower(*analysis), *nRange, *mRange, *n, *m, *t, *mu, *workers)
+		return lc.Exit(runSweep(ctx, a, strings.ToLower(*analysis), *nRange, *mRange, *n, *m, *t, *mu, *workers))
 	}
 
 	p := models.PaperParams(*n, *m)
@@ -154,7 +185,7 @@ func run() int {
 				tb.AddRow(times[i], fmt.Sprintf("%.9f", r))
 			}
 			fmt.Print(tb.String())
-			return 0
+			return lc.Exit(0)
 		}
 		r := md.ReliabilityAt(*t)
 		publish("dramodel_reliability", "Last computed R(t).", r)
@@ -209,7 +240,7 @@ func run() int {
 	default:
 		usageError(fmt.Errorf("unknown analysis %q", *analysis))
 	}
-	return 0
+	return lc.Exit(0)
 }
 
 func buildModel(a linecard.Arch, p models.Params, withRepair bool) (*models.Model, error) {
@@ -291,8 +322,9 @@ func runSweep(ctx context.Context, a linecard.Arch, analysis, nRange, mRange str
 		return eval(models.PaperParams(c.N, c.M))
 	})
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "dramodel: interrupted; partial results flushed")
-		return 130
+		// The lifecycle's Exit maps the cancelled context to 130 and
+		// prints the interruption notice after flushing artifacts.
+		return cli.ExitInterrupted
 	}
 	if err != nil {
 		fatal(err)
@@ -378,14 +410,8 @@ func parseGrid(s string) ([]float64, error) {
 	return out, nil
 }
 
-// usageError reports a flag-validation failure and exits with status 2,
-// the flag package's own convention for bad invocations.
-func usageError(err error) {
-	fmt.Fprintln(os.Stderr, "dramodel:", err)
-	os.Exit(2)
-}
+// usageError and fatal delegate to the shared lifecycle conventions
+// (exit 2 for bad invocations, 1 for malfunctions).
+func usageError(err error) { lc.UsageError(err) }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dramodel:", err)
-	os.Exit(1)
-}
+func fatal(err error) { lc.Fatal(err) }

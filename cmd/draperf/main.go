@@ -15,11 +15,22 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/perf"
 	"repro/internal/report"
 )
 
+// lc owns the shared lifecycle so draperf exits through the same code
+// conventions as its sibling commands (its analysis is closed-form and
+// instant, so the interrupt context has nothing to cancel — but a
+// SIGTERM landing mid-print still maps to exit 130).
+var lc = cli.New("draperf")
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		n     = flag.Int("n", 6, "number of linecards N")
 		loads = flag.String("loads", "0.15,0.3,0.5,0.7", "comma-separated link utilizations")
@@ -73,6 +84,7 @@ func main() {
 		fmt.Printf("L=%.0f%%: full service sustained through %d simultaneous LC failures\n",
 			l*100, p.SupportedFaultsAtFullService())
 	}
+	return lc.Exit(0)
 }
 
 func parseLoads(s string) ([]float64, error) {
@@ -90,14 +102,8 @@ func parseLoads(s string) ([]float64, error) {
 	return out, nil
 }
 
-// usageError reports a flag-validation failure and exits with status 2,
-// the flag package's own convention for bad invocations.
-func usageError(err error) {
-	fmt.Fprintln(os.Stderr, "draperf:", err)
-	os.Exit(2)
-}
+// usageError and fatal delegate to the shared lifecycle conventions
+// (exit 2 for bad invocations, 1 for malfunctions).
+func usageError(err error) { lc.UsageError(err) }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "draperf:", err)
-	os.Exit(1)
-}
+func fatal(err error) { lc.Fatal(err) }

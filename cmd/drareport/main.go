@@ -14,13 +14,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
 
 	dra "repro"
+	"repro/internal/cli"
 	"repro/internal/eib"
 )
+
+// lc owns the shared lifecycle: interrupt context and the exit-code
+// conventions (130 on SIGINT/SIGTERM).
+var lc = cli.New("drareport")
 
 func main() {
 	os.Exit(run())
@@ -70,15 +73,14 @@ func run() int {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx := lc.Context()
 	opt := dra.SweepOptions{Workers: *workers}
 
-	// interrupted converts a cancelled sweep into the 130 exit path;
-	// any other error is fatal.
+	// interrupted converts a cancelled sweep into the 130 exit path
+	// (via lc.Exit, keeping whatever figures already emitted); any other
+	// error is fatal.
 	interrupted := func(err error) bool {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "drareport: interrupted")
 			return true
 		}
 		if err != nil {
@@ -93,25 +95,25 @@ func run() int {
 	if *fig == 0 || *fig == 6 {
 		f6, err := dra.ComputeFigure6With(ctx, opt)
 		if interrupted(err) {
-			return 130
+			return lc.Exit(0)
 		}
 		emit(6, dra.RenderFigure6(f6))
 	}
 	if *fig == 0 || *fig == 7 {
 		f7, err := dra.ComputeFigure7With(ctx, opt)
 		if interrupted(err) {
-			return 130
+			return lc.Exit(0)
 		}
 		emit(7, dra.RenderFigure7(f7))
 	}
 	if *fig == 0 || *fig == 8 {
 		f8, err := dra.ComputeFigure8Sweep(ctx, opt, *n, *bus)
 		if interrupted(err) {
-			return 130
+			return lc.Exit(0)
 		}
 		emit(8, dra.RenderFigure8(f8))
 	}
-	return 0
+	return lc.Exit(0)
 }
 
 // renderFigure4 regenerates the paper's Figure 4 scheduling trace with
@@ -131,14 +133,8 @@ func renderFigure4() string {
 		"LP1 alone, LP2 joins at slot 4 (alternation), LP1 releases at slot 16.\n"
 }
 
-// usageError reports a flag-validation failure and exits with status 2,
-// the flag package's own convention for bad invocations.
-func usageError(err error) {
-	fmt.Fprintln(os.Stderr, "drareport:", err)
-	os.Exit(2)
-}
+// usageError and fatal delegate to the shared lifecycle conventions
+// (exit 2 for bad invocations, 1 for malfunctions).
+func usageError(err error) { lc.UsageError(err) }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "drareport:", err)
-	os.Exit(1)
-}
+func fatal(err error) { lc.Fatal(err) }

@@ -37,17 +37,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	dra "repro"
 	"repro/internal/chaos"
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/invariant"
 	"repro/internal/linecard"
@@ -68,16 +68,22 @@ type obs struct {
 	tl  string // -timeline-out path
 }
 
+// lc owns the shared lifecycle: the interrupt context, the artifact
+// flushers, and the exit-code conventions (130 on SIGINT/SIGTERM after
+// flushing partial artifacts).
+var lc = cli.New("drasim")
+
 func main() {
 	os.Exit(run())
 }
 
-// run is main's body; returning instead of exiting lets the deferred
-// artifact flush execute before the process exits (in particular on the
-// interrupted path, which returns 130).
+// run is main's body; returning through lc.Exit lets the registered
+// artifact flushers execute before the process exits (in particular on
+// the interrupted path, which returns 130).
 func run() int {
 	var (
 		mode    = flag.String("mode", "reliability", "reliability | availability | rareevent | packets | scenario | chaos")
+		spec    = flag.String("spec", "", "run a job-spec JSON file (overrides -mode and the model flags; see docs/serving.md)")
 		cfgPath = flag.String("config", "", "scenario/chaos mode: JSON spec file")
 		arch    = flag.String("arch", "dra", "dra | bdr")
 		n       = flag.Int("n", 6, "number of linecards N")
@@ -108,11 +114,56 @@ func run() int {
 	)
 	flag.Parse()
 
-	// Interrupt handling: the context reaches every engine; a SIGINT or
-	// SIGTERM stops the run at the next batch/step boundary, the partial
-	// artifacts are flushed on the way out, and the process exits 130.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Interrupt handling: the lifecycle context reaches every engine; a
+	// SIGINT or SIGTERM stops the run at the next batch/step boundary,
+	// the partial artifacts are flushed on the way out, and the process
+	// exits 130 (see internal/cli).
+	ctx := lc.Context()
+
+	// -spec: a job-spec document drives the run instead of the model
+	// flags; the same document submitted to drad produces the same
+	// result (and the same content address).
+	var specScenario, specChaos json.RawMessage
+	if *spec != "" {
+		sp, err := config.LoadSpec(*spec)
+		if err != nil {
+			usageError(err)
+		}
+		sp = sp.Normalize()
+		switch sp.Kind {
+		case config.KindReliability, config.KindAvailability, config.KindRareEvent:
+			*mode = sp.Kind
+			*arch = sp.Router.Arch
+			*n, *m = sp.Router.N, sp.Router.M
+			*horizon = sp.MC.Horizon
+			*reps = sp.MC.Reps
+			*mu = sp.MC.Mu
+			*seed = sp.MC.Seed
+			if sp.MC.Workers > 0 {
+				*workers = sp.MC.Workers
+			}
+			*delta = sp.MC.Delta
+			*targetRelErr = sp.MC.TargetRelErr
+			*batch = sp.MC.Batch
+			*cyclesPerRep = sp.MC.CyclesPerRep
+			if sp.Kind == config.KindReliability {
+				// Normalize zeroed Mu for the repair-free kind; the
+				// engine still wants a usable default for PaperRates.
+				*mu = 0
+			}
+			if sp.Kind == config.KindRareEvent && *horizon == 0 {
+				*horizon = 40000 // unused by the estimator; satisfies flag validation
+			}
+		case config.KindScenario:
+			*mode = config.KindScenario
+			specScenario = sp.Scenario
+		case config.KindChaos:
+			*mode = config.KindChaos
+			specChaos = sp.Chaos
+		default:
+			usageError(fmt.Errorf("spec kind %q is not runnable by drasim (figure/sweep belong to drareport/dramodel, or submit to drad)", sp.Kind))
+		}
+	}
 
 	// Flag validation: reject bad values with a non-zero exit instead of
 	// silently continuing with defaults.
@@ -152,8 +203,8 @@ func run() int {
 	if *load < 0 || *load > 1 {
 		usageError(fmt.Errorf("-load must be within [0, 1], got %g", *load))
 	}
-	if (md == "scenario" || md == "chaos") && *cfgPath == "" {
-		usageError(fmt.Errorf("%s mode needs -config", md))
+	if (md == "scenario" || md == "chaos") && *cfgPath == "" && specScenario == nil && specChaos == nil {
+		usageError(fmt.Errorf("%s mode needs -config or -spec", md))
 	}
 	if *watchdog < 0 {
 		usageError(fmt.Errorf("-watchdog must not be negative, got %v", *watchdog))
@@ -198,7 +249,7 @@ func run() int {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "drasim: serving metrics on http://%s/ (endpoints: /metrics /metrics.json /timeline.json /debug/pprof/)\n", addr)
 	}
-	defer ob.dump()
+	lc.OnExit("artifacts", ob.dump)
 
 	// lifecycle threads the interrupt context, watchdog, and the
 	// checkpoint/resume files into a Monte-Carlo option set.
@@ -274,7 +325,13 @@ func run() int {
 	case "packets":
 		runPackets(a, *n, *m, *fail, *packets, *load, *seed, &ob)
 	case "scenario":
-		f, err := config.LoadFile(*cfgPath)
+		var f config.File
+		var err error
+		if specScenario != nil {
+			f, err = config.Parse(specScenario)
+		} else {
+			f, err = config.LoadFile(*cfgPath)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -285,13 +342,9 @@ func run() int {
 		ob.attach(r)
 		fmt.Print(router.TimelineString(sc.Play(r)))
 	case "chaos":
-		exit = runChaos(ctx, *cfgPath, *bundleOut, *watchdog, &ob)
+		exit = runChaos(ctx, *cfgPath, specChaos, *bundleOut, *watchdog, &ob)
 	}
-	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "drasim: interrupted; partial results flushed")
-		return 130
-	}
-	return exit
+	return lc.Exit(exit)
 }
 
 // reportFailedTrials surfaces panicked replications (each carries a
@@ -305,8 +358,14 @@ func reportFailedTrials(failed []montecarlo.FailedTrial) {
 // runChaos executes a scripted fault campaign under the invariant wall
 // and writes the repro bundle. Exit 0 on a passing campaign, 1 when an
 // assertion failed or the wall raised violations.
-func runChaos(ctx context.Context, cfgPath, bundleOut string, watchdog time.Duration, ob *obs) int {
-	c, err := chaos.LoadFile(cfgPath)
+func runChaos(ctx context.Context, cfgPath string, raw json.RawMessage, bundleOut string, watchdog time.Duration, ob *obs) int {
+	var c chaos.Campaign
+	var err error
+	if raw != nil {
+		c, err = chaos.Parse(raw)
+	} else {
+		c, err = chaos.LoadFile(cfgPath)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -364,11 +423,12 @@ func (ob *obs) attach(r *router.Router) {
 }
 
 // dump writes the headless-CI artifacts configured by -metrics-out and
-// -timeline-out.
-func (ob *obs) dump() {
+// -timeline-out; it runs through the lifecycle's exit flushers so
+// partial artifacts land even on the interrupted path.
+func (ob *obs) dump() error {
 	if ob.out != "" {
 		if err := os.WriteFile(ob.out, []byte(ob.reg.PrometheusText()), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "drasim: wrote metrics dump to %s\n", ob.out)
 	}
@@ -378,10 +438,11 @@ func (ob *obs) dump() {
 			err = os.WriteFile(ob.tl, b, 0o644)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "drasim: wrote timeline to %s\n", ob.tl)
 	}
+	return nil
 }
 
 func runPackets(a linecard.Arch, n, m int, faults string, count int, load float64, seed uint64, ob *obs) {
@@ -477,14 +538,8 @@ func parseFault(spec string) (int, linecard.Component, error) {
 	}
 }
 
-// usageError reports a flag-validation failure and exits with status 2,
-// the flag package's own convention for bad invocations.
-func usageError(err error) {
-	fmt.Fprintln(os.Stderr, "drasim:", err)
-	os.Exit(2)
-}
+// usageError and fatal delegate to the shared lifecycle conventions
+// (exit 2 for bad invocations, 1 for malfunctions).
+func usageError(err error) { lc.UsageError(err) }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "drasim:", err)
-	os.Exit(1)
-}
+func fatal(err error) { lc.Fatal(err) }

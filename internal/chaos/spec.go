@@ -26,8 +26,8 @@ type Campaign struct {
 	Arch string `json:"arch,omitempty"`
 	// N is the linecard count; M the number sharing LC 0's protocol
 	// (default N) — the paper's uniform layout.
-	N int    `json:"n"`
-	M int    `json:"m,omitempty"`
+	N int `json:"n"`
+	M int `json:"m,omitempty"`
 	// Seed drives every stochastic choice (CSMA/CD backoff). The same
 	// spec and seed reproduce the identical event timeline.
 	Seed uint64 `json:"seed"`
@@ -54,7 +54,7 @@ type RepairPolicy struct {
 
 // Event is one campaign timeline entry.
 type Event struct {
-	At   float64 `json:"at"`
+	At float64 `json:"at"`
 	// Kind selects the action:
 	//
 	//	fail                 — fail one component of one LC

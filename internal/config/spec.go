@@ -1,0 +1,420 @@
+package config
+
+// Job specs: one JSON document format that names a job kind (figure,
+// sweep, Monte-Carlo reliability/availability, rare-event, chaos,
+// scenario) plus the options that kind needs. The same spec drives the
+// CLIs (`drasim -spec`, `dramodel -spec`) and the drad job service, and
+// its canonical form is the content-address of the job: two specs that
+// normalize to the same canonical bytes are the same job and share one
+// cached result.
+//
+// Example:
+//
+//	{"kind": "rareevent",
+//	 "router": {"arch": "dra", "n": 9, "m": 4},
+//	 "mc": {"mu": 0.3333, "reps": 10000, "delta": 0.3, "target_rel_err": 0.1}}
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/chaos"
+)
+
+// Job kinds accepted by Spec.Kind.
+const (
+	KindFigure       = "figure"
+	KindSweep        = "sweep"
+	KindReliability  = "reliability"
+	KindAvailability = "availability"
+	KindRareEvent    = "rareevent"
+	KindChaos        = "chaos"
+	KindScenario     = "scenario"
+)
+
+// Kinds lists every job kind, in display order.
+func Kinds() []string {
+	return []string{KindFigure, KindSweep, KindReliability, KindAvailability, KindRareEvent, KindChaos, KindScenario}
+}
+
+// Spec is the top-level job document.
+type Spec struct {
+	// Kind selects the engine; see the Kind* constants.
+	Kind string `json:"kind"`
+	// Priority is a scheduling hint (higher runs first). It cannot
+	// change the result, so it is excluded from the job ID.
+	Priority int `json:"priority,omitempty"`
+	// Router describes the uniform router under analysis for the
+	// model-driven kinds (reliability, availability, rareevent).
+	Router *RouterSpec `json:"router,omitempty"`
+	// MC tunes the Monte-Carlo kinds.
+	MC *MCSpec `json:"mc,omitempty"`
+	// Sweep describes an N×M grid analysis.
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Figure selects a paper figure to regenerate.
+	Figure *FigureSpec `json:"figure,omitempty"`
+	// Chaos embeds a chaos.Campaign document verbatim.
+	Chaos json.RawMessage `json:"chaos,omitempty"`
+	// Scenario embeds a router-and-timeline document (the original
+	// config.File format) verbatim.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+}
+
+// RouterSpec is the uniform-layout router description shared by the
+// Monte-Carlo kinds.
+type RouterSpec struct {
+	// Arch is "dra" (default) or "bdr".
+	Arch string `json:"arch,omitempty"`
+	// N is the linecard count; M the number sharing LC 0's protocol.
+	N int `json:"n"`
+	M int `json:"m"`
+}
+
+// MCSpec tunes the Monte-Carlo estimators (see montecarlo.Options for
+// the semantics; zero values select the engine defaults).
+type MCSpec struct {
+	// Horizon is the simulated hours per replication (reliability,
+	// availability). Default 40000.
+	Horizon float64 `json:"horizon,omitempty"`
+	// Reps is the replication count (or budget cap under
+	// target_rel_err). Default 1000.
+	Reps int `json:"reps,omitempty"`
+	// Mu is the repair rate per hour (availability, rareevent).
+	// Default 1/3.
+	Mu float64 `json:"mu,omitempty"`
+	// Seed is the master seed; default 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers fans replications over goroutines. Estimates are
+	// bit-identical for any value, so it is excluded from the job ID.
+	Workers int `json:"workers,omitempty"`
+	// Delta enables balanced failure biasing (rareevent kind).
+	Delta float64 `json:"delta,omitempty"`
+	// TargetRelErr switches to sequential stopping.
+	TargetRelErr float64 `json:"target_rel_err,omitempty"`
+	// Batch is the sequential-stopping/checkpoint batch size.
+	Batch int `json:"batch,omitempty"`
+	// CyclesPerRep is the regenerative cycles per replication
+	// (rareevent kind).
+	CyclesPerRep int `json:"cycles_per_rep,omitempty"`
+}
+
+// SweepSpec describes an N×M grid analysis (the dramodel -sweep mode).
+type SweepSpec struct {
+	// Analysis is "reliability", "availability" or "mttf".
+	Analysis string `json:"analysis"`
+	// NLo..NHi × MLo..MHi is the inclusive grid; cells with M > N are
+	// skipped.
+	NLo int `json:"n_lo"`
+	NHi int `json:"n_hi"`
+	MLo int `json:"m_lo"`
+	MHi int `json:"m_hi"`
+	// T is the evaluation time for reliability (default 40000).
+	T float64 `json:"t,omitempty"`
+	// Mu is the repair rate for availability (default 1/3).
+	Mu float64 `json:"mu,omitempty"`
+	// Workers sizes the sweep pool; excluded from the job ID.
+	Workers int `json:"workers,omitempty"`
+}
+
+// FigureSpec selects a paper figure.
+type FigureSpec struct {
+	// Fig is 6, 7 or 8.
+	Fig int `json:"fig"`
+	// N and Bus apply to figure 8 (defaults 6 and 10e9).
+	N   int     `json:"n,omitempty"`
+	Bus float64 `json:"bus,omitempty"`
+}
+
+// ParseSpec decodes and validates a job spec. Unknown fields are
+// rejected so a typo fails loudly instead of silently meaning defaults.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads and parses a job-spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// fieldErr names the offending field in every validation message, so a
+// bad spec submitted over the API pinpoints its own defect.
+func fieldErr(field, format string, args ...any) error {
+	return fmt.Errorf("spec: %s: %s", field, fmt.Sprintf(format, args...))
+}
+
+// Validate rejects malformed specs with errors naming the offending
+// field.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindFigure:
+		return s.validateFigure()
+	case KindSweep:
+		return s.validateSweep()
+	case KindReliability, KindAvailability, KindRareEvent:
+		return s.validateMC()
+	case KindChaos:
+		if len(s.Chaos) == 0 {
+			return fieldErr("chaos", "required for kind %q", s.Kind)
+		}
+		if _, err := chaos.Parse(s.Chaos); err != nil {
+			return fieldErr("chaos", "%v", err)
+		}
+	case KindScenario:
+		if len(s.Scenario) == 0 {
+			return fieldErr("scenario", "required for kind %q", s.Kind)
+		}
+		if _, err := Parse(s.Scenario); err != nil {
+			return fieldErr("scenario", "%v", err)
+		}
+	case "":
+		return fieldErr("kind", "required (one of %s)", strings.Join(Kinds(), ", "))
+	default:
+		return fieldErr("kind", "unknown kind %q (want one of %s)", s.Kind, strings.Join(Kinds(), ", "))
+	}
+	return nil
+}
+
+func (s Spec) validateFigure() error {
+	if s.Figure == nil {
+		return fieldErr("figure", "required for kind %q", s.Kind)
+	}
+	f := *s.Figure
+	switch f.Fig {
+	case 6, 7, 8:
+	default:
+		return fieldErr("figure.fig", "unknown figure %d (paper has 6, 7, 8)", f.Fig)
+	}
+	if f.Fig != 8 && (f.N != 0 || f.Bus != 0) {
+		return fieldErr("figure.n", "n/bus apply only to figure 8")
+	}
+	if f.N < 0 || f.N == 1 {
+		return fieldErr("figure.n", "must be at least 2, got %d", f.N)
+	}
+	if f.Bus < 0 {
+		return fieldErr("figure.bus", "must be positive, got %g", f.Bus)
+	}
+	return nil
+}
+
+func (s Spec) validateSweep() error {
+	if s.Sweep == nil {
+		return fieldErr("sweep", "required for kind %q", s.Kind)
+	}
+	sw := *s.Sweep
+	switch strings.ToLower(sw.Analysis) {
+	case "reliability", "availability", "mttf":
+	default:
+		return fieldErr("sweep.analysis", "unknown analysis %q (want reliability, availability or mttf)", sw.Analysis)
+	}
+	if sw.NLo < 2 {
+		return fieldErr("sweep.n_lo", "must be at least 2, got %d", sw.NLo)
+	}
+	if sw.NHi < sw.NLo {
+		return fieldErr("sweep.n_hi", "must be at least n_lo (%d), got %d", sw.NLo, sw.NHi)
+	}
+	if sw.MLo < 1 {
+		return fieldErr("sweep.m_lo", "must be at least 1, got %d", sw.MLo)
+	}
+	if sw.MHi < sw.MLo {
+		return fieldErr("sweep.m_hi", "must be at least m_lo (%d), got %d", sw.MLo, sw.MHi)
+	}
+	if sw.MLo > sw.NHi {
+		return fieldErr("sweep.m_lo", "grid %d:%d × %d:%d has no valid (N, M) cells", sw.NLo, sw.NHi, sw.MLo, sw.MHi)
+	}
+	if sw.T < 0 {
+		return fieldErr("sweep.t", "must not be negative, got %g", sw.T)
+	}
+	if sw.Mu < 0 {
+		return fieldErr("sweep.mu", "must not be negative, got %g", sw.Mu)
+	}
+	if sw.Workers < 0 {
+		return fieldErr("sweep.workers", "must not be negative, got %d", sw.Workers)
+	}
+	return nil
+}
+
+func (s Spec) validateMC() error {
+	if s.Router == nil {
+		return fieldErr("router", "required for kind %q", s.Kind)
+	}
+	r := *s.Router
+	if r.Arch != "" && !strings.EqualFold(r.Arch, "dra") && !strings.EqualFold(r.Arch, "bdr") {
+		return fieldErr("router.arch", "unknown arch %q (want dra or bdr)", r.Arch)
+	}
+	if r.N < 2 {
+		return fieldErr("router.n", "must be at least 2, got %d", r.N)
+	}
+	if r.M < 1 || r.M > r.N {
+		return fieldErr("router.m", "must be within [1, %d], got %d", r.N, r.M)
+	}
+	mc := MCSpec{}
+	if s.MC != nil {
+		mc = *s.MC
+	}
+	if mc.Horizon < 0 {
+		return fieldErr("mc.horizon", "must not be negative, got %g", mc.Horizon)
+	}
+	if mc.Reps < 0 {
+		return fieldErr("mc.reps", "must not be negative, got %d", mc.Reps)
+	}
+	if mc.Mu < 0 {
+		return fieldErr("mc.mu", "must not be negative, got %g", mc.Mu)
+	}
+	if mc.Workers < 0 {
+		return fieldErr("mc.workers", "must not be negative, got %d", mc.Workers)
+	}
+	if mc.Delta < 0 || mc.Delta >= 0.5 {
+		return fieldErr("mc.delta", "must be within [0, 0.5), got %g", mc.Delta)
+	}
+	if mc.Delta > 0 && s.Kind != KindRareEvent {
+		return fieldErr("mc.delta", "failure biasing applies only to kind %q", KindRareEvent)
+	}
+	if mc.TargetRelErr < 0 || mc.TargetRelErr >= 1 {
+		return fieldErr("mc.target_rel_err", "must be within [0, 1), got %g", mc.TargetRelErr)
+	}
+	if mc.Batch < 0 {
+		return fieldErr("mc.batch", "must not be negative, got %d", mc.Batch)
+	}
+	if mc.CyclesPerRep < 0 {
+		return fieldErr("mc.cycles_per_rep", "must not be negative, got %d", mc.CyclesPerRep)
+	}
+	if mc.CyclesPerRep > 0 && s.Kind != KindRareEvent {
+		return fieldErr("mc.cycles_per_rep", "applies only to kind %q", KindRareEvent)
+	}
+	return nil
+}
+
+// Normalize returns a copy with every defaulted field made explicit, so
+// that a spec relying on defaults and one spelling them out canonicalize
+// identically. It assumes Validate passed.
+func (s Spec) Normalize() Spec {
+	out := s
+	if s.Router != nil {
+		r := *s.Router
+		if r.Arch == "" {
+			r.Arch = "dra"
+		}
+		r.Arch = strings.ToLower(r.Arch)
+		out.Router = &r
+	}
+	switch s.Kind {
+	case KindReliability, KindAvailability, KindRareEvent:
+		mc := MCSpec{}
+		if s.MC != nil {
+			mc = *s.MC
+		}
+		if mc.Horizon == 0 {
+			mc.Horizon = 40000
+		}
+		if mc.Reps == 0 {
+			mc.Reps = 1000
+		}
+		if mc.Seed == 0 {
+			mc.Seed = 1
+		}
+		if mc.Mu == 0 && s.Kind != KindReliability {
+			mc.Mu = 1.0 / 3
+		}
+		if s.Kind == KindReliability {
+			// Reliability runs never repair; a stray mu must not split
+			// the cache key.
+			mc.Mu = 0
+		}
+		if s.Kind == KindRareEvent {
+			// The regenerative estimator's replication unit is the
+			// repair cycle; the horizon is ignored and must not split
+			// the cache key either.
+			mc.Horizon = 0
+		}
+		out.MC = &mc
+	case KindSweep:
+		sw := *s.Sweep
+		sw.Analysis = strings.ToLower(sw.Analysis)
+		if sw.T == 0 && sw.Analysis == "reliability" {
+			sw.T = 40000
+		}
+		if sw.Mu == 0 && sw.Analysis == "availability" {
+			sw.Mu = 1.0 / 3
+		}
+		out.Sweep = &sw
+	case KindFigure:
+		f := *s.Figure
+		if f.Fig == 8 {
+			if f.N == 0 {
+				f.N = 6
+			}
+			if f.Bus == 0 {
+				f.Bus = 10e9
+			}
+		}
+		out.Figure = &f
+	case KindChaos:
+		// Round-trip through the typed campaign: key order, whitespace
+		// and omitted defaults all collapse to one canonical encoding.
+		if c, err := chaos.Parse(s.Chaos); err == nil {
+			if b, err := json.Marshal(c); err == nil {
+				out.Chaos = b
+			}
+		}
+	case KindScenario:
+		if f, err := Parse(s.Scenario); err == nil {
+			if b, err := json.Marshal(f); err == nil {
+				out.Scenario = b
+			}
+		}
+	}
+	return out
+}
+
+// Canonical returns the canonical encoding of the spec: normalized,
+// with the result-irrelevant fields (priority, worker counts) zeroed,
+// marshalled compactly with the fixed struct field order. Two requests
+// for the same computation produce identical canonical bytes.
+func (s Spec) Canonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Normalize()
+	n.Priority = 0
+	if n.MC != nil {
+		mc := *n.MC
+		mc.Workers = 0
+		n.MC = &mc
+	}
+	if n.Sweep != nil {
+		sw := *n.Sweep
+		sw.Workers = 0
+		n.Sweep = &sw
+	}
+	return json.Marshal(n)
+}
+
+// JobID derives the deterministic content address of the spec: the hex
+// SHA-256 of its canonical encoding. Identical computations — however
+// the request was spelled — share one ID, which is what makes the
+// result store content-addressed.
+func (s Spec) JobID() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,152 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecKinds(t *testing.T) {
+	cases := []string{
+		`{"kind": "figure", "figure": {"fig": 6}}`,
+		`{"kind": "figure", "figure": {"fig": 8, "n": 9, "bus": 5e9}}`,
+		`{"kind": "sweep", "sweep": {"analysis": "reliability", "n_lo": 3, "n_hi": 5, "m_lo": 2, "m_hi": 2}}`,
+		`{"kind": "reliability", "router": {"n": 6, "m": 3}}`,
+		`{"kind": "availability", "router": {"arch": "bdr", "n": 3, "m": 2}, "mc": {"mu": 0.25}}`,
+		`{"kind": "rareevent", "router": {"n": 9, "m": 4}, "mc": {"delta": 0.3, "reps": 100}}`,
+		`{"kind": "chaos", "chaos": {"name": "c", "n": 4, "events": [{"at": 1, "kind": "fail-bus"}]}}`,
+		`{"kind": "scenario", "scenario": {"n": 4, "events": [{"at": 1, "action": "fail-bus"}]}}`,
+	}
+	for _, src := range cases {
+		if _, err := ParseSpec([]byte(src)); err != nil {
+			t.Errorf("ParseSpec(%s): %v", src, err)
+		}
+	}
+}
+
+// TestSpecValidationNamesField holds the satellite contract: every
+// validation failure names the offending field.
+func TestSpecValidationNamesField(t *testing.T) {
+	cases := []struct {
+		src   string
+		field string
+	}{
+		{`{}`, "kind"},
+		{`{"kind": "warp"}`, "kind"},
+		{`{"kind": "figure"}`, "figure"},
+		{`{"kind": "figure", "figure": {"fig": 5}}`, "figure.fig"},
+		{`{"kind": "figure", "figure": {"fig": 6, "n": 4}}`, "figure.n"},
+		{`{"kind": "sweep", "sweep": {"analysis": "x", "n_lo": 3, "n_hi": 4, "m_lo": 2, "m_hi": 2}}`, "sweep.analysis"},
+		{`{"kind": "sweep", "sweep": {"analysis": "mttf", "n_lo": 1, "n_hi": 4, "m_lo": 2, "m_hi": 2}}`, "sweep.n_lo"},
+		{`{"kind": "sweep", "sweep": {"analysis": "mttf", "n_lo": 4, "n_hi": 3, "m_lo": 2, "m_hi": 2}}`, "sweep.n_hi"},
+		{`{"kind": "reliability"}`, "router"},
+		{`{"kind": "reliability", "router": {"arch": "x", "n": 6, "m": 3}}`, "router.arch"},
+		{`{"kind": "reliability", "router": {"n": 1, "m": 1}}`, "router.n"},
+		{`{"kind": "reliability", "router": {"n": 6, "m": 7}}`, "router.m"},
+		{`{"kind": "reliability", "router": {"n": 6, "m": 3}, "mc": {"reps": -1}}`, "mc.reps"},
+		{`{"kind": "reliability", "router": {"n": 6, "m": 3}, "mc": {"delta": 0.3}}`, "mc.delta"},
+		{`{"kind": "rareevent", "router": {"n": 6, "m": 3}, "mc": {"delta": 0.6}}`, "mc.delta"},
+		{`{"kind": "availability", "router": {"n": 6, "m": 3}, "mc": {"cycles_per_rep": 5}}`, "mc.cycles_per_rep"},
+		{`{"kind": "availability", "router": {"n": 6, "m": 3}, "mc": {"target_rel_err": 1.5}}`, "mc.target_rel_err"},
+		{`{"kind": "chaos"}`, "chaos"},
+		{`{"kind": "chaos", "chaos": {"name": "c", "n": 4, "events": [{"at": 1, "kind": "warp"}]}}`, "chaos"},
+		{`{"kind": "scenario"}`, "scenario"},
+		{`{"kind": "scenario", "scenario": {"n": 4, "events": [{"at": 1, "action": "warp"}]}}`, "scenario"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec([]byte(tc.src))
+		if err == nil {
+			t.Errorf("ParseSpec(%s): want error naming %q, got nil", tc.src, tc.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("ParseSpec(%s): error %q does not name field %q", tc.src, err, tc.field)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"kind": "figure", "figure": {"fig": 6}, "bogus": 1}`)); err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"kind": "figure", "figure": {"fig": 6, "bogus": 1}}`)); err == nil {
+		t.Fatal("unknown nested field accepted")
+	}
+}
+
+// TestJobIDDeterministic: the ID is a pure function of the computation —
+// key order, explicit defaults, priority and worker counts must not
+// split it; any result-relevant field must.
+func TestJobIDDeterministic(t *testing.T) {
+	id := func(src string) string {
+		t.Helper()
+		s, err := ParseSpec([]byte(src))
+		if err != nil {
+			t.Fatalf("ParseSpec(%s): %v", src, err)
+		}
+		jid, err := s.JobID()
+		if err != nil {
+			t.Fatalf("JobID(%s): %v", src, err)
+		}
+		return jid
+	}
+	base := id(`{"kind": "availability", "router": {"n": 6, "m": 3}}`)
+	same := []string{
+		// Key order.
+		`{"router": {"m": 3, "n": 6}, "kind": "availability"}`,
+		// Defaults spelled out.
+		`{"kind": "availability", "router": {"arch": "dra", "n": 6, "m": 3}, "mc": {"horizon": 40000, "reps": 1000, "seed": 1, "mu": 0.3333333333333333}}`,
+		// Arch case.
+		`{"kind": "availability", "router": {"arch": "DRA", "n": 6, "m": 3}}`,
+		// Result-irrelevant knobs.
+		`{"kind": "availability", "router": {"n": 6, "m": 3}, "priority": 9, "mc": {"workers": 16}}`,
+	}
+	for _, src := range same {
+		if got := id(src); got != base {
+			t.Errorf("JobID(%s) = %s, want %s (must not split the cache key)", src, got, base)
+		}
+	}
+	diff := []string{
+		`{"kind": "availability", "router": {"n": 7, "m": 3}}`,
+		`{"kind": "availability", "router": {"n": 6, "m": 3}, "mc": {"seed": 2}}`,
+		`{"kind": "availability", "router": {"n": 6, "m": 3}, "mc": {"reps": 2000}}`,
+		`{"kind": "reliability", "router": {"n": 6, "m": 3}}`,
+	}
+	for _, src := range diff {
+		if got := id(src); got == base {
+			t.Errorf("JobID(%s) = base ID; result-relevant change must change the ID", src)
+		}
+	}
+}
+
+// TestJobIDChaosCanonicalization: chaos documents canonicalize through
+// the typed campaign, so formatting differences collapse.
+func TestJobIDChaosCanonicalization(t *testing.T) {
+	a, err := ParseSpec([]byte(`{"kind": "chaos", "chaos": {"name": "c", "n": 4, "events": [{"at": 1, "kind": "fail-bus"}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{"kind": "chaos", "chaos": {
+		"events": [{"kind": "fail-bus", "at": 1}],
+		"n": 4, "name": "c"
+	}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ida, _ := a.JobID()
+	idb, _ := b.JobID()
+	if ida != idb {
+		t.Fatalf("chaos key order split the job ID: %s vs %s", ida, idb)
+	}
+}
+
+// TestMCSpecReliabilityIgnoresMu: kind-irrelevant fields are zeroed in
+// normalization so they cannot split the cache key.
+func TestMCSpecReliabilityIgnoresMu(t *testing.T) {
+	a, _ := ParseSpec([]byte(`{"kind": "reliability", "router": {"n": 6, "m": 3}}`))
+	b, _ := ParseSpec([]byte(`{"kind": "reliability", "router": {"n": 6, "m": 3}, "mc": {"mu": 0.5}}`))
+	ida, _ := a.JobID()
+	idb, _ := b.JobID()
+	if ida != idb {
+		t.Fatalf("mu split the reliability job ID (reliability never repairs)")
+	}
+}

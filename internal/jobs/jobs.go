@@ -1,0 +1,160 @@
+// Package jobs is the scheduling core of the drad service: a priority
+// job queue with bounded admission control, per-kind concurrency
+// limits, deterministic job IDs derived from the canonicalized spec
+// (config.Spec.JobID), content-addressed result caching through
+// internal/store, cancellation, and crash-safe execution — Monte-Carlo
+// jobs run through the montecarlo lifecycle checkpoints, and a drained
+// or killed server requeues its interrupted jobs on restart and resumes
+// them bit-identically.
+//
+// The package is engine-agnostic: it schedules Runners registered per
+// job kind; the wiring of kinds to the actual figure/sweep/MC/chaos
+// engines lives in the facade (repro/service.go), which keeps the
+// dependency arrow pointing one way.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// State is a job's lifecycle state. The machine is:
+//
+//	queued → running → done | failed | canceled
+//	queued | running → interrupted          (drain/crash; requeued on restart)
+//	interrupted → queued                    (restart recovery)
+//
+// Cache hits are born done.
+type State string
+
+// The job states.
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether a job in this state will never run again
+// (an interrupted job is not terminal: a restarted server resumes it).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors surfaced to the API layer.
+var (
+	// ErrBusy: admission control refused the job; retry later (HTTP
+	// 429 + Retry-After).
+	ErrBusy = errors.New("jobs: queue full, retry later")
+	// ErrDraining: the server is shutting down and admits nothing new.
+	ErrDraining = errors.New("jobs: server draining")
+	// ErrNotFound: no such job.
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrNoRunner: the spec names a kind with no registered runner.
+	ErrNoRunner = errors.New("jobs: no runner for kind")
+)
+
+// Runner executes one job kind. The returned bytes are the job's result
+// document (stored content-addressed, served verbatim by the API).
+// Runners must honor ctx: on cancellation they return promptly — with
+// (partial, nil) for engines that checkpoint (the manager discards the
+// partial result and classifies by the cancellation cause) or with
+// ctx's error.
+type Runner func(ctx context.Context, rc RunContext, spec config.Spec) (json.RawMessage, error)
+
+// RunContext is the per-job plumbing a Runner receives.
+type RunContext struct {
+	// Metrics is the job's private registry; engines instrumented
+	// against it feed the job's streaming progress endpoint.
+	Metrics *metrics.Registry
+	// Trace is the job's private event recorder (scenario/chaos jobs
+	// fill it; its Seq stream feeds the progress endpoint too).
+	Trace *trace.Recorder
+	// CheckpointPath is where a checkpointing engine persists resumable
+	// state ("" when the manager runs without a state dir). If a file
+	// already exists there the job is a resume: load it and continue.
+	CheckpointPath string
+	// Progress publishes a progress note on the job's event stream.
+	// Nil-safe via the manager wiring; runners may call it freely.
+	Progress func(note string)
+}
+
+// Event is one entry of a job's progress stream.
+type Event struct {
+	JobID string `json:"job"`
+	Seq   uint64 `json:"seq"`
+	Time  int64  `json:"unix_ms"`
+	State State  `json:"state"`
+	// Note carries transition detail: the error of a failed job, the
+	// "cache hit" marker, checkpoint/resume notices, runner progress.
+	Note string `json:"note,omitempty"`
+}
+
+// Snapshot is the queryable view of a job.
+type Snapshot struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Priority int    `json:"priority"`
+	State    State  `json:"state"`
+	Error    string `json:"error,omitempty"`
+	// Cached marks a submit served from the result store without
+	// recomputation.
+	Cached bool `json:"cached,omitempty"`
+	// Resumed marks a run continued from a persisted checkpoint.
+	Resumed     bool       `json:"resumed,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the manager's internal record.
+type job struct {
+	id       string
+	spec     config.Spec
+	kind     string
+	priority int
+	seq      uint64 // submit order; FIFO tiebreak within a priority
+
+	state     State
+	errMsg    string
+	cached    bool
+	resumed   bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	reg    *metrics.Registry
+	rec    *trace.Recorder
+	cancel context.CancelCauseFunc
+	done   chan struct{} // closed on terminal or interrupted
+}
+
+func (j *job) snapshot() Snapshot {
+	s := Snapshot{
+		ID:          j.id,
+		Kind:        j.kind,
+		Priority:    j.priority,
+		State:       j.state,
+		Error:       j.errMsg,
+		Cached:      j.cached,
+		Resumed:     j.resumed,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	return s
+}

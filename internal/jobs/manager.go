@@ -1,0 +1,695 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Store is the content-addressed result cache (required).
+	Store *store.Store
+	// Dir is the state directory for pending job specs and engine
+	// checkpoints; "" disables persistence (jobs die with the process).
+	Dir string
+	// Runners maps job kinds to executors (see repro.DefaultRunners).
+	Runners map[string]Runner
+	// Workers sizes the execution pool; 0 selects NumCPU.
+	Workers int
+	// MaxQueued bounds admitted-but-unfinished jobs; submissions past
+	// it fail with ErrBusy. 0 selects 128.
+	MaxQueued int
+	// ClassLimits caps concurrently *running* jobs per kind (e.g. one
+	// chaos campaign at a time); kinds absent from the map share only
+	// the global Workers bound.
+	ClassLimits map[string]int
+	// Metrics, when non-nil, receives the jobs_* service families.
+	Metrics *metrics.Registry
+	// TraceCapacity bounds each job's private trace ring (default 4096).
+	TraceCapacity int
+}
+
+const (
+	defaultMaxQueued  = 128
+	defaultTraceCap   = 4096
+	maxTerminalJobs   = 4096 // completed-job records kept for status queries
+	eventBuffer       = 64   // per-subscriber event buffer before drops
+	pendingDirName    = "pending"
+	checkpointDirName = "checkpoints"
+)
+
+// Cancellation causes, distinguished so drain leaves resumable state
+// behind while user cancellation cleans up.
+var (
+	errCanceledByUser = fmt.Errorf("jobs: canceled by request")
+	errDrained        = fmt.Errorf("jobs: drained for shutdown")
+)
+
+// Manager owns the queue, the execution pool, and the job records.
+type Manager struct {
+	opt  Options
+	pool *sweep.Pool
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    []*job // admitted, waiting; scheduling scans for best eligible
+	running  map[string]int
+	draining bool
+	seq      uint64
+	eventSeq uint64
+	subs     map[string][]chan Event
+
+	submitted  *metrics.CounterVec
+	completed  *metrics.CounterVec
+	cacheHits  *metrics.Counter
+	rejected   *metrics.Counter
+	queueDepth *metrics.Gauge
+	runningG   *metrics.Gauge
+	duration   *metrics.Histogram
+}
+
+// NewManager builds a manager and recovers any pending jobs persisted
+// by a previous process in Options.Dir (they re-enter the queue and
+// resume from their checkpoints).
+func NewManager(opt Options) (*Manager, error) {
+	if opt.Store == nil {
+		return nil, fmt.Errorf("jobs: Options.Store is required")
+	}
+	if opt.MaxQueued <= 0 {
+		opt.MaxQueued = defaultMaxQueued
+	}
+	if opt.TraceCapacity <= 0 {
+		opt.TraceCapacity = defaultTraceCap
+	}
+	reg := opt.Metrics
+	m := &Manager{
+		opt:        opt,
+		pool:       sweep.NewPool(opt.Workers),
+		jobs:       make(map[string]*job),
+		running:    make(map[string]int),
+		subs:       make(map[string][]chan Event),
+		submitted:  reg.CounterVec("jobs_submitted_total", "Jobs admitted, by kind.", "kind"),
+		completed:  reg.CounterVec("jobs_completed_total", "Jobs finished, by final state.", "state"),
+		cacheHits:  reg.Counter("jobs_cache_hits_total", "Submissions served from the result store without recomputation."),
+		rejected:   reg.Counter("jobs_rejected_total", "Submissions refused by admission control."),
+		queueDepth: reg.Gauge("jobs_queue_depth", "Admitted jobs waiting for a worker."),
+		runningG:   reg.Gauge("jobs_running", "Jobs currently executing."),
+		duration:   reg.Histogram("jobs_run_seconds", "Per-job wall time in seconds.", metrics.ExpBuckets(1e-4, 10, 8)),
+	}
+	// Every freed worker slot re-enters the scheduler, so queued jobs
+	// held back by a full pool (or a class limit) start the moment
+	// capacity frees.
+	m.pool.OnIdle(m.dispatch)
+	if opt.Dir != "" {
+		for _, sub := range []string{pendingDirName, checkpointDirName} {
+			if err := os.MkdirAll(filepath.Join(opt.Dir, sub), 0o755); err != nil {
+				return nil, fmt.Errorf("jobs: %w", err)
+			}
+		}
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// recover requeues every pending spec left behind by a crashed or
+// drained predecessor. Jobs with a checkpoint resume from it.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(filepath.Join(m.opt.Dir, pendingDirName))
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		path := filepath.Join(m.opt.Dir, pendingDirName, e.Name())
+		spec, err := config.LoadSpec(path)
+		if err != nil {
+			// A corrupt pending spec must not wedge startup; drop it.
+			os.Remove(path)
+			continue
+		}
+		snap, err := m.Submit(spec)
+		if err != nil {
+			return fmt.Errorf("jobs: recovering %s: %w", e.Name(), err)
+		}
+		if j := m.get(snap.ID); j != nil {
+			m.mu.Lock()
+			j.resumed = true
+			m.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Submit admits a job (or dedups it against the queue, the running set,
+// and the result store). The returned snapshot's State tells the caller
+// what happened: StateDone with Cached set is a cache hit, anything
+// else is a live job. ErrBusy and ErrDraining are admission refusals.
+func (m *Manager) Submit(spec config.Spec) (Snapshot, error) {
+	id, err := spec.JobID()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if _, ok := m.opt.Runners[spec.Kind]; !ok {
+		return Snapshot{}, fmt.Errorf("%w %q", ErrNoRunner, spec.Kind)
+	}
+
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok && !j.state.Terminal() {
+		// Identical spec already queued or running: attach, don't rerun.
+		snap := j.snapshot()
+		m.mu.Unlock()
+		return snap, nil
+	}
+	if m.opt.Store.Has(id) {
+		// Content-addressed hit: the computation already happened —
+		// possibly in a previous process. Serve the stored result.
+		j := m.cachedJob(id, spec)
+		snap := j.snapshot()
+		m.cacheHits.Inc()
+		m.mu.Unlock()
+		// A pending spec from a crashed run whose result did land is
+		// satisfied; don't leave it to requeue again.
+		m.unpersist(id)
+		return snap, nil
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return Snapshot{}, ErrDraining
+	}
+	if m.admittedLocked() >= m.opt.MaxQueued {
+		m.rejected.Inc()
+		m.mu.Unlock()
+		return Snapshot{}, ErrBusy
+	}
+
+	m.seq++
+	j := &job{
+		id:        id,
+		spec:      spec,
+		kind:      spec.Kind,
+		priority:  spec.Priority,
+		seq:       m.seq,
+		state:     StateQueued,
+		submitted: time.Now(),
+		reg:       metrics.NewRegistry(),
+		rec:       trace.New(m.opt.TraceCapacity),
+		done:      make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.queue = append(m.queue, j)
+	m.pruneTerminalLocked()
+	m.submitted.With(j.kind).Inc()
+	m.queueDepth.Set(float64(len(m.queue)))
+	snap := j.snapshot()
+	m.publishLocked(j, "")
+	m.mu.Unlock()
+
+	if err := m.persistSpec(j); err != nil {
+		// Persistence failure degrades crash safety, not service.
+		m.publish(j, "warning: spec not persisted: "+err.Error())
+	}
+	m.dispatch()
+	return snap, nil
+}
+
+// admittedLocked counts jobs that hold an admission slot: queued or
+// running. Terminal and interrupted jobs do not.
+func (m *Manager) admittedLocked() int {
+	n := len(m.queue)
+	for _, c := range m.running {
+		n += c
+	}
+	return n
+}
+
+// cachedJob materializes a done-from-cache job record. Caller holds mu.
+func (m *Manager) cachedJob(id string, spec config.Spec) *job {
+	j, ok := m.jobs[id]
+	if !ok {
+		m.seq++
+		j = &job{
+			id: id, spec: spec, kind: spec.Kind, priority: spec.Priority,
+			seq: m.seq, submitted: time.Now(),
+			reg: metrics.NewRegistry(), rec: trace.New(1),
+			done: make(chan struct{}),
+		}
+		m.jobs[id] = j
+		close(j.done)
+	}
+	if !j.state.Terminal() {
+		j.state = StateDone
+		j.finished = time.Now()
+	}
+	j.cached = true
+	m.publishLocked(j, "cache hit")
+	return j
+}
+
+// dispatch starts as many eligible queued jobs as the pool accepts.
+// Eligibility: highest priority first (FIFO within a priority), skipping
+// kinds at their class limit.
+func (m *Manager) dispatch() {
+	for {
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			return
+		}
+		idx := -1
+		for i, j := range m.queue {
+			if limit, ok := m.opt.ClassLimits[j.kind]; ok && m.running[j.kind] >= limit {
+				continue
+			}
+			if idx < 0 || j.priority > m.queue[idx].priority ||
+				(j.priority == m.queue[idx].priority && j.seq < m.queue[idx].seq) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[idx]
+		r := m.opt.Runners[j.kind]
+		// Claim the slot and hand off to the pool under one critical
+		// section: the pool's OnIdle hook re-enters dispatch after every
+		// slot release, and it must observe either the claim or the
+		// rollback — never the gap between them — or a job re-queued
+		// after a failed TryGo could strand with no dispatcher left to
+		// see it. (Drain holds this same lock to set draining, so a
+		// failed TryGo here always means a full pool, not a closed one.)
+		m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
+		m.running[j.kind]++
+		ok := m.pool.TryGo(func() { m.execute(j, r) })
+		if !ok {
+			m.running[j.kind]--
+			m.queue = append(m.queue, j)
+		}
+		m.queueDepth.Set(float64(len(m.queue)))
+		m.mu.Unlock()
+		if !ok {
+			return
+		}
+	}
+}
+
+// execute runs one job to a terminal (or interrupted) state.
+func (m *Manager) execute(j *job, runner Runner) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m.mu.Lock()
+	if m.draining {
+		// Drain raced the dispatch: leave the job for the next process.
+		m.running[j.kind]--
+		j.state = StateInterrupted
+		m.publishLocked(j, "interrupted before start")
+		close(j.done)
+		m.mu.Unlock()
+		cancel(nil)
+		return
+	}
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	m.runningG.Add(1)
+	m.publishLocked(j, "")
+	m.mu.Unlock()
+
+	rc := RunContext{
+		Metrics:        j.reg,
+		Trace:          j.rec,
+		CheckpointPath: m.checkpointPath(j.id),
+		Progress:       func(note string) { m.publish(j, note) },
+	}
+	if rc.CheckpointPath != "" {
+		if _, err := os.Stat(rc.CheckpointPath); err == nil {
+			m.mu.Lock()
+			j.resumed = true
+			m.mu.Unlock()
+			m.publish(j, "resuming from checkpoint")
+		}
+	}
+
+	out, err := func() (out json.RawMessage, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("jobs: runner panicked: %v", r)
+			}
+		}()
+		return runner(ctx, rc, j.spec)
+	}()
+
+	// Classify the outcome. Engines that checkpoint return (partial,
+	// nil) on cancellation, so the context verdict outranks theirs.
+	cause := context.Cause(ctx)
+	var final State
+	var note string
+	switch {
+	case cause == errDrained:
+		final, note = StateInterrupted, "checkpointed for drain"
+	case cause == errCanceledByUser:
+		final, note = StateCanceled, ""
+	case err != nil:
+		final, note = StateFailed, err.Error()
+	default:
+		if perr := m.opt.Store.Put(j.id, out); perr != nil {
+			final, note = StateFailed, "storing result: "+perr.Error()
+		} else {
+			final = StateDone
+		}
+	}
+
+	m.mu.Lock()
+	m.running[j.kind]--
+	m.runningG.Add(-1)
+	j.state = final
+	j.errMsg = ""
+	if final == StateFailed {
+		j.errMsg = note
+	}
+	j.finished = time.Now()
+	m.duration.Observe(j.finished.Sub(j.started).Seconds())
+	if final.Terminal() {
+		m.completed.With(string(final)).Inc()
+	}
+	m.publishLocked(j, note)
+	close(j.done)
+	m.mu.Unlock()
+	cancel(nil)
+
+	if final.Terminal() {
+		// The job will never run again: its pending spec and
+		// checkpoint are garbage now.
+		m.unpersist(j.id)
+	}
+	// The next dispatch happens via the pool's OnIdle hook once this
+	// worker's slot is actually released.
+}
+
+// Cancel stops a queued or running job. Canceling a terminal job is a
+// no-op; an unknown ID reports ErrNotFound.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCanceled
+		j.finished = time.Now()
+		m.queueDepth.Set(float64(len(m.queue)))
+		m.completed.With(string(StateCanceled)).Inc()
+		m.publishLocked(j, "")
+		close(j.done)
+		m.mu.Unlock()
+		m.unpersist(id)
+		return nil
+	case StateRunning:
+		cancel := j.cancel
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel(errCanceledByUser)
+		}
+		return nil
+	default:
+		m.mu.Unlock()
+		return nil
+	}
+}
+
+// Get returns a job's snapshot.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	j := m.get(id)
+	if j == nil {
+		return Snapshot{}, ErrNotFound
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.snapshot(), nil
+}
+
+func (m *Manager) get(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// Result returns the stored result document of a done job.
+func (m *Manager) Result(id string) (json.RawMessage, error) {
+	return m.opt.Store.Get(id)
+}
+
+// Registry returns the job's private metrics registry (nil for unknown
+// jobs) — the feed behind the streaming progress endpoint.
+func (m *Manager) Registry(id string) *metrics.Registry {
+	if j := m.get(id); j != nil {
+		return j.reg
+	}
+	return nil
+}
+
+// Trace returns the job's private trace recorder (nil for unknown jobs).
+func (m *Manager) Trace(id string) *trace.Recorder {
+	if j := m.get(id); j != nil {
+		return j.rec
+	}
+	return nil
+}
+
+// Wait blocks until the job reaches a resting state (terminal or
+// interrupted) or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
+	j := m.get(id)
+	if j == nil {
+		return Snapshot{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return m.Get(id)
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// List returns every known job, newest submission first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshot())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].SubmittedAt.After(out[b].SubmittedAt) })
+	return out
+}
+
+// QueueDepth returns the number of admitted jobs holding slots (the
+// admission-control measure).
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.admittedLocked()
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Subscribe attaches a progress-event listener to a job. Events are
+// delivered best-effort: a subscriber that stops reading loses events
+// rather than blocking the manager. The returned cancel must be called
+// to release the channel.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, eventBuffer)
+	m.subs[id] = append(m.subs[id], ch)
+	// Prime with the current state so late subscribers see where the
+	// job stands without racing the next transition.
+	m.eventSeq++
+	ch <- Event{JobID: id, Seq: m.eventSeq, Time: time.Now().UnixMilli(), State: j.state}
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		subs := m.subs[id]
+		for i, c := range subs {
+			if c == ch {
+				m.subs[id] = append(subs[:i], subs[i+1:]...)
+				break
+			}
+		}
+		if len(m.subs[id]) == 0 {
+			delete(m.subs, id)
+		}
+	}
+	return ch, cancel, nil
+}
+
+func (m *Manager) publish(j *job, note string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.publishLocked(j, note)
+}
+
+// publishLocked fans an event out to the job's subscribers. Caller
+// holds mu.
+func (m *Manager) publishLocked(j *job, note string) {
+	subs := m.subs[j.id]
+	if len(subs) == 0 {
+		return
+	}
+	m.eventSeq++
+	ev := Event{JobID: j.id, Seq: m.eventSeq, Time: time.Now().UnixMilli(), State: j.state, Note: note}
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the manager
+		}
+	}
+}
+
+// Drain stops admission, cancels running jobs with the drain cause (so
+// checkpointing engines persist resumable state), and waits for them to
+// come to rest or ctx to expire. Queued jobs stay persisted and
+// interrupted; a restarted manager requeues everything.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	var waiting []*job
+	for _, j := range m.queue {
+		j.state = StateInterrupted
+		m.publishLocked(j, "interrupted by drain")
+		close(j.done)
+	}
+	m.queue = nil
+	m.queueDepth.Set(0)
+	for _, j := range m.jobs {
+		if j.state == StateRunning {
+			waiting = append(waiting, j)
+			if j.cancel != nil {
+				j.cancel(errDrained)
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	for _, j := range waiting {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	m.pool.Close()
+	return nil
+}
+
+// pruneTerminalLocked bounds the completed-job history. Caller holds mu.
+func (m *Manager) pruneTerminalLocked() {
+	if len(m.jobs) <= maxTerminalJobs {
+		return
+	}
+	type cand struct {
+		id  string
+		seq uint64
+	}
+	var cands []cand
+	for id, j := range m.jobs {
+		if j.state.Terminal() {
+			cands = append(cands, cand{id, j.seq})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].seq < cands[b].seq })
+	excess := len(m.jobs) - maxTerminalJobs
+	for i := 0; i < excess && i < len(cands); i++ {
+		delete(m.jobs, cands[i].id)
+	}
+}
+
+// --- persistence ---
+
+func (m *Manager) pendingPath(id string) string {
+	if m.opt.Dir == "" {
+		return ""
+	}
+	return filepath.Join(m.opt.Dir, pendingDirName, id+".json")
+}
+
+func (m *Manager) checkpointPath(id string) string {
+	if m.opt.Dir == "" {
+		return ""
+	}
+	return filepath.Join(m.opt.Dir, checkpointDirName, id+".ckpt")
+}
+
+// persistSpec writes the admitted spec atomically so a crashed or
+// drained server can requeue it.
+func (m *Manager) persistSpec(j *job) error {
+	path := m.pendingPath(j.id)
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(j.spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".spec-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// unpersist removes a terminal job's pending spec and checkpoint.
+func (m *Manager) unpersist(id string) {
+	if m.opt.Dir == "" {
+		return
+	}
+	os.Remove(m.pendingPath(id))
+	os.Remove(m.checkpointPath(id))
+}

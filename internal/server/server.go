@@ -1,0 +1,290 @@
+// Package server is drad's HTTP face: a stdlib net/http API over the
+// jobs.Manager. It exposes job submission with admission-control
+// semantics mapped onto status codes (429 + Retry-After when the queue
+// is full, 503 while draining), status/result/cancel endpoints, and a
+// chunked NDJSON progress stream per job fed from the job's lifecycle
+// events, its private metrics registry, and its trace recorder. The
+// service-wide introspection endpoints (/metrics, /metrics.json,
+// /timeline.json, /debug/pprof) mount alongside the API on the same
+// listener.
+//
+// Routes:
+//
+//	POST   /v1/jobs             submit a spec (202 queued, 200 cache hit)
+//	GET    /v1/jobs             list known jobs
+//	GET    /v1/jobs/{id}        job snapshot
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/result stored result document
+//	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	GET    /healthz             liveness + drain state
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Manager is the job scheduler the API fronts (required).
+	Manager *jobs.Manager
+	// Metrics is the service-wide registry served at /metrics; nil
+	// serves an empty registry.
+	Metrics *metrics.Registry
+	// Timeline backs /timeline.json (may be nil).
+	Timeline metrics.TimelineFunc
+	// SampleInterval is the cadence of metric/trace samples on the
+	// events stream; 0 selects 250ms.
+	SampleInterval time.Duration
+	// MaxSpecBytes bounds a submitted spec body; 0 selects 1 MiB.
+	MaxSpecBytes int64
+}
+
+const (
+	defaultSampleInterval = 250 * time.Millisecond
+	defaultMaxSpecBytes   = 1 << 20
+	retryAfterSeconds     = "1"
+)
+
+// Server is the drad HTTP handler.
+type Server struct {
+	mgr *jobs.Manager
+	opt Options
+	mux *http.ServeMux
+}
+
+// New builds the handler.
+func New(opt Options) (*Server, error) {
+	if opt.Manager == nil {
+		return nil, fmt.Errorf("server: Options.Manager is required")
+	}
+	if opt.SampleInterval <= 0 {
+		opt.SampleInterval = defaultSampleInterval
+	}
+	if opt.MaxSpecBytes <= 0 {
+		opt.MaxSpecBytes = defaultMaxSpecBytes
+	}
+	reg := opt.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{mgr: opt.Manager, opt: opt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	// Introspection shares the listener: the metrics handler owns its
+	// own sub-routes, including /debug/pprof.
+	mh := metrics.Handler(reg, opt.Timeline)
+	for _, p := range []string{"/metrics", "/metrics.json", "/timeline.json", "/debug/"} {
+		s.mux.Handle(p, mh)
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submit parses, validates, and admits a job spec.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opt.MaxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.opt.MaxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", s.opt.MaxSpecBytes)
+		return
+	}
+	spec, err := config.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrBusy):
+		// Admission control: bounded memory beats a dead server. The
+		// client backs off and retries.
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrNoRunner):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if snap.Cached {
+		// The content-addressed store already holds this result; no
+		// computation was scheduled.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, snap)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.mgr.Get(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	err := s.mgr.Cancel(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	snap, _ := s.mgr.Get(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.mgr.Result(id)
+	if err != nil {
+		// Distinguish "job exists but is not done" from "never heard of
+		// it" so clients can poll sensibly.
+		if snap, gerr := s.mgr.Get(id); gerr == nil && snap.State != jobs.StateDone {
+			writeError(w, http.StatusConflict, "job %s is %s, result not available", id, snap.State)
+			return
+		}
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(res)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": s.mgr.Draining(),
+		"queued":   s.mgr.QueueDepth(),
+	})
+}
+
+// streamLine is one NDJSON line of a job's progress stream.
+type streamLine struct {
+	Type string `json:"type"` // "event" | "sample"
+	// event fields
+	Event *jobs.Event `json:"event,omitempty"`
+	// sample fields
+	JobID       string          `json:"job,omitempty"`
+	UnixMs      int64           `json:"unix_ms,omitempty"`
+	Metrics     json.RawMessage `json:"metrics,omitempty"`
+	TraceEvents int             `json:"trace_events,omitempty"`
+}
+
+// events streams a job's progress as chunked NDJSON: every lifecycle
+// transition and runner note as an "event" line, plus periodic "sample"
+// lines carrying the job's private metrics snapshot and trace depth.
+// The stream ends when the job comes to rest or the client goes away.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, unsub, err := s.mgr.Subscribe(id)
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer unsub()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(line streamLine) bool {
+		if err := enc.Encode(line); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	sample := func() bool {
+		reg := s.mgr.Registry(id)
+		rec := s.mgr.Trace(id)
+		if reg == nil {
+			return true
+		}
+		snap, err := reg.SnapshotJSON()
+		if err != nil {
+			return true
+		}
+		line := streamLine{Type: "sample", JobID: id, UnixMs: time.Now().UnixMilli(), Metrics: snap}
+		if rec != nil {
+			line.TraceEvents = rec.Len()
+		}
+		return emit(line)
+	}
+
+	ticker := time.NewTicker(s.opt.SampleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev := <-ch:
+			e := ev
+			if !emit(streamLine{Type: "event", Event: &e}) {
+				return
+			}
+			if ev.State.Terminal() || ev.State == jobs.StateInterrupted {
+				// Final metrics snapshot, then end the stream.
+				sample()
+				return
+			}
+		case <-ticker.C:
+			if !sample() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

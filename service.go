@@ -1,0 +1,355 @@
+package dra
+
+// service.go wires the drad job service to the actual engines. The
+// scheduling core (internal/jobs) is engine-agnostic — it runs Runners
+// registered per job kind — and this facade, living in the root package
+// above every engine, is where the kinds meet their implementations:
+//
+//	figure        → ComputeFigure{6,7,8…} sweeps
+//	sweep         → the Markov-model N×M grid (internal/models)
+//	reliability   → montecarlo.EstimateReliability
+//	availability  → montecarlo.EstimateAvailability
+//	rareevent     → montecarlo.EstimateUnavailability (failure biasing)
+//	chaos         → chaos.Run under the invariant wall
+//	scenario      → config.File timeline replay
+//
+// The Monte-Carlo runners thread the job's checkpoint path into the
+// engine lifecycle (OnBatch/Resume), so a drad drained mid-job resumes
+// it bit-identically after restart — same contract as `drasim
+// -checkpoint/-resume`, inherited from the batch scheduler's
+// deterministic stream splitting.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/config"
+	"repro/internal/invariant"
+	"repro/internal/jobs"
+	"repro/internal/linecard"
+	"repro/internal/models"
+	"repro/internal/montecarlo"
+	"repro/internal/router"
+	"repro/internal/sweep"
+)
+
+// DefaultRunners maps every job kind to its engine. The returned map is
+// fresh per call; callers may add or replace entries.
+func DefaultRunners() map[string]jobs.Runner {
+	return map[string]jobs.Runner{
+		config.KindFigure:       runFigureJob,
+		config.KindSweep:        runSweepJob,
+		config.KindReliability:  runMCJob,
+		config.KindAvailability: runMCJob,
+		config.KindRareEvent:    runMCJob,
+		config.KindChaos:        runChaosJob,
+		config.KindScenario:     runScenarioJob,
+	}
+}
+
+// MCResult is the result document of the Monte-Carlo kinds.
+type MCResult struct {
+	Kind     string  `json:"kind"`
+	Arch     string  `json:"arch"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	Estimate float64 `json:"estimate"`
+	CILo     float64 `json:"ci_lo"`
+	CIHi     float64 `json:"ci_hi"`
+	// Trials is the replication count actually folded.
+	Trials uint64 `json:"trials"`
+	// StopReason is the engine's stopping verdict (fixed, target,
+	// budget).
+	StopReason string `json:"stop_reason"`
+	// MeanTTF is the mean observed time to service failure (reliability
+	// kind, failures observed only).
+	MeanTTF float64 `json:"mean_ttf_hours,omitempty"`
+	// RelErr is the achieved relative 95% CI half-width (rareevent kind).
+	RelErr float64 `json:"rel_err,omitempty"`
+}
+
+// archOf maps a normalized spec's arch string to the linecard constant.
+func archOf(s string) (linecard.Arch, error) {
+	switch s {
+	case "", "dra":
+		return linecard.DRA, nil
+	case "bdr":
+		return linecard.BDR, nil
+	default:
+		return 0, fmt.Errorf("unknown arch %q", s)
+	}
+}
+
+// mcOptions builds the engine option set shared by the Monte-Carlo
+// kinds, wiring the job's context and checkpoint lifecycle.
+func mcOptions(ctx context.Context, rc jobs.RunContext, sp config.Spec) (montecarlo.Options, error) {
+	a, err := archOf(sp.Router.Arch)
+	if err != nil {
+		return montecarlo.Options{}, err
+	}
+	mu := 0.0
+	if sp.Kind != config.KindReliability {
+		mu = sp.MC.Mu
+	}
+	opt := montecarlo.Options{
+		Arch: a, N: sp.Router.N, M: sp.Router.M, Rates: router.PaperRates(mu),
+		Horizon: sp.MC.Horizon, Reps: sp.MC.Reps, Seed: sp.MC.Seed,
+		Workers: sp.MC.Workers, TargetRelErr: sp.MC.TargetRelErr,
+		Batch: sp.MC.Batch, CyclesPerRep: sp.MC.CyclesPerRep,
+		Ctx: ctx, Metrics: rc.Metrics,
+	}
+	if sp.Kind == config.KindRareEvent && sp.MC.Delta > 0 {
+		opt.Biasing = router.Biasing{Enabled: true, Delta: sp.MC.Delta}
+	}
+	if rc.CheckpointPath != "" {
+		path := rc.CheckpointPath
+		opt.OnBatch = func(cp montecarlo.Checkpoint) {
+			// Atomic write: a crash mid-checkpoint never corrupts the
+			// resume state (WriteFile is temp+rename).
+			if err := cp.WriteFile(path); err != nil {
+				rc.Progress("checkpoint write failed: " + err.Error())
+			}
+		}
+		if _, err := os.Stat(path); err == nil {
+			cp, err := montecarlo.LoadCheckpoint(path)
+			if err == nil {
+				opt.Resume = &cp
+				rc.Progress(fmt.Sprintf("resuming from checkpoint (%d reps done)", cp.RepsDone))
+			} else {
+				rc.Progress("checkpoint unreadable, starting fresh: " + err.Error())
+			}
+		}
+	}
+	return opt, nil
+}
+
+// runMCJob executes the reliability / availability / rareevent kinds.
+// On cancellation the engine stops at the next batch boundary and this
+// runner returns the partial result with a nil error; the manager
+// classifies the outcome by the cancellation cause (drain keeps the
+// checkpoint for a bit-identical resume, user cancel discards it).
+func runMCJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+	sp := spec.Normalize()
+	opt, err := mcOptions(ctx, rc, sp)
+	if err != nil {
+		return nil, err
+	}
+	doc := MCResult{Kind: sp.Kind, Arch: strings.ToUpper(archName(sp.Router.Arch)), N: sp.Router.N, M: sp.Router.M}
+	switch sp.Kind {
+	case config.KindReliability:
+		res, err := montecarlo.EstimateReliability(opt)
+		if err != nil {
+			return nil, err
+		}
+		doc.Estimate = res.Estimate()
+		doc.CILo, doc.CIHi = res.CI()
+		doc.Trials = uint64(res.Failure.N())
+		doc.StopReason = res.StopReason
+		if res.TTF.N() > 0 {
+			doc.MeanTTF = res.TTF.Mean()
+		}
+	case config.KindAvailability:
+		res, err := montecarlo.EstimateAvailability(opt)
+		if err != nil {
+			return nil, err
+		}
+		doc.Estimate = res.Estimate()
+		doc.CILo, doc.CIHi = res.CI()
+		doc.Trials = uint64(res.PerRep.N())
+		doc.StopReason = res.StopReason
+	case config.KindRareEvent:
+		res, err := montecarlo.EstimateUnavailability(opt)
+		if err != nil {
+			return nil, err
+		}
+		doc.Estimate = res.Estimate()
+		doc.CILo, doc.CIHi = res.CI()
+		doc.Trials = res.Cycles
+		doc.StopReason = res.StopReason
+		doc.RelErr = res.RelHalfWidth()
+	default:
+		return nil, fmt.Errorf("runMCJob: kind %q", sp.Kind)
+	}
+	return json.Marshal(doc)
+}
+
+func archName(s string) string {
+	if s == "" {
+		return "dra"
+	}
+	return s
+}
+
+// FigureResult is the result document of the figure kind: the rendered
+// text exactly as drareport prints it.
+type FigureResult struct {
+	Fig  int    `json:"fig"`
+	Body string `json:"body"`
+}
+
+func runFigureJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+	sp := spec.Normalize()
+	opt := sweep.Options{Metrics: rc.Metrics, Name: fmt.Sprintf("figure%d", sp.Figure.Fig)}
+	var body string
+	switch sp.Figure.Fig {
+	case 6:
+		f6, err := ComputeFigure6With(ctx, opt)
+		if err != nil {
+			return nil, err
+		}
+		body = RenderFigure6(f6)
+	case 7:
+		f7, err := ComputeFigure7With(ctx, opt)
+		if err != nil {
+			return nil, err
+		}
+		body = RenderFigure7(f7)
+	case 8:
+		f8, err := ComputeFigure8Sweep(ctx, opt, sp.Figure.N, sp.Figure.Bus)
+		if err != nil {
+			return nil, err
+		}
+		body = RenderFigure8(f8)
+	default:
+		return nil, fmt.Errorf("figure %d not computable (want 6, 7, 8)", sp.Figure.Fig)
+	}
+	return json.Marshal(FigureResult{Fig: sp.Figure.Fig, Body: body})
+}
+
+// SweepCell is one (N, M) evaluation of a sweep job.
+type SweepCell struct {
+	N     int     `json:"n"`
+	M     int     `json:"m"`
+	Value float64 `json:"value"`
+}
+
+// SweepResult is the result document of the sweep kind.
+type SweepResult struct {
+	Analysis string      `json:"analysis"`
+	Arch     string      `json:"arch"`
+	Cells    []SweepCell `json:"cells"`
+}
+
+func runSweepJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+	sp := spec.Normalize()
+	type cell struct{ N, M int }
+	var cells []cell
+	for n := sp.Sweep.NLo; n <= sp.Sweep.NHi; n++ {
+		for m := sp.Sweep.MLo; m <= sp.Sweep.MHi; m++ {
+			if n >= 2 && m >= 1 && m <= n {
+				cells = append(cells, cell{n, m})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep grid has no valid (N, M) cells")
+	}
+	eval := func(p models.Params) (float64, error) {
+		switch sp.Sweep.Analysis {
+		case "reliability":
+			md, err := models.DRAReliability(p)
+			if err != nil {
+				return 0, err
+			}
+			return md.ReliabilityAt(sp.Sweep.T), nil
+		case "availability":
+			p.Mu = sp.Sweep.Mu
+			md, err := models.DRAAvailability(p)
+			if err != nil {
+				return 0, err
+			}
+			return md.Availability(), nil
+		case "mttf":
+			md, err := models.DRAReliability(p)
+			if err != nil {
+				return 0, err
+			}
+			return md.MTTF()
+		default:
+			return 0, fmt.Errorf("analysis %q does not support sweep", sp.Sweep.Analysis)
+		}
+	}
+	opt := sweep.Options{Workers: sp.Sweep.Workers, Metrics: rc.Metrics, Name: "drad_sweep_" + sp.Sweep.Analysis}
+	vals, err := sweep.Map(ctx, cells, opt, func(_ context.Context, c cell) (float64, error) {
+		return eval(models.PaperParams(c.N, c.M))
+	})
+	if err != nil {
+		return nil, err
+	}
+	doc := SweepResult{Analysis: sp.Sweep.Analysis, Arch: "DRA"}
+	for i, c := range cells {
+		doc.Cells = append(doc.Cells, SweepCell{N: c.N, M: c.M, Value: vals[i]})
+	}
+	return json.Marshal(doc)
+}
+
+// ChaosJobResult is the result document of the chaos kind (the full
+// repro bundle stays CLI territory; the service stores the verdict).
+type ChaosJobResult struct {
+	Name           string   `json:"name"`
+	Steps          int      `json:"steps"`
+	TimelineEvents int      `json:"timeline_events"`
+	Delivered      uint64   `json:"delivered"`
+	Dropped        uint64   `json:"dropped"`
+	FailedExpects  int      `json:"failed_expects"`
+	Violations     []string `json:"violations,omitempty"`
+	Passed         bool     `json:"passed"`
+}
+
+func runChaosJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+	sp := spec.Normalize()
+	c, err := chaos.Parse(sp.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	res, err := chaos.Run(c, chaos.Options{
+		Ctx:     ctx,
+		Checker: invariant.New(),
+		Metrics: rc.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	doc := ChaosJobResult{
+		Name:           c.Name,
+		Steps:          len(res.Samples),
+		TimelineEvents: len(res.Timeline),
+		Delivered:      res.Metrics.Delivered,
+		Dropped:        res.Metrics.Dropped,
+		FailedExpects:  len(res.Expects),
+		Passed:         res.Err() == nil,
+	}
+	for _, v := range res.Violations {
+		doc.Violations = append(doc.Violations, fmt.Sprint(v))
+	}
+	return json.Marshal(doc)
+}
+
+// ScenarioResult is the result document of the scenario kind: the
+// replayed timeline exactly as `drasim -mode scenario` prints it.
+type ScenarioResult struct {
+	Timeline string `json:"timeline"`
+}
+
+func runScenarioJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+	sp := spec.Normalize()
+	f, err := config.Parse(sp.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	r, sc, err := f.Build()
+	if err != nil {
+		return nil, err
+	}
+	if rc.Metrics != nil {
+		r.SetMetrics(rc.Metrics)
+	}
+	if rc.Trace != nil {
+		r.SetTracer(rc.Trace)
+	}
+	return json.Marshal(ScenarioResult{Timeline: router.TimelineString(sc.Play(r))})
+}
