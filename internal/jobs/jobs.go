@@ -123,10 +123,13 @@ type job struct {
 	priority int
 	seq      uint64 // submit order; FIFO tiebreak within a priority
 
-	state     State
-	errMsg    string
-	cached    bool
-	resumed   bool
+	state State
+	// cancelRequested records a Cancel that arrived while the job was
+	// claimed off the queue but not yet running; execute finalizes it.
+	cancelRequested bool
+	errMsg          string
+	cached          bool
+	resumed         bool
 	submitted time.Time
 	started   time.Time
 	finished  time.Time

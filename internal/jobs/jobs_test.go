@@ -297,6 +297,119 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	}
 }
 
+// TestCancelDuringDispatchHandoff exercises the window where dispatch
+// has claimed a job off the queue but execute has not yet marked it
+// running. Cancel must defer to execute (finalizing from both sides
+// double-closes done and panics); execute must then settle the job as
+// canceled without ever starting its runner.
+func TestCancelDuringDispatchHandoff(t *testing.T) {
+	blockStarted := make(chan struct{})
+	release := make(chan struct{})
+	blocker := func(ctx context.Context, rc RunContext, spec config.Spec) (json.RawMessage, error) {
+		close(blockStarted)
+		<-release
+		return json.RawMessage(`{}`), nil
+	}
+	var targetRan atomic.Bool
+	target := func(ctx context.Context, rc RunContext, spec config.Spec) (json.RawMessage, error) {
+		targetRan.Store(true)
+		return json.RawMessage(`{}`), nil
+	}
+	m := newManager(t, Options{
+		Workers: 1, MaxQueued: 8,
+		Runners: map[string]Runner{config.KindReliability: blocker, config.KindFigure: target},
+	})
+	first, err := m.Submit(mcSpec(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blockStarted
+	snap, err := m.Submit(config.Spec{Kind: config.KindFigure, Figure: &config.FigureSpec{Fig: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay dispatch's claim by hand: pop the job from the queue and
+	// charge its class, exactly the state between TryGo succeeding and
+	// execute taking the lock.
+	m.mu.Lock()
+	j := m.jobs[snap.ID]
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	m.running[j.kind]++
+	m.mu.Unlock()
+
+	if err := m.Cancel(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.done:
+		t.Fatal("Cancel finalized a claimed job; execute would double-close done")
+	default:
+	}
+
+	m.execute(j, target)
+	final := waitDone(t, m, snap.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", final.State)
+	}
+	if targetRan.Load() {
+		t.Fatal("canceled job's runner ran")
+	}
+	close(release)
+	waitDone(t, m, first.ID)
+}
+
+// TestRecoverWaivesAdmissionBound: restarting with a MaxQueued lower
+// than the persisted backlog must still boot and requeue every pending
+// spec instead of refusing to start with ErrBusy.
+func TestRecoverWaivesAdmissionBound(t *testing.T) {
+	dir := t.TempDir()
+	st := newStore(t)
+	blocking := func(ctx context.Context, rc RunContext, spec config.Spec) (json.RawMessage, error) {
+		<-ctx.Done()
+		return json.RawMessage(`{}`), nil
+	}
+	m := newManager(t, Options{Dir: dir, Store: st, MaxQueued: 8,
+		Runners: map[string]Runner{config.KindReliability: blocking}})
+	var ids []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		snap, err := m.Submit(mcSpec(seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three pending specs on disk; the restarted manager admits one at a
+	// time and its first recovered job holds the only slot.
+	gate := make(chan struct{})
+	slow := func(ctx context.Context, rc RunContext, spec config.Spec) (json.RawMessage, error) {
+		<-gate
+		return json.RawMessage(`{}`), nil
+	}
+	m2 := newManager(t, Options{Dir: dir, Store: st, MaxQueued: 1,
+		Runners: map[string]Runner{config.KindReliability: slow}})
+	if got := len(m2.List()); got != 3 {
+		t.Fatalf("recovered %d jobs, want 3", got)
+	}
+	close(gate)
+	for _, id := range ids {
+		if s := waitDone(t, m2, id); s.State != StateDone {
+			t.Fatalf("recovered job %s state %s (err %q)", id, s.State, s.Error)
+		}
+	}
+}
+
 func TestRunnerPanicFailsJob(t *testing.T) {
 	runner := func(ctx context.Context, rc RunContext, spec config.Spec) (json.RawMessage, error) {
 		panic("kaboom")

@@ -63,11 +63,12 @@ type Manager struct {
 	opt  Options
 	pool *sweep.Pool
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	queue    []*job // admitted, waiting; scheduling scans for best eligible
-	running  map[string]int
-	draining bool
+	mu         sync.Mutex
+	jobs       map[string]*job
+	queue      []*job // admitted, waiting; scheduling scans for best eligible
+	running    map[string]int
+	draining   bool
+	recovering bool // startup recovery in flight: admission bound waived
 	seq      uint64
 	eventSeq uint64
 	subs     map[string][]chan Event
@@ -127,12 +128,24 @@ func NewManager(opt Options) (*Manager, error) {
 }
 
 // recover requeues every pending spec left behind by a crashed or
-// drained predecessor. Jobs with a checkpoint resume from it.
+// drained predecessor. Jobs with a checkpoint resume from it. Recovery
+// waives the MaxQueued admission bound — a restart with a lower bound
+// than the persisted backlog must still come up — and a spec this
+// process can no longer admit (e.g. its kind lost its runner) is
+// skipped, left on disk for a later process rather than wedging startup.
 func (m *Manager) recover() error {
 	entries, err := os.ReadDir(filepath.Join(m.opt.Dir, pendingDirName))
 	if err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
+	m.mu.Lock()
+	m.recovering = true
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.recovering = false
+		m.mu.Unlock()
+	}()
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
@@ -146,7 +159,7 @@ func (m *Manager) recover() error {
 		}
 		snap, err := m.Submit(spec)
 		if err != nil {
-			return fmt.Errorf("jobs: recovering %s: %w", e.Name(), err)
+			continue
 		}
 		if j := m.get(snap.ID); j != nil {
 			m.mu.Lock()
@@ -193,7 +206,7 @@ func (m *Manager) Submit(spec config.Spec) (Snapshot, error) {
 		m.mu.Unlock()
 		return Snapshot{}, ErrDraining
 	}
-	if m.admittedLocked() >= m.opt.MaxQueued {
+	if !m.recovering && m.admittedLocked() >= m.opt.MaxQueued {
 		m.rejected.Inc()
 		m.mu.Unlock()
 		return Snapshot{}, ErrBusy
@@ -314,6 +327,22 @@ func (m *Manager) dispatch() {
 func (m *Manager) execute(j *job, runner Runner) {
 	ctx, cancel := context.WithCancelCause(context.Background())
 	m.mu.Lock()
+	if j.cancelRequested {
+		// Cancel raced the dispatch/execute handoff and left the
+		// finalization to us: settle the job without running it. This
+		// outranks drain — a user-canceled job must not resurrect on
+		// restart, so its persisted state is cleaned up too.
+		m.running[j.kind]--
+		j.state = StateCanceled
+		j.finished = time.Now()
+		m.completed.With(string(StateCanceled)).Inc()
+		m.publishLocked(j, "")
+		close(j.done)
+		m.mu.Unlock()
+		cancel(nil)
+		m.unpersist(j.id)
+		return
+	}
 	if m.draining {
 		// Drain raced the dispatch: leave the job for the next process.
 		m.running[j.kind]--
@@ -413,11 +442,22 @@ func (m *Manager) Cancel(id string) error {
 	}
 	switch j.state {
 	case StateQueued:
+		found := false
 		for i, q := range m.queue {
 			if q == j {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				found = true
 				break
 			}
+		}
+		if !found {
+			// Dispatch already claimed the job off the queue but execute
+			// hasn't marked it running yet. Finalizing here would race
+			// execute's own close(j.done); record the intent instead and
+			// let execute settle the job before starting the runner.
+			j.cancelRequested = true
+			m.mu.Unlock()
+			return nil
 		}
 		j.state = StateCanceled
 		j.finished = time.Now()

@@ -283,6 +283,18 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			if !sample() {
 				return
 			}
+			// Event delivery is best-effort: a slow subscriber can lose
+			// the terminal transition. The snapshot is ground truth, so
+			// every tick also checks it and closes the stream with a
+			// synthesized final event rather than sampling forever.
+			if snap, err := s.mgr.Get(id); err == nil &&
+				(snap.State.Terminal() || snap.State == jobs.StateInterrupted) {
+				emit(streamLine{Type: "event", Event: &jobs.Event{
+					JobID: id, Time: time.Now().UnixMilli(),
+					State: snap.State, Note: snap.Error,
+				}})
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}

@@ -316,6 +316,73 @@ func TestEventStream(t *testing.T) {
 	}
 }
 
+// TestEventStreamEndsAfterDroppedTerminalEvent: event delivery is
+// best-effort — a flood past the subscriber buffer drops events, the
+// terminal transition included. The stream must still end once the job
+// is done (the handler falls back to the job snapshot on sample ticks)
+// rather than emitting samples forever.
+func TestEventStreamEndsAfterDroppedTerminalEvent(t *testing.T) {
+	flood := make(chan struct{}) // closed once the stream is connected
+	runner := func(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+		<-flood
+		// Far more notes than the subscriber buffer holds, published
+		// faster than the handler can drain them: the done transition
+		// behind them is dropped.
+		note := strings.Repeat("x", 1024)
+		for i := 0; i < 256; i++ {
+			rc.Progress(note)
+		}
+		return json.RawMessage(`{"ok": true}`), nil
+	}
+	ts, mgr := testServer(t, jobs.Options{Runners: map[string]jobs.Runner{config.KindReliability: runner}})
+	_, body := post(t, ts.URL+"/v1/jobs", specBody(77))
+	var snap jobs.Snapshot
+	json.Unmarshal(body, &snap)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+snap.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("stream ended before first line: %v", sc.Err())
+	}
+	close(flood)
+
+	sawTerminal := false
+	for sc.Scan() {
+		var line struct {
+			Type  string      `json:"type"`
+			Event *jobs.Event `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Type == "event" && line.Event != nil && line.Event.State.Terminal() {
+			sawTerminal = true
+		}
+	}
+	// A hung stream surfaces here as the context deadline killing the
+	// read mid-scan.
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream did not end cleanly: %v", err)
+	}
+	if !sawTerminal {
+		t.Fatal("stream ended without a terminal event")
+	}
+	if s, _ := mgr.Get(snap.ID); s.State != jobs.StateDone {
+		t.Fatalf("job state %s, want done", s.State)
+	}
+}
+
 func TestHealthzAndMetricsMounted(t *testing.T) {
 	ts, mgr := testServer(t, jobs.Options{Runners: map[string]jobs.Runner{config.KindReliability: instantRunner(nil)}})
 	resp, body := get(t, ts.URL+"/healthz")

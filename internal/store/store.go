@@ -234,9 +234,10 @@ func (s *Store) Put(key string, payload []byte) error {
 	return nil
 }
 
-// Get returns the payload stored under key. A checksum mismatch evicts
-// the object and returns a *CorruptError; a missing object returns
-// ErrNotFound.
+// Get returns the payload stored under key. The returned slice is the
+// caller's to keep (and mutate); it never aliases the hot layer. A
+// checksum mismatch evicts the object and returns a *CorruptError; a
+// missing object returns ErrNotFound.
 func (s *Store) Get(key string) ([]byte, error) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
@@ -245,7 +246,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 		e.seq = s.seq
 		if e.data != nil {
 			s.hits.Inc()
-			data := e.data
+			data := append([]byte(nil), e.data...)
 			s.mu.Unlock()
 			return data, nil
 		}
@@ -339,13 +340,15 @@ func (s *Store) drop(key string) {
 }
 
 // admitHot makes a payload resident, evicting colder residents to stay
-// under the hot budget. Caller holds s.mu.
+// under the hot budget. The resident copy is private to the store —
+// payload stays the caller's (Put's argument, Get's return value), so
+// later mutation of it cannot corrupt the cache. Caller holds s.mu.
 func (s *Store) admitHot(key string, e *entry, payload []byte) {
 	if s.hotBudget <= 0 || e.size > s.hotBudget {
 		return
 	}
 	if e.data == nil {
-		e.data = payload
+		e.data = append([]byte(nil), payload...)
 		s.hotTotal += e.size
 	}
 	for s.hotTotal > s.hotBudget {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -40,6 +41,61 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 	if _, err := s.Get(key("missing")); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing key: got %v, want ErrNotFound", err)
+	}
+}
+
+// TestGetReturnsCallerOwnedCopy: mutating a Get result must not corrupt
+// the cached object for later readers — on the hot path and after a
+// cold disk read alike.
+func TestGetReturnsCallerOwnedCopy(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	k := key("owned")
+	want := []byte(`{"result": "pristine"}`)
+	if err := s.Put(k, append([]byte(nil), want...)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(k) // hot-layer hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		got[i] = 'X'
+	}
+	if again, err := s.Get(k); err != nil || !bytes.Equal(again, want) {
+		t.Fatalf("hot object corrupted by caller mutation: %q, %v", again, err)
+	}
+
+	// Reopen drops the hot layer; the disk-read path must also hand out
+	// a private slice.
+	s2 := open(t, dir, Options{})
+	got, err = s2.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		got[i] = 'X'
+	}
+	if again, err := s2.Get(k); err != nil || !bytes.Equal(again, want) {
+		t.Fatalf("object corrupted after cold-read mutation: %q, %v", again, err)
+	}
+}
+
+// TestPutDoesNotAliasCallerSlice: the hot layer must keep its own copy
+// of a stored payload, not the caller's slice.
+func TestPutDoesNotAliasCallerSlice(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	k := key("aliased")
+	payload := []byte(`{"result": "pristine"}`)
+	want := append([]byte(nil), payload...)
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		payload[i] = 'X'
+	}
+	if got, err := s.Get(k); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("hot object aliases Put's argument: %q, %v", got, err)
 	}
 }
 

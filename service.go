@@ -105,6 +105,16 @@ func mcOptions(ctx context.Context, rc jobs.RunContext, sp config.Spec) (monteca
 	if sp.Kind == config.KindRareEvent && sp.MC.Delta > 0 {
 		opt.Biasing = router.Biasing{Enabled: true, Delta: sp.MC.Delta}
 	}
+	if opt.Batch <= 0 && opt.TargetRelErr <= 0 {
+		// A fixed-count run with no explicit batch executes as a single
+		// batch, so the engine would notice cancellation or drain only
+		// after every replication finished. Service jobs must stay
+		// cancellable and checkpointable, so give them the engine's
+		// default batch granularity (per-replication RNG streams are
+		// split identically regardless of batching, so results don't
+		// change).
+		opt.Batch = montecarlo.DefaultBatch
+	}
 	if rc.CheckpointPath != "" {
 		path := rc.CheckpointPath
 		opt.OnBatch = func(cp montecarlo.Checkpoint) {
