@@ -43,7 +43,7 @@ bench:
 # chaos/invariant machinery must stay at or above COVER_MIN percent
 # statement coverage.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
@@ -82,8 +82,11 @@ report:
 # End-to-end test of the serving stack: builds the real drad/dractl
 # binaries, boots drad on a loopback port, SIGTERMs it mid-Monte-Carlo,
 # and proves the restarted server resumes the job bit-identically.
+# The observatory soak does the same for the telemetry pipeline:
+# submit, tail, query while running, drain, resume, re-query, and
+# byte-compare the merged series against an uninterrupted control.
 serve-e2e:
-	$(GO) test -v -run 'TestServeE2E|TestBenchSmoke' ./cmd/drad
+	$(GO) test -v -run 'TestServeE2E|TestBenchSmoke|TestObservatoryE2E|TestObservatoryBenchSmoke' ./cmd/drad
 
 # Regenerate BENCH_serve.json: cold-vs-cache-hit throughput and latency
 # percentiles against a freshly booted drad.
@@ -97,6 +100,9 @@ serve-bench:
 	addr=$$(sed -n 's|.*\(http://[0-9.:]*\).*|\1|p' $$tmp/drad.log | head -1); \
 	if [ -z "$$addr" ]; then echo "serve-bench: drad did not start"; cat $$tmp/drad.log; kill $$pid 2>/dev/null; exit 1; fi; \
 	$$tmp/dractl -addr $$addr bench -jobs $(SERVE_BENCH_JOBS) -reps $(SERVE_BENCH_REPS) -out BENCH_serve.json; rc=$$?; \
+	if [ $$rc -eq 0 ]; then \
+		$$tmp/dractl -addr $$addr bench -mode observatory -out BENCH_observatory.json; rc=$$?; \
+	fi; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -rf $$tmp; exit $$rc
 

@@ -10,7 +10,11 @@
 //	dractl cancel <id>             cancel a queued or running job
 //	dractl list                    all known jobs
 //	dractl watch <id>              stream NDJSON progress until the job rests
+//	dractl top                     fleet telemetry summary (add -interval to refresh)
+//	dractl tail                    fleet-wide NDJSON telemetry live tail
+//	dractl query <id>              one job's telemetry series (-since, -limit)
 //	dractl bench                   cold-vs-cache-hit load test → BENCH_serve.json
+//	dractl bench -mode observatory telemetry ingest/query bench → BENCH_observatory.json
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,7 +48,7 @@ func run() int {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		usageError(fmt.Errorf("want a command: submit, status, result, cancel, list, watch, bench"))
+		usageError(fmt.Errorf("want a command: submit, status, result, cancel, list, watch, top, tail, query, bench"))
 	}
 	c := &client{base: trimSlash(*addr), hc: &http.Client{}}
 
@@ -60,6 +65,12 @@ func run() int {
 		return cmdList(c)
 	case "watch":
 		return cmdWatch(c, args[1:])
+	case "top":
+		return cmdTop(c, args[1:])
+	case "tail":
+		return cmdTail(c, args[1:])
+	case "query":
+		return cmdQuery(c, args[1:])
 	case "bench":
 		return cmdBench(c, args[1:])
 	default:
@@ -318,6 +329,35 @@ type benchDoc struct {
 // Identical specs content-address to the same job IDs, so the second
 // phase never touches a solver — the latency gap is the cache win.
 func cmdBench(c *client, args []string) int {
+	// The -mode selector routes to an independently-flagged benchmark,
+	// so strip it before the mode's own FlagSet parses the rest.
+	mode, rest := "serve", make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-mode" || a == "--mode":
+			if i+1 >= len(args) {
+				usageError(fmt.Errorf("bench -mode wants a value: serve or observatory"))
+			}
+			i++
+			mode = args[i]
+		case strings.HasPrefix(a, "-mode="):
+			mode = strings.TrimPrefix(a, "-mode=")
+		case strings.HasPrefix(a, "--mode="):
+			mode = strings.TrimPrefix(a, "--mode=")
+		default:
+			rest = append(rest, a)
+		}
+	}
+	switch mode {
+	case "serve":
+		args = rest
+	case "observatory":
+		return benchObservatory(c, flag.NewFlagSet("bench-observatory", flag.ExitOnError), rest)
+	default:
+		usageError(fmt.Errorf("bench -mode %q: want serve or observatory", mode))
+	}
+
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
 		n     = fs.Int("jobs", 32, "distinct jobs per phase")

@@ -1,0 +1,291 @@
+package main
+
+// The telemetry-plane subcommands: top (fleet summary), tail (live
+// NDJSON feed), query (one job's retained series), and the observatory
+// bench mode measuring the pipeline's ingest rate and query latency.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/telemetry"
+)
+
+// health mirrors the /healthz body.
+type health struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+}
+
+// cmdTop renders the fleet summary: service health, cross-job
+// aggregates, and one row per telemetry series. With -interval it
+// refreshes until interrupted.
+func cmdTop(c *client, args []string) int {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 0, "refresh cadence; 0 prints once and exits")
+	fs.Parse(args)
+	for {
+		printTop(c)
+		if *interval <= 0 {
+			return lc.Exit(cli.ExitOK)
+		}
+		select {
+		case <-time.After(*interval):
+		case <-lc.Context().Done():
+			return lc.Exit(0)
+		}
+	}
+}
+
+func printTop(c *client) {
+	data, code := c.do(http.MethodGet, "/healthz", nil)
+	// 503 is the draining report, not a failure; anything else is.
+	if code != http.StatusOK && code != http.StatusServiceUnavailable {
+		fatal(apiErr(data, code))
+	}
+	var h health
+	if err := json.Unmarshal(data, &h); err != nil {
+		fatal(fmt.Errorf("decoding healthz: %w", err))
+	}
+	data, code = c.do(http.MethodGet, "/v1/telemetry", nil)
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	var fl telemetry.FleetSummary
+	if err := json.Unmarshal(data, &fl); err != nil {
+		fatal(fmt.Errorf("decoding fleet summary: %w", err))
+	}
+
+	state := "serving"
+	if h.Draining {
+		state = "DRAINING"
+	}
+	fmt.Printf("drad %s  queued %d  running %d  |  ingested %d (%.1f samples/s)\n",
+		state, h.Queued, h.Running, fl.Ingested, fl.SamplesPerSec)
+	fmt.Printf("fleet availability %.6f  violation rate %.3g  trials/s %.1f\n",
+		fl.FleetAvailability, fl.ViolationRate, fl.TrialsPerSec)
+	if len(fl.Jobs) == 0 {
+		fmt.Println("(no telemetry series)")
+		return
+	}
+	fmt.Printf("%-16s %-12s %8s %10s %12s %10s %10s %6s\n",
+		"JOB", "KIND", "SAMPLES", "WINDOW", "AVAIL", "RELERR", "TRIALS", "VIOL")
+	for _, j := range fl.Jobs {
+		id := j.Job
+		if len(id) > 16 {
+			id = id[:16]
+		}
+		avail, relerr, trials, viol := "-", "-", "-", "-"
+		if j.Last != nil {
+			if j.Last.Availability > 0 {
+				avail = fmt.Sprintf("%.6f", j.Last.Availability)
+			}
+			if j.Last.RelErr > 0 {
+				relerr = fmt.Sprintf("%.3g", j.Last.RelErr)
+			}
+			if j.Last.Trials > 0 {
+				trials = fmt.Sprintf("%d", j.Last.Trials)
+			}
+			if j.Last.ViolationsTotal > 0 {
+				viol = fmt.Sprintf("%d", j.Last.ViolationsTotal)
+			}
+		}
+		fmt.Printf("%-16s %-12s %8d %10d %12s %10s %10s %6s\n",
+			id, j.Kind, j.Samples, j.LastWindow, avail, relerr, trials, viol)
+	}
+}
+
+// cmdTail streams the fleet-wide telemetry feed to stdout verbatim
+// until interrupted.
+func cmdTail(c *client, args []string) int {
+	if len(args) != 0 {
+		usageError(fmt.Errorf("tail takes no arguments"))
+	}
+	req, err := http.NewRequestWithContext(lc.Context(), http.MethodGet, c.base+"/v1/telemetry/tail", nil)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if lc.Interrupted() {
+			return lc.Exit(0)
+		}
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fatal(apiErr(body, resp.StatusCode))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	return lc.Exit(cli.ExitOK)
+}
+
+// cmdQuery prints one job's retained series.
+func cmdQuery(c *client, args []string) int {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	since := fs.Uint64("since", 0, "return only windows strictly after this one")
+	limit := fs.Int("limit", 0, "page size; 0 = everything retained")
+	// Accept the job ID before or after the flags: stdlib flag parsing
+	// stops at the first positional, so `query <id> -since N` would
+	// otherwise silently ignore the flags.
+	var id string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	switch {
+	case id == "" && fs.NArg() == 1:
+		id = fs.Arg(0)
+	case id == "" || fs.NArg() != 0:
+		usageError(fmt.Errorf("query wants exactly one job ID"))
+	}
+	path := "/v1/telemetry/" + id
+	q := make([]string, 0, 2)
+	if *since > 0 {
+		q = append(q, "since="+strconv.FormatUint(*since, 10))
+	}
+	if *limit > 0 {
+		q = append(q, "limit="+strconv.Itoa(*limit))
+	}
+	for i, kv := range q {
+		if i == 0 {
+			path += "?" + kv
+		} else {
+			path += "&" + kv
+		}
+	}
+	data, code := c.do(http.MethodGet, path, nil)
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+// --- observatory bench ---
+
+// observatoryBenchDoc is the BENCH_observatory.json schema.
+type observatoryBenchDoc struct {
+	Series        int        `json:"series"`
+	Samples       int        `json:"samples"`
+	SamplesPerSec float64    `json:"samples_per_sec"`
+	Query         phaseStats `json:"query"` // per-query latency; JobsPerSec = queries/s
+	Queries       int        `json:"queries"`
+}
+
+// benchObservatory measures the telemetry pipeline itself: ingest
+// throughput by POSTing synthetic windowed samples across several
+// series, then query latency by reading the retained series back.
+func benchObservatory(c *client, fs *flag.FlagSet, args []string) int {
+	var (
+		series  = fs.Int("series", 8, "distinct synthetic telemetry series")
+		samples = fs.Int("samples", 4000, "total samples ingested across all series")
+		queries = fs.Int("queries", 200, "range queries timed after ingest")
+		chunk   = fs.Int("chunk", 100, "samples per ingest POST")
+		out     = fs.String("out", "BENCH_observatory.json", "benchmark artifact path")
+	)
+	fs.Parse(args)
+	if *series < 1 || *samples < *series || *queries < 1 || *chunk < 1 {
+		usageError(fmt.Errorf("bench observatory: want series ≥ 1, samples ≥ series, queries ≥ 1, chunk ≥ 1"))
+	}
+
+	// Ingest phase: windows advance per series so nothing is stale.
+	fmt.Fprintf(os.Stderr, "dractl: bench observatory ingest: %d samples over %d series\n", *samples, *series)
+	window := make([]uint64, *series)
+	batch := make([]telemetry.Sample, 0, *chunk)
+	sent := 0
+	t0 := time.Now()
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		body, err := json.Marshal(batch)
+		if err != nil {
+			fatal(err)
+		}
+		data, code := c.do(http.MethodPost, "/v1/telemetry", body)
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		var ack struct{ Ingested, Rejected int }
+		if err := json.Unmarshal(data, &ack); err != nil {
+			fatal(err)
+		}
+		if ack.Rejected != 0 {
+			fatal(fmt.Errorf("ingest rejected %d of %d samples", ack.Rejected, len(batch)))
+		}
+		sent += ack.Ingested
+		batch = batch[:0]
+	}
+	for i := 0; i < *samples; i++ {
+		s := i % *series
+		window[s]++
+		batch = append(batch, telemetry.Sample{
+			Job:          fmt.Sprintf("bench-observatory-%03d", s),
+			Kind:         "observatory",
+			Window:       window[s],
+			Estimate:     1.0 / float64(window[s]+1),
+			Availability: 1 - 1.0/float64(window[s]+1),
+			Trials:       window[s] * 100,
+		})
+		if len(batch) >= *chunk {
+			flush()
+		}
+	}
+	flush()
+	ingestWall := time.Since(t0)
+
+	// Query phase: full range reads round-robined over the series.
+	fmt.Fprintf(os.Stderr, "dractl: bench observatory query: %d reads\n", *queries)
+	lat := make([]time.Duration, *queries)
+	q0 := time.Now()
+	for i := 0; i < *queries; i++ {
+		job := fmt.Sprintf("bench-observatory-%03d", i%*series)
+		t := time.Now()
+		data, code := c.do(http.MethodGet, "/v1/telemetry/"+job, nil)
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		lat[i] = time.Since(t)
+	}
+	queryWall := time.Since(q0)
+
+	doc := observatoryBenchDoc{
+		Series:  *series,
+		Samples: sent,
+		Queries: *queries,
+		Query:   summarize(lat, queryWall),
+	}
+	if ingestWall > 0 {
+		doc.SamplesPerSec = float64(sent) / ingestWall.Seconds()
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("observatory bench: %d samples over %d series\n", sent, *series)
+	fmt.Printf("  ingest: %10.0f samples/s\n", doc.SamplesPerSec)
+	fmt.Printf("  query:  %10.1f queries/s  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms\n",
+		doc.Query.JobsPerSec, doc.Query.P50Ms, doc.Query.P90Ms, doc.Query.P99Ms)
+	fmt.Printf("wrote %s\n", *out)
+	return lc.Exit(cli.ExitOK)
+}

@@ -21,6 +21,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // lc owns the shared lifecycle: SIGINT/SIGTERM cancel its context,
@@ -73,11 +76,16 @@ func run() int {
 	// One service-wide registry feeds /metrics for the store, the
 	// scheduler, and anything else that hangs off this process.
 	reg := metrics.NewRegistry()
+	registerProcessGauges(reg)
 
 	st, err := store.Open(filepath.Join(*stateDir, "cache"), store.Options{
 		MaxBytes: *cacheBytes,
 		Metrics:  reg,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	hub, err := telemetry.New(telemetry.Options{Store: st, Metrics: reg})
 	if err != nil {
 		fatal(err)
 	}
@@ -89,11 +97,12 @@ func run() int {
 		MaxQueued:   *maxQueued,
 		ClassLimits: limits,
 		Metrics:     reg,
+		Telemetry:   hub,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := server.New(server.Options{Manager: mgr, Metrics: reg})
+	srv, err := server.New(server.Options{Manager: mgr, Metrics: reg, Telemetry: hub})
 	if err != nil {
 		fatal(err)
 	}
@@ -125,10 +134,33 @@ func run() int {
 		if err := mgr.Drain(dctx); err != nil {
 			fmt.Fprintf(os.Stderr, "drad: drain: %v\n", err)
 		}
+		// The drained engines have written their final checkpoints and
+		// pushed their last telemetry windows; flush the hub so the
+		// series resume without a gap after restart.
+		if err := hub.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "drad: telemetry flush: %v\n", err)
+		}
 		httpSrv.Shutdown(dctx)
 		cancel()
 	}
 	return lc.Exit(0)
+}
+
+// registerProcessGauges publishes the process-identity families:
+// uptime, start time, and build info (standard Prometheus idiom — a
+// constant-1 gauge carrying identity as labels).
+func registerProcessGauges(reg *metrics.Registry) {
+	start := time.Now()
+	reg.Gauge("drad_start_time_seconds", "Unix time the process started.").Set(float64(start.Unix()))
+	reg.GaugeFunc("drad_uptime_seconds", "Seconds since the process started.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	info := reg.GaugeVec("drad_build_info", "Build identity (value fixed at 1).", "go_version", "module")
+	goVersion, module := runtime.Version(), "repro"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		module = bi.Main.Path
+	}
+	info.With(goVersion, module).Set(1)
 }
 
 // parseClassLimits decodes "kind=n,kind=n" into the scheduler's

@@ -2,7 +2,7 @@ package config
 
 // Job specs: one JSON document format that names a job kind (figure,
 // sweep, Monte-Carlo reliability/availability, rare-event, chaos,
-// scenario) plus the options that kind needs. The same spec drives the
+// scenario, observatory) plus the options that kind needs. The same spec drives the
 // CLIs (`drasim -spec`, `dramodel -spec`) and the drad job service, and
 // its canonical form is the content-address of the job: two specs that
 // normalize to the same canonical bytes are the same job and share one
@@ -34,11 +34,16 @@ const (
 	KindRareEvent    = "rareevent"
 	KindChaos        = "chaos"
 	KindScenario     = "scenario"
+	// KindObservatory is the long-horizon continuous estimation run: the
+	// rare-event regenerative estimator driven as a service job that
+	// checkpoints every batch and streams windowed telemetry samples, so
+	// its availability estimate is queryable while it runs.
+	KindObservatory = "observatory"
 )
 
 // Kinds lists every job kind, in display order.
 func Kinds() []string {
-	return []string{KindFigure, KindSweep, KindReliability, KindAvailability, KindRareEvent, KindChaos, KindScenario}
+	return []string{KindFigure, KindSweep, KindReliability, KindAvailability, KindRareEvent, KindChaos, KindScenario, KindObservatory}
 }
 
 // Spec is the top-level job document.
@@ -167,7 +172,7 @@ func (s Spec) Validate() error {
 		return s.validateFigure()
 	case KindSweep:
 		return s.validateSweep()
-	case KindReliability, KindAvailability, KindRareEvent:
+	case KindReliability, KindAvailability, KindRareEvent, KindObservatory:
 		return s.validateMC()
 	case KindChaos:
 		if len(s.Chaos) == 0 {
@@ -283,8 +288,8 @@ func (s Spec) validateMC() error {
 	if mc.Delta < 0 || mc.Delta >= 0.5 {
 		return fieldErr("mc.delta", "must be within [0, 0.5), got %g", mc.Delta)
 	}
-	if mc.Delta > 0 && s.Kind != KindRareEvent {
-		return fieldErr("mc.delta", "failure biasing applies only to kind %q", KindRareEvent)
+	if mc.Delta > 0 && s.Kind != KindRareEvent && s.Kind != KindObservatory {
+		return fieldErr("mc.delta", "failure biasing applies only to kinds %q and %q", KindRareEvent, KindObservatory)
 	}
 	if mc.TargetRelErr < 0 || mc.TargetRelErr >= 1 {
 		return fieldErr("mc.target_rel_err", "must be within [0, 1), got %g", mc.TargetRelErr)
@@ -295,8 +300,8 @@ func (s Spec) validateMC() error {
 	if mc.CyclesPerRep < 0 {
 		return fieldErr("mc.cycles_per_rep", "must not be negative, got %d", mc.CyclesPerRep)
 	}
-	if mc.CyclesPerRep > 0 && s.Kind != KindRareEvent {
-		return fieldErr("mc.cycles_per_rep", "applies only to kind %q", KindRareEvent)
+	if mc.CyclesPerRep > 0 && s.Kind != KindRareEvent && s.Kind != KindObservatory {
+		return fieldErr("mc.cycles_per_rep", "applies only to kinds %q and %q", KindRareEvent, KindObservatory)
 	}
 	return nil
 }
@@ -315,7 +320,7 @@ func (s Spec) Normalize() Spec {
 		out.Router = &r
 	}
 	switch s.Kind {
-	case KindReliability, KindAvailability, KindRareEvent:
+	case KindReliability, KindAvailability, KindRareEvent, KindObservatory:
 		mc := MCSpec{}
 		if s.MC != nil {
 			mc = *s.MC
@@ -337,7 +342,7 @@ func (s Spec) Normalize() Spec {
 			// the cache key.
 			mc.Mu = 0
 		}
-		if s.Kind == KindRareEvent {
+		if s.Kind == KindRareEvent || s.Kind == KindObservatory {
 			// The regenerative estimator's replication unit is the
 			// repair cycle; the horizon is ignored and must not split
 			// the cache key either.

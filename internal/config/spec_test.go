@@ -150,3 +150,45 @@ func TestMCSpecReliabilityIgnoresMu(t *testing.T) {
 		t.Fatalf("mu split the reliability job ID (reliability never repairs)")
 	}
 }
+
+// TestObservatorySpec: the observatory kind validates like the
+// rare-event kind (biasing and cycles_per_rep allowed) and normalizes
+// with the horizon zeroed and the repair rate defaulted.
+func TestObservatorySpec(t *testing.T) {
+	raw := []byte(`{"kind": "observatory",
+		"router": {"n": 9, "m": 4},
+		"mc": {"reps": 5000, "delta": 0.3, "cycles_per_rep": 20, "batch": 100}}`)
+	s, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	n := s.Normalize()
+	if n.MC.Horizon != 0 {
+		t.Fatalf("observatory horizon must normalize to 0, got %g", n.MC.Horizon)
+	}
+	if n.MC.Mu != 1.0/3 {
+		t.Fatalf("observatory mu must default to 1/3, got %g", n.MC.Mu)
+	}
+	if n.MC.Seed != 1 || n.MC.Reps != 5000 {
+		t.Fatalf("normalize mangled mc: %+v", n.MC)
+	}
+
+	// Spelling out the defaults canonicalizes to the same job.
+	explicit := []byte(`{"kind": "observatory",
+		"router": {"arch": "dra", "n": 9, "m": 4},
+		"mc": {"reps": 5000, "mu": 0.3333333333333333, "seed": 1, "delta": 0.3, "cycles_per_rep": 20, "batch": 100, "horizon": 12345}}`)
+	s2, err := ParseSpec(explicit)
+	if err != nil {
+		t.Fatalf("ParseSpec explicit: %v", err)
+	}
+	id1, err1 := s.JobID()
+	id2, err2 := s2.JobID()
+	if err1 != nil || err2 != nil || id1 != id2 {
+		t.Fatalf("job IDs differ: %s vs %s (%v, %v)", id1, id2, err1, err2)
+	}
+
+	// Workers cannot split the cache key either.
+	if _, err := ParseSpec([]byte(`{"kind": "observatory", "router": {"n": 2, "m": 3}}`)); err == nil {
+		t.Fatal("M > N must fail validation")
+	}
+}

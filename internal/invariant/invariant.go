@@ -61,6 +61,7 @@ type Checker struct {
 	total  uint64
 	clock  func() float64
 	tr     *trace.Recorder
+	sink   func(Violation)
 
 	mChecks *metrics.Counter
 	mViols  *metrics.CounterVec
@@ -86,6 +87,17 @@ func (c *Checker) SetClock(now func() float64) {
 func (c *Checker) SetTrace(tr *trace.Recorder) {
 	if c != nil {
 		c.tr = tr
+	}
+}
+
+// SetSink attaches a violation consumer invoked synchronously on every
+// violation raised — including those past the retention bound — so a
+// telemetry plane can stream the wall's state live instead of polling
+// the retained list. The sink runs on the violating goroutine and must
+// be cheap and non-blocking. Safe on a nil receiver; nil detaches.
+func (c *Checker) SetSink(fn func(Violation)) {
+	if c != nil {
+		c.sink = fn
 	}
 }
 
@@ -162,8 +174,12 @@ func (c *Checker) report(name, detail string) {
 	if c.tr != nil {
 		c.tr.Record(trace.Event{At: at, Kind: trace.Violation, LC: -1, Peer: -1, Detail: name, Reason: detail})
 	}
+	v := Violation{At: at, Check: name, Detail: detail}
 	if len(c.viols) < c.max {
-		c.viols = append(c.viols, Violation{At: at, Check: name, Detail: detail})
+		c.viols = append(c.viols, v)
+	}
+	if c.sink != nil {
+		c.sink(v)
 	}
 }
 

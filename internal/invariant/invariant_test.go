@@ -116,3 +116,30 @@ func TestRegisterPanicsOnBadArgs(t *testing.T) {
 	}()
 	New().Register("", nil)
 }
+
+// TestSink: every violation — including those past the retention bound —
+// reaches an attached sink, and a nil sink detaches.
+func TestSink(t *testing.T) {
+	c := New()
+	c.max = 2
+	var got []Violation
+	c.SetSink(func(v Violation) { got = append(got, v) })
+	for i := 0; i < 5; i++ {
+		c.Report("chk", fmt.Sprintf("v%d", i))
+	}
+	if len(got) != 5 {
+		t.Fatalf("sink saw %d violations, want 5 (retention bound must not gate it)", len(got))
+	}
+	if got[4].Detail != "v4" || got[4].Check != "chk" {
+		t.Fatalf("sink payload wrong: %+v", got[4])
+	}
+	c.SetSink(nil)
+	c.Report("chk", "after detach")
+	if len(got) != 5 {
+		t.Fatal("detached sink still invoked")
+	}
+	// Nil receiver: attach is a no-op.
+	var nc *Checker
+	nc.SetSink(func(Violation) { t.Fatal("nil checker sink fired") })
+	nc.Report("x", "y")
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -85,6 +86,11 @@ type RunContext struct {
 	// Progress publishes a progress note on the job's event stream.
 	// Nil-safe via the manager wiring; runners may call it freely.
 	Progress func(note string)
+	// Telemetry pushes one windowed sample onto the service's telemetry
+	// hub; the manager stamps the job ID and kind, so runners fill only
+	// the window and payload. Nil-safe via the manager wiring (a
+	// manager without a hub wires a no-op).
+	Telemetry func(s telemetry.Sample)
 }
 
 // Event is one entry of a job's progress stream.

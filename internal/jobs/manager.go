@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,9 @@ type Options struct {
 	Metrics *metrics.Registry
 	// TraceCapacity bounds each job's private trace ring (default 4096).
 	TraceCapacity int
+	// Telemetry, when non-nil, receives the windowed samples running
+	// jobs push through RunContext.Telemetry.
+	Telemetry *telemetry.Hub
 }
 
 const (
@@ -365,6 +369,12 @@ func (m *Manager) execute(j *job, runner Runner) {
 		Trace:          j.rec,
 		CheckpointPath: m.checkpointPath(j.id),
 		Progress:       func(note string) { m.publish(j, note) },
+		Telemetry: func(s telemetry.Sample) {
+			// Stamp the producer's identity; Hub.Ingest is nil-safe, so
+			// a manager without a hub makes this a cheap no-op.
+			s.Job, s.Kind = j.id, j.kind
+			m.opt.Telemetry.Ingest(s)
+		},
 	}
 	if rc.CheckpointPath != "" {
 		if _, err := os.Stat(rc.CheckpointPath); err == nil {
@@ -553,6 +563,18 @@ func (m *Manager) QueueDepth() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.admittedLocked()
+}
+
+// Running returns the number of jobs currently executing (the /healthz
+// readiness measure alongside QueueDepth).
+func (m *Manager) Running() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.running {
+		n += c
+	}
+	return n
 }
 
 // Draining reports whether Drain has begun.

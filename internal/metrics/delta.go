@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta tracks a registry's movement between collections: Collect
+// returns how much every counter advanced since the previous Collect
+// (plus current gauge levels), which is exactly the shape a windowed
+// telemetry sample wants — "what happened in this window" rather than
+// "what has happened ever". The first Collect baselines against zero,
+// so it reports lifetime totals.
+//
+// A Delta is not safe for concurrent use (each producer owns its own);
+// the underlying registry reads are the usual atomic snapshots.
+type Delta struct {
+	reg  *Registry
+	last map[string]float64
+}
+
+// NewDelta starts tracking reg (nil is allowed and collects nothing).
+func NewDelta(reg *Registry) *Delta {
+	return &Delta{reg: reg, last: make(map[string]float64)}
+}
+
+// flatKey renders one sample's identity: the family name, plus
+// label pairs in Prometheus notation for labeled children.
+func flatKey(name string, labelNames, labelValues []string) string {
+	if len(labelValues) == 0 {
+		return name
+	}
+	pairs := make([]string, len(labelValues))
+	for i, v := range labelValues {
+		pairs[i] = fmt.Sprintf("%s=%q", labelNames[i], v)
+	}
+	return name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// Collect snapshots the registry and returns the counter increments
+// since the previous Collect plus the current gauge levels. Histograms
+// contribute their _count and _sum as counters. Counters that did not
+// move are omitted; gauges are always reported.
+func (d *Delta) Collect() (counters, gauges map[string]float64) {
+	counters = make(map[string]float64)
+	gauges = make(map[string]float64)
+	if d == nil || d.reg == nil {
+		return counters, gauges
+	}
+	bump := func(key string, v float64) {
+		if inc := v - d.last[key]; inc != 0 {
+			counters[key] = inc
+		}
+		d.last[key] = v
+	}
+	for _, fam := range d.reg.Snapshot() {
+		switch {
+		case fam.Histogram != nil:
+			bump(fam.Name+"_count", float64(fam.Histogram.Count))
+			bump(fam.Name+"_sum", fam.Histogram.Sum)
+		case fam.Kind == KindCounter.String():
+			for _, s := range fam.Samples {
+				bump(flatKey(fam.Name, fam.LabelNames, s.LabelValues), s.Value)
+			}
+		case fam.Kind == KindGauge.String():
+			for _, s := range fam.Samples {
+				gauges[flatKey(fam.Name, fam.LabelNames, s.LabelValues)] = s.Value
+			}
+		}
+	}
+	return counters, gauges
+}

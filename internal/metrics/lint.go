@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LintNames checks a registry's families against the Prometheus naming
+// conventions the repo enforces and returns one message per defect
+// (empty means clean). The rules:
+//
+//   - names are snake_case ASCII: [a-z_][a-z0-9_]*;
+//   - counters end in _total; nothing else does;
+//   - no family name claims the reserved histogram suffixes _bucket,
+//     _count, _sum (the exposition appends them itself);
+//   - unit suffixes (_seconds, _bytes) sit immediately before _total on
+//     counters, so "jobs_run_seconds_total" is fine and
+//     "jobs_run_total_seconds" is not.
+//
+// A test pins the service registry against this lint, so a new metric
+// with a nonconforming name fails CI instead of reaching a dashboard.
+func (r *Registry) LintNames() []string {
+	var problems []string
+	for _, fam := range r.Snapshot() {
+		if !validMetricName(fam.Name) {
+			problems = append(problems, fmt.Sprintf("%s: not snake_case [a-z0-9_]", fam.Name))
+			continue
+		}
+		for _, suffix := range []string{"_bucket", "_count", "_sum"} {
+			if strings.HasSuffix(fam.Name, suffix) {
+				problems = append(problems, fmt.Sprintf("%s: reserved histogram suffix %s", fam.Name, suffix))
+			}
+		}
+		isCounter := fam.Kind == KindCounter.String()
+		hasTotal := strings.HasSuffix(fam.Name, "_total")
+		switch {
+		case isCounter && !hasTotal:
+			problems = append(problems, fmt.Sprintf("%s: counter must end in _total", fam.Name))
+		case !isCounter && hasTotal:
+			problems = append(problems, fmt.Sprintf("%s: %s must not end in _total", fam.Name, fam.Kind))
+		}
+		if strings.Contains(fam.Name, "_total_") {
+			problems = append(problems, fmt.Sprintf("%s: _total must be the final suffix", fam.Name))
+		}
+	}
+	return problems
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c == '_', c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

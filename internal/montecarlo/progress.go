@@ -1,0 +1,108 @@
+package montecarlo
+
+// Progress reconstructs the estimator's live view from a Checkpoint.
+// Checkpoints carry the exact accumulator states at a batch boundary,
+// so the point estimate, confidence interval and weight diagnostics of
+// the run-so-far are all recoverable without touching the engine — the
+// hook the telemetry plane uses to publish a converging estimate while
+// the job runs, and deterministic by construction: the same spec
+// produces the same accumulators at the same boundary regardless of
+// worker count, interruption, or resume.
+
+import "repro/internal/stats"
+
+// Progress is the estimator state at a checkpoint's batch boundary.
+type Progress struct {
+	// Mode and scheduler coordinates, copied from the checkpoint.
+	Mode     string `json:"mode"`
+	RepsDone uint64 `json:"reps_done"`
+	Batches  int    `json:"batches"`
+	// Estimate is the mode's point estimate (unavailability,
+	// reliability, or availability); CILo/CIHi its 95% interval and
+	// RelErr the relative CI half-width — the sequential-stopping
+	// measure.
+	Estimate float64 `json:"estimate"`
+	CILo     float64 `json:"ci_lo"`
+	CIHi     float64 `json:"ci_hi"`
+	RelErr   float64 `json:"rel_err"`
+	// Availability is the availability reading of the estimate: 1−Û for
+	// unavailability runs, the estimate itself for availability runs, 0
+	// for reliability runs (a different quantity).
+	Availability float64 `json:"availability,omitempty"`
+	// ESS is the effective sample size of a weighted (biased) run; 0
+	// when no weights were folded.
+	ESS float64 `json:"ess,omitempty"`
+	// Trials counts the folded replication unit: regenerative cycles
+	// for unavailability, replications otherwise.
+	Trials uint64 `json:"trials"`
+	// Cycles/DownCycles mirror the regenerative tallies (unavailability
+	// mode only).
+	Cycles     uint64 `json:"cycles,omitempty"`
+	DownCycles uint64 `json:"down_cycles,omitempty"`
+}
+
+// Progress reconstructs the estimator state the checkpoint captured.
+// Unknown or empty modes return a zero Progress with the scheduler
+// fields filled in.
+func (c Checkpoint) Progress() Progress {
+	p := Progress{Mode: c.Mode, RepsDone: c.RepsDone, Batches: c.Batches}
+	switch c.Mode {
+	case ModeUnavailability:
+		if c.Ratio != nil {
+			var r stats.Ratio
+			r.Restore(*c.Ratio)
+			p.Estimate = r.Estimate()
+			p.CILo, p.CIHi = r.CI(1.96)
+			p.RelErr = r.RelHalfWidth(1.96)
+			p.Availability = 1 - p.Estimate
+		}
+		p.Cycles, p.DownCycles = c.Cycles, c.DownCycles
+		p.Trials = c.Cycles
+	case ModeReliability:
+		biased := false
+		if c.Weights != nil {
+			var w stats.LogWeights
+			w.Restore(*c.Weights)
+			if w.N() > 0 {
+				biased = true
+				p.ESS = w.ESS()
+			}
+		}
+		if biased && c.Failure != nil {
+			var f stats.Welford
+			f.Restore(*c.Failure)
+			p.Estimate = 1 - f.Mean()
+			flo, fhi := f.CI(1.96)
+			p.CILo, p.CIHi = 1-fhi, 1-flo
+			p.RelErr = f.RelHalfWidth(1.96)
+			p.Trials = uint64(f.N())
+		} else if c.Survival != nil {
+			p.Estimate = c.Survival.Estimate()
+			p.CILo, p.CIHi = c.Survival.Wilson(1.96)
+			p.Trials = uint64(c.Survival.Trials)
+			if c.Failure != nil {
+				var f stats.Welford
+				f.Restore(*c.Failure)
+				p.RelErr = f.RelHalfWidth(1.96)
+			}
+		}
+	case ModeAvailability:
+		if c.PerRep != nil {
+			var a stats.Welford
+			a.Restore(*c.PerRep)
+			p.Estimate = a.Mean()
+			p.CILo, p.CIHi = a.CI(1.96)
+			p.RelErr = a.RelHalfWidth(1.96)
+			p.Availability = p.Estimate
+			p.Trials = uint64(a.N())
+		}
+	}
+	if c.Weights != nil && p.ESS == 0 {
+		var w stats.LogWeights
+		w.Restore(*c.Weights)
+		if w.N() > 0 {
+			p.ESS = w.ESS()
+		}
+	}
+	return p
+}

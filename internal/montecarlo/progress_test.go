@@ -1,0 +1,113 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+)
+
+// TestProgressMatchesFinalResult: the Progress reconstructed from the
+// last checkpoint of a run must agree exactly with the result the
+// engine returned — same accumulators, same boundary.
+func TestProgressMatchesFinalResult(t *testing.T) {
+	t.Run("unavailability", func(t *testing.T) {
+		var last Checkpoint
+		opt := Options{
+			Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(1.0 / 3),
+			Reps: 40, Seed: 7, Batch: 10, CyclesPerRep: 5,
+			Biasing: router.Biasing{Enabled: true, Delta: 0.3},
+			OnBatch: func(cp Checkpoint) { last = cp },
+		}
+		res, err := EstimateUnavailability(opt)
+		if err != nil {
+			t.Fatalf("EstimateUnavailability: %v", err)
+		}
+		p := last.Progress()
+		if p.Mode != ModeUnavailability || p.RepsDone != 40 || p.Batches != 4 {
+			t.Fatalf("scheduler fields wrong: %+v", p)
+		}
+		if p.Estimate != res.Estimate() {
+			t.Fatalf("estimate %g != result %g", p.Estimate, res.Estimate())
+		}
+		lo, hi := res.CI()
+		if p.CILo != lo || p.CIHi != hi {
+			t.Fatalf("CI [%g,%g] != result [%g,%g]", p.CILo, p.CIHi, lo, hi)
+		}
+		if p.RelErr != res.RelHalfWidth() {
+			t.Fatalf("rel err %g != result %g", p.RelErr, res.RelHalfWidth())
+		}
+		if p.Availability != 1-res.Estimate() {
+			t.Fatalf("availability %g != %g", p.Availability, 1-res.Estimate())
+		}
+		if p.ESS != res.Weights.ESS() {
+			t.Fatalf("ESS %g != result %g", p.ESS, res.Weights.ESS())
+		}
+		if p.Cycles != res.Cycles || p.DownCycles != res.DownCycles || p.Trials != res.Cycles {
+			t.Fatalf("cycle tallies wrong: %+v vs %d/%d", p, res.Cycles, res.DownCycles)
+		}
+	})
+
+	t.Run("reliability", func(t *testing.T) {
+		var last Checkpoint
+		opt := Options{
+			Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(0),
+			Horizon: 40000, Reps: 60, Seed: 3, Batch: 20,
+			OnBatch: func(cp Checkpoint) { last = cp },
+		}
+		res, err := EstimateReliability(opt)
+		if err != nil {
+			t.Fatalf("EstimateReliability: %v", err)
+		}
+		p := last.Progress()
+		if p.Mode != ModeReliability || p.Estimate != res.Estimate() {
+			t.Fatalf("estimate %g != result %g (%+v)", p.Estimate, res.Estimate(), p)
+		}
+		lo, hi := res.CI()
+		if p.CILo != lo || p.CIHi != hi {
+			t.Fatalf("CI [%g,%g] != result [%g,%g]", p.CILo, p.CIHi, lo, hi)
+		}
+		if p.Trials != 60 {
+			t.Fatalf("trials %d, want 60", p.Trials)
+		}
+		if p.Availability != 0 {
+			t.Fatal("reliability progress must not claim an availability")
+		}
+	})
+
+	t.Run("availability", func(t *testing.T) {
+		var last Checkpoint
+		opt := Options{
+			Arch: linecard.DRA, N: 4, M: 2, Rates: router.PaperRates(1.0 / 3),
+			Horizon: 1000, Reps: 30, Seed: 5, Batch: 10,
+			OnBatch: func(cp Checkpoint) { last = cp },
+		}
+		res, err := EstimateAvailability(opt)
+		if err != nil {
+			t.Fatalf("EstimateAvailability: %v", err)
+		}
+		p := last.Progress()
+		if p.Mode != ModeAvailability || p.Estimate != res.Estimate() {
+			t.Fatalf("estimate %g != result %g", p.Estimate, res.Estimate())
+		}
+		if p.Availability != res.Estimate() {
+			t.Fatalf("availability %g != estimate %g", p.Availability, res.Estimate())
+		}
+		if p.Trials != 30 {
+			t.Fatalf("trials %d, want 30", p.Trials)
+		}
+	})
+}
+
+// TestProgressEmptyCheckpoint: a checkpoint with no accumulators (or an
+// unknown mode) degrades to the scheduler fields.
+func TestProgressEmptyCheckpoint(t *testing.T) {
+	p := Checkpoint{Mode: "weird", RepsDone: 5, Batches: 1}.Progress()
+	if p.Mode != "weird" || p.RepsDone != 5 || p.Estimate != 0 {
+		t.Fatalf("unexpected: %+v", p)
+	}
+	p = Checkpoint{Mode: ModeUnavailability}.Progress()
+	if p.Estimate != 0 || p.Trials != 0 {
+		t.Fatalf("empty unavailability checkpoint: %+v", p)
+	}
+}

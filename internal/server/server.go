@@ -16,7 +16,11 @@
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/jobs/{id}/result stored result document
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
-//	GET    /healthz             liveness + drain state
+//	POST   /v1/telemetry        ingest windowed samples (NDJSON or array)
+//	GET    /v1/telemetry        fleet aggregate summary
+//	GET    /v1/telemetry/{id}   per-job series range query (?since=&limit=)
+//	GET    /v1/telemetry/tail   fleet-wide NDJSON live tail
+//	GET    /healthz             readiness (503 while draining)
 package server
 
 import (
@@ -30,6 +34,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -46,6 +51,13 @@ type Options struct {
 	SampleInterval time.Duration
 	// MaxSpecBytes bounds a submitted spec body; 0 selects 1 MiB.
 	MaxSpecBytes int64
+	// Telemetry backs the /v1/telemetry endpoints; nil serves 404s
+	// there (the routes stay unmounted).
+	Telemetry *telemetry.Hub
+	// TailBuffer overrides the per-subscriber sample buffer of the
+	// fleet tail (0 selects the hub default). Small values force the
+	// lossy-overflow path; tests use this.
+	TailBuffer int
 }
 
 const (
@@ -83,6 +95,12 @@ func New(opt Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	if opt.Telemetry != nil {
+		s.mux.HandleFunc("POST /v1/telemetry", s.telemetryIngest)
+		s.mux.HandleFunc("GET /v1/telemetry", s.telemetryFleet)
+		s.mux.HandleFunc("GET /v1/telemetry/tail", s.telemetryTail)
+		s.mux.HandleFunc("GET /v1/telemetry/{id}", s.telemetryQuery)
+	}
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	// Introspection shares the listener: the metrics handler owns its
 	// own sub-routes, including /debug/pprof.
@@ -201,11 +219,21 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	w.Write(res)
 }
 
+// healthz reports readiness: 200 while serving, 503 once draining so
+// load balancers and orchestration pull the instance before shutdown
+// completes. The body carries the drain flag, queue depth (queued +
+// running), and the running-job count.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":       true,
-		"draining": s.mgr.Draining(),
+	draining := s.mgr.Draining()
+	code := http.StatusOK
+	if draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ok":       !draining,
+		"draining": draining,
 		"queued":   s.mgr.QueueDepth(),
+		"running":  s.mgr.Running(),
 	})
 }
 

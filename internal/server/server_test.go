@@ -17,6 +17,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // testServer boots a manager + server over an httptest listener.
@@ -29,11 +30,21 @@ func testServer(t *testing.T, mopt jobs.Options) (*httptest.Server, *jobs.Manage
 		}
 		mopt.Store = st
 	}
+	if mopt.Telemetry == nil {
+		hub, err := telemetry.New(telemetry.Options{Store: mopt.Store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mopt.Telemetry = hub
+	}
 	mgr, err := jobs.NewManager(mopt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Options{Manager: mgr, Metrics: metrics.NewRegistry(), SampleInterval: 20 * time.Millisecond})
+	srv, err := New(Options{
+		Manager: mgr, Metrics: metrics.NewRegistry(),
+		SampleInterval: 20 * time.Millisecond, Telemetry: mopt.Telemetry,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,6 +403,8 @@ func TestHealthzAndMetricsMounted(t *testing.T) {
 	var h struct {
 		OK       bool `json:"ok"`
 		Draining bool `json:"draining"`
+		Queued   int  `json:"queued"`
+		Running  int  `json:"running"`
 	}
 	if err := json.Unmarshal(body, &h); err != nil || !h.OK || h.Draining {
 		t.Fatalf("healthz body %s (%v)", body, err)
@@ -410,10 +423,13 @@ func TestHealthzAndMetricsMounted(t *testing.T) {
 	if err := mgr.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	_, body = get(t, ts.URL+"/healthz")
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
 	json.Unmarshal(body, &h)
-	if !h.Draining {
-		t.Fatal("healthz does not report draining")
+	if h.OK || !h.Draining {
+		t.Fatalf("draining healthz body %s", body)
 	}
 	resp, _ = post(t, ts.URL+"/v1/jobs", specBody(9))
 	if resp.StatusCode != http.StatusServiceUnavailable {

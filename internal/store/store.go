@@ -117,6 +117,17 @@ func Open(dir string, opt Options) (*Store, error) {
 		bytesGauge:   reg.Gauge("store_bytes", "Payload bytes currently on disk."),
 		objectsGauge: reg.Gauge("store_objects", "Objects currently stored."),
 	}
+	// Occupancy against the configured budget, for capacity dashboards
+	// and the observatory's fleet view. An unlimited store reports
+	// occupancy 0.
+	reg.Gauge("store_capacity_bytes", "Configured disk byte budget (0 = unlimited).").
+		Set(float64(opt.MaxBytes))
+	reg.GaugeFunc("store_occupancy_ratio", "Fraction of the disk byte budget in use (0 when unlimited).", func() float64 {
+		if opt.MaxBytes <= 0 {
+			return 0
+		}
+		return float64(s.Bytes()) / float64(opt.MaxBytes)
+	})
 	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err

@@ -1,0 +1,213 @@
+package telemetry
+
+// Store persistence: each job's series is one JSON document in the
+// content-addressed store under a key derived from the job ID, plus a
+// fixed-key index document naming every persisted series. The store's
+// atomic temp+rename writes make each flush crash-safe, and its LRU
+// budget bounds the observatory's total disk footprint alongside the
+// result cache.
+//
+// The drain contract: drad flushes the hub after the job manager
+// drained — i.e. after every checkpointing engine wrote its final
+// checkpoint and pushed its final window — so the persisted series ends
+// exactly at the window the resumed run continues from. Ingest's
+// monotone-window dedup then makes the merged series duplicate-free,
+// and the per-batch sampling cadence makes it gap-free.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// seriesKey derives the store key of a job's telemetry series. The
+// prefix is domain-separated from job-result keys (which are the job ID
+// itself), so a series can never alias a result document.
+func seriesKey(job string) string {
+	sum := sha256.Sum256([]byte("telemetry/series\x00" + job))
+	return hex.EncodeToString(sum[:])
+}
+
+// indexKey is the fixed store key of the series index.
+func indexKey() string {
+	sum := sha256.Sum256([]byte("telemetry/index"))
+	return hex.EncodeToString(sum[:])
+}
+
+// seriesDoc is the persisted form of one series.
+type seriesDoc struct {
+	Job        string   `json:"job"`
+	Kind       string   `json:"kind,omitempty"`
+	LastWindow uint64   `json:"last_window"`
+	Evicted    uint64   `json:"evicted,omitempty"`
+	Samples    []Sample `json:"samples"`
+}
+
+// indexDoc is the persisted series catalog.
+type indexDoc struct {
+	Jobs []string `json:"jobs"`
+}
+
+// loadIndex recovers the persisted series catalog; the series
+// themselves load lazily on first touch.
+func (h *Hub) loadIndex() error {
+	if h.opt.Store == nil {
+		return nil
+	}
+	data, err := h.opt.Store.Get(indexKey())
+	if errors.Is(err, store.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		var ce *store.CorruptError
+		if errors.As(err, &ce) {
+			return nil // evicted by the store; start a fresh index
+		}
+		return fmt.Errorf("telemetry: loading index: %w", err)
+	}
+	var idx indexDoc
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return fmt.Errorf("telemetry: decoding index: %w", err)
+	}
+	for _, job := range idx.Jobs {
+		if _, ok := h.series[job]; !ok {
+			h.series[job] = &series{job: job}
+		}
+	}
+	return nil
+}
+
+// loadSeriesLocked reads a series' persisted samples back into the
+// ring. A missing or corrupt document leaves the series empty — the
+// store may have evicted it under its LRU budget, which is a bounded
+// history, not a fault. Caller holds h.mu.
+func (h *Hub) loadSeriesLocked(sr *series) {
+	sr.loaded = true
+	if h.opt.Store == nil {
+		return
+	}
+	data, err := h.opt.Store.Get(seriesKey(sr.job))
+	if err != nil {
+		return
+	}
+	var doc seriesDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return
+	}
+	if doc.Kind != "" {
+		sr.kind = doc.Kind
+	}
+	if doc.LastWindow > sr.lastWindow || !sr.any {
+		sr.lastWindow = doc.LastWindow
+	}
+	sr.any = sr.any || len(doc.Samples) > 0 || doc.LastWindow > 0
+	sr.evicted += doc.Evicted
+	if len(sr.samples) == 0 {
+		sr.samples = doc.Samples
+	} else {
+		// Samples ingested before the lazy load (possible only if the
+		// index was missing): persisted history goes in front.
+		sr.samples = append(doc.Samples, sr.samples...)
+	}
+	for _, s := range sr.samples {
+		sr.bytes += int64(s.approxBytes())
+	}
+	for len(sr.samples) > 1 &&
+		(len(sr.samples) > h.opt.MaxSamplesPerJob || sr.bytes > h.opt.MaxBytesPerJob) {
+		sr.bytes -= int64(sr.samples[0].approxBytes())
+		sr.samples = sr.samples[1:]
+		sr.evicted++
+	}
+}
+
+// flushJob persists one job's series and the index.
+func (h *Hub) flushJob(job string) error {
+	h.mu.Lock()
+	sr, ok := h.series[job]
+	if !ok {
+		h.mu.Unlock()
+		return nil
+	}
+	doc, jobs := h.snapshotDocLocked(sr)
+	h.mu.Unlock()
+	return h.persist([]seriesDoc{doc}, jobs)
+}
+
+// Flush persists every dirty series and the index. drad calls it after
+// the manager drained, sealing the no-gap half of the resume guarantee;
+// it is also the shutdown path for any samples below the FlushEvery
+// cadence.
+func (h *Hub) Flush() error {
+	if h == nil || h.opt.Store == nil {
+		return nil
+	}
+	h.mu.Lock()
+	var docs []seriesDoc
+	var jobs []string
+	for _, job := range sortedJobsLocked(h.series) {
+		sr := h.series[job]
+		if sr.dirty > 0 {
+			doc, _ := h.snapshotDocLocked(sr)
+			docs = append(docs, doc)
+		}
+	}
+	jobs = sortedJobsLocked(h.series)
+	h.mu.Unlock()
+	return h.persist(docs, jobs)
+}
+
+// snapshotDocLocked captures a series' persisted form and resets its
+// dirty counter; it also returns the current index job list. Caller
+// holds h.mu.
+func (h *Hub) snapshotDocLocked(sr *series) (seriesDoc, []string) {
+	sr.dirty = 0
+	doc := seriesDoc{
+		Job:        sr.job,
+		Kind:       sr.kind,
+		LastWindow: sr.lastWindow,
+		Evicted:    sr.evicted,
+		Samples:    append([]Sample(nil), sr.samples...),
+	}
+	return doc, sortedJobsLocked(h.series)
+}
+
+func sortedJobsLocked(m map[string]*series) []string {
+	out := make([]string, 0, len(m))
+	for job := range m {
+		out = append(out, job)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// persist writes series documents and the index to the store.
+func (h *Hub) persist(docs []seriesDoc, jobs []string) error {
+	if h.opt.Store == nil {
+		return nil
+	}
+	var firstErr error
+	put := func(key string, v any) {
+		data, err := json.Marshal(v)
+		if err == nil {
+			err = h.opt.Store.Put(key, data)
+		}
+		if err != nil {
+			h.mFlushErr.Inc()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: persisting: %w", err)
+			}
+			return
+		}
+		h.mFlushes.Inc()
+	}
+	for _, doc := range docs {
+		put(seriesKey(doc.Job), doc)
+	}
+	put(indexKey(), indexDoc{Jobs: jobs})
+	return firstErr
+}

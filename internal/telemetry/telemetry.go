@@ -1,0 +1,466 @@
+// Package telemetry is the streaming observability plane of the drad
+// service: running jobs push windowed Samples (estimator state at batch
+// boundaries, invariant-wall violations, metric-registry deltas) into a
+// Hub, which retains them as bounded per-job ring series, persists them
+// through the content-addressed store (atomic writes; a drained server
+// resumes its series with no gap or duplicate windows), fans them out
+// to live subscribers (the fleet-wide NDJSON tail), and aggregates them
+// into fleet-level health (availability, violation rate, throughput).
+//
+// Windows are the job's own monotone progress coordinate — for the
+// Monte-Carlo kinds the replications folded so far — not wall time:
+// that is what makes a resumed series mergeable with an uninterrupted
+// one bit-for-bit. Ingest enforces the monotonicity: a sample whose
+// window is not beyond the series' last is a stale duplicate (a resumed
+// job re-reaching an already-recorded boundary) and is dropped, which
+// is the no-duplicates half of the resume guarantee; the no-gap half is
+// the Hub flushing on drain after the engines checkpointed.
+//
+// The package follows the repo's nil-object discipline: every method is
+// safe on a nil *Hub, so wiring can thread a hub through
+// unconditionally and pay a single branch when telemetry is off.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// Sample is one windowed telemetry observation pushed by a running job.
+// Window is the job's monotone progress coordinate (replications folded
+// for the Monte-Carlo kinds); everything else is state *at* that
+// boundary. Estimator fields are deterministic functions of the job
+// spec — they byte-compare across drain/resume — while UnixMs and the
+// registry maps are wall-clock-dependent observability extras.
+type Sample struct {
+	// Job and Kind identify the producing job; the Hub stamps them on
+	// ingest when the producer left them empty.
+	Job  string `json:"job"`
+	Kind string `json:"kind,omitempty"`
+	// Window is the job-local monotone progress coordinate. Ingest
+	// rejects samples whose window does not advance the series.
+	Window uint64 `json:"window"`
+	// UnixMs is the ingest wall-clock stamp (informational; stamped by
+	// the Hub when zero).
+	UnixMs int64 `json:"unix_ms,omitempty"`
+
+	// Estimator state at the window boundary (Monte-Carlo kinds).
+	Estimate     float64 `json:"estimate,omitempty"`
+	Availability float64 `json:"availability,omitempty"`
+	RelErr       float64 `json:"rel_err,omitempty"`
+	CIHalf       float64 `json:"ci_half,omitempty"`
+	ESS          float64 `json:"ess,omitempty"`
+	Trials       uint64  `json:"trials,omitempty"`
+
+	// Invariant-wall state: violations raised in this window and the
+	// running total.
+	Violations      uint64 `json:"violations,omitempty"`
+	ViolationsTotal uint64 `json:"violations_total,omitempty"`
+
+	// Registry delta: counter increments since the previous sample and
+	// current gauge levels (see metrics.Delta). Wall-clock-dependent;
+	// populated by jobs whose progress is not an estimator.
+	Counters map[string]float64 `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// approxBytes is the byte-budget cost of one sample: the JSON encoding
+// is what the store persists, so the estimate follows it closely enough
+// to bound the disk footprint.
+func (s Sample) approxBytes() int {
+	n := 96 + len(s.Job) + len(s.Kind)
+	for k := range s.Counters {
+		n += len(k) + 24
+	}
+	for k := range s.Gauges {
+		n += len(k) + 24
+	}
+	return n
+}
+
+// Options tunes a Hub.
+type Options struct {
+	// Store persists series across restarts; nil keeps them in memory
+	// only.
+	Store *store.Store
+	// MaxSamplesPerJob bounds each job's retained ring; 0 selects 4096.
+	MaxSamplesPerJob int
+	// MaxBytesPerJob bounds each job's approximate encoded bytes; 0
+	// selects 256 KiB. Oldest samples fall off first.
+	MaxBytesPerJob int64
+	// FlushEvery persists a dirty series after this many ingests; 0
+	// selects 16. Flush() always persists everything regardless.
+	FlushEvery int
+	// Metrics, when non-nil, receives the telemetry_* families.
+	Metrics *metrics.Registry
+}
+
+const (
+	defaultMaxSamples = 4096
+	defaultMaxBytes   = 256 << 10
+	defaultFlushEvery = 16
+)
+
+// series is one job's retained window ring.
+type series struct {
+	job     string
+	kind    string
+	samples []Sample
+	bytes   int64
+	// lastWindow is the newest accepted window; any marks whether the
+	// series has ever accepted one (so window 0 dedups correctly too).
+	lastWindow uint64
+	any        bool
+	// evicted counts samples dropped off the front by the ring budget.
+	evicted uint64
+	// dirty counts ingests since the last persist.
+	dirty int
+	// loaded marks a series whose persisted samples have been read back
+	// (index-known series start unloaded after a restart).
+	loaded bool
+}
+
+// Subscription is one live tail attached to a Hub. Receive from C;
+// Dropped reports samples lost to a full buffer; Close detaches.
+type Subscription struct {
+	C       <-chan Sample
+	ch      chan Sample
+	hub     *Hub
+	dropped uint64 // guarded by hub.mu
+}
+
+// Dropped returns the number of samples this subscriber lost to
+// buffer overflow since the last call (the counter resets, so a tail
+// can emit one "dropped n" notice per burst).
+func (s *Subscription) Dropped() uint64 {
+	if s == nil || s.hub == nil {
+		return 0
+	}
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	n := s.dropped
+	s.dropped = 0
+	return n
+}
+
+// Close detaches the subscription from the hub.
+func (s *Subscription) Close() {
+	if s == nil || s.hub == nil {
+		return
+	}
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	for i, sub := range s.hub.subs {
+		if sub == s {
+			s.hub.subs = append(s.hub.subs[:i], s.hub.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Hub is the telemetry plane: per-job ring series, store persistence,
+// live fanout, fleet aggregation. All methods are safe for concurrent
+// use and on a nil receiver.
+type Hub struct {
+	opt   Options
+	start time.Time
+
+	mu     sync.Mutex
+	series map[string]*series
+	subs   []*Subscription
+
+	ingested uint64 // samples accepted, process lifetime
+
+	mSamples  *metrics.Counter
+	mStale    *metrics.Counter
+	mEvicted  *metrics.Counter
+	mSubDrops *metrics.Counter
+	mFlushes  *metrics.Counter
+	mFlushErr *metrics.Counter
+	mJobs     *metrics.Gauge
+	mRetained *metrics.Gauge
+}
+
+// New builds a Hub and, when a store is attached, recovers the index of
+// previously persisted series (their samples load lazily on first
+// touch).
+func New(opt Options) (*Hub, error) {
+	if opt.MaxSamplesPerJob <= 0 {
+		opt.MaxSamplesPerJob = defaultMaxSamples
+	}
+	if opt.MaxBytesPerJob <= 0 {
+		opt.MaxBytesPerJob = defaultMaxBytes
+	}
+	if opt.FlushEvery <= 0 {
+		opt.FlushEvery = defaultFlushEvery
+	}
+	reg := opt.Metrics
+	h := &Hub{
+		opt:       opt,
+		start:     time.Now(),
+		series:    make(map[string]*series),
+		mSamples:  reg.Counter("telemetry_samples_total", "Telemetry samples accepted into series."),
+		mStale:    reg.Counter("telemetry_stale_samples_total", "Samples dropped because their window did not advance the series (resume duplicates)."),
+		mEvicted:  reg.Counter("telemetry_evicted_samples_total", "Samples dropped off a ring by the per-job budget."),
+		mSubDrops: reg.Counter("telemetry_subscriber_dropped_total", "Samples lost to full subscriber buffers."),
+		mFlushes:  reg.Counter("telemetry_flushes_total", "Series persists to the store."),
+		mFlushErr: reg.Counter("telemetry_flush_errors_total", "Series persists that failed."),
+		mJobs:     reg.Gauge("telemetry_jobs", "Jobs with a retained telemetry series."),
+		mRetained: reg.Gauge("telemetry_retained_samples", "Samples currently retained across all series."),
+	}
+	if err := h.loadIndex(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ErrStale marks a sample whose window did not advance its series: the
+// no-duplicate half of the resume guarantee. It is informational —
+// resumed producers replay their last checkpoint window by design, so
+// callers that merely forward samples ignore it (errors.Is to tell it
+// from a real fault).
+var ErrStale = errors.New("telemetry: stale sample window")
+
+// Ingest accepts one sample into its job's series, persisting and
+// fanning it out. A sample with an empty Job is rejected; one whose
+// Window does not advance the series is counted stale and dropped
+// with ErrStale.
+func (h *Hub) Ingest(s Sample) error {
+	if h == nil {
+		return nil
+	}
+	if s.Job == "" {
+		return fmt.Errorf("telemetry: sample without a job id")
+	}
+	if s.UnixMs == 0 {
+		s.UnixMs = time.Now().UnixMilli()
+	}
+
+	h.mu.Lock()
+	sr := h.seriesLocked(s.Job)
+	if s.Kind != "" {
+		sr.kind = s.Kind
+	} else {
+		s.Kind = sr.kind
+	}
+	if sr.any && s.Window <= sr.lastWindow {
+		h.mu.Unlock()
+		h.mStale.Inc()
+		return ErrStale
+	}
+	sr.lastWindow, sr.any = s.Window, true
+	sr.samples = append(sr.samples, s)
+	sr.bytes += int64(s.approxBytes())
+	for len(sr.samples) > 1 &&
+		(len(sr.samples) > h.opt.MaxSamplesPerJob || sr.bytes > h.opt.MaxBytesPerJob) {
+		sr.bytes -= int64(sr.samples[0].approxBytes())
+		sr.samples = sr.samples[1:]
+		sr.evicted++
+		h.mEvicted.Inc()
+	}
+	sr.dirty++
+	h.ingested++
+	flush := sr.dirty >= h.opt.FlushEvery
+	for _, sub := range h.subs {
+		select {
+		case sub.ch <- s:
+		default: // slow tail: drop rather than stall the producer
+			sub.dropped++
+			h.mSubDrops.Inc()
+		}
+	}
+	h.publishLocked()
+	h.mu.Unlock()
+
+	h.mSamples.Inc()
+	if flush {
+		return h.flushJob(s.Job)
+	}
+	return nil
+}
+
+// seriesLocked returns (creating if absent) the job's series, loading
+// persisted samples on first touch. Caller holds h.mu.
+func (h *Hub) seriesLocked(job string) *series {
+	sr, ok := h.series[job]
+	if !ok {
+		sr = &series{job: job, loaded: true}
+		h.series[job] = sr
+	}
+	if !sr.loaded {
+		h.loadSeriesLocked(sr)
+	}
+	return sr
+}
+
+// publishLocked refreshes the retained-state gauges. Caller holds h.mu.
+func (h *Hub) publishLocked() {
+	total := 0
+	for _, sr := range h.series {
+		total += len(sr.samples)
+	}
+	h.mJobs.Set(float64(len(h.series)))
+	h.mRetained.Set(float64(total))
+}
+
+// Subscribe attaches a live tail with the given buffer depth (0 selects
+// 64). Delivery is best-effort: a full buffer drops samples and counts
+// them on the subscription.
+func (h *Hub) Subscribe(buf int) *Subscription {
+	if h == nil {
+		ch := make(chan Sample)
+		close(ch)
+		return &Subscription{C: ch}
+	}
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan Sample, buf)
+	sub := &Subscription{C: ch, ch: ch, hub: h}
+	h.mu.Lock()
+	h.subs = append(h.subs, sub)
+	h.mu.Unlock()
+	return sub
+}
+
+// QueryResult is a per-job range-query response.
+type QueryResult struct {
+	Job  string `json:"job"`
+	Kind string `json:"kind,omitempty"`
+	// LastWindow is the newest accepted window of the series.
+	LastWindow uint64 `json:"last_window"`
+	// Evicted counts samples dropped off the ring before this query.
+	Evicted uint64   `json:"evicted,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+// ErrNoSeries reports a job with no telemetry series.
+var ErrNoSeries = fmt.Errorf("telemetry: no series for job")
+
+// Query returns the job's samples with Window > since, oldest first,
+// capped at limit (0 = no cap; the cap applies from the front, so
+// repeated queries with since = last seen window paginate the series).
+func (h *Hub) Query(job string, since uint64, limit int) (QueryResult, error) {
+	if h == nil {
+		return QueryResult{}, ErrNoSeries
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sr, ok := h.series[job]
+	if !ok {
+		return QueryResult{}, ErrNoSeries
+	}
+	if !sr.loaded {
+		h.loadSeriesLocked(sr)
+	}
+	res := QueryResult{Job: sr.job, Kind: sr.kind, LastWindow: sr.lastWindow, Evicted: sr.evicted}
+	i := sort.Search(len(sr.samples), func(i int) bool { return sr.samples[i].Window > since })
+	rest := sr.samples[i:]
+	if limit > 0 && len(rest) > limit {
+		rest = rest[:limit]
+	}
+	res.Samples = append([]Sample(nil), rest...)
+	return res, nil
+}
+
+// JobSummary is one job's line in the fleet view.
+type JobSummary struct {
+	Job        string  `json:"job"`
+	Kind       string  `json:"kind,omitempty"`
+	Samples    int     `json:"samples"`
+	Evicted    uint64  `json:"evicted,omitempty"`
+	LastWindow uint64  `json:"last_window"`
+	Last       *Sample `json:"last,omitempty"`
+}
+
+// FleetSummary is the cross-job aggregate view.
+type FleetSummary struct {
+	Jobs []JobSummary `json:"jobs"`
+	// Ingested counts samples accepted this process lifetime;
+	// SamplesPerSec is that count over the hub's uptime.
+	Ingested      uint64  `json:"ingested"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// FleetAvailability is the mean of the latest availability across
+	// jobs reporting one (estimator kinds).
+	FleetAvailability float64 `json:"fleet_availability,omitempty"`
+	// Violations and Trials sum the latest running totals across jobs;
+	// ViolationRate is their ratio (violations per trial).
+	Violations    uint64  `json:"violations"`
+	Trials        uint64  `json:"trials"`
+	ViolationRate float64 `json:"violation_rate,omitempty"`
+	// TrialsPerSec sums each job's trial rate over its two newest
+	// samples — the fleet's live simulation throughput.
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+}
+
+// Fleet aggregates every known series (persisted ones are loaded on
+// demand) into the cross-job summary.
+func (h *Hub) Fleet() FleetSummary {
+	if h == nil {
+		return FleetSummary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := FleetSummary{Ingested: h.ingested}
+	if up := time.Since(h.start).Seconds(); up > 0 {
+		out.SamplesPerSec = float64(h.ingested) / up
+	}
+	jobs := make([]string, 0, len(h.series))
+	for job := range h.series {
+		jobs = append(jobs, job)
+	}
+	sort.Strings(jobs)
+	availSum, availN := 0.0, 0
+	for _, job := range jobs {
+		sr := h.series[job]
+		if !sr.loaded {
+			h.loadSeriesLocked(sr)
+		}
+		js := JobSummary{Job: sr.job, Kind: sr.kind, Samples: len(sr.samples), Evicted: sr.evicted, LastWindow: sr.lastWindow}
+		if n := len(sr.samples); n > 0 {
+			last := sr.samples[n-1]
+			js.Last = &last
+			if last.Availability > 0 {
+				availSum += last.Availability
+				availN++
+			}
+			out.Violations += last.ViolationsTotal
+			out.Trials += last.Trials
+			if n > 1 {
+				prev := sr.samples[n-2]
+				if dt := float64(last.UnixMs-prev.UnixMs) / 1000; dt > 0 && last.Trials > prev.Trials {
+					out.TrialsPerSec += float64(last.Trials-prev.Trials) / dt
+				}
+			}
+		}
+		out.Jobs = append(out.Jobs, js)
+	}
+	if availN > 0 {
+		out.FleetAvailability = availSum / float64(availN)
+	}
+	if out.Trials > 0 {
+		out.ViolationRate = float64(out.Violations) / float64(out.Trials)
+	}
+	return out
+}
+
+// Jobs returns the IDs of every known series, sorted.
+func (h *Hub) Jobs() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.series))
+	for job := range h.series {
+		out = append(out, job)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -25,16 +25,19 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/chaos"
 	"repro/internal/config"
 	"repro/internal/invariant"
 	"repro/internal/jobs"
 	"repro/internal/linecard"
+	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/montecarlo"
 	"repro/internal/router"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // DefaultRunners maps every job kind to its engine. The returned map is
@@ -46,6 +49,7 @@ func DefaultRunners() map[string]jobs.Runner {
 		config.KindReliability:  runMCJob,
 		config.KindAvailability: runMCJob,
 		config.KindRareEvent:    runMCJob,
+		config.KindObservatory:  runObservatoryJob,
 		config.KindChaos:        runChaosJob,
 		config.KindScenario:     runScenarioJob,
 	}
@@ -102,7 +106,7 @@ func mcOptions(ctx context.Context, rc jobs.RunContext, sp config.Spec) (monteca
 		Batch: sp.MC.Batch, CyclesPerRep: sp.MC.CyclesPerRep,
 		Ctx: ctx, Metrics: rc.Metrics,
 	}
-	if sp.Kind == config.KindRareEvent && sp.MC.Delta > 0 {
+	if (sp.Kind == config.KindRareEvent || sp.Kind == config.KindObservatory) && sp.MC.Delta > 0 {
 		opt.Biasing = router.Biasing{Enabled: true, Delta: sp.MC.Delta}
 	}
 	if opt.Batch <= 0 && opt.TargetRelErr <= 0 {
@@ -132,6 +136,33 @@ func mcOptions(ctx context.Context, rc jobs.RunContext, sp config.Spec) (monteca
 			} else {
 				rc.Progress("checkpoint unreadable, starting fresh: " + err.Error())
 			}
+		}
+	}
+	if rc.Telemetry != nil {
+		// Publish the converging estimate at every batch boundary, after
+		// the checkpoint write: a published window is always backed by a
+		// durable checkpoint, so the resumed engine re-emits nothing the
+		// hub hasn't seen (its stale filter drops the replayed boundary)
+		// and skips nothing (the next boundary extends the series). The
+		// window coordinate is RepsDone — deterministic under the batch
+		// scheduler's stream splitting, so a drained-and-resumed series
+		// byte-matches an uninterrupted control.
+		inner := opt.OnBatch
+		rcT := rc.Telemetry
+		opt.OnBatch = func(cp montecarlo.Checkpoint) {
+			if inner != nil {
+				inner(cp)
+			}
+			p := cp.Progress()
+			rcT(telemetry.Sample{
+				Window:       p.RepsDone,
+				Estimate:     p.Estimate,
+				Availability: p.Availability,
+				RelErr:       p.RelErr,
+				CIHalf:       (p.CIHi - p.CILo) / 2,
+				ESS:          p.ESS,
+				Trials:       p.Trials,
+			})
 		}
 	}
 	return opt, nil
@@ -184,6 +215,57 @@ func runMCJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.R
 	default:
 		return nil, fmt.Errorf("runMCJob: kind %q", sp.Kind)
 	}
+	return json.Marshal(doc)
+}
+
+// ObservatoryResult is the result document of the observatory kind: a
+// long-horizon availability watch. The fields are deterministic
+// functions of the spec (no wall-clock, no window counts that differ
+// across drain/resume), so a resumed observatory stores the same
+// document an uninterrupted one would.
+type ObservatoryResult struct {
+	Kind         string  `json:"kind"`
+	Arch         string  `json:"arch"`
+	N            int     `json:"n"`
+	M            int     `json:"m"`
+	Estimate     float64 `json:"estimate"` // unavailability point estimate
+	Availability float64 `json:"availability"`
+	CILo         float64 `json:"ci_lo"`
+	CIHi         float64 `json:"ci_hi"`
+	RelErr       float64 `json:"rel_err"`
+	Cycles       uint64  `json:"cycles"`
+	DownCycles   uint64  `json:"down_cycles"`
+	StopReason   string  `json:"stop_reason"`
+}
+
+// runObservatoryJob executes the observatory kind: the rare-event
+// unavailability estimator run as a long-horizon watch. The telemetry
+// wrapper installed by mcOptions publishes the converging availability
+// estimate and CI at every batch boundary, so the estimate is
+// queryable over /v1/telemetry while the job runs; the checkpoint
+// lifecycle makes a drained observatory resume bit-identically, its
+// telemetry series extending without gap or duplicate.
+func runObservatoryJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+	sp := spec.Normalize()
+	opt, err := mcOptions(ctx, rc, sp)
+	if err != nil {
+		return nil, err
+	}
+	res, err := montecarlo.EstimateUnavailability(opt)
+	if err != nil {
+		return nil, err
+	}
+	doc := ObservatoryResult{
+		Kind: sp.Kind, Arch: strings.ToUpper(archName(sp.Router.Arch)),
+		N: sp.Router.N, M: sp.Router.M,
+		Estimate:     res.Estimate(),
+		Availability: 1 - res.Estimate(),
+		RelErr:       res.RelHalfWidth(),
+		Cycles:       res.Cycles,
+		DownCycles:   res.DownCycles,
+		StopReason:   res.StopReason,
+	}
+	doc.CILo, doc.CIHi = res.CI()
 	return json.Marshal(doc)
 }
 
@@ -316,11 +398,39 @@ func runChaosJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (jso
 	if err != nil {
 		return nil, err
 	}
+	checker := invariant.New()
+	var violations atomic.Uint64
+	if rc.Telemetry != nil {
+		// Stream every invariant violation the wall catches — including
+		// those past the checker's retention bound — as its own window.
+		// The running violation count is the job's monotone progress
+		// coordinate.
+		checker.SetSink(func(v invariant.Violation) {
+			n := violations.Add(1)
+			rc.Telemetry(telemetry.Sample{
+				Window:          n,
+				Violations:      1,
+				ViolationsTotal: n,
+			})
+		})
+	}
 	res, err := chaos.Run(c, chaos.Options{
 		Ctx:     ctx,
-		Checker: invariant.New(),
+		Checker: checker,
 		Metrics: rc.Metrics,
 	})
+	if rc.Telemetry != nil {
+		// One closing sample carries the campaign's counter increments
+		// and gauge levels (delivered/dropped/…): the registry-delta view
+		// of the run, windowed past every violation sample.
+		counters, gauges := metrics.NewDelta(rc.Metrics).Collect()
+		rc.Telemetry(telemetry.Sample{
+			Window:          violations.Load() + 1,
+			ViolationsTotal: violations.Load(),
+			Counters:        counters,
+			Gauges:          gauges,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
