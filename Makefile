@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all check build test lint race race-all vet bench bench-smoke cover fuzz-smoke chaos report examples serve-e2e serve-bench clean
+.PHONY: all check build test lint race race-all vet bench bench-smoke bench-simcore cover fuzz-smoke poolcheck chaos report examples serve-e2e serve-bench clean
 
 all: build test
 
-# The default verification gate: build, vet, full tests, and the race
-# detector over the concurrency-sensitive packages.
-check: build lint test race
+# The default verification gate: build, vet, full tests, the race
+# detector over the concurrency-sensitive packages, and the pool-safety
+# wall (use-after-Release / double-Release detection).
+check: build lint test race poolcheck
 
 build:
 	$(GO) build ./...
@@ -21,12 +22,21 @@ lint:
 	$(GO) vet ./...
 
 # Race-detect the packages that share state across goroutines: the
-# metrics registry (hammered by concurrent Monte-Carlo workers) and the
-# router/montecarlo pipeline that shares it. Short mode: the point is
-# data-race coverage (the montecarlo race soak), not statistical power —
+# metrics registry (hammered by concurrent Monte-Carlo workers), the
+# router/montecarlo pipeline that shares it, and the packet pool fed to
+# the sweep worker pool. Short mode: the point is data-race coverage
+# (the montecarlo race soak, the pool soak), not statistical power —
 # the long cross-validation runs stay in plain `make test`.
 race:
-	$(GO) test -race -short ./internal/metrics/... ./internal/router/... ./internal/montecarlo/...
+	$(GO) test -race -short ./internal/metrics/... ./internal/router/... ./internal/montecarlo/... ./internal/packet/... ./internal/sim/...
+
+# Pool-safety semantics: under the poolcheck build tag released packets
+# are poisoned, so use-after-Release and double-Release panic instead of
+# corrupting a recycled packet. The -race combination also reruns the
+# concurrent pool soak with poisoning armed.
+poolcheck:
+	$(GO) test -tags poolcheck ./internal/packet/... ./internal/router/... ./internal/eib/...
+	$(GO) test -tags poolcheck -race -short ./internal/packet/...
 
 race-all:
 	$(GO) test -race ./...
@@ -40,10 +50,11 @@ bench:
 
 # Coverage gate for the solver core and the robustness wall: every
 # package on the numeric hot path (markov, sweep, linalg) plus the
-# chaos/invariant machinery must stay at or above COVER_MIN percent
-# statement coverage.
+# chaos/invariant machinery and the DES core (sim scheduler/kernel,
+# packet pool) must stay at or above COVER_MIN percent statement
+# coverage.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry ./internal/sim ./internal/packet
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
@@ -58,14 +69,23 @@ cover:
 bench-smoke:
 	$(GO) test -short -run xxx -bench BenchmarkSolverComparison -benchtime 1x .
 
-# Bounded fuzzing of the wire-format decoders and the three-tier
-# control protocol: enough to catch decode panics, encoder/decoder
-# asymmetries, and LP-bookkeeping drift in CI without open-ended runs.
+# Bounded fuzzing of the wire-format decoders, the three-tier control
+# protocol, and the scheduler implementations (calendar/hybrid vs heap
+# oracle): enough to catch decode panics, encoder/decoder asymmetries,
+# LP-bookkeeping drift, and event-ordering divergence in CI without
+# open-ended runs.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshalControl -fuzztime $(FUZZTIME) ./internal/eib/
 	$(GO) test -fuzz=FuzzControlProtocol -fuzztime $(FUZZTIME) ./internal/eib/
 	$(GO) test -fuzz=FuzzUnmarshalCell -fuzztime $(FUZZTIME) ./internal/packet/
+	$(GO) test -fuzz=FuzzScheduler -fuzztime $(FUZZTIME) ./internal/sim/
+
+# Regenerate BENCH_simcore.json: DES-core hot-path timings (rare-event
+# Monte Carlo loop, fault-free deliver path, scheduler push/pop) against
+# the pre-rewrite seed baseline. Local, no server.
+bench-simcore:
+	$(GO) run ./cmd/dractl bench -mode simcore -out BENCH_simcore.json
 
 # Run every example chaos campaign through drasim with the invariant
 # wall armed; any assertion failure or invariant violation is fatal.

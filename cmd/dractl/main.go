@@ -15,6 +15,7 @@
 //	dractl query <id>              one job's telemetry series (-since, -limit)
 //	dractl bench                   cold-vs-cache-hit load test → BENCH_serve.json
 //	dractl bench -mode observatory telemetry ingest/query bench → BENCH_observatory.json
+//	dractl bench -mode simcore     DES-core hot-path bench (local, no server) → BENCH_simcore.json
 package main
 
 import (
@@ -337,7 +338,7 @@ func cmdBench(c *client, args []string) int {
 		switch {
 		case a == "-mode" || a == "--mode":
 			if i+1 >= len(args) {
-				usageError(fmt.Errorf("bench -mode wants a value: serve or observatory"))
+				usageError(fmt.Errorf("bench -mode wants a value: serve, observatory, or simcore"))
 			}
 			i++
 			mode = args[i]
@@ -354,8 +355,10 @@ func cmdBench(c *client, args []string) int {
 		args = rest
 	case "observatory":
 		return benchObservatory(c, flag.NewFlagSet("bench-observatory", flag.ExitOnError), rest)
+	case "simcore":
+		return benchSimcore(flag.NewFlagSet("bench-simcore", flag.ExitOnError), rest)
 	default:
-		usageError(fmt.Errorf("bench -mode %q: want serve or observatory", mode))
+		usageError(fmt.Errorf("bench -mode %q: want serve, observatory, or simcore", mode))
 	}
 
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)

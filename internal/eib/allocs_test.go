@@ -1,0 +1,101 @@
+package eib
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/testutil"
+	"repro/internal/xrand"
+)
+
+// Zero-alloc gates for the EIB hot paths: the TDM slot loop (with and
+// without a driving kernel) and steady-state control-packet broadcast.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+}
+
+func TestSlotLoopAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	s := NewSlotSim([]int{0, 1, 2, 3})
+	s.Open(0, 0.4)
+	s.Open(1, 0.3)
+	s.Open(2, 0.5) // oversubscribed: the scale-back path runs too
+	s.Run(256)     // settle turn rotation
+	if n := testing.AllocsPerRun(100, func() { s.Run(64) }); n != 0 {
+		t.Fatalf("TDM slot loop allocates %v per 64 slots, want 0", n)
+	}
+}
+
+func TestKernelDrivenSlotBatchAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	k := sim.NewKernel()
+	s := NewSlotSim([]int{0, 1})
+	s.Open(0, 0.6)
+	s.Open(1, 0.6)
+	stop := s.Drive(k, 1e-6, 32)
+	defer stop()
+	for i := 0; i < 64; i++ { // warm the event free list
+		k.Step()
+	}
+	before := s.Slots()
+	if n := testing.AllocsPerRun(100, func() { k.Step() }); n != 0 {
+		t.Fatalf("kernel-driven slot batch allocates %v per pop, want 0", n)
+	}
+	if s.Slots() == before {
+		t.Fatal("Drive stopped ticking")
+	}
+}
+
+// TestKernelDrivenSlotBatchAdvances checks Drive's accounting: one
+// scheduler pop advances exactly `batch` slots, and stop() halts the loop.
+func TestKernelDrivenSlotBatchAdvances(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewSlotSim([]int{0})
+	s.Open(0, 0.5)
+	stop := s.Drive(k, 2.0, 16)
+	k.Step()
+	if got := s.Slots(); got != 16 {
+		t.Fatalf("one tick advanced %d slots, want 16", got)
+	}
+	if now := k.Now(); now != 2.0*16 {
+		t.Fatalf("one tick advanced clock to %v, want %v", now, 2.0*16)
+	}
+	stop()
+	k.Run(10)
+	if got := s.Slots(); got != 16 {
+		t.Fatalf("stopped Drive still ran: %d slots", got)
+	}
+}
+
+func TestBroadcastSteadyStateAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	k := sim.NewKernel()
+	b, err := NewBus(k, xrand.New(3), DefaultBusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for lc := 0; lc < 4; lc++ {
+		b.Attach(lc, func(ControlPacket) { got++ })
+	}
+	send := func() {
+		p := ControlPacket{Type: REQD, Init: 0, Rec: Broadcast, DataRate: 1e9}
+		if err := b.Broadcast(p, nil); err != nil {
+			t.Fatalf("Broadcast: %v", err)
+		}
+		k.Run(0)
+	}
+	for i := 0; i < 32; i++ { // warm the delivery and event pools
+		send()
+	}
+	if n := testing.AllocsPerRun(200, send); n != 0 {
+		t.Fatalf("steady-state Broadcast allocates %v, want 0", n)
+	}
+	if got == 0 {
+		t.Fatal("handlers never ran")
+	}
+}

@@ -66,10 +66,13 @@ type Bus struct {
 	rng  *xrand.Source
 	cfg  BusConfig
 	fail bool
+	ver  uint64 // bumps on Fail/Repair; see Version
 
 	handlers  map[int]Handler
+	order     []int // attached LC ids, ascending — the delivery order
 	sniffers  []Handler
 	busyUntil sim.Time
+	freeDel   []*delivery
 
 	lps    map[int]*LP
 	nextLP int
@@ -166,11 +169,23 @@ func (b *Bus) Attach(lc int, h Handler) {
 	if h == nil {
 		panic("eib: nil handler")
 	}
+	if _, ok := b.handlers[lc]; !ok {
+		i := sort.SearchInts(b.order, lc)
+		b.order = append(b.order, 0)
+		copy(b.order[i+1:], b.order[i:])
+		b.order[i] = lc
+	}
 	b.handlers[lc] = h
 }
 
 // Detach removes LC lc from the bus (controller failure).
-func (b *Bus) Detach(lc int) { delete(b.handlers, lc) }
+func (b *Bus) Detach(lc int) {
+	if _, ok := b.handlers[lc]; ok {
+		i := sort.SearchInts(b.order, lc)
+		b.order = append(b.order[:i], b.order[i+1:]...)
+	}
+	delete(b.handlers, lc)
+}
 
 // Sniff registers a promiscuous observer that sees every delivered
 // control packet regardless of addressing — a protocol analyzer on the
@@ -186,6 +201,7 @@ func (b *Bus) Sniff(h Handler) {
 // are dropped.
 func (b *Bus) Fail() {
 	b.fail = true
+	b.ver++
 	for id, lp := range b.lps {
 		delete(b.lps, id)
 		b.LPsClosed++
@@ -198,10 +214,17 @@ func (b *Bus) Fail() {
 }
 
 // Repair restores the EIB lines.
-func (b *Bus) Repair() { b.fail = false }
+func (b *Bus) Repair() {
+	b.fail = false
+	b.ver++
+}
 
 // Failed reports whether the EIB lines are down.
 func (b *Bus) Failed() bool { return b.fail }
+
+// Version returns a counter that changes whenever the bus's health state
+// does — a cache-invalidation key for derived predicates.
+func (b *Bus) Version() uint64 { return b.ver }
 
 // Broadcast sends a control packet on the control lines. The packet is
 // validated, contends for the lines (CSMA/CD: carrier sense via the
@@ -238,30 +261,56 @@ func (b *Bus) Broadcast(p ControlPacket, delivered func()) error {
 	if int(p.Type) < len(b.mCtrlByType) {
 		b.mCtrlByType[p.Type].Inc()
 	}
-	b.k.Schedule(end, func() {
-		if b.fail {
-			return // lines died in flight
-		}
-		// Deterministic delivery order: ascending LC index.
-		ids := make([]int, 0, len(b.handlers))
-		for lc := range b.handlers {
-			ids = append(ids, lc)
-		}
-		sort.Ints(ids)
-		for _, lc := range ids {
-			if p.Rec != Broadcast && p.Rec != lc && p.Init != lc {
-				continue // addressing tier: not for this controller
-			}
-			b.handlers[lc](p)
-		}
-		for _, s := range b.sniffers {
-			s(p)
-		}
-		if delivered != nil {
-			delivered()
-		}
-	})
+	b.k.Schedule(end, b.newDelivery(p, delivered).fn)
 	return nil
+}
+
+// delivery is a pooled in-flight control packet: its callback closure is
+// built once per record, so broadcasting in steady state does not allocate.
+type delivery struct {
+	b         *Bus
+	p         ControlPacket
+	delivered func()
+	fn        func()
+}
+
+func (b *Bus) newDelivery(p ControlPacket, delivered func()) *delivery {
+	var d *delivery
+	if n := len(b.freeDel); n > 0 {
+		d = b.freeDel[n-1]
+		b.freeDel[n-1] = nil
+		b.freeDel = b.freeDel[:n-1]
+	} else {
+		d = &delivery{b: b}
+		d.fn = d.run
+	}
+	d.p = p
+	d.delivered = delivered
+	return d
+}
+
+// run delivers the control packet to every addressed controller in
+// ascending LC order (deterministic), then recycles the record.
+func (d *delivery) run() {
+	b, p, delivered := d.b, d.p, d.delivered
+	d.p = ControlPacket{}
+	d.delivered = nil
+	b.freeDel = append(b.freeDel, d)
+	if b.fail {
+		return // lines died in flight
+	}
+	for _, lc := range b.order {
+		if p.Rec != Broadcast && p.Rec != lc && p.Init != lc {
+			continue // addressing tier: not for this controller
+		}
+		b.handlers[lc](p)
+	}
+	for _, s := range b.sniffers {
+		s(p)
+	}
+	if delivered != nil {
+		delivered()
+	}
 }
 
 // --- Data-line logical paths and the bandwidth promise formula ---

@@ -29,7 +29,7 @@ type Controller struct {
 	waitingReq int // sequence number awaiting a reply; 0 when idle
 	onAccept   func(rec int)
 	onLookup   func(egress int, ok bool)
-	timeout    *sim.Event
+	timeout    sim.Timer
 
 	// RepliesSent counts REP_D/REP_L emitted for peers.
 	RepliesSent uint64
@@ -117,10 +117,8 @@ func (c *Controller) clearPending() {
 	c.waitingReq = 0
 	c.onAccept = nil
 	c.onLookup = nil
-	if c.timeout != nil {
-		c.bus.k.Cancel(c.timeout)
-		c.timeout = nil
-	}
+	c.bus.k.Cancel(c.timeout)
+	c.timeout = sim.Timer{}
 }
 
 // replyWindow is how long an initiator waits for replies before declaring

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/sim"
 )
 
 // SlotSim is a slot-accurate simulation of the EIB data lines driven by
@@ -29,7 +30,11 @@ import (
 type SlotSim struct {
 	arb   *Arbiter
 	flows map[int]*slotFlow
-	slot  int
+	// active mirrors flows as a slice sorted by LC: the Step hot loop
+	// iterates it instead of the map, for determinism and speed.
+	active   []*slotFlow
+	totalAsk float64
+	slot     int
 	// Trace records the transmitting LC per slot when Tracing is set
 	// (-1 for an idle slot).
 	Trace   []int
@@ -42,6 +47,7 @@ type SlotSim struct {
 }
 
 type slotFlow struct {
+	lc      int
 	ask     float64
 	buffer  float64
 	sent    float64
@@ -50,6 +56,9 @@ type slotFlow struct {
 	// the buffer when the turn was acquired); negative when not holding
 	// the turn.
 	quota float64
+	// depth is the resolved queue-depth gauge for this LC, cached so the
+	// per-slot loop does not format labels (nil without metrics).
+	depth *metrics.Gauge
 }
 
 // NewSlotSim creates a slot simulator over the given LC indices.
@@ -70,6 +79,9 @@ func (s *SlotSim) SetMetrics(reg *metrics.Registry) {
 	s.mSlots = reg.Counter("eib_slotsim_slots_total", "Data-line slots simulated.")
 	s.mIdle = reg.Counter("eib_slotsim_idle_slots_total", "Data-line slots with no LP transmitting.")
 	s.mDepth = reg.GaugeVec("eib_slotsim_queue_depth", "Sender-side buffered payload per LP, in slot units.", "lc")
+	for _, f := range s.active {
+		f.depth = s.mDepth.With(fmt.Sprint(f.lc))
+	}
 }
 
 // Open establishes an LP for lc asking for the given normalized rate
@@ -83,7 +95,16 @@ func (s *SlotSim) Open(lc int, ask float64) {
 		panic(fmt.Sprintf("eib: LC %d already has a slot flow", lc))
 	}
 	s.arb.Establish(lc)
-	s.flows[lc] = &slotFlow{ask: ask, quota: -1}
+	f := &slotFlow{lc: lc, ask: ask, quota: -1}
+	if s.mDepth != nil {
+		f.depth = s.mDepth.With(fmt.Sprint(lc))
+	}
+	s.flows[lc] = f
+	i := sort.Search(len(s.active), func(i int) bool { return s.active[i].lc >= lc })
+	s.active = append(s.active, nil)
+	copy(s.active[i+1:], s.active[i:])
+	s.active[i] = f
+	s.totalAsk += ask
 }
 
 // Close releases lc's LP.
@@ -93,18 +114,22 @@ func (s *SlotSim) Close(lc int) {
 	}
 	s.arb.Release(lc)
 	delete(s.flows, lc)
+	i := sort.Search(len(s.active), func(i int) bool { return s.active[i].lc >= lc })
+	s.active = append(s.active[:i], s.active[i+1:]...)
+	// Recompute rather than subtract: keeps totalAsk drift-free over long
+	// open/close churn.
+	s.totalAsk = 0
+	for _, g := range s.active {
+		s.totalAsk += g.ask
+	}
 }
 
 // scale returns the sender-side scale-back factor min(1, B_BUS/ΣB).
 func (s *SlotSim) scale() float64 {
-	total := 0.0
-	for _, f := range s.flows {
-		total += f.ask
-	}
-	if total <= 1 {
+	if s.totalAsk <= 1 {
 		return 1
 	}
-	return 1 / total
+	return 1 / s.totalAsk
 }
 
 // Promise returns the rate the promise formula grants lc right now.
@@ -121,14 +146,14 @@ func (s *SlotSim) Step() {
 	s.slot++
 	s.mSlots.Inc()
 	scale := s.scale()
-	for lc, f := range s.flows {
+	for _, f := range s.active {
 		// Arrivals at the ask; anything beyond the promised rate is
 		// dropped at the sender (the paper's scale-back).
 		prom := f.ask * scale
 		f.buffer += prom
 		f.dropped += f.ask - prom
-		if s.mDepth != nil {
-			s.mDepth.With(fmt.Sprint(lc)).Set(f.buffer)
+		if f.depth != nil {
+			f.depth.Set(f.buffer)
 		}
 	}
 	cur := s.arb.Current()
@@ -171,6 +196,32 @@ func (s *SlotSim) Run(n int) {
 	}
 }
 
+// Drive attaches the slot simulation to a kernel: every scheduled tick
+// processes a whole batch of data-line slots, so the TDM cadence costs one
+// scheduler pop per batch instead of one per slot. slotTime is the duration
+// of a single slot; batch slots elapse per event. Driving stops after the
+// returned stop function is called (the pending tick still fires but does
+// no work and does not re-arm).
+func (s *SlotSim) Drive(k *sim.Kernel, slotTime float64, batch int) (stop func()) {
+	if slotTime <= 0 {
+		panic(fmt.Sprintf("eib: slot time %g must be positive", slotTime))
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		s.Run(batch)
+		k.After(sim.Time(slotTime*float64(batch)), tick)
+	}
+	k.After(sim.Time(slotTime*float64(batch)), tick)
+	return func() { stopped = true }
+}
+
 // Throughput returns each LP's achieved rate (payload units per slot) over
 // the run so far, keyed by LC.
 func (s *SlotSim) Throughput() map[int]float64 {
@@ -197,11 +248,10 @@ func (s *SlotSim) Slots() int { return s.slot }
 
 // FlowLCs returns the LCs with open flows in ascending order.
 func (s *SlotSim) FlowLCs() []int {
-	out := make([]int, 0, len(s.flows))
-	for lc := range s.flows {
-		out = append(out, lc)
+	out := make([]int, 0, len(s.active))
+	for _, f := range s.active {
+		out = append(out, f.lc)
 	}
-	sort.Ints(out)
 	return out
 }
 

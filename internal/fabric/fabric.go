@@ -46,6 +46,10 @@ type Fabric struct {
 	// Forwarded and Refused count cell transfer attempts.
 	Forwarded uint64
 	Refused   uint64
+
+	// ver counts health-state mutations (card/port fail and repair); see
+	// Version.
+	ver uint64
 }
 
 // New validates the configuration and returns a fabric with all cards and
@@ -70,6 +74,11 @@ func New(cfg Config) (*Fabric, error) {
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// Version returns a counter that changes whenever the fabric's health
+// state (cards or ports) does — a cheap cache-invalidation key for
+// derived predicates such as router.CanDeliverCached.
+func (f *Fabric) Version() uint64 { return f.ver }
+
 // FailCard marks fabric card i failed. Failing an already-failed card is a
 // no-op.
 func (f *Fabric) FailCard(i int) {
@@ -77,6 +86,7 @@ func (f *Fabric) FailCard(i int) {
 	if !f.cardFailed[i] {
 		f.cardFailed[i] = true
 		f.nFailed++
+		f.ver++
 	}
 }
 
@@ -86,6 +96,7 @@ func (f *Fabric) RepairCard(i int) {
 	if f.cardFailed[i] {
 		f.cardFailed[i] = false
 		f.nFailed--
+		f.ver++
 	}
 }
 
@@ -99,13 +110,19 @@ func (f *Fabric) checkCard(i int) {
 // "switching fabric port" fault along the routing path.
 func (f *Fabric) FailPort(lc int) {
 	f.checkPort(lc)
-	f.portFailed[lc] = true
+	if !f.portFailed[lc] {
+		f.portFailed[lc] = true
+		f.ver++
+	}
 }
 
 // RepairPort restores the fabric port of linecard lc.
 func (f *Fabric) RepairPort(lc int) {
 	f.checkPort(lc)
-	f.portFailed[lc] = false
+	if f.portFailed[lc] {
+		f.portFailed[lc] = false
+		f.ver++
+	}
 }
 
 // PortUp reports whether linecard lc's fabric port is healthy.

@@ -215,14 +215,18 @@ func (l *LC) FullyHealthy() bool {
 }
 
 // FailedComponents lists the failed components, for logs and repair.
-func (l *LC) FailedComponents() []Component {
-	var out []Component
+func (l *LC) FailedComponents() []Component { return l.FailedComponentsAppend(nil) }
+
+// FailedComponentsAppend appends the failed components to buf and returns
+// the extended slice — the zero-alloc form of FailedComponents for hot
+// repair loops that keep a scratch buffer.
+func (l *LC) FailedComponentsAppend(buf []Component) []Component {
 	for c := Component(0); c < Component(NumComponents); c++ {
 		if l.failed[c] && l.has(c) {
-			out = append(out, c)
+			buf = append(buf, c)
 		}
 	}
-	return out
+	return buf
 }
 
 // SetTable installs a routing-table snapshot into the LFE; the route

@@ -550,7 +550,7 @@ func reliabilityRep(opt Options, rep uint64, src *xrand.Source) (relOut, error) 
 		if !k.Step() {
 			break
 		}
-		if !r.CanDeliver(opt.TargetLC) {
+		if !r.CanDeliverCached(opt.TargetLC) {
 			return relOut{failedAt: float64(k.Now()), logW: inj.CheckpointLR()}, nil
 		}
 	}
@@ -630,10 +630,10 @@ func availabilityRep(opt Options, rep uint64, src *xrand.Source) (float64, error
 		if !k.Step() {
 			break
 		}
-		tracker.SetUp(r.CanDeliver(opt.TargetLC))
+		tracker.SetUp(r.CanDeliverCached(opt.TargetLC))
 	}
 	k.RunUntil(sim.Time(opt.Horizon))
-	tracker.SetUp(r.CanDeliver(opt.TargetLC))
+	tracker.SetUp(r.CanDeliverCached(opt.TargetLC))
 	return tracker.Availability(), nil
 }
 
@@ -661,7 +661,7 @@ func build(opt Options, rep uint64, src *xrand.Source) (*router.Router, *router.
 		// the rare set has been hit, and continuing to inflate rates
 		// while waiting for the repair only adds exposure variance to the
 		// very cycles that carry the estimate (see router.Biasing).
-		b.StopWhen = func() bool { return !r.CanDeliver(opt.TargetLC) }
+		b.StopWhen = func() bool { return !r.CanDeliverCached(opt.TargetLC) }
 	}
 	if err := inj.SetBiasing(b); err != nil {
 		return nil, nil, err

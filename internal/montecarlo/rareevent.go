@@ -178,7 +178,7 @@ func unavailabilityRep(opt Options, rep uint64, src *xrand.Source) ([]cycleOut, 
 			break
 		}
 		now := k.Now()
-		if !wentDown && !r.CanDeliver(opt.TargetLC) {
+		if !wentDown && !r.CanDeliverCached(opt.TargetLC) {
 			// Once down, the LC stays down until the repair: only the
 			// fact of going down matters (see cycleOut).
 			wentDown = true

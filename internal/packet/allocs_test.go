@@ -1,0 +1,73 @@
+package packet
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// Zero-alloc gates for the packet hot path: the pool cycle, segmentation
+// into a reused buffer, and steady-state reassembly.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	if testutil.PoolcheckEnabled {
+		t.Skip("poolcheck released-set bookkeeping allocates by design")
+	}
+}
+
+func TestPoolCycleAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	for i := 0; i < 64; i++ { // warm the pool's per-P cache
+		Release(Get())
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		p := Get()
+		p.Bytes = 1500
+		Release(p)
+	}); n != 0 {
+		t.Fatalf("pool Get/Release allocates %v, want 0", n)
+	}
+}
+
+func TestSegmentAppendAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	p := &Packet{ID: 1, SrcLC: 0, DstLC: 3, Bytes: 1500}
+	buf := SegmentAppend(nil, p) // size the scratch once
+	if n := testing.AllocsPerRun(200, func() {
+		buf = SegmentAppend(buf[:0], p)
+	}); n != 0 {
+		t.Fatalf("SegmentAppend into a warm buffer allocates %v, want 0", n)
+	}
+}
+
+func TestReassemblerSteadyStateAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	r := NewReassembler()
+	p := &Packet{SrcLC: 0, DstLC: 3, Bytes: 4 * CellPayload}
+	var buf []Cell
+	id := uint64(0)
+	cycle := func() {
+		id++
+		p.ID = id
+		buf = SegmentAppend(buf[:0], p)
+		for _, c := range buf {
+			done, err := r.Add(c)
+			if err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+			if c.Last && done == nil {
+				t.Fatal("reassembly incomplete")
+			}
+		}
+	}
+	for i := 0; i < 16; i++ { // warm the assembly free list and the map
+		cycle()
+	}
+	if n := testing.AllocsPerRun(200, cycle); n != 0 {
+		t.Fatalf("steady-state reassembly allocates %v per packet, want 0", n)
+	}
+}

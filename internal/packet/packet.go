@@ -87,13 +87,18 @@ func CellsFor(n int) int {
 
 // Segment splits p into fabric cells addressed to p.DstLC. It panics if the
 // packet has not been through lookup (DstLC < 0) because cells would be
-// unroutable.
-func Segment(p *Packet) []Cell {
+// unroutable. Hot paths should prefer SegmentAppend with a reused buffer.
+func Segment(p *Packet) []Cell { return SegmentAppend(nil, p) }
+
+// SegmentAppend appends p's fabric cells to buf and returns the extended
+// slice, reusing buf's capacity — the zero-alloc form of Segment. Callers
+// typically keep one scratch buffer and pass buf[:0].
+func SegmentAppend(buf []Cell, p *Packet) []Cell {
+	AssertLive(p)
 	if p.DstLC < 0 {
 		panic("packet: Segment before lookup — DstLC unset")
 	}
 	n := CellsFor(p.Bytes)
-	cells := make([]Cell, n)
 	remaining := p.Bytes
 	for i := 0; i < n; i++ {
 		sz := CellPayload
@@ -103,7 +108,7 @@ func Segment(p *Packet) []Cell {
 		if p.Bytes <= 0 {
 			sz = 0
 		}
-		cells[i] = Cell{
+		buf = append(buf, Cell{
 			PacketID: p.ID,
 			SrcLC:    p.SrcLC,
 			DstLC:    p.DstLC,
@@ -111,8 +116,8 @@ func Segment(p *Packet) []Cell {
 			Total:    n,
 			Last:     i == n-1,
 			Bytes:    sz,
-		}
+		})
 		remaining -= sz
 	}
-	return cells
+	return buf
 }

@@ -1,0 +1,10 @@
+//go:build !poolcheck
+
+package packet
+
+// Release-time poisoning is compiled out unless the poolcheck build tag is
+// set; these no-ops inline to nothing.
+
+func poison(p *Packet)     {}
+func unpoison(p *Packet)   {}
+func assertLive(p *Packet) {}

@@ -1,0 +1,57 @@
+//go:build poolcheck
+
+package packet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// poolcheck build: Release poisons the packet with a sentinel bit pattern
+// and records it in a released-set. Double-Release and use-after-Release
+// (via AssertLive at hot-path entries) panic with the packet identity.
+//
+// The released-set is a map keyed by pointer, mutex-guarded: the packet
+// pool is shared across sweep workers, and the debug build must survive
+// the same concurrency the production build does (the -race soak runs
+// with poolcheck enabled).
+
+// poisonID is the sentinel written into a released packet's ID. Any
+// packet seen with this ID is either released or was forged to look so.
+const poisonID uint64 = 0xDEADBEEFDEADBEEF
+
+var (
+	poisonMu  sync.Mutex
+	poisonSet = make(map[*Packet]struct{})
+)
+
+func poison(p *Packet) {
+	poisonMu.Lock()
+	if _, dead := poisonSet[p]; dead {
+		poisonMu.Unlock()
+		panic(fmt.Sprintf("packet: double Release of packet %p", p))
+	}
+	poisonSet[p] = struct{}{}
+	poisonMu.Unlock()
+	*p = Packet{
+		ID:    poisonID,
+		SrcLC: -0xDEAD,
+		DstLC: -0xDEAD,
+		Bytes: -0xDEAD,
+	}
+}
+
+func unpoison(p *Packet) {
+	poisonMu.Lock()
+	delete(poisonSet, p)
+	poisonMu.Unlock()
+}
+
+func assertLive(p *Packet) {
+	if p == nil {
+		return
+	}
+	if p.ID == poisonID && p.Bytes == -0xDEAD {
+		panic(fmt.Sprintf("packet: use after Release of packet %p", p))
+	}
+}

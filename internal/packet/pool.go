@@ -1,0 +1,40 @@
+package packet
+
+import "sync"
+
+// Packet pooling. The steady-state traffic path churns through packets at
+// event rate; pooling them removes that allocation pressure entirely.
+//
+// Ownership rule: the code that calls Get owns the packet and must call
+// Release exactly once when the packet's journey ends (delivered, dropped,
+// or never injected). Code that merely handles a packet (Deliver, the
+// reassembler, metrics) borrows it and must not hold a reference after
+// returning. A released packet must not be touched again — under the
+// `poolcheck` build tag Release poisons the struct, double-Release panics
+// immediately, and a poisoned packet panics at the next hot-path entry
+// (see AssertLive).
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed packet from the pool.
+func Get() *Packet {
+	p := pool.Get().(*Packet)
+	unpoison(p)
+	*p = Packet{}
+	return p
+}
+
+// Release returns a packet to the pool. The caller must be the owner and
+// must not use the pointer afterwards.
+func Release(p *Packet) {
+	if p == nil {
+		return
+	}
+	poison(p)
+	pool.Put(p)
+}
+
+// AssertLive panics when p is a packet that has been Released (only under
+// the poolcheck build tag; otherwise it is an empty inlineable no-op). Hot
+// path entries call it so a use-after-Release fails loudly in debug builds
+// instead of corrupting a simulation.
+func AssertLive(p *Packet) { assertLive(p) }

@@ -1,0 +1,48 @@
+//go:build poolcheck
+
+package packet
+
+import "testing"
+
+// Pool-safety semantics under the poolcheck build tag: a released packet
+// is poisoned, double-Release panics, and hot-path entries reject poisoned
+// packets. These tests run in CI via `go test -tags poolcheck`.
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestPoolcheckDoubleReleasePanics(t *testing.T) {
+	p := Get()
+	Release(p)
+	mustPanic(t, "double Release", func() { Release(p) })
+}
+
+func TestPoolcheckUseAfterReleasePanics(t *testing.T) {
+	p := Get()
+	p.DstLC = 1
+	p.Bytes = 100
+	Release(p)
+	mustPanic(t, "AssertLive after Release", func() { AssertLive(p) })
+	mustPanic(t, "Segment after Release", func() { Segment(p) })
+}
+
+func TestPoolcheckGetUnpoisons(t *testing.T) {
+	Release(Get()) // put a poisoned packet into the pool
+	for i := 0; i < 64; i++ {
+		p := Get() // may or may not be the poisoned one; all must be live
+		AssertLive(p)
+		if p.ID != 0 || p.Bytes != 0 {
+			t.Fatalf("recycled packet not zeroed: %+v", p)
+		}
+		p.DstLC = 2
+		Segment(&Packet{ID: 9, DstLC: 2, Bytes: 40}) // live packets pass
+		Release(p)
+	}
+}

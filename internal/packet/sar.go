@@ -6,8 +6,16 @@ import "fmt"
 // an egress linecard does. Cells from different packets may interleave
 // arbitrarily; cells of one packet must arrive in order (the fabric and the
 // EIB both preserve per-flow order in this model).
+//
+// The reassembler owns all of its storage: in-progress assemblies are
+// recycled through a free list and the completed packet returned by Add is
+// a scratch value that stays valid only until the next Add or Abort call.
+// Callers that need the packet longer must copy it. The steady-state
+// reassembly loop therefore allocates nothing.
 type Reassembler struct {
 	pending map[uint64]*assembly
+	free    []*assembly
+	done    Packet
 	// Completed counts fully reassembled packets; Dropped counts packets
 	// abandoned due to protocol errors (out-of-order or inconsistent
 	// cells).
@@ -16,7 +24,7 @@ type Reassembler struct {
 }
 
 type assembly struct {
-	proto    *Packet
+	pkt      Packet
 	next     int
 	total    int
 	gotBytes int
@@ -30,11 +38,28 @@ func NewReassembler() *Reassembler {
 // Pending returns the number of partially reassembled packets.
 func (r *Reassembler) Pending() int { return len(r.pending) }
 
+// alloc takes an assembly from the free list or the heap.
+func (r *Reassembler) alloc() *assembly {
+	if n := len(r.free); n > 0 {
+		a := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		*a = assembly{}
+		return a
+	}
+	return &assembly{}
+}
+
+// recycle deletes the packet's assembly and returns it to the free list.
+func (r *Reassembler) recycle(id uint64, a *assembly) {
+	delete(r.pending, id)
+	r.free = append(r.free, a)
+}
+
 // Add consumes one cell. When the cell completes a packet, the reassembled
-// packet metadata is returned (the original header information travels in
-// the first cell's packet reference supplied via Begin or inferred here).
-// A protocol violation drops the whole in-progress packet and returns an
-// error.
+// packet metadata is returned; the pointer refers to the reassembler's
+// scratch packet and is only valid until the next Add or Abort. A protocol
+// violation drops the whole in-progress packet and returns an error.
 func (r *Reassembler) Add(c Cell) (*Packet, error) {
 	a, ok := r.pending[c.PacketID]
 	if !ok {
@@ -42,14 +67,13 @@ func (r *Reassembler) Add(c Cell) (*Packet, error) {
 			r.Dropped++
 			return nil, fmt.Errorf("packet: first cell of %d has seq %d", c.PacketID, c.Seq)
 		}
-		a = &assembly{
-			proto: &Packet{ID: c.PacketID, SrcLC: c.SrcLC, DstLC: c.DstLC},
-			total: c.Total,
-		}
+		a = r.alloc()
+		a.pkt = Packet{ID: c.PacketID, SrcLC: c.SrcLC, DstLC: c.DstLC}
+		a.total = c.Total
 		r.pending[c.PacketID] = a
 	}
 	if c.Seq != a.next || c.Total != a.total {
-		delete(r.pending, c.PacketID)
+		r.recycle(c.PacketID, a)
 		r.Dropped++
 		return nil, fmt.Errorf("packet: cell %d/%d of packet %d violates order (want seq %d, total %d)",
 			c.Seq, c.Total, c.PacketID, a.next, a.total)
@@ -58,15 +82,15 @@ func (r *Reassembler) Add(c Cell) (*Packet, error) {
 	a.gotBytes += c.Bytes
 	if c.Last {
 		if a.next != a.total {
-			delete(r.pending, c.PacketID)
+			r.recycle(c.PacketID, a)
 			r.Dropped++
 			return nil, fmt.Errorf("packet: last cell of %d at seq %d but total is %d", c.PacketID, c.Seq, a.total)
 		}
-		delete(r.pending, c.PacketID)
+		r.done = a.pkt
+		r.done.Bytes = a.gotBytes
+		r.recycle(c.PacketID, a)
 		r.Completed++
-		p := a.proto
-		p.Bytes = a.gotBytes
-		return p, nil
+		return &r.done, nil
 	}
 	return nil, nil
 }
@@ -74,8 +98,8 @@ func (r *Reassembler) Add(c Cell) (*Packet, error) {
 // Abort discards any partial state for the given packet, as happens when an
 // SRU loses its peer mid-packet. It reports whether state existed.
 func (r *Reassembler) Abort(packetID uint64) bool {
-	if _, ok := r.pending[packetID]; ok {
-		delete(r.pending, packetID)
+	if a, ok := r.pending[packetID]; ok {
+		r.recycle(packetID, a)
 		r.Dropped++
 		return true
 	}

@@ -55,6 +55,43 @@ func (r *Router) CanDeliver(i int) bool {
 	return true
 }
 
+// deliverEntry memoizes one LC's CanDeliver verdict against the fault
+// state it was computed under.
+type deliverEntry struct {
+	router uint64
+	fabric uint64
+	bus    uint64
+	valid  bool
+	up     bool
+}
+
+// CanDeliverCached is CanDeliver behind a fault-state memo: the verdict is
+// recomputed only when the router's coverage state, the fabric, or the bus
+// has changed since the last call. Monte-Carlo loops poll the predicate
+// after every kernel event, almost all of which leave the fault state
+// untouched; the memo turns those polls into three integer compares.
+//
+// The cache is sound as long as fault state is mutated through the Router,
+// Fabric, and Bus entry points (FailComponent, FailCard, Fail, ...), which
+// is true for the injector and the chaos engine. Code that pokes linecard
+// component state directly must use CanDeliver.
+func (r *Router) CanDeliverCached(i int) bool {
+	if r.deliverCache == nil {
+		r.deliverCache = make([]deliverEntry, len(r.lcs))
+	}
+	var busVer uint64
+	if r.bus != nil {
+		busVer = r.bus.Version()
+	}
+	e := &r.deliverCache[i]
+	if e.valid && e.router == r.faultVer && e.fabric == r.fab.Version() && e.bus == busVer {
+		return e.up
+	}
+	up := r.CanDeliver(i)
+	*e = deliverEntry{router: r.faultVer, fabric: r.fab.Version(), bus: busVer, valid: true, up: up}
+	return up
+}
+
 // existsPeer reports whether any other LC satisfies the predicate.
 func (r *Router) existsPeer(self int, ok func(*linecard.LC) bool) bool {
 	for j, p := range r.lcs {
@@ -172,6 +209,7 @@ func (r *Router) RepairBus() {
 // bindings appearing shortly after the fault event, exactly as a real DRA
 // would converge.
 func (r *Router) reconcileCoverage() {
+	r.faultVer++
 	if r.cfg.Arch != linecard.DRA {
 		return
 	}

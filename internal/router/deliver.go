@@ -79,6 +79,7 @@ type PathReport struct {
 // state, updating all counters, and returns the path taken. The packet's
 // DstLC is resolved by lookup as a side effect.
 func (r *Router) Deliver(p *packet.Packet) PathReport {
+	packet.AssertLive(p)
 	r.attempts++
 	in := p.SrcLC
 	if in < 0 || in >= len(r.lcs) {
@@ -253,7 +254,8 @@ func (r *Router) viaFabric(rep *PathReport, p *packet.Packet, src, dst int, kind
 	tmp := *p
 	tmp.SrcLC = src
 	tmp.DstLC = dst
-	cells := packet.Segment(&tmp)
+	r.cellBuf = packet.SegmentAppend(r.cellBuf[:0], &tmp)
+	cells := r.cellBuf
 	rep.Cells = len(cells)
 	for _, c := range cells {
 		if _, err := r.fab.Transfer(c); err != nil {

@@ -147,6 +147,13 @@ type Injector struct {
 	// order is fixed by Start and preserved across retargets so that the
 	// RNG draw sequence — and therefore every estimate — is reproducible.
 	pending []*lifetime
+	// freeLts recycles fired lifetime records (and their fire closures) so
+	// the steady-state fail/repair cycle allocates nothing.
+	freeLts []*lifetime
+	// repairFn is the repair-completion handler, built once.
+	repairFn func()
+	// compBuf is the scratch failed-component list reused by repairs.
+	compBuf []linecard.Component
 }
 
 // lifetime is one armed component (or EIB-lines) time-to-failure.
@@ -156,7 +163,10 @@ type lifetime struct {
 	trueRate float64
 	simRate  float64
 	armedAt  sim.Time
-	ev       *sim.Event
+	ev       sim.Timer
+	// fireFn calls inj.fire(this); cached for the record's whole life so
+	// each (re)schedule reuses one closure instead of minting one.
+	fireFn func()
 }
 
 // NewInjector validates the rates and attaches an injector to the router.
@@ -216,6 +226,28 @@ func (inj *Injector) Start() {
 	}
 }
 
+// newLifetime takes a lifetime record from the free list or allocates one,
+// wiring its cached fire closure on first use.
+func (inj *Injector) newLifetime() *lifetime {
+	if n := len(inj.freeLts); n > 0 {
+		lt := inj.freeLts[n-1]
+		inj.freeLts[n-1] = nil
+		inj.freeLts = inj.freeLts[:n-1]
+		return lt
+	}
+	lt := &lifetime{}
+	lt.fireFn = func() { inj.fire(lt) }
+	return lt
+}
+
+// release returns a fired lifetime record to the free list. Callers must
+// be done with its fields; the fire closure stays attached and follows the
+// record into its next incarnation.
+func (inj *Injector) release(lt *lifetime) {
+	lt.ev = sim.Timer{}
+	inj.freeLts = append(inj.freeLts, lt)
+}
+
 // arm registers and schedules the next failure of one component. Rearming
 // happens after each repair, so a component has exactly one pending
 // lifetime at a time.
@@ -223,7 +255,10 @@ func (inj *Injector) arm(lc int, c linecard.Component, rate float64) {
 	if rate <= 0 {
 		return
 	}
-	lt := &lifetime{lc: lc, comp: c, trueRate: rate, simRate: rate, armedAt: inj.r.k.Now()}
+	lt := inj.newLifetime()
+	lt.lc, lt.comp = lc, c
+	lt.trueRate, lt.simRate = rate, rate
+	lt.armedAt = inj.r.k.Now()
 	inj.pending = append(inj.pending, lt)
 	inj.schedule(lt)
 }
@@ -233,7 +268,10 @@ func (inj *Injector) armBus() {
 	if inj.rates.Bus <= 0 {
 		return
 	}
-	lt := &lifetime{lc: -1, trueRate: inj.rates.Bus, simRate: inj.rates.Bus, armedAt: inj.r.k.Now()}
+	lt := inj.newLifetime()
+	lt.lc, lt.comp = -1, 0
+	lt.trueRate, lt.simRate = inj.rates.Bus, inj.rates.Bus
+	lt.armedAt = inj.r.k.Now()
 	inj.pending = append(inj.pending, lt)
 	inj.schedule(lt)
 }
@@ -241,7 +279,7 @@ func (inj *Injector) armBus() {
 // schedule draws the lifetime's delay at its current simulated rate.
 func (inj *Injector) schedule(lt *lifetime) {
 	r := inj.r
-	lt.ev = r.k.After(sim.Time(r.rng.Exp(lt.simRate)), func() { inj.fire(lt) })
+	lt.ev = r.k.After(sim.Time(r.rng.Exp(lt.simRate)), lt.fireFn)
 }
 
 // fire handles a lifetime expiring: likelihood accounting, the component
@@ -250,7 +288,9 @@ func (inj *Injector) fire(lt *lifetime) {
 	r := inj.r
 	inj.closeSegment(lt, true)
 	inj.remove(lt)
-	if lt.lc < 0 {
+	lc, comp := lt.lc, lt.comp
+	inj.release(lt)
+	if lc < 0 {
 		if r.bus.Failed() {
 			// Already failed through an external injection; the repair
 			// path rearms it.
@@ -258,12 +298,12 @@ func (inj *Injector) fire(lt *lifetime) {
 		}
 		r.FailBus()
 	} else {
-		if r.lcs[lt.lc].Failed(lt.comp) {
+		if r.lcs[lc].Failed(comp) {
 			// Already failed (raced with an external fault injection);
 			// the repair path rearms it.
 			return
 		}
-		r.FailComponent(lt.lc, lt.comp)
+		r.FailComponent(lc, comp)
 	}
 	inj.Faults++
 	inj.scheduleRepair()
@@ -336,16 +376,21 @@ func (inj *Injector) rebias() {
 // transparent; the segment accounting makes it measure-theoretically so.
 func (inj *Injector) retarget(per float64) {
 	r := inj.r
+	now := r.k.Now()
 	for _, lt := range inj.pending {
 		inj.closeSegment(lt, false)
-		r.k.Cancel(lt.ev)
 		if per > 0 {
 			lt.simRate = per
 		} else {
 			lt.simRate = lt.trueRate
 		}
-		inj.schedule(lt)
+		// Lazy reschedule, not Cancel+After: same pending event record,
+		// same closure, and one queue rebuild at Commit for the whole
+		// batch. The Exp draws happen at the same points in the RNG stream
+		// as before, so trajectories are unchanged.
+		lt.ev = r.k.RescheduleLazy(lt.ev, now+sim.Time(r.rng.Exp(lt.simRate)))
 	}
+	r.k.Commit()
 }
 
 // scheduleRepair starts one repair countdown if none is pending and repair
@@ -358,32 +403,36 @@ func (inj *Injector) scheduleRepair() {
 	}
 	inj.repairPending = true
 	r := inj.r
-	r.k.After(simTime(r, inj.rates.Repair), func() {
-		inj.repairPending = false
-		inj.Repairs++
-		if inj.bias.Enabled && inj.busy {
-			// The busy period ends here: close the biased segments of the
-			// surviving components and return them to their true rates
-			// (already true if StopWhen damped the period).
-			inj.busy = false
-			if !inj.damped {
-				inj.retarget(0)
+	if inj.repairFn == nil {
+		inj.repairFn = func() {
+			inj.repairPending = false
+			inj.Repairs++
+			if inj.bias.Enabled && inj.busy {
+				// The busy period ends here: close the biased segments of the
+				// surviving components and return them to their true rates
+				// (already true if StopWhen damped the period).
+				inj.busy = false
+				if !inj.damped {
+					inj.retarget(0)
+				}
+				inj.damped = false
 			}
-			inj.damped = false
-		}
-		// Restore the EIB first so coverage re-forms for LC repairs.
-		if r.bus != nil && r.bus.Failed() {
-			r.RepairBus()
-			inj.armBus()
-		}
-		for i, lc := range r.lcs {
-			for _, c := range lc.FailedComponents() {
-				rate := inj.rateOf(c)
-				r.RepairComponent(i, c)
-				inj.arm(i, c, rate)
+			// Restore the EIB first so coverage re-forms for LC repairs.
+			if r.bus != nil && r.bus.Failed() {
+				r.RepairBus()
+				inj.armBus()
+			}
+			for i, lc := range r.lcs {
+				inj.compBuf = lc.FailedComponentsAppend(inj.compBuf[:0])
+				for _, c := range inj.compBuf {
+					rate := inj.rateOf(c)
+					r.RepairComponent(i, c)
+					inj.arm(i, c, rate)
+				}
 			}
 		}
-	})
+	}
+	r.k.After(simTime(r, inj.rates.Repair), inj.repairFn)
 }
 
 func (inj *Injector) rateOf(c linecard.Component) float64 {

@@ -110,6 +110,15 @@ type Router struct {
 
 	reasm []*packet.Reassembler
 
+	// cellBuf is the scratch segmentation buffer reused by viaFabric, so
+	// the steady-state fabric path allocates nothing.
+	cellBuf []packet.Cell
+
+	// faultVer counts coverage reconciliations; together with the fabric
+	// and bus versions it keys the CanDeliverCached memo (deliverCache).
+	faultVer     uint64
+	deliverCache []deliverEntry
+
 	tr *trace.Recorder // nil unless SetTracer was called
 
 	// inv is the runtime invariant wall (nil = disabled; every hook is

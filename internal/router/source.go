@@ -1,6 +1,7 @@
 package router
 
 import (
+	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -22,12 +23,19 @@ type Source struct {
 	started  sim.Time
 	stopped  bool
 	tw       stats.TimeWeighted
+	// next holds the in-flight packet between schedule and fire; fireFn is
+	// the arrival callback, built once so steady-state injection does not
+	// allocate a closure per packet.
+	next   *packet.Packet
+	fireFn func()
 }
 
 // NewSource attaches a generator to the router. Call Start to begin
 // injecting.
 func (r *Router) NewSource(gen workload.Generator) *Source {
-	return &Source{r: r, gen: gen}
+	s := &Source{r: r, gen: gen}
+	s.fireFn = s.fire
+	return s
 }
 
 // Start schedules the first arrival.
@@ -41,19 +49,28 @@ func (s *Source) Stop() { s.stopped = true }
 
 func (s *Source) schedule() {
 	dt, p := s.gen.Next()
-	s.r.k.After(sim.Time(dt), func() {
-		if s.stopped {
-			return
-		}
-		p.Arrived = float64(s.r.k.Now())
-		rep := s.r.DeliverFrom(p)
-		s.Injected++
-		if rep.Kind != PathDropped {
-			s.Delivered++
-			s.goodbits += float64(p.Bytes * 8)
-		}
-		s.schedule()
-	})
+	s.next = p
+	s.r.k.After(sim.Time(dt), s.fireFn)
+}
+
+// fire is the arrival callback: it pushes the pending packet through the
+// router, returns it to the packet pool, and schedules the next arrival.
+func (s *Source) fire() {
+	p := s.next
+	s.next = nil
+	if s.stopped {
+		packet.Release(p)
+		return
+	}
+	p.Arrived = float64(s.r.k.Now())
+	rep := s.r.DeliverFrom(p)
+	s.Injected++
+	if rep.Kind != PathDropped {
+		s.Delivered++
+		s.goodbits += float64(p.Bytes * 8)
+	}
+	packet.Release(p)
+	s.schedule()
 }
 
 // DeliveredFraction returns the fraction of injected packets delivered.

@@ -1,0 +1,364 @@
+package sim
+
+import "math"
+
+// Calendar is a calendar-queue Scheduler (Brown 1988): a power-of-two
+// array of buckets, each covering a window of `width` time units, with
+// bucket b holding every pending event whose absolute window number is
+// congruent to b. A pop scans forward from the current window; an event
+// is due when its own window number has been reached, so placement and
+// acceptance use the same arithmetic and no float boundary case can
+// reorder events. Within a bucket, events are kept sorted by (at, seq) —
+// the global dequeue order is therefore identical to the reference heap's,
+// which the equivalence suite and FuzzScheduler enforce.
+//
+// Under a stationary event population (the DES steady state) push and pop
+// are amortised O(1): the queue resizes itself toward one event per bucket
+// and re-estimates the bucket width from the live population. For
+// workloads with a known cadence — the EIB's TDM slot loop — the width can
+// be pinned to the slot time with NewCalendarWidth, which also disables
+// width re-estimation.
+//
+// Far-future outliers (sentinel timeouts, End) whose window number
+// overflows the mappable range are clamped to a sentinel window and found
+// by a direct minimum search when everything nearer has drained; the
+// search is O(buckets) and touches only bucket heads.
+type Calendar struct {
+	buckets [][]*Event
+	mask    int
+	width   float64
+	// invWidth caches 1/width so the per-push window mapping is a multiply.
+	invWidth float64
+	n        int
+
+	// Insert-scan accounting for skew detection: when the event population
+	// shifts to a much finer time scale than the current width (the
+	// rare-event injector's busy-period retargets do exactly this), events
+	// pile into one bucket and insert scans stretch. Every scanCheckEvery
+	// pushes the average scan length is checked and the calendar re-widths
+	// itself if inserts have degenerated.
+	pushes   int
+	scanWork int
+
+	// cur is the bucket being scanned; win its absolute window number
+	// (cur == win mod buckets, always). Every queued event has
+	// e.win >= win — the invariant that makes the forward scan correct.
+	cur int
+	win int64
+
+	// needSearch forces the next findMin through the direct search: set
+	// after popping a clamped far-future event (whose window number is a
+	// sentinel, not a scan position) and after a rebuild.
+	needSearch bool
+
+	// fixedWidth pins the bucket width (TDM tuning) and disables width
+	// re-estimation on resize.
+	fixedWidth bool
+	// resizing suppresses resize triggers during a rebuild's re-pushes.
+	resizing bool
+	// scratch is the rebuild staging buffer, reused across resizes so a
+	// steady-state rebuild allocates nothing.
+	scratch []*Event
+}
+
+// hugeWin marks events whose window number is not representable; they are
+// reachable only through the direct search.
+const hugeWin = int64(1) << 62
+
+// minCalendarBuckets keeps the bucket array from degenerating.
+const minCalendarBuckets = 16
+
+// Skew detection: after scanCheckEvery pushes, if the average sorted-insert
+// scan exceeded scanDegenerate steps, the width is re-estimated.
+const (
+	scanCheckEvery = 48
+	scanDegenerate = 2
+)
+
+// NewCalendar returns a calendar queue with an adaptive bucket width.
+func NewCalendar() *Calendar { return newCalendar(1, false) }
+
+// NewCalendarWidth returns a calendar queue whose bucket width is pinned
+// to the given time span — one bucket per expected event cadence, e.g. the
+// EIB data-line slot time. width must be positive.
+func NewCalendarWidth(width float64) *Calendar {
+	if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+		panic("sim: calendar width must be positive and finite")
+	}
+	return newCalendar(width, true)
+}
+
+func newCalendar(width float64, fixed bool) *Calendar {
+	return &Calendar{
+		buckets:    make([][]*Event, minCalendarBuckets),
+		mask:       minCalendarBuckets - 1,
+		width:      width,
+		invWidth:   1 / width,
+		fixedWidth: fixed,
+	}
+}
+
+// windowOf maps an absolute time to its window number, clamping
+// unmappable far-future values to the sentinel.
+func (c *Calendar) windowOf(at Time) int64 {
+	q := float64(at) * c.invWidth
+	if q < float64(hugeWin) {
+		return int64(q)
+	}
+	return hugeWin
+}
+
+// Len implements Scheduler.
+func (c *Calendar) Len() int { return c.n }
+
+// Push implements Scheduler.
+func (c *Calendar) Push(e *Event) {
+	e.win = c.windowOf(e.at)
+	idx := int(e.win) & c.mask
+	if e.win == hugeWin {
+		idx = c.mask // deterministic home for clamped events
+	}
+	b := c.buckets[idx]
+	// Sorted insert by (at, seq), scanning from the back: pushes almost
+	// always arrive in increasing time, so this is an append.
+	i := len(b)
+	b = append(b, e)
+	for i > 0 && before(e, b[i-1]) {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = e
+	c.buckets[idx] = b
+	e.pos = int32(idx)
+	c.n++
+	if c.resizing {
+		return
+	}
+	c.scanWork += len(b) - 1 - i
+	c.pushes++
+	if c.pushes >= scanCheckEvery {
+		if c.scanWork > scanDegenerate*c.pushes && !c.fixedWidth {
+			// Inserts have degenerated: the live population sits on a much
+			// finer time scale than the width assumes. Rebuild at the same
+			// size with a freshly estimated width.
+			c.resize(len(c.buckets))
+		}
+		c.pushes, c.scanWork = 0, 0
+	}
+	if c.n > 2*len(c.buckets) {
+		c.resize(len(c.buckets) * 2)
+	}
+}
+
+// findMin advances the scan to the bucket holding the next due event and
+// returns that event without dequeuing it (nil when empty). The scan
+// state only ever skips windows verified empty, so calling findMin twice
+// in a row is idempotent.
+func (c *Calendar) findMin() *Event {
+	if c.n == 0 {
+		return nil
+	}
+	if !c.needSearch {
+		for i := 0; i <= c.mask; i++ {
+			b := c.buckets[c.cur]
+			if len(b) > 0 && b[0].win <= c.win {
+				return b[0]
+			}
+			c.cur = (c.cur + 1) & c.mask
+			c.win++
+		}
+	}
+	// Nothing due within a full cycle: jump straight to the global
+	// minimum. Bucket heads are bucket minima, so scanning heads finds it.
+	var best *Event
+	for _, b := range c.buckets {
+		if len(b) > 0 && (best == nil || before(b[0], best)) {
+			best = b[0]
+		}
+	}
+	if best.win < hugeWin {
+		c.win = best.win
+		c.cur = int(best.win) & c.mask
+		c.needSearch = false
+	} else {
+		// A clamped event: scan state cannot represent its window, so
+		// every subsequent findMin re-searches until the queue drains
+		// back into the mappable range.
+		c.needSearch = true
+	}
+	return best
+}
+
+// PeekAt implements Scheduler.
+func (c *Calendar) PeekAt() (Time, bool) {
+	e := c.findMin()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+// Pop implements Scheduler.
+func (c *Calendar) Pop() *Event {
+	e := c.findMin()
+	if e == nil {
+		return nil
+	}
+	c.unlink(e)
+	if c.n < len(c.buckets)/2 && len(c.buckets) > minCalendarBuckets {
+		c.resize(len(c.buckets) / 2)
+	}
+	return e
+}
+
+// Update implements Scheduler: detach and re-home after a key change.
+func (c *Calendar) Update(e *Event) {
+	c.Remove(e)
+	c.Push(e)
+}
+
+// Rebuild implements Scheduler: re-home every event after a bulk key
+// change. The width is re-estimated from the (new) population first, so a
+// bulk retarget that shifts the whole queue to a different time scale —
+// the rare-event injector's busy-period entry and exit — lands in a
+// calendar already shaped for it instead of degenerating one bucket.
+func (c *Calendar) Rebuild() { c.resize(len(c.buckets)) }
+
+// Remove implements Scheduler.
+func (c *Calendar) Remove(e *Event) bool {
+	idx := int(e.pos)
+	if idx < 0 || idx >= len(c.buckets) {
+		return false
+	}
+	b := c.buckets[idx]
+	for i, q := range b {
+		if q == e {
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = nil
+			c.buckets[idx] = b[:len(b)-1]
+			e.pos = -1
+			c.n--
+			return true
+		}
+	}
+	return false
+}
+
+// unlink removes a known bucket head.
+func (c *Calendar) unlink(e *Event) {
+	idx := int(e.pos)
+	b := c.buckets[idx]
+	copy(b, b[1:])
+	b[len(b)-1] = nil
+	c.buckets[idx] = b[:len(b)-1]
+	e.pos = -1
+	c.n--
+}
+
+// resize rebuilds the calendar with the given bucket count, re-estimating
+// the width from the live population unless it is pinned. Events are
+// reinserted through Push, so per-bucket ordering — and with it the global
+// dequeue order — is preserved exactly.
+func (c *Calendar) resize(nb int) {
+	if nb < minCalendarBuckets {
+		nb = minCalendarBuckets
+	}
+	if !c.fixedWidth {
+		if w := c.estimateWidth(); w > 0 {
+			c.width = w
+			c.invWidth = 1 / w
+		}
+	}
+	// Stage the population in the reusable scratch buffer, then re-push.
+	// Same-size rebuilds (width re-estimation) truncate the existing
+	// buckets in place, so the steady-state rebuild allocates nothing.
+	// Events are pooled by the kernel and never garbage-collected, so the
+	// stale pointers truncation leaves behind keep nothing extra alive.
+	c.scratch = c.scratch[:0]
+	for _, b := range c.buckets {
+		c.scratch = append(c.scratch, b...)
+	}
+	if nb == len(c.buckets) {
+		for i := range c.buckets {
+			c.buckets[i] = c.buckets[i][:0]
+		}
+	} else {
+		c.buckets = make([][]*Event, nb)
+		c.mask = nb - 1
+	}
+	c.n = 0
+	c.resizing = true
+	for _, e := range c.scratch {
+		c.Push(e)
+	}
+	c.resizing = false
+	c.pushes, c.scanWork = 0, 0
+	// The scan position no longer matches the new geometry; let the next
+	// findMin re-derive it from the population.
+	c.needSearch = true
+}
+
+// estimateWidth derives a bucket width from the live population with
+// Brown's two-pass estimator: average the adjacent gaps of a sorted
+// sample of event times, then re-average keeping only gaps below twice
+// that — which discards far-future outlier gaps so a dense near-term
+// cluster (the injector's biased busy-period lifetimes) sets the scale —
+// and take three times the trimmed average so a typical window holds a
+// few events. Returns 0 when no estimate is possible (degenerate
+// populations keep the previous width).
+func (c *Calendar) estimateWidth() float64 {
+	// A small sample keeps the estimator O(1)-ish: Rebuild runs once per
+	// bulk retarget, so a quadratic sort over the whole population would
+	// dominate exactly the workloads the bulk path exists for.
+	const sampleCap = 16
+	var buf [sampleCap]float64
+	sample := buf[:0]
+	// Filter on the time itself, not e.win: during a Rebuild the stored
+	// window numbers are stale.
+	for _, b := range c.buckets {
+		for _, e := range b {
+			if c.windowOf(e.at) < hugeWin {
+				sample = append(sample, float64(e.at))
+			}
+			if len(sample) == sampleCap {
+				goto done
+			}
+		}
+	}
+done:
+	if len(sample) < 2 {
+		return 0
+	}
+	// Insertion sort: the sample is tiny and this stays allocation-free.
+	for i := 1; i < len(sample); i++ {
+		v := sample[i]
+		j := i
+		for j > 0 && sample[j-1] > v {
+			sample[j] = sample[j-1]
+			j--
+		}
+		sample[j] = v
+	}
+	span := sample[len(sample)-1] - sample[0]
+	if span <= 0 || math.IsInf(span, 0) {
+		return 0
+	}
+	avg := span / float64(len(sample)-1)
+	cut := 2 * avg
+	var sum float64
+	kept := 0
+	for i := 1; i < len(sample); i++ {
+		if g := sample[i] - sample[i-1]; g <= cut {
+			sum += g
+			kept++
+		}
+	}
+	if kept > 0 && sum > 0 {
+		avg = sum / float64(kept)
+	}
+	w := 3 * avg
+	if math.IsInf(w, 0) || math.IsNaN(w) || w <= 0 {
+		return 0
+	}
+	return w
+}

@@ -1,0 +1,147 @@
+package sim
+
+// Hybrid is the production Scheduler: it runs as the reference binary heap
+// while the pending-event population is small and migrates to a calendar
+// queue when it grows past hybridUp, falling back below hybridDown.
+//
+// The split matches where each structure wins. Dependability models keep a
+// few dozen lifetimes pending and retarget all of them at once — there the
+// heap's cache-dense sift (plus Rebuild's heapify) beats any bucketed
+// structure, and the calendar's width re-estimation is pure overhead.
+// Packet-level models (the EIB TDM loop driving thousands of in-flight
+// cells and sessions) hold large, slowly-drifting populations — exactly
+// the stationary regime where the calendar's amortised O(1) push/pop
+// leaves an O(log n) heap behind. The thresholds are far apart so a
+// population oscillating around either one cannot thrash migrations;
+// each migration is O(n).
+//
+// A Hybrid built with NewHybridWidth pins the calendar regime's bucket
+// width to a known event cadence (the EIB data-line slot time), like
+// NewCalendarWidth does for a bare calendar.
+type Hybrid struct {
+	heap  Heap
+	cal   *Calendar // nil while in the heap regime
+	width float64   // pinned calendar width; 0 = adaptive
+}
+
+const (
+	// hybridUp is the population size at which the heap regime hands over
+	// to the calendar; hybridDown is where the calendar hands back.
+	hybridUp   = 1024
+	hybridDown = 256
+)
+
+// NewHybrid returns an adaptive scheduler starting in the heap regime.
+func NewHybrid() *Hybrid { return &Hybrid{} }
+
+// NewHybridWidth returns an adaptive scheduler whose calendar regime uses
+// a pinned bucket width (see NewCalendarWidth). width must be positive.
+func NewHybridWidth(width float64) *Hybrid {
+	// Validate eagerly even though the calendar regime may never engage.
+	NewCalendarWidth(width)
+	return &Hybrid{width: width}
+}
+
+// Len implements Scheduler.
+func (hy *Hybrid) Len() int {
+	if hy.cal != nil {
+		return hy.cal.Len()
+	}
+	return hy.heap.Len()
+}
+
+// Push implements Scheduler.
+func (hy *Hybrid) Push(e *Event) {
+	if hy.cal != nil {
+		hy.cal.Push(e)
+		return
+	}
+	hy.heap.Push(e)
+	if hy.heap.Len() > hybridUp {
+		hy.toCalendar()
+	}
+}
+
+// Pop implements Scheduler.
+func (hy *Hybrid) Pop() *Event {
+	if hy.cal != nil {
+		e := hy.cal.Pop()
+		if hy.cal.Len() < hybridDown {
+			hy.toHeap()
+		}
+		return e
+	}
+	return hy.heap.Pop()
+}
+
+// PeekAt implements Scheduler.
+func (hy *Hybrid) PeekAt() (Time, bool) {
+	if hy.cal != nil {
+		return hy.cal.PeekAt()
+	}
+	return hy.heap.PeekAt()
+}
+
+// Remove implements Scheduler.
+func (hy *Hybrid) Remove(e *Event) bool {
+	if hy.cal != nil {
+		ok := hy.cal.Remove(e)
+		if ok && hy.cal.Len() < hybridDown {
+			hy.toHeap()
+		}
+		return ok
+	}
+	return hy.heap.Remove(e)
+}
+
+// Update implements Scheduler.
+func (hy *Hybrid) Update(e *Event) {
+	if hy.cal != nil {
+		hy.cal.Update(e)
+		return
+	}
+	hy.heap.Update(e)
+}
+
+// Rebuild implements Scheduler.
+func (hy *Hybrid) Rebuild() {
+	if hy.cal != nil {
+		hy.cal.Rebuild()
+		return
+	}
+	hy.heap.Rebuild()
+}
+
+// toCalendar migrates the population from the heap to a fresh calendar.
+func (hy *Hybrid) toCalendar() {
+	var cal *Calendar
+	if hy.width > 0 {
+		cal = NewCalendarWidth(hy.width)
+	} else {
+		cal = NewCalendar()
+	}
+	for _, e := range hy.heap.es {
+		cal.Push(e)
+	}
+	// One early resize instead of several growth doublings mid-migration
+	// would be nicer, but growth is amortised and migration is rare.
+	for i := range hy.heap.es {
+		hy.heap.es[i] = nil
+	}
+	hy.heap.es = hy.heap.es[:0]
+	hy.cal = cal
+}
+
+// toHeap migrates the population back to the heap regime.
+func (hy *Hybrid) toHeap() {
+	n := 0
+	for _, b := range hy.cal.buckets {
+		for _, e := range b {
+			hy.heap.es = append(hy.heap.es, e)
+			e.pos = int32(n)
+			n++
+		}
+	}
+	hy.heap.Rebuild()
+	hy.cal = nil
+}

@@ -1,0 +1,181 @@
+package sim
+
+// Scheduler is the future event list abstraction: a priority queue of
+// events ordered by (time, sequence), the sequence breaking ties FIFO so
+// simultaneous events fire in schedule order. The kernel owns exactly one
+// scheduler; two implementations exist:
+//
+//   - Heap, a binary heap — the reference implementation. O(log n) per
+//     operation, no tuning parameters, trivially correct.
+//   - Calendar, a calendar queue (Brown 1988) — the production
+//     implementation. Amortised O(1) push/pop under the stationary event
+//     populations DES workloads produce, tunable to a known event cadence
+//     (the EIB's TDM slot time) via NewCalendarWidth.
+//
+// Both order events identically — the equivalence suite and FuzzScheduler
+// drive them with the same scripts and require identical pop sequences —
+// so swapping one for the other cannot change simulated behaviour, only
+// wall time.
+//
+// Events handed to Push are owned by the scheduler until returned by Pop
+// or detached by Remove; the kernel recycles them through its free list
+// afterwards. Implementations communicate the queue position through the
+// event's pos field and must set pos to -1 on Pop/Remove.
+type Scheduler interface {
+	// Push enqueues the event. The event's at and seq are already set and
+	// immutable while queued.
+	Push(e *Event)
+	// Pop removes and returns the minimum event by (at, seq), or nil when
+	// the queue is empty.
+	Pop() *Event
+	// PeekAt returns the minimum pending time without dequeuing.
+	PeekAt() (Time, bool)
+	// Remove detaches a queued event, reporting whether it was queued.
+	Remove(e *Event) bool
+	// Update repositions a queued event after its (at, seq) key changed —
+	// the kernel's Reschedule fast path. The event must be queued.
+	Update(e *Event)
+	// Rebuild restores queue invariants after the keys of arbitrarily many
+	// queued events changed (the kernel's RescheduleLazy/Commit bulk path).
+	// O(n), cheaper than n Updates when most of the population moved.
+	Rebuild()
+	// Len returns the number of queued events.
+	Len() int
+}
+
+// before reports whether a fires before b: earlier time, or FIFO among
+// simultaneous events.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Heap is the reference Scheduler: a binary min-heap on (at, seq). It is
+// implemented directly (not via container/heap) so the hot path has no
+// interface boxing; the event's pos field holds its heap index.
+type Heap struct {
+	es []*Event
+}
+
+// NewHeap returns an empty heap scheduler.
+func NewHeap() *Heap { return &Heap{} }
+
+// Len implements Scheduler.
+func (h *Heap) Len() int { return len(h.es) }
+
+// PeekAt implements Scheduler.
+func (h *Heap) PeekAt() (Time, bool) {
+	if len(h.es) == 0 {
+		return 0, false
+	}
+	return h.es[0].at, true
+}
+
+// Push implements Scheduler.
+func (h *Heap) Push(e *Event) {
+	e.pos = int32(len(h.es))
+	h.es = append(h.es, e)
+	h.up(int(e.pos))
+}
+
+// Pop implements Scheduler.
+func (h *Heap) Pop() *Event {
+	n := len(h.es)
+	if n == 0 {
+		return nil
+	}
+	e := h.es[0]
+	last := h.es[n-1]
+	h.es[n-1] = nil
+	h.es = h.es[:n-1]
+	if n > 1 {
+		h.es[0] = last
+		last.pos = 0
+		h.down(0)
+	}
+	e.pos = -1
+	return e
+}
+
+// Remove implements Scheduler.
+func (h *Heap) Remove(e *Event) bool {
+	i := int(e.pos)
+	if i < 0 || i >= len(h.es) || h.es[i] != e {
+		return false
+	}
+	n := len(h.es) - 1
+	last := h.es[n]
+	h.es[n] = nil
+	h.es = h.es[:n]
+	if i < n {
+		h.es[i] = last
+		last.pos = int32(i)
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	e.pos = -1
+	return true
+}
+
+// Update implements Scheduler: one sift from the event's current slot.
+func (h *Heap) Update(e *Event) {
+	i := int(e.pos)
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+// Rebuild implements Scheduler: bottom-up heapify.
+func (h *Heap) Rebuild() {
+	for i := len(h.es)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// up restores the heap property from index i toward the root.
+func (h *Heap) up(i int) {
+	e := h.es[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h.es[parent]
+		if !before(e, p) {
+			break
+		}
+		h.es[i] = p
+		p.pos = int32(i)
+		i = parent
+	}
+	h.es[i] = e
+	e.pos = int32(i)
+}
+
+// down restores the heap property from index i toward the leaves,
+// reporting whether the element moved.
+func (h *Heap) down(i int) bool {
+	e := h.es[i]
+	n := len(h.es)
+	start := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && before(h.es[r], h.es[l]) {
+			min = r
+		}
+		c := h.es[min]
+		if !before(c, e) {
+			break
+		}
+		h.es[i] = c
+		c.pos = int32(i)
+		i = min
+	}
+	h.es[i] = e
+	e.pos = int32(i)
+	return i > start
+}

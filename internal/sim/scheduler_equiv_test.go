@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The scheduler equivalence wall: every Scheduler implementation must
+// produce the identical pop sequence for the identical op script. The heap
+// is the reference; the calendar queue and the hybrid are checked against
+// it here (randomized scripts, exact-tie storms, in-loop insertions) and
+// in FuzzScheduler (adversarial byte scripts with the heap as oracle).
+
+// popRec is one observed pop, keyed exactly as the schedulers order.
+type popRec struct {
+	at  Time
+	seq uint64
+}
+
+// schedulerUnderTest enumerates the implementations the wall covers. The
+// fixed-width calendar uses a deliberately poor width to stress bucket
+// overflow and the degenerate-distribution fallbacks.
+func schedulersUnderTest() map[string]func() Scheduler {
+	return map[string]func() Scheduler{
+		"heap":           func() Scheduler { return NewHeap() },
+		"calendar":       func() Scheduler { return NewCalendar() },
+		"calendar-fixed": func() Scheduler { return NewCalendarWidth(0.013) },
+		"hybrid":         func() Scheduler { return NewHybrid() },
+	}
+}
+
+// scriptOp is one decoded operation of a scheduler script. Times are
+// deltas from the simulated "now" (the at of the last popped event), which
+// keeps the script inside the kernel's contract: events are never pushed
+// into the past.
+type scriptOp struct {
+	kind  byte // 0 push, 1 pop, 2 remove, 3 update
+	delta Time
+	idx   int // live-set index for remove/update
+}
+
+// runScript drives s through the ops and returns the full pop order,
+// draining the queue at the end. The live set is maintained identically
+// for every scheduler given the same script, so divergence shows up as a
+// differing pop sequence rather than a different interpretation.
+func runScript(s Scheduler, ops []scriptOp) []popRec {
+	var out []popRec
+	var live []*Event
+	var seq uint64
+	var now Time
+	pop := func() {
+		e := s.Pop()
+		if e == nil {
+			return
+		}
+		now = e.at
+		out = append(out, popRec{e.at, e.seq})
+		for i, l := range live {
+			if l == e {
+				live = append(live[:i], live[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			seq++
+			e := &Event{at: now + op.delta, seq: seq}
+			s.Push(e)
+			live = append(live, e)
+		case 1:
+			pop()
+		case 2:
+			if len(live) > 0 {
+				i := op.idx % len(live)
+				e := live[i]
+				if !s.Remove(e) {
+					panic("live event not removable")
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		case 3:
+			if len(live) > 0 {
+				e := live[op.idx%len(live)]
+				seq++
+				e.at, e.seq = now+op.delta, seq
+				s.Update(e)
+			}
+		}
+	}
+	for s.Len() > 0 {
+		pop()
+	}
+	return out
+}
+
+// genScript produces a random op script. tieDenom quantizes times so exact
+// ties occur frequently; spread sets the time scale (mixing very small and
+// very large spreads exercises calendar width adaptation).
+func genScript(rng *rand.Rand, n int, tieDenom float64, spread float64) []scriptOp {
+	ops := make([]scriptOp, 0, n)
+	for i := 0; i < n; i++ {
+		delta := Time(float64(rng.Intn(int(tieDenom))) / tieDenom * spread)
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			ops = append(ops, scriptOp{kind: 0, delta: delta})
+		case r < 0.75:
+			ops = append(ops, scriptOp{kind: 1})
+		case r < 0.87:
+			ops = append(ops, scriptOp{kind: 2, idx: rng.Intn(1 << 16)})
+		default:
+			ops = append(ops, scriptOp{kind: 3, delta: delta, idx: rng.Intn(1 << 16)})
+		}
+	}
+	return ops
+}
+
+func assertSameOrder(t *testing.T, want, got []popRec, name string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s popped %d events, heap popped %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s diverges from heap at pop %d: got (%v, %d), want (%v, %d)",
+				name, i, got[i].at, got[i].seq, want[i].at, want[i].seq)
+		}
+	}
+}
+
+// TestSchedulerEquivalenceRandomScripts drives every implementation with
+// the same randomized scripts across several time scales and requires
+// pop-for-pop agreement with the heap.
+func TestSchedulerEquivalenceRandomScripts(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, spread := range []float64{1e-6, 1.0, 1e6} {
+			rng := rand.New(rand.NewSource(seed))
+			ops := genScript(rng, 600, 64, spread)
+			want := runScript(NewHeap(), ops)
+			for name, mk := range schedulersUnderTest() {
+				if name == "heap" {
+					continue
+				}
+				got := runScript(mk(), ops)
+				assertSameOrder(t, want, got, fmt.Sprintf("%s(seed=%d,spread=%g)", name, seed, spread))
+			}
+		}
+	}
+}
+
+// TestSchedulerEquivalenceAllTies floods the queue with events at the very
+// same timestamp: order must degrade to pure FIFO (seq order) everywhere.
+func TestSchedulerEquivalenceAllTies(t *testing.T) {
+	ops := make([]scriptOp, 0, 600)
+	for i := 0; i < 400; i++ {
+		ops = append(ops, scriptOp{kind: 0, delta: 42})
+	}
+	for i := 0; i < 200; i++ {
+		ops = append(ops, scriptOp{kind: 1})
+	}
+	want := runScript(NewHeap(), ops)
+	for i, r := range want {
+		if r.seq != uint64(i+1) {
+			t.Fatalf("tie order is not FIFO: pop %d has seq %d", i, r.seq)
+		}
+	}
+	for name, mk := range schedulersUnderTest() {
+		if name == "heap" {
+			continue
+		}
+		assertSameOrder(t, want, runScript(mk(), ops), name)
+	}
+}
+
+// TestSchedulerEquivalenceInLoopInsertions interleaves pops with pushes of
+// times at and around the current minimum — the self-rescheduling pattern
+// every kernel workload produces.
+func TestSchedulerEquivalenceInLoopInsertions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ops := make([]scriptOp, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		// Push two near-future events, pop one: the population grows
+		// while the head keeps advancing.
+		ops = append(ops,
+			scriptOp{kind: 0, delta: Time(rng.Float64())},
+			scriptOp{kind: 0, delta: Time(rng.Float64() * 0.01)},
+			scriptOp{kind: 1})
+	}
+	want := runScript(NewHeap(), ops)
+	for name, mk := range schedulersUnderTest() {
+		if name == "heap" {
+			continue
+		}
+		assertSameOrder(t, want, runScript(mk(), ops), name)
+	}
+}
+
+// TestHybridMigrationEquivalence pushes the population through both
+// hybrid thresholds (heap→calendar above hybridUp, calendar→heap below
+// hybridDown) and checks order against the heap the whole way.
+func TestHybridMigrationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2 * hybridUp
+	ops := make([]scriptOp, 0, 4*n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, scriptOp{kind: 0, delta: Time(rng.Float64() * 1000)})
+	}
+	// Drain to far below hybridDown with occasional reinsertions, then
+	// fully: both migrations happen inside one script.
+	for i := 0; i < n-hybridDown/2; i++ {
+		ops = append(ops, scriptOp{kind: 1})
+		if i%7 == 0 {
+			ops = append(ops, scriptOp{kind: 0, delta: Time(rng.Float64() * 1000)})
+		}
+	}
+	want := runScript(NewHeap(), ops)
+	got := runScript(NewHybrid(), ops)
+	assertSameOrder(t, want, got, "hybrid-migration")
+}

@@ -1,11 +1,17 @@
 // Package sim is a minimal discrete-event simulation kernel: a simulation
-// clock, a binary-heap future event list with stable FIFO ordering among
+// clock, a pluggable future event list (calendar queue in production, binary
+// heap as reference — see Scheduler) with stable FIFO ordering among
 // same-time events, and cancellable timers. The router, linecard, EIB, and
 // fabric models are all built on it.
+//
+// The kernel owns its Event records and recycles them through a free list,
+// so the steady-state schedule/fire cycle allocates nothing. Callers never
+// hold a *Event; Schedule returns a Timer, a generation-checked value handle
+// that stays safe to Cancel after the event has fired and its record been
+// reused.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -21,61 +27,59 @@ type Time float64
 // End is a sentinel for "never".
 const End Time = Time(math.MaxFloat64)
 
-// Event is a scheduled callback. It is returned by Schedule so callers can
-// cancel it.
+// Event is a scheduled callback record. Events are owned and recycled by
+// the kernel; model code refers to them only through Timer handles.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
+	at  Time
+	seq uint64
+	fn  func()
+	// pos is the event's position in the scheduler (heap index or calendar
+	// bucket), -1 while unqueued. Maintained by the Scheduler.
+	pos int32
+	// gen is bumped each time the record is recycled; a Timer carrying a
+	// stale generation is inert.
+	gen uint32
+	// win is the event's calendar window number, owned by Calendar.
+	win int64
 }
 
-// At returns the time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// inert: Active reports false and Kernel.Cancel is a no-op. Timers are
+// values — copy them freely, compare against the zero value to test "is a
+// timer set".
+type Timer struct {
+	e   *Event
+	gen uint32
+	at  Time
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// At returns the time the timer was scheduled for. It stays valid after
+// the event fires or is cancelled.
+func (t Timer) At() Time { return t.at }
+
+// Active reports whether the event is still pending: not yet fired, not
+// cancelled. During the event's own callback it already reports false.
+func (t Timer) Active() bool {
+	return t.e != nil && t.e.gen == t.gen && t.e.pos >= 0
 }
 
 // Kernel owns the clock and the future event list. It is not safe for
 // concurrent use: a simulation is a single logical thread of control, which
 // keeps runs deterministic and reproducible.
 type Kernel struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now Time
+	q   Scheduler
+	seq uint64
+	// free is the recycled-event list. The kernel is single-threaded, so a
+	// plain slice beats sync.Pool: no per-P caches, no GC-cycle eviction.
+	free []*Event
 	// Processed counts executed (non-cancelled) events, for tests and
 	// runaway detection.
 	Processed uint64
+
+	// dirty is set between RescheduleLazy and Commit: queue invariants are
+	// suspended and every other queue operation panics.
+	dirty bool
 
 	// afterStep, when set, runs after every executed event. It is the
 	// attachment point for runtime invariant checking: the hook sees the
@@ -91,8 +95,20 @@ type Kernel struct {
 	mSimNow    *metrics.Gauge
 }
 
-// NewKernel returns a kernel with the clock at zero.
-func NewKernel() *Kernel { return &Kernel{} }
+// NewKernel returns a kernel with the clock at zero, backed by the
+// adaptive Hybrid scheduler (heap regime for small event populations,
+// calendar regime for large ones).
+func NewKernel() *Kernel { return NewKernelWith(NewHybrid()) }
+
+// NewKernelWith returns a kernel backed by the given scheduler — the
+// reference heap for differential testing, or a width-pinned calendar for
+// a known event cadence.
+func NewKernelWith(q Scheduler) *Kernel {
+	if q == nil {
+		panic("sim: nil scheduler")
+	}
+	return &Kernel{q: q}
+}
 
 // Instrument resolves the kernel's metrics against reg:
 //
@@ -128,7 +144,7 @@ func (k *Kernel) Instrument(reg *metrics.Registry) {
 		return (simNow.Value() - float64(simStart)) / wall
 	})
 	k.mSimNow.Set(float64(k.now))
-	k.mHeapDepth.Set(float64(len(k.events)))
+	k.mHeapDepth.Set(float64(k.q.Len()))
 }
 
 // Now returns the current simulation time.
@@ -141,78 +157,183 @@ func (k *Kernel) Now() Time { return k.now }
 // compose them before installing.
 func (k *Kernel) SetAfterStep(fn func()) { k.afterStep = fn }
 
+// alloc takes an event record from the free list or the heap.
+func (k *Kernel) alloc() *Event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &Event{pos: -1}
+}
+
+// recycle returns a fired or cancelled event record to the free list,
+// invalidating outstanding Timers via the generation bump.
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	e.pos = -1
+	e.gen++
+	k.free = append(k.free, e)
+}
+
 // Schedule runs fn at absolute time at. Scheduling in the past panics — it
 // is always a model bug.
-func (k *Kernel) Schedule(at Time, fn func()) *Event {
+func (k *Kernel) Schedule(at Time, fn func()) Timer {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, k.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{at: at, seq: k.seq, fn: fn}
+	if k.dirty {
+		panic("sim: queue operation during uncommitted RescheduleLazy run")
+	}
+	e := k.alloc()
+	e.at = at
+	e.seq = k.seq
+	e.fn = fn
 	k.seq++
-	heap.Push(&k.events, e)
-	k.mScheduled.Inc()
-	k.mHeapDepth.Set(float64(len(k.events)))
-	return e
+	k.q.Push(e)
+	if k.mScheduled != nil {
+		k.mScheduled.Inc()
+		k.mHeapDepth.Set(float64(k.q.Len()))
+	}
+	return Timer{e: e, gen: e.gen, at: at}
+}
+
+// Reschedule moves a still-pending event to a new time, keeping its
+// callback. It is the fast path for redraw-heavy models (the fault
+// injector's busy-period retargets): one queue reposition instead of a
+// Cancel plus a fresh Schedule, no record churn, no new closure. The
+// timer must be Active and at must not be in the past; the returned Timer
+// supersedes t (which stays valid — both refer to the same pending event).
+func (k *Kernel) Reschedule(t Timer, at Time) Timer {
+	if t.e == nil || t.e.gen != t.gen || t.e.pos < 0 {
+		panic("sim: Reschedule of inactive timer")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: rescheduling at %v before now %v", at, k.now))
+	}
+	if k.dirty {
+		panic("sim: queue operation during uncommitted RescheduleLazy run")
+	}
+	e := t.e
+	e.at = at
+	e.seq = k.seq
+	k.seq++
+	k.q.Update(e)
+	if k.mScheduled != nil {
+		// Counter-wise a reschedule is a cancel plus a schedule; depth is
+		// unchanged.
+		k.mCancelled.Inc()
+		k.mScheduled.Inc()
+	}
+	return Timer{e: e, gen: e.gen, at: at}
+}
+
+// RescheduleLazy is the bulk form of Reschedule: it moves the timer's
+// key without repositioning it in the queue. After a run of lazy
+// reschedules the caller MUST call Commit before any other kernel
+// operation — the queue's ordering invariants are suspended in between,
+// and every other queue operation panics until Commit runs. Rescheduling
+// n events this way costs one O(n) rebuild instead of n O(log n)
+// repositions, which is what a whole-population retarget (the fault
+// injector's busy-period biasing) wants.
+func (k *Kernel) RescheduleLazy(t Timer, at Time) Timer {
+	if t.e == nil || t.e.gen != t.gen || t.e.pos < 0 {
+		panic("sim: Reschedule of inactive timer")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: rescheduling at %v before now %v", at, k.now))
+	}
+	e := t.e
+	e.at = at
+	e.seq = k.seq
+	k.seq++
+	k.dirty = true
+	if k.mScheduled != nil {
+		k.mCancelled.Inc()
+		k.mScheduled.Inc()
+	}
+	return Timer{e: e, gen: e.gen, at: at}
+}
+
+// Commit restores queue invariants after a run of RescheduleLazy calls.
+// Calling it with nothing pending to commit is a cheap no-op.
+func (k *Kernel) Commit() {
+	if !k.dirty {
+		return
+	}
+	k.q.Rebuild()
+	k.dirty = false
 }
 
 // After runs fn after a delay from now. Negative delays panic.
-func (k *Kernel) After(delay Time, fn func()) *Event {
+func (k *Kernel) After(delay Time, fn func()) Timer {
 	if delay < 0 {
 		panic("sim: negative delay")
 	}
 	return k.Schedule(k.now+delay, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.cancel || e.index < 0 {
-		if e != nil {
-			e.cancel = true
-		}
+// Cancel removes a pending event. Cancelling an already-fired,
+// already-cancelled, or zero Timer is a no-op, even if the underlying
+// record has since been recycled for another event.
+func (k *Kernel) Cancel(t Timer) {
+	if t.e == nil || t.e.gen != t.gen {
 		return
 	}
-	e.cancel = true
-	heap.Remove(&k.events, e.index)
-	e.index = -1
-	k.mCancelled.Inc()
-	k.mHeapDepth.Set(float64(len(k.events)))
+	if k.dirty {
+		panic("sim: queue operation during uncommitted RescheduleLazy run")
+	}
+	if !k.q.Remove(t.e) {
+		return
+	}
+	k.recycle(t.e)
+	if k.mCancelled != nil {
+		k.mCancelled.Inc()
+		k.mHeapDepth.Set(float64(k.q.Len()))
+	}
 }
 
 // Pending returns the number of events still queued.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.q.Len() }
 
 // Step executes the next event, advancing the clock. It reports whether an
 // event was executed.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*Event)
-		if e.cancel {
-			continue
-		}
-		k.now = e.at
-		k.Processed++
+	if k.dirty {
+		panic("sim: queue operation during uncommitted RescheduleLazy run")
+	}
+	e := k.q.Pop()
+	if e == nil {
+		return false
+	}
+	k.now = e.at
+	k.Processed++
+	if k.mFired != nil {
 		k.mFired.Inc()
 		k.mSimNow.Set(float64(k.now))
-		k.mHeapDepth.Set(float64(len(k.events)))
-		e.fn()
-		if k.afterStep != nil {
-			k.afterStep()
-		}
-		return true
+		k.mHeapDepth.Set(float64(k.q.Len()))
 	}
-	return false
+	e.fn()
+	// Recycled only after fn returns: a handler cancelling its own timer
+	// sees pos == -1 and no-ops rather than freeing the record mid-call.
+	k.recycle(e)
+	if k.afterStep != nil {
+		k.afterStep()
+	}
+	return true
 }
 
 // RunUntil executes events until the clock would pass deadline or the event
 // list empties, then sets the clock to deadline (if it is ahead). Events
 // scheduled exactly at the deadline are executed.
 func (k *Kernel) RunUntil(deadline Time) {
-	for len(k.events) > 0 {
-		if k.events[0].at > deadline {
+	for {
+		at, ok := k.q.PeekAt()
+		if !ok || at > deadline {
 			break
 		}
 		k.Step()

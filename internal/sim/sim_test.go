@@ -51,15 +51,18 @@ func TestAfterAndNow(t *testing.T) {
 func TestCancel(t *testing.T) {
 	k := NewKernel()
 	fired := false
-	e := k.Schedule(1, func() { fired = true })
-	k.Cancel(e)
-	k.Cancel(e) // idempotent
+	tm := k.Schedule(1, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("Active() false while pending")
+	}
+	k.Cancel(tm)
+	k.Cancel(tm) // idempotent
 	k.Run(0)
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("Cancelled() false after Cancel")
+	if tm.Active() {
+		t.Fatal("Active() true after Cancel")
 	}
 	if k.Processed != 0 {
 		t.Fatalf("Processed = %d", k.Processed)
@@ -68,9 +71,51 @@ func TestCancel(t *testing.T) {
 
 func TestCancelAfterFireIsNoop(t *testing.T) {
 	k := NewKernel()
-	e := k.Schedule(1, func() {})
+	tm := k.Schedule(1, func() {})
 	k.Run(0)
-	k.Cancel(e) // must not panic
+	if tm.Active() {
+		t.Fatal("Active() true after fire")
+	}
+	k.Cancel(tm) // must not panic
+}
+
+func TestCancelZeroTimerIsNoop(t *testing.T) {
+	k := NewKernel()
+	k.Cancel(Timer{}) // must not panic
+	if (Timer{}).Active() {
+		t.Fatal("zero Timer reports Active")
+	}
+}
+
+// A stale Timer whose event record has been recycled for a new event must
+// not cancel the new event.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	k := NewKernel()
+	var stale Timer
+	fired := false
+	stale = k.Schedule(1, func() {})
+	k.Run(0) // fires; record goes to the free list
+	tm := k.Schedule(k.Now()+1, func() { fired = true })
+	k.Cancel(stale) // generation mismatch: no-op
+	if !tm.Active() {
+		t.Fatal("stale Cancel detached the recycled event")
+	}
+	k.Run(0)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestSelfCancelInsideCallback(t *testing.T) {
+	k := NewKernel()
+	var tm Timer
+	tm = k.Schedule(1, func() {
+		k.Cancel(tm) // cancelling the firing event must be a no-op
+	})
+	k.Run(0)
+	if k.Processed != 1 {
+		t.Fatalf("Processed = %d", k.Processed)
+	}
 }
 
 func TestSchedulePastPanics(t *testing.T) {

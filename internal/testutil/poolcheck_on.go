@@ -1,0 +1,9 @@
+//go:build poolcheck
+
+package testutil
+
+// PoolcheckEnabled reports whether the binary was built with the
+// poolcheck tag. Allocation-count tests skip under poolcheck: the
+// released-set bookkeeping that catches use-after-Release allocates,
+// which the production build does not.
+const PoolcheckEnabled = true

@@ -1,0 +1,8 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-count tests skip under -race: the detector's shadow memory
+// adds allocations the production build does not have.
+const RaceEnabled = false

@@ -17,7 +17,9 @@ import (
 type Generator interface {
 	// Next returns the inter-arrival time to the next packet (in the same
 	// time unit as rates were configured in) and the packet itself (with
-	// SrcLC/Proto/Bytes/DstIP filled in; DstLC is left to the LFE).
+	// SrcLC/Proto/Bytes/DstIP filled in; DstLC is left to the LFE). The
+	// packet comes from the packet pool: ownership transfers to the
+	// caller, which must packet.Release it when its journey ends.
 	Next() (dt float64, p *packet.Packet)
 	// Rate returns the long-run offered load in bits per time unit.
 	Rate() float64
@@ -118,14 +120,14 @@ func (g *Poisson) Rate() float64 { return g.bitsPS }
 func (g *Poisson) Next() (float64, *packet.Packet) {
 	dt := g.rng.Exp(g.pktPS)
 	*g.nextID++
-	return dt, &packet.Packet{
-		ID:    *g.nextID,
-		SrcLC: g.srcLC,
-		DstIP: g.pool.Draw(),
-		DstLC: -1,
-		Proto: g.proto,
-		Bytes: PacketSize(g.rng),
-	}
+	p := packet.Get()
+	p.ID = *g.nextID
+	p.SrcLC = g.srcLC
+	p.DstIP = g.pool.Draw()
+	p.DstLC = -1
+	p.Proto = g.proto
+	p.Bytes = PacketSize(g.rng)
+	return dt, p
 }
 
 // CBR is a constant-bit-rate generator: fixed-size packets at fixed
@@ -155,14 +157,14 @@ func (g *CBR) Rate() float64 { return g.bitsPS }
 func (g *CBR) Next() (float64, *packet.Packet) {
 	dt := float64(g.bytes*8) / g.bitsPS
 	*g.nextID++
-	return dt, &packet.Packet{
-		ID:    *g.nextID,
-		SrcLC: g.srcLC,
-		DstIP: g.pool.Draw(),
-		DstLC: -1,
-		Proto: g.proto,
-		Bytes: g.bytes,
-	}
+	p := packet.Get()
+	p.ID = *g.nextID
+	p.SrcLC = g.srcLC
+	p.DstIP = g.pool.Draw()
+	p.DstLC = -1
+	p.Proto = g.proto
+	p.Bytes = g.bytes
+	return dt, p
 }
 
 // OnOff is a two-state MMPP-style generator: exponential on and off
