@@ -54,7 +54,7 @@ bench:
 # packet pool) must stay at or above COVER_MIN percent statement
 # coverage.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry ./internal/sim ./internal/packet
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry ./internal/sim ./internal/packet ./internal/topology
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
@@ -70,16 +70,18 @@ bench-smoke:
 	$(GO) test -short -run xxx -bench BenchmarkSolverComparison -benchtime 1x .
 
 # Bounded fuzzing of the wire-format decoders, the three-tier control
-# protocol, and the scheduler implementations (calendar/hybrid vs heap
-# oracle): enough to catch decode panics, encoder/decoder asymmetries,
-# LP-bookkeeping drift, and event-ordering divergence in CI without
-# open-ended runs.
+# protocol, the scheduler implementations (calendar/hybrid vs heap
+# oracle), and the topology graph generators + spare-policy application:
+# enough to catch decode panics, encoder/decoder asymmetries,
+# LP-bookkeeping drift, event-ordering divergence, and reachability
+# order-dependence in CI without open-ended runs.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshalControl -fuzztime $(FUZZTIME) ./internal/eib/
 	$(GO) test -fuzz=FuzzControlProtocol -fuzztime $(FUZZTIME) ./internal/eib/
 	$(GO) test -fuzz=FuzzUnmarshalCell -fuzztime $(FUZZTIME) ./internal/packet/
 	$(GO) test -fuzz=FuzzScheduler -fuzztime $(FUZZTIME) ./internal/sim/
+	$(GO) test -fuzz=FuzzTopology -fuzztime $(FUZZTIME) ./internal/topology/
 
 # Regenerate BENCH_simcore.json: DES-core hot-path timings (rare-event
 # Monte Carlo loop, fault-free deliver path, scheduler push/pop) against

@@ -1,0 +1,79 @@
+// End-to-end test of the topology axis through the serving stack: drad
+// and dractl must accept a job spec carrying a `topology` field, run
+// the Monte-Carlo engine on the selected interconnect graph, stamp the
+// topology into the result document, and reject malformed topologies
+// with field-path errors at submit time.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestTopologyAxisE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots real binaries")
+	}
+	dradBin, dractlBin := buildBinaries(t)
+	srv := startDrad(t, dradBin, filepath.Join(t.TempDir(), "state"))
+	defer func() {
+		srv.cmd.Process.Signal(syscall.SIGTERM)
+		srv.cmd.Wait()
+	}()
+
+	// An availability job on a 3×3 mesh, end to end through the client.
+	meshSpec := writeSpec(t, "mesh.json", `{"kind": "availability",
+	 "router": {"arch": "dra", "n": 9, "m": 4, "topology": {"kind": "mesh"}},
+	 "mc": {"horizon": 20000, "reps": 40, "mu": 0.3333, "seed": 11}}`)
+	out := srv.run(t, dractlBin, "submit", "-wait", meshSpec)
+	var doc struct {
+		Kind     string  `json:"kind"`
+		Topology string  `json:"topology"`
+		Estimate float64 `json:"estimate"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("decoding mesh result %q: %v", out, err)
+	}
+	if doc.Topology != "mesh:3x3" {
+		t.Fatalf("result topology = %q, want mesh:3x3 (defaulted dims stamped)\n%s", doc.Topology, out)
+	}
+	if doc.Estimate <= 0.9 || doc.Estimate > 1 {
+		t.Fatalf("mesh availability estimate %g outside (0.9, 1]", doc.Estimate)
+	}
+
+	// The same job without the topology axis: a distinct job (different
+	// content address) whose result document omits the field entirely.
+	busSpec := writeSpec(t, "bus.json", `{"kind": "availability",
+	 "router": {"arch": "dra", "n": 9, "m": 4},
+	 "mc": {"horizon": 20000, "reps": 40, "mu": 0.3333, "seed": 11}}`)
+	busOut := srv.run(t, dractlBin, "submit", "-wait", busSpec)
+	if bytes.Contains(busOut, []byte(`"topology"`)) {
+		t.Fatalf("bus result leaks a topology field:\n%s", busOut)
+	}
+
+	// An explicit bus spelling must hit the bus job's cache entry — the
+	// topology axis cannot split the pre-topology content address.
+	spelledSpec := writeSpec(t, "spelled.json", `{"kind": "availability",
+	 "router": {"arch": "dra", "n": 9, "m": 4, "topology": {"kind": "bus"}},
+	 "mc": {"horizon": 20000, "reps": 40, "mu": 0.3333, "seed": 11}}`)
+	snap := snapshotOf(t, srv.run(t, dractlBin, "submit", spelledSpec))
+	if !snap.Cached {
+		t.Fatalf("explicit bus spelling missed the bus cache entry: %+v", snap)
+	}
+
+	// A malformed topology is rejected at submit time with a field-path
+	// error naming the offending field.
+	badSpec := writeSpec(t, "bad.json", `{"kind": "availability",
+	 "router": {"n": 9, "m": 4, "topology": {"kind": "fattree", "k": 3}},
+	 "mc": {"horizon": 20000, "reps": 40, "mu": 0.3333, "seed": 11}}`)
+	badOut, err := srv.runErr(dractlBin, "submit", badSpec)
+	if err == nil {
+		t.Fatalf("malformed fat-tree accepted:\n%s", badOut)
+	}
+	if !bytes.Contains(badOut, []byte("router.topology.k")) {
+		t.Fatalf("rejection does not name router.topology.k:\n%s", badOut)
+	}
+}

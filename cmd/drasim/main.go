@@ -55,6 +55,7 @@ import (
 	"repro/internal/montecarlo"
 	"repro/internal/router"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -88,6 +89,7 @@ func run() int {
 		arch    = flag.String("arch", "dra", "dra | bdr")
 		n       = flag.Int("n", 6, "number of linecards N")
 		m       = flag.Int("m", 3, "linecards sharing LC0's protocol, M")
+		topo    = flag.String("topology", "", "interconnect topology: bus | crossbar | mesh[:RxC] | fattree[:K] (default bus; scenario/chaos set it in their config file)")
 		horizon = flag.Float64("horizon", 40000, "simulated hours per replication")
 		reps    = flag.Int("reps", 1000, "replications")
 		mu      = flag.Float64("mu", 1.0/3, "repair rate (availability)")
@@ -153,6 +155,9 @@ func run() int {
 			}
 			if sp.Kind == config.KindRareEvent && *horizon == 0 {
 				*horizon = 40000 // unused by the estimator; satisfies flag validation
+			}
+			if sp.Router.Topology != nil {
+				*topo = sp.Router.Topology.String()
 			}
 		case config.KindScenario:
 			*mode = config.KindScenario
@@ -227,6 +232,20 @@ func run() int {
 	if md == "rareevent" && *mu <= 0 {
 		usageError(fmt.Errorf("rareevent mode needs -mu > 0 (cycles end at repair completions)"))
 	}
+	var topoSpec topology.Spec
+	if *topo != "" {
+		if md == "scenario" || md == "chaos" {
+			usageError(fmt.Errorf("-topology applies to the Monte-Carlo and packets modes; %s mode takes its topology from the config file's \"topology\" field", md))
+		}
+		ts, err := topology.ParseFlag(*topo)
+		if err != nil {
+			usageError(fmt.Errorf("-topology: %w", err))
+		}
+		if err := ts.Validate(*n); err != nil {
+			usageError(fmt.Errorf("-topology: %w", err))
+		}
+		topoSpec = ts
+	}
 
 	// Observability: one registry and recorder shared by whatever the
 	// mode runs. The recorder feeds /timeline.json; Monte-Carlo modes
@@ -255,6 +274,7 @@ func run() int {
 	// checkpoint/resume files into a Monte-Carlo option set.
 	lifecycle := func(opt montecarlo.Options) montecarlo.Options {
 		opt.Ctx = ctx
+		opt.Topology = topoSpec
 		opt.Watchdog = *watchdog
 		if *checkpoint != "" {
 			path := *checkpoint
@@ -323,7 +343,7 @@ func run() int {
 			benchOut:     *benchOut,
 		}, &ob, lifecycle)
 	case "packets":
-		runPackets(a, *n, *m, *fail, *packets, *load, *seed, &ob)
+		runPackets(a, *n, *m, topoSpec, *fail, *packets, *load, *seed, &ob)
 	case "scenario":
 		var f config.File
 		var err error
@@ -445,8 +465,9 @@ func (ob *obs) dump() error {
 	return nil
 }
 
-func runPackets(a linecard.Arch, n, m int, faults string, count int, load float64, seed uint64, ob *obs) {
+func runPackets(a linecard.Arch, n, m int, topo topology.Spec, faults string, count int, load float64, seed uint64, ob *obs) {
 	cfg := router.UniformConfig(a, n, m)
+	cfg.Topology = topo
 	cfg.Seed = seed
 	r, err := router.New(cfg)
 	if err != nil {

@@ -1,0 +1,69 @@
+package main
+
+// End-to-end test of the -topology flag through the real drasim binary:
+// Monte-Carlo and packet modes run on every interconnect kind, a spec
+// file carrying the topology axis selects it without any flag, and
+// malformed or misplaced topologies die with a usage error.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestTopologyFlagE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e binary test")
+	}
+	bin := buildDrasim(t)
+
+	// Availability on each topology kind, including argument syntax.
+	for _, topo := range []string{"bus", "crossbar", "mesh:3x3", "fattree:4"} {
+		out, err := exec.Command(bin,
+			"-mode", "availability", "-arch", "dra", "-n", "9", "-m", "4",
+			"-mu", "0.3333", "-horizon", "5000", "-reps", "10", "-seed", "3",
+			"-topology", topo).CombinedOutput()
+		if err != nil {
+			t.Fatalf("availability on %s: %v\n%s", topo, err, out)
+		}
+		if !bytes.Contains(out, []byte("A = ")) {
+			t.Fatalf("availability on %s produced no estimate:\n%s", topo, out)
+		}
+	}
+
+	// Packets mode exercises the data-plane path on a mesh.
+	out, err := exec.Command(bin,
+		"-mode", "packets", "-n", "9", "-m", "4", "-packets", "200",
+		"-topology", "mesh", "-fail", "0:SRU").CombinedOutput()
+	if err != nil {
+		t.Fatalf("packets on mesh: %v\n%s", err, out)
+	}
+
+	// A spec file carrying the topology axis drives the run flag-free.
+	spec := filepath.Join(t.TempDir(), "mesh.json")
+	if err := os.WriteFile(spec, []byte(`{"kind": "availability",
+	 "router": {"arch": "dra", "n": 9, "m": 4, "topology": {"kind": "mesh"}},
+	 "mc": {"horizon": 5000, "reps": 10, "mu": 0.3333, "seed": 3}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-spec", spec).CombinedOutput(); err != nil {
+		t.Fatalf("spec-driven mesh run: %v\n%s", err, out)
+	}
+
+	// Unknown kinds and invalid dimensions are usage errors.
+	for _, bad := range [][]string{
+		{"-mode", "availability", "-topology", "ring"},
+		{"-mode", "availability", "-n", "9", "-m", "4", "-topology", "mesh:2x2"},
+		{"-mode", "availability", "-topology", "fattree:3"},
+	} {
+		out, err := exec.Command(bin, bad...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("drasim %v accepted:\n%s", bad, out)
+		}
+		if !bytes.Contains(out, []byte("-topology")) {
+			t.Fatalf("drasim %v error does not name -topology:\n%s", bad, out)
+		}
+	}
+}

@@ -143,6 +143,7 @@ func Run(c Campaign, opt Options) (res *Result, err error) {
 		arch = linecard.BDR
 	}
 	cfg := router.UniformConfig(arch, c.N, m)
+	cfg.Topology = c.topologySpec()
 	cfg.Seed = c.Seed
 	r, err := router.New(cfg)
 	if err != nil {
@@ -299,6 +300,12 @@ func (c Campaign) expand(e Event) []step {
 	case "repair-fabric-port":
 		return []step{{at: e.At, label: fmt.Sprintf("repair fabric port %d", e.LC),
 			do: func(r *router.Router) { r.Fabric().RepairPort(e.LC) }}}
+	case "fail-unit":
+		return []step{{at: e.At, label: fmt.Sprintf("fail topology unit %d", e.Unit),
+			do: func(r *router.Router) { r.FailTopoUnit(e.Unit) }}}
+	case "repair-unit":
+		return []step{{at: e.At, label: fmt.Sprintf("repair topology unit %d", e.Unit),
+			do: func(r *router.Router) { r.RepairTopoUnit(e.Unit) }}}
 	case "fail-protocol-group":
 		comp, _ := parseComponent(e.Component)
 		proto, _ := parseProtocol(e.Protocol)
@@ -352,7 +359,8 @@ func (c Campaign) expand(e Event) []step {
 }
 
 // repairEverything is the batched maintenance visit: every failed unit
-// across LCs, the EIB lines, and the fabric is restored in one action.
+// across LCs, the EIB lines, the topology interconnect, and the fabric
+// is restored in one action.
 func repairEverything(r *router.Router) {
 	for i := 0; i < r.NumLCs(); i++ {
 		if len(r.LC(i).FailedComponents()) > 0 {
@@ -361,6 +369,11 @@ func repairEverything(r *router.Router) {
 	}
 	if r.Bus() != nil && r.Bus().Failed() {
 		r.RepairBus()
+	}
+	for u, g := 0, r.Topology(); u < g.Units(); u++ {
+		if g.UnitFailed(u) {
+			r.RepairTopoUnit(u)
+		}
 	}
 	fab := r.Fabric()
 	for card := 0; card < fab.Config().Cards; card++ {

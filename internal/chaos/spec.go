@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/linecard"
 	"repro/internal/packet"
+	"repro/internal/topology"
 )
 
 // Campaign is the top-level JSON campaign document.
@@ -33,6 +34,10 @@ type Campaign struct {
 	Seed uint64 `json:"seed"`
 	// Load is the uniform offered-load fraction in [0, 1].
 	Load float64 `json:"load,omitempty"`
+	// Topology selects the interconnect graph the campaign's router runs
+	// on (bus — the default —, crossbar, mesh, fattree). The fail-unit /
+	// repair-unit event kinds address its interior nodes and links.
+	Topology *topology.Spec `json:"topology,omitempty"`
 	// Horizon extends the run past the last event (model time units).
 	// Zero means the run ends after the last event settles.
 	Horizon float64 `json:"horizon,omitempty"`
@@ -63,6 +68,9 @@ type Event struct {
 	//	fail-bus / repair-bus
 	//	fail-fabric-card / repair-fabric-card   (Card)
 	//	fail-fabric-port / repair-fabric-port   (LC)
+	//	fail-unit / repair-unit — one topology interconnect unit (Unit
+	//	                       indexes the graph's unit space; only on
+	//	                       non-bus topologies, which have units)
 	//	fail-protocol-group  — fail Component on every LC speaking
 	//	                       Protocol (correlated wipeout)
 	//	common-mode          — apply every Sub event at this instant
@@ -75,6 +83,7 @@ type Event struct {
 	Component  string  `json:"component,omitempty"`
 	Protocol   string  `json:"protocol,omitempty"`
 	Card       int     `json:"card,omitempty"`
+	Unit       int     `json:"unit,omitempty"`
 	ClearAfter float64 `json:"clear_after,omitempty"`
 	Sub        []Event `json:"sub,omitempty"`
 	Up         *bool   `json:"up,omitempty"`
@@ -122,6 +131,11 @@ func (c Campaign) Validate() error {
 	if c.Load < 0 || c.Load > 1 {
 		return fmt.Errorf("chaos: load %g outside [0, 1]", c.Load)
 	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(c.N); err != nil {
+			return fmt.Errorf("chaos: topology.%w", err)
+		}
+	}
 	if c.Horizon < 0 {
 		return fmt.Errorf("chaos: negative horizon %g", c.Horizon)
 	}
@@ -142,6 +156,34 @@ func (c Campaign) Validate() error {
 }
 
 func (c Campaign) isBDR() bool { return strings.EqualFold(c.Arch, "bdr") }
+
+// topologySpec returns the campaign's topology spec (zero value = bus).
+func (c Campaign) topologySpec() topology.Spec {
+	if c.Topology == nil {
+		return topology.Spec{}
+	}
+	return *c.Topology
+}
+
+// topologyKind names the campaign's topology for messages.
+func (c Campaign) topologyKind() string {
+	k, err := topology.ParseKind(c.topologySpec().Kind)
+	if err != nil {
+		return c.topologySpec().Kind
+	}
+	return k.String()
+}
+
+// topologyUnits counts the interconnect units the campaign's topology
+// exposes (0 for the bus, which has no interior failure modes). It
+// assumes the spec already validated.
+func (c Campaign) topologyUnits() int {
+	g, err := topology.New(c.topologySpec(), c.N)
+	if err != nil {
+		return 0
+	}
+	return g.Units()
+}
 
 func (c Campaign) validateEvent(e Event, nested bool) error {
 	if e.At < 0 {
@@ -168,6 +210,14 @@ func (c Campaign) validateEvent(e Event, nested bool) error {
 		}
 	case "fail-fabric-port", "repair-fabric-port":
 		needLC = true
+	case "fail-unit", "repair-unit":
+		if e.Unit < 0 {
+			return fmt.Errorf("negative topology unit %d", e.Unit)
+		}
+		if max := c.topologyUnits(); e.Unit >= max {
+			return fmt.Errorf("topology unit %d outside [0, %d) — the %s topology has %d interconnect units",
+				e.Unit, max, c.topologyKind(), max)
+		}
 	case "fail-protocol-group":
 		needComp = true
 		if _, err := parseProtocol(e.Protocol); err != nil {

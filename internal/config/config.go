@@ -28,6 +28,7 @@ import (
 	"repro/internal/linecard"
 	"repro/internal/packet"
 	"repro/internal/router"
+	"repro/internal/topology"
 )
 
 // File is the top-level JSON document.
@@ -47,6 +48,8 @@ type File struct {
 	Load  float64   `json:"load"`
 	Loads []float64 `json:"loads"`
 	Seed  uint64    `json:"seed"`
+	// Topology selects the interconnect graph (bus by default).
+	Topology *topology.Spec `json:"topology,omitempty"`
 	// Events is the scenario timeline.
 	Events []Event `json:"events"`
 }
@@ -61,6 +64,9 @@ type Event struct {
 	// Card/Port select fabric elements.
 	Card int `json:"card"`
 	Port int `json:"port"`
+	// Unit indexes a topology interconnect unit for fail-unit /
+	// repair-unit actions (non-bus topologies only).
+	Unit int `json:"unit,omitempty"`
 }
 
 // Parse decodes and validates a JSON document.
@@ -111,15 +117,24 @@ func (f File) validate() error {
 	if len(f.Loads) != 0 && len(f.Loads) != n {
 		return fmt.Errorf("config: %d loads for %d linecards", len(f.Loads), n)
 	}
+	units := 0
+	if f.Topology != nil {
+		if err := f.Topology.Validate(n); err != nil {
+			return fmt.Errorf("config: topology.%w", err)
+		}
+		if g, err := topology.New(*f.Topology, n); err == nil {
+			units = g.Units()
+		}
+	}
 	for i, e := range f.Events {
-		if err := validateEvent(e, n); err != nil {
+		if err := validateEvent(e, n, units); err != nil {
 			return fmt.Errorf("config: event %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-func validateEvent(e Event, n int) error {
+func validateEvent(e Event, n, units int) error {
 	needsLC := false
 	needsComponent := false
 	switch strings.ToLower(e.Action) {
@@ -130,6 +145,10 @@ func validateEvent(e Event, n int) error {
 	case "fail-bus", "repair-bus", "fail-fabric-card", "repair-fabric-card":
 	case "fail-fabric-port", "repair-fabric-port":
 		needsLC = true
+	case "fail-unit", "repair-unit":
+		if e.Unit < 0 || e.Unit >= units {
+			return fmt.Errorf("topology unit %d outside [0, %d)", e.Unit, units)
+		}
 	default:
 		return fmt.Errorf("unknown action %q", e.Action)
 	}
@@ -216,6 +235,9 @@ func (f File) Build() (*router.Router, *router.Scenario, error) {
 	if f.Seed != 0 {
 		cfg.Seed = f.Seed
 	}
+	if f.Topology != nil {
+		cfg.Topology = *f.Topology
+	}
 	r, err := router.New(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -258,6 +280,16 @@ func (f File) Build() (*router.Router, *router.Scenario, error) {
 			lc := e.LC
 			sc.At(e.At, fmt.Sprintf("repair fabric port %d", lc), func(r *router.Router) {
 				r.Fabric().RepairPort(lc)
+			})
+		case "fail-unit":
+			u := e.Unit
+			sc.At(e.At, fmt.Sprintf("fail topology unit %d", u), func(r *router.Router) {
+				r.FailTopoUnit(u)
+			})
+		case "repair-unit":
+			u := e.Unit
+			sc.At(e.At, fmt.Sprintf("repair topology unit %d", u), func(r *router.Router) {
+				r.RepairTopoUnit(u)
 			})
 		}
 	}

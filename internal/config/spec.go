@@ -18,11 +18,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/chaos"
+	"repro/internal/topology"
 )
 
 // Job kinds accepted by Spec.Kind.
@@ -77,6 +79,11 @@ type RouterSpec struct {
 	// N is the linecard count; M the number sharing LC 0's protocol.
 	N int `json:"n"`
 	M int `json:"m"`
+	// Topology selects the interconnect graph (bus — the default —,
+	// crossbar, mesh, fattree). Omitted and {"kind":"bus"} canonicalize
+	// identically, so specs written before this axis existed keep their
+	// content address.
+	Topology *topology.Spec `json:"topology,omitempty"`
 }
 
 // MCSpec tunes the Monte-Carlo estimators (see montecarlo.Options for
@@ -269,6 +276,15 @@ func (s Spec) validateMC() error {
 	if r.M < 1 || r.M > r.N {
 		return fieldErr("router.m", "must be within [1, %d], got %d", r.N, r.M)
 	}
+	if r.Topology != nil {
+		if err := r.Topology.Validate(r.N); err != nil {
+			var fe *topology.FieldError
+			if errors.As(err, &fe) {
+				return fieldErr("router.topology."+fe.Field, "%s", fe.Msg)
+			}
+			return fieldErr("router.topology", "%v", err)
+		}
+	}
 	mc := MCSpec{}
 	if s.MC != nil {
 		mc = *s.MC
@@ -317,6 +333,17 @@ func (s Spec) Normalize() Spec {
 			r.Arch = "dra"
 		}
 		r.Arch = strings.ToLower(r.Arch)
+		if r.Topology != nil {
+			// Defaulted dimensions become explicit; any spelling of the
+			// bus collapses to an absent field, so pre-topology specs keep
+			// their canonical bytes (and their cached results).
+			t := r.Topology.Normalize(r.N)
+			if t == (topology.Spec{}) {
+				r.Topology = nil
+			} else {
+				r.Topology = &t
+			}
+		}
 		out.Router = &r
 	}
 	switch s.Kind {

@@ -1,0 +1,103 @@
+package montecarlo
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+	"repro/internal/topology"
+)
+
+// goldenOptions reproduces the exact run that generated
+// testdata/golden_bus_checkpoint.json at the pre-topology seed commit: a
+// small biased regenerative unavailability estimate, single worker, fixed
+// batch size. Any change to the bus-kind RNG draw sequence, the injector
+// arming order, or the service predicate shows up as a byte diff in the
+// final checkpoint.
+func goldenOptions(onBatch func(Checkpoint)) Options {
+	return Options{
+		Arch: linecard.DRA, N: 9, M: 4,
+		Rates:        router.PaperRates(1.0 / 3),
+		Reps:         48,
+		Seed:         7,
+		CyclesPerRep: 20,
+		Batch:        16,
+		Workers:      1,
+		Biasing:      router.Biasing{Enabled: true, Delta: 0.3},
+		OnBatch:      onBatch,
+	}
+}
+
+// TestBusCheckpointBitIdentical is the bus-equivalence pin: the bus
+// expressed through the topology graph must reproduce the seed code's
+// rare-event checkpoint byte for byte — same weights, same ratio
+// accumulator states, same cycle counts, to the last bit of every float.
+func TestBusCheckpointBitIdentical(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_bus_checkpoint.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Checkpoint
+	if _, err := EstimateUnavailability(goldenOptions(func(c Checkpoint) { last = c })); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(last, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bus-through-graph checkpoint diverged from the seed golden.\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestBusExplicitSpecMatchesZero proves every spelling of the bus runs
+// the same trajectory: an explicit {"kind":"bus"} spec produces the same
+// final checkpoint as the zero-value topology.
+func TestBusExplicitSpecMatchesZero(t *testing.T) {
+	run := func(spec topology.Spec) Checkpoint {
+		var last Checkpoint
+		opt := goldenOptions(func(c Checkpoint) { last = c })
+		opt.Topology = spec
+		if _, err := EstimateUnavailability(opt); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	zero, _ := json.Marshal(run(topology.Spec{}))
+	explicit, _ := json.Marshal(run(topology.Spec{Kind: "bus"}))
+	if !bytes.Equal(zero, explicit) {
+		t.Fatalf("explicit bus spec diverged from zero spec:\n%s\nvs\n%s", zero, explicit)
+	}
+}
+
+// TestTopologyEstimatesRun exercises the full estimator stack on the
+// non-bus kinds: the same biased regenerative machinery must run to
+// completion and produce finite accumulators on mesh and fat-tree
+// interconnects.
+func TestTopologyEstimatesRun(t *testing.T) {
+	for _, spec := range []topology.Spec{
+		{Kind: "crossbar"},
+		{Kind: "mesh"},
+		{Kind: "fattree"},
+	} {
+		t.Run(spec.Kind, func(t *testing.T) {
+			opt := goldenOptions(nil)
+			opt.Topology = spec
+			res, err := EstimateUnavailability(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles == 0 {
+				t.Fatal("no regenerative cycles completed")
+			}
+			if u := res.Estimate(); u < 0 || u > 1 {
+				t.Fatalf("unavailability estimate %g outside [0,1]", u)
+			}
+		})
+	}
+}

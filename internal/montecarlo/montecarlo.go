@@ -36,6 +36,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
@@ -56,6 +57,10 @@ type Options struct {
 	// Rates are the component failure rates (and repair rate for
 	// availability runs).
 	Rates router.FaultRates
+	// Topology selects each replication router's interconnect graph; the
+	// zero value is the paper's bus. The same estimators, biasing, and
+	// checkpoints run unchanged on every kind.
+	Topology topology.Spec
 	// Horizon is the simulated time per replication (hours). Ignored by
 	// the regenerative EstimateUnavailability, whose replication unit is
 	// the repair cycle.
@@ -159,6 +164,9 @@ func (o Options) Validate() error {
 	}
 	if o.CyclesPerRep < 0 {
 		return fmt.Errorf("montecarlo: negative cycles per replication")
+	}
+	if err := o.Topology.Validate(o.N); err != nil {
+		return fmt.Errorf("montecarlo: topology %w", err)
 	}
 	if err := o.Biasing.Validate(); err != nil {
 		return err
@@ -641,6 +649,7 @@ func availabilityRep(opt Options, rep uint64, src *xrand.Source) (float64, error
 // pre-split random stream.
 func build(opt Options, rep uint64, src *xrand.Source) (*router.Router, *router.Injector, error) {
 	cfg := router.UniformConfig(opt.Arch, opt.N, opt.M)
+	cfg.Topology = opt.Topology
 	cfg.Source = src
 	r, err := router.New(cfg)
 	if err != nil {

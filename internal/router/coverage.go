@@ -4,6 +4,7 @@ import (
 	"repro/internal/eib"
 	"repro/internal/linecard"
 	"repro/internal/packet"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -17,41 +18,55 @@ import (
 // Under BDR any component failure takes the LC down. Under DRA:
 //
 //   - a PIU failure is not coverable (the external link terminates there);
-//   - the fabric must be operational or the EIB must be able to carry the
-//     LC's traffic;
-//   - a PDLU failure needs a healthy same-protocol PDLU elsewhere;
-//   - an SRU failure needs a healthy PI path elsewhere;
-//   - an LFE failure needs any healthy LFE elsewhere;
-//   - all coverage runs over the EIB, so the EIB lines and LC i's own bus
-//     controller must be healthy whenever coverage is needed.
+//   - the data plane must reach the LC (fabric operational, port up, and
+//     the topology's data plane attaching it to at least one peer) or the
+//     EIB must be able to carry the LC's traffic;
+//   - a PDLU failure needs a healthy same-protocol PDLU on a spare-plane-
+//     reachable peer;
+//   - an SRU failure needs a healthy PI path on such a peer;
+//   - an LFE failure needs any healthy LFE on such a peer;
+//   - all coverage runs over the EIB, so the EIB lines, LC i's own bus
+//     controller, and the topology's spare plane must connect whenever
+//     coverage is needed.
+//
+// On the bus topology every plane query is constant-true, so the
+// predicate reduces exactly to the paper's bus-specific checks.
 func (r *Router) CanDeliver(i int) bool {
 	lc := r.lcs[i]
 	if !lc.Healthy(linecard.PIU) {
 		return false
 	}
 	intact := lc.LocalIngressPath() && lc.LocalEgressPath()
+	dataUp := r.fab.Operational() && r.fab.PortUp(i) && r.topo.Up(topology.PlaneData, i)
 	if r.cfg.Arch == linecard.BDR {
-		return intact && r.fab.Operational() && r.fab.PortUp(i)
+		return intact && dataUp
 	}
-	if intact && r.fab.Operational() && r.fab.PortUp(i) {
+	if intact && dataUp {
 		return true
 	}
-	// Coverage is needed: EIB lines and own bus controller must work.
-	if r.bus.Failed() || !lc.OnEIB() {
+	// Coverage is needed: EIB lines, own bus controller, and the spare
+	// plane's attachment must all work.
+	if r.bus.Failed() || !lc.OnEIB() || !r.topo.Up(topology.PlaneSpare, i) {
 		return false
 	}
-	if lc.Failed(linecard.PDLU) && !r.existsPeer(i, func(p *linecard.LC) bool { return p.CanCoverPDLU(lc.Protocol()) }) {
+	if lc.Failed(linecard.PDLU) && !r.existsPeer(i, func(p *linecard.LC) bool {
+		return p.CanCoverPDLU(lc.Protocol()) && r.policy.Covers(r.topo, i, p.ID())
+	}) {
 		return false
 	}
-	if lc.Failed(linecard.SRU) && !r.existsPeer(i, func(p *linecard.LC) bool { return p.CanCoverPI() }) {
+	if lc.Failed(linecard.SRU) && !r.existsPeer(i, func(p *linecard.LC) bool {
+		return p.CanCoverPI() && r.policy.Covers(r.topo, i, p.ID())
+	}) {
 		return false
 	}
-	if lc.Failed(linecard.LFE) && !r.existsPeer(i, func(p *linecard.LC) bool { return p.CanCoverLookup() }) {
+	if lc.Failed(linecard.LFE) && !r.existsPeer(i, func(p *linecard.LC) bool {
+		return p.CanCoverLookup() && r.policy.Covers(r.topo, i, p.ID())
+	}) {
 		return false
 	}
-	// Fabric-side faults (dead port or dead fabric) are absorbed by the
-	// EIB data lines as long as the LC is on the bus, which was checked
-	// above.
+	// Fabric-side faults (dead port, dead fabric, severed data plane) are
+	// absorbed by the EIB data lines as long as the LC is on the bus and
+	// the spare plane reaches it, which was checked above.
 	return true
 }
 
@@ -61,20 +76,23 @@ type deliverEntry struct {
 	router uint64
 	fabric uint64
 	bus    uint64
+	topo   uint64
 	valid  bool
 	up     bool
 }
 
 // CanDeliverCached is CanDeliver behind a fault-state memo: the verdict is
-// recomputed only when the router's coverage state, the fabric, or the bus
-// has changed since the last call. Monte-Carlo loops poll the predicate
-// after every kernel event, almost all of which leave the fault state
-// untouched; the memo turns those polls into three integer compares.
+// recomputed only when the router's coverage state, the fabric, the bus,
+// or the topology graph has changed since the last call. Monte-Carlo
+// loops poll the predicate after every kernel event, almost all of which
+// leave the fault state untouched; the memo turns those polls into four
+// integer compares.
 //
 // The cache is sound as long as fault state is mutated through the Router,
-// Fabric, and Bus entry points (FailComponent, FailCard, Fail, ...), which
-// is true for the injector and the chaos engine. Code that pokes linecard
-// component state directly must use CanDeliver.
+// Fabric, and Bus entry points (FailComponent, FailCard, Fail,
+// FailTopoUnit, ...), which is true for the injector and the chaos
+// engine. Code that pokes linecard component state directly must use
+// CanDeliver.
 func (r *Router) CanDeliverCached(i int) bool {
 	if r.deliverCache == nil {
 		r.deliverCache = make([]deliverEntry, len(r.lcs))
@@ -84,11 +102,11 @@ func (r *Router) CanDeliverCached(i int) bool {
 		busVer = r.bus.Version()
 	}
 	e := &r.deliverCache[i]
-	if e.valid && e.router == r.faultVer && e.fabric == r.fab.Version() && e.bus == busVer {
+	if e.valid && e.router == r.faultVer && e.fabric == r.fab.Version() && e.bus == busVer && e.topo == r.topo.Version() {
 		return e.up
 	}
 	up := r.CanDeliver(i)
-	*e = deliverEntry{router: r.faultVer, fabric: r.fab.Version(), bus: busVer, valid: true, up: up}
+	*e = deliverEntry{router: r.faultVer, fabric: r.fab.Version(), bus: busVer, topo: r.topo.Version(), valid: true, up: up}
 	return up
 }
 
@@ -186,6 +204,35 @@ func (r *Router) FailBus() {
 	r.reconcileCoverage()
 }
 
+// FailTopoUnit marks topology unit u (an interconnect node or link)
+// failed and reconciles coverage: bindings whose spare-plane path died
+// with the unit are released, and data-plane reachability changes flow
+// into the CanDeliver verdicts through the graph version. The bus
+// topology has no units, so this is reachable only on the richer kinds.
+func (r *Router) FailTopoUnit(u int) {
+	if !r.topo.FailUnit(u) {
+		return
+	}
+	r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.Fault, LC: -1, Peer: -1, Detail: r.topo.UnitName(u)})
+	r.reconcileCoverage()
+}
+
+// RepairTopoUnit restores topology unit u.
+func (r *Router) RepairTopoUnit(u int) {
+	if r.topo.UnitFailed(u) {
+		before := 0
+		if r.inv != nil {
+			before = r.failedUnits()
+		}
+		r.topo.RepairUnit(u)
+		if r.inv != nil {
+			r.repairMonotonic("RepairTopoUnit", before, r.failedUnits())
+		}
+		r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.Repair, LC: -1, Peer: -1, Detail: r.topo.UnitName(u)})
+		r.reconcileCoverage()
+	}
+}
+
 // RepairBus restores the EIB lines and re-establishes coverage.
 func (r *Router) RepairBus() {
 	if r.bus == nil || !r.bus.Failed() {
@@ -228,7 +275,8 @@ func (r *Router) reconcileCoverage() {
 				r.tr.Record(trace.Event{At: float64(r.k.Now()), Kind: trace.CoverageDown, LC: i, Peer: b.peer})
 			}
 		}
-		if need && r.cover[i] == nil && !r.bus.Failed() && r.lcs[i].OnEIB() {
+		if need && r.cover[i] == nil && !r.bus.Failed() && r.lcs[i].OnEIB() &&
+			r.topo.Up(topology.PlaneSpare, i) {
 			r.requestCoverage(i, comp, rate, 0)
 		}
 	}
@@ -249,10 +297,11 @@ func (r *Router) updateCoverageGauge() {
 	r.im.coverageBW.Set(total)
 }
 
-// qualifiesHealth re-checks an existing binding peer's health (without the
-// capacity check — an established LP keeps its reservation).
+// qualifiesHealth re-checks an existing binding peer's health and spare-
+// plane reachability (without the capacity check — an established LP
+// keeps its reservation).
 func (r *Router) qualifiesHealth(peer, faulty int, comp linecard.Component, proto packet.Protocol) bool {
-	if peer == faulty {
+	if !r.policy.Covers(r.topo, faulty, peer) {
 		return false
 	}
 	lc := r.lcs[peer]
@@ -309,8 +358,12 @@ func (r *Router) requestCoverage(i int, comp linecard.Component, rate float64, t
 	r.im.coverageRequests.Inc()
 	r.ctrl[i].RequestData(req, func(peer int) {
 		// A fault may have landed while the handshake was in flight;
-		// re-validate before committing.
-		if r.bus.Failed() || !r.qualifiesHealth(peer, i, comp, lc.Protocol()) {
+		// re-validate before committing. The capacity check must repeat
+		// too: the donor admitted at REQ_D time, but a concurrent
+		// handshake may have committed an LP against the same spare
+		// capacity since — without this, two in-flight REQ_Ds can
+		// oversubscribe ψ.
+		if r.bus.Failed() || !r.qualifiesHealth(peer, i, comp, lc.Protocol()) || r.spare(peer) < rate {
 			return
 		}
 		if r.cover[i] != nil {

@@ -3,6 +3,7 @@ package router
 import (
 	"repro/internal/linecard"
 	"repro/internal/packet"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -130,7 +131,8 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 	fromLC := in // the LC that will inject cells into the fabric
 	if ingressNeedsCover {
 		b := r.cover[in]
-		if r.bus == nil || b == nil || r.bus.Failed() || !inLC.OnEIB() {
+		if r.bus == nil || b == nil || r.bus.Failed() || !inLC.OnEIB() ||
+			!r.topo.Connected(topology.PlaneSpare, in, b.peer) {
 			return r.dropped(&rep, "ingress fault uncovered")
 		}
 		rep.IngressVia = b.peer
@@ -148,14 +150,17 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 		// Plain fabric path from fromLC to out.
 		return r.viaFabric(&rep, p, fromLC, out, pickKind(rep, PathFabric))
 
-	case r.cfg.Arch != linecard.DRA || r.bus == nil || r.bus.Failed() || !outLC.OnEIB():
+	case r.cfg.Arch != linecard.DRA || r.bus == nil || r.bus.Failed() || !outLC.OnEIB() ||
+		!r.topo.Up(topology.PlaneSpare, out):
 		return r.dropped(&rep, "egress fault uncovered")
 
 	case outLC.Failed(linecard.PDLU):
-		// Case 3, PDLU: same-protocol ingress goes EIB-direct; otherwise
-		// find an intermediate LC of the egress protocol.
+		// Case 3, PDLU: same-protocol ingress goes EIB-direct (when the
+		// spare plane links the pair); otherwise find an intermediate LC
+		// of the egress protocol.
 		srcForDirect := r.lcs[fromLC]
-		if srcForDirect.Protocol() == outLC.Protocol() && srcForDirect.Healthy(linecard.PDLU) {
+		if srcForDirect.Protocol() == outLC.Protocol() && srcForDirect.Healthy(linecard.PDLU) &&
+			r.topo.Connected(topology.PlaneSpare, fromLC, out) {
 			r.m.ViaEIB++
 			r.im.detours.Inc()
 			return r.delivered(&rep, pickKind(rep, PathEgressDirect), out, p)
@@ -180,9 +185,13 @@ func (r *Router) Deliver(p *packet.Packet) PathReport {
 	case outLC.Failed(linecard.SRU):
 		// Case 3, SRU: the sender keeps the packet whole and ships it
 		// over the EIB to the egress PDLU. The sender's SRU must be
-		// healthy to have produced the reassembled stream.
+		// healthy to have produced the reassembled stream, and the spare
+		// plane must link the pair.
 		if !r.lcs[fromLC].Healthy(linecard.SRU) {
 			return r.dropped(&rep, "no healthy SRU on sending side")
+		}
+		if !r.topo.Connected(topology.PlaneSpare, fromLC, out) {
+			return r.dropped(&rep, "spare plane severed")
 		}
 		r.m.ViaEIB++
 		r.im.detours.Inc()
@@ -216,9 +225,10 @@ func (r *Router) resolve(in int, addr uint32) (dst int, remoteVia int, dropReaso
 		return 0, -1, "LFE failed, no lookup coverage"
 	}
 	// Synchronous model of the REQ_L/REP_L exchange: the first healthy
-	// peer LFE answers. Control packets are accounted on the bus.
+	// spare-plane-reachable peer LFE answers. Control packets are
+	// accounted on the bus.
 	for j, peer := range r.lcs {
-		if j == in || !peer.CanCoverLookup() {
+		if j == in || !peer.CanCoverLookup() || !r.policy.Covers(r.topo, in, j) {
 			continue
 		}
 		d, err := peer.Lookup(addr)
@@ -232,15 +242,19 @@ func (r *Router) resolve(in int, addr uint32) (dst int, remoteVia int, dropReaso
 }
 
 // pickInter chooses an intermediate LC for Case 3 PDLU coverage: it must
-// speak the egress protocol, have healthy PDLU/SRU and bus controller, and
-// not be the faulty or sending LC. The lowest qualified index wins —
-// deterministic, standing in for the first REP_D winner.
+// speak the egress protocol, have healthy PDLU/SRU and bus controller,
+// be data-plane-reachable from the sender (the fabric leg) and spare-
+// plane-connected to the faulty egress (the EIB leg), and not be the
+// faulty or sending LC. The lowest qualified index wins — deterministic,
+// standing in for the first REP_D winner.
 func (r *Router) pickInter(proto packet.Protocol, faulty, sender int) int {
 	for j, lc := range r.lcs {
 		if j == faulty || j == sender {
 			continue
 		}
-		if lc.CanCoverPDLU(proto) && lc.Healthy(linecard.SRU) {
+		if lc.CanCoverPDLU(proto) && lc.Healthy(linecard.SRU) &&
+			r.topo.Connected(topology.PlaneData, sender, j) &&
+			r.topo.Connected(topology.PlaneSpare, j, faulty) {
 			return j
 		}
 	}
@@ -249,8 +263,19 @@ func (r *Router) pickInter(proto packet.Protocol, faulty, sender int) int {
 
 // viaFabric segments the packet and runs its cells across the fabric from
 // src to dst, reassembling at the destination. If the fabric refuses (dead
-// card or port), DRA falls back to the EIB data lines.
+// card or port) or the topology's data plane is severed between the two,
+// DRA falls back to the EIB data lines.
 func (r *Router) viaFabric(rep *PathReport, p *packet.Packet, src, dst int, kind PathKind) PathReport {
+	if !r.topo.Connected(topology.PlaneData, src, dst) {
+		// The interconnect itself is partitioned; no cell ever reaches the
+		// fabric. DRA detours over the spare plane when it links the pair.
+		if r.eibReaches(src, dst) {
+			r.m.ViaEIB++
+			r.im.detours.Inc()
+			return r.delivered(rep, PathEIBFallback, dst, p)
+		}
+		return r.dropped(rep, "data plane severed")
+	}
 	tmp := *p
 	tmp.SrcLC = src
 	tmp.DstLC = dst
@@ -261,14 +286,12 @@ func (r *Router) viaFabric(rep *PathReport, p *packet.Packet, src, dst int, kind
 		if _, err := r.fab.Transfer(c); err != nil {
 			// Case 1 failure beyond redundancy, or a dead fabric port:
 			// DRA reroutes over the EIB; BDR loses the packet.
-			if r.cfg.Arch == linecard.DRA && r.bus != nil && !r.bus.Failed() &&
-				r.lcs[src].OnEIB() && r.lcs[dst].OnEIB() {
-				r.reasm[dst].Abort(c.PacketID)
+			r.reasm[dst].Abort(c.PacketID)
+			if r.eibReaches(src, dst) {
 				r.m.ViaEIB++
 				r.im.detours.Inc()
 				return r.delivered(rep, PathEIBFallback, dst, p)
 			}
-			r.reasm[dst].Abort(c.PacketID)
 			return r.dropped(rep, "fabric transfer failed")
 		}
 		done, err := r.reasm[dst].Add(c)
@@ -280,6 +303,15 @@ func (r *Router) viaFabric(rep *PathReport, p *packet.Packet, src, dst int, kind
 		}
 	}
 	return r.delivered(rep, kind, dst, p)
+}
+
+// eibReaches reports whether the EIB data lines can carry a detour from
+// src to dst: DRA, healthy lines, both controllers attached, and the
+// topology's spare plane connecting the pair.
+func (r *Router) eibReaches(src, dst int) bool {
+	return r.cfg.Arch == linecard.DRA && r.bus != nil && !r.bus.Failed() &&
+		r.lcs[src].OnEIB() && r.lcs[dst].OnEIB() &&
+		r.topo.Connected(topology.PlaneSpare, src, dst)
 }
 
 func (r *Router) delivered(rep *PathReport, kind PathKind, egress int, p *packet.Packet) PathReport {

@@ -154,12 +154,16 @@ type Injector struct {
 	repairFn func()
 	// compBuf is the scratch failed-component list reused by repairs.
 	compBuf []linecard.Component
+	// unitBuf is the scratch failed-topology-unit list reused by repairs.
+	unitBuf []int
 }
 
-// lifetime is one armed component (or EIB-lines) time-to-failure.
+// lifetime is one armed component, EIB-lines, or topology-unit
+// time-to-failure.
 type lifetime struct {
-	lc       int                // -1 for the EIB passive lines
+	lc       int                // -1 for the EIB passive lines and topology units
 	comp     linecard.Component // valid when lc >= 0
+	unit     int                // topology unit index, or -1
 	trueRate float64
 	simRate  float64
 	armedAt  sim.Time
@@ -224,6 +228,14 @@ func (inj *Injector) Start() {
 	if r.cfg.Arch == linecard.DRA {
 		inj.armBus()
 	}
+	// Topology interconnect units (mesh routers, crossbar crosspoints,
+	// fat-tree switches and their links) fail at the passive-interconnect
+	// rate. The bus topology has no units, so this loop is empty there
+	// and the RNG draw sequence stays byte-identical to the pre-topology
+	// injector.
+	for u := 0; u < r.topo.Units(); u++ {
+		inj.armUnit(u)
+	}
 }
 
 // newLifetime takes a lifetime record from the free list or allocates one,
@@ -256,7 +268,7 @@ func (inj *Injector) arm(lc int, c linecard.Component, rate float64) {
 		return
 	}
 	lt := inj.newLifetime()
-	lt.lc, lt.comp = lc, c
+	lt.lc, lt.comp, lt.unit = lc, c, -1
 	lt.trueRate, lt.simRate = rate, rate
 	lt.armedAt = inj.r.k.Now()
 	inj.pending = append(inj.pending, lt)
@@ -269,7 +281,22 @@ func (inj *Injector) armBus() {
 		return
 	}
 	lt := inj.newLifetime()
-	lt.lc, lt.comp = -1, 0
+	lt.lc, lt.comp, lt.unit = -1, 0, -1
+	lt.trueRate, lt.simRate = inj.rates.Bus, inj.rates.Bus
+	lt.armedAt = inj.r.k.Now()
+	inj.pending = append(inj.pending, lt)
+	inj.schedule(lt)
+}
+
+// armUnit registers and schedules the next failure of topology unit u.
+// Interconnect elements share the EIB passive-lines rate λ_BUS — they
+// are the same class of hardware (backplane traces, switch silicon).
+func (inj *Injector) armUnit(u int) {
+	if inj.rates.Bus <= 0 {
+		return
+	}
+	lt := inj.newLifetime()
+	lt.lc, lt.comp, lt.unit = -1, 0, u
 	lt.trueRate, lt.simRate = inj.rates.Bus, inj.rates.Bus
 	lt.armedAt = inj.r.k.Now()
 	inj.pending = append(inj.pending, lt)
@@ -288,9 +315,16 @@ func (inj *Injector) fire(lt *lifetime) {
 	r := inj.r
 	inj.closeSegment(lt, true)
 	inj.remove(lt)
-	lc, comp := lt.lc, lt.comp
+	lc, comp, unit := lt.lc, lt.comp, lt.unit
 	inj.release(lt)
-	if lc < 0 {
+	if unit >= 0 {
+		if r.topo.UnitFailed(unit) {
+			// Already failed through an external injection; the repair
+			// path rearms it.
+			return
+		}
+		r.FailTopoUnit(unit)
+	} else if lc < 0 {
 		if r.bus.Failed() {
 			// Already failed through an external injection; the repair
 			// path rearms it.
@@ -421,6 +455,13 @@ func (inj *Injector) scheduleRepair() {
 			if r.bus != nil && r.bus.Failed() {
 				r.RepairBus()
 				inj.armBus()
+			}
+			// Then the interconnect units, so data/spare reachability is
+			// back before component coverage reconciles.
+			inj.unitBuf = r.topo.FailedUnitsAppend(inj.unitBuf[:0])
+			for _, u := range inj.unitBuf {
+				r.RepairTopoUnit(u)
+				inj.armUnit(u)
 			}
 			for i, lc := range r.lcs {
 				inj.compBuf = lc.FailedComponentsAppend(inj.compBuf[:0])

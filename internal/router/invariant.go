@@ -190,10 +190,10 @@ func (r *Router) repairMonotonic(action string, before, after int) {
 }
 
 // failedUnits counts failed components across all LCs plus the EIB
-// lines — the fault-state magnitude the repair-monotonicity check
-// watches.
+// lines plus failed topology units — the fault-state magnitude the
+// repair-monotonicity check watches.
 func (r *Router) failedUnits() int {
-	n := 0
+	n := r.topo.FailedUnits()
 	for _, lc := range r.lcs {
 		n += len(lc.FailedComponents())
 	}

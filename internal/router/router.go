@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -52,6 +53,13 @@ type Config struct {
 	// Bus configures the EIB (DRA only); zero value selects
 	// eib.DefaultBusConfig.
 	Bus eib.BusConfig
+	// Topology selects the interconnect graph the fabric and EIB are
+	// structured over; the zero value is the paper's bus (both planes
+	// perfect chassis-wide hubs, no interior failure modes).
+	Topology topology.Spec
+	// Policy decides which peers may extend spare-channel coverage over
+	// the topology's spare plane; nil selects topology.DefaultPolicy.
+	Policy topology.SparePolicy
 	// Seed drives all stochastic behaviour (CSMA/CD backoff, fault
 	// injection).
 	Seed uint64
@@ -99,6 +107,12 @@ type Router struct {
 	rp   *forwarding.RouteProcessor
 	bus  *eib.Bus          // nil under BDR
 	ctrl []*eib.Controller // nil under BDR
+
+	// topo is the interconnect graph both planes' reachability questions
+	// are answered against; policy is the spare-channeling rule over its
+	// spare plane. Never nil.
+	topo   *topology.Graph
+	policy topology.SparePolicy
 
 	// cover[i] is the established data-coverage binding for LC i, nil
 	// when LC i needs no coverage or none could be established.
@@ -237,6 +251,14 @@ func New(cfg Config) (*Router, error) {
 		cfg.Bus.MaxBackoffExp = def.MaxBackoffExp
 	}
 
+	topo, err := topology.New(cfg.Topology, n)
+	if err != nil {
+		return nil, fmt.Errorf("router: topology: %w", err)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = topology.DefaultPolicy()
+	}
+
 	rng := cfg.Source
 	if rng == nil {
 		rng = xrand.New(cfg.Seed)
@@ -246,6 +268,8 @@ func New(cfg Config) (*Router, error) {
 		k:       sim.NewKernel(),
 		rng:     rng,
 		rp:      forwarding.NewRouteProcessor(),
+		topo:    topo,
+		policy:  cfg.Policy,
 		cover:   make([]*binding, n),
 		offered: make([]float64, n),
 		reasm:   make([]*packet.Reassembler, n),
@@ -314,10 +338,11 @@ func (r *Router) wireController(i int) {
 }
 
 // qualifies is the processing-tier admission check an LC applies to a
-// REQ_D: component health, protocol compatibility for PDLU faults, and
-// spare capacity ψ = c_LC − L·c_LC against already-promised coverage.
+// REQ_D: spare-plane reachability (the topology policy), component
+// health, protocol compatibility for PDLU faults, and spare capacity
+// ψ = c_LC − L·c_LC against already-promised coverage.
 func (r *Router) qualifies(self, faulty int, comp linecard.Component, proto packet.Protocol, rate float64) bool {
-	if self == faulty {
+	if !r.policy.Covers(r.topo, faulty, self) {
 		return false
 	}
 	lc := r.lcs[self]
@@ -371,6 +396,14 @@ func (r *Router) LC(i int) *linecard.LC { return r.lcs[i] }
 
 // Fabric returns the switching fabric.
 func (r *Router) Fabric() *fabric.Fabric { return r.fab }
+
+// Topology returns the interconnect graph. Fault state mutated through
+// it directly bypasses coverage reconciliation; use FailTopoUnit and
+// RepairTopoUnit instead.
+func (r *Router) Topology() *topology.Graph { return r.topo }
+
+// Policy returns the active spare-channeling policy.
+func (r *Router) Policy() topology.SparePolicy { return r.policy }
 
 // Bus returns the EIB (nil under BDR).
 func (r *Router) Bus() *eib.Bus { return r.bus }

@@ -1,0 +1,168 @@
+package router
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Router-level half of the bus-equivalence pin (the byte-identical MC
+// checkpoint in internal/montecarlo is the other half): routing every
+// bus query through the topology graph must leave the router's observable
+// behavior — metrics, service verdicts, fault trajectories — exactly
+// what the seed's bus-specific code produced, and must not cost an
+// allocation on the CanDeliverCached hot path on any topology.
+
+// newTopoRouter builds an N/M DRA router on the given topology spec.
+func newTopoRouter(t *testing.T, spec topology.Spec, n, m int, seed uint64) *Router {
+	t.Helper()
+	cfg := UniformConfig(linecard.DRA, n, m)
+	cfg.Topology = spec
+	cfg.Seed = seed
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InstallUniformRoutes()
+	return r
+}
+
+// churn drives an identical seeded fault/repair/traffic script against
+// the router and returns its final metrics and service vector.
+func churn(t *testing.T, r *Router) (Metrics, []bool) {
+	t.Helper()
+	for i := 0; i < r.NumLCs(); i++ {
+		r.SetOfferedLoad(i, 0.25*r.LC(i).Capacity())
+	}
+	inj, err := NewInjector(r, FaultRates{
+		PDLU: 0.003, SRU: 0.004, LFE: 0.002, BC: 0.002, Bus: 0.002, Repair: 0.04,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	k := r.Kernel()
+	id := uint64(0)
+	for step := 1; step <= 50; step++ {
+		k.RunUntil(sim.Time(step * 200))
+		for i := 0; i < r.NumLCs(); i++ {
+			id++
+			r.Deliver(pkt(id, i, (i+2)%r.NumLCs()))
+		}
+	}
+	up := make([]bool, r.NumLCs())
+	for i := range up {
+		up[i] = r.CanDeliverCached(i)
+	}
+	return r.Metrics(), up
+}
+
+// TestBusThroughGraphBehaviorIdentical: the zero-value spec (the seed
+// world) and every explicit bus spelling must produce the identical
+// fault trajectory, metrics, and service vector — same RNG stream, same
+// decisions, no graph overhead observable in behavior.
+func TestBusThroughGraphBehaviorIdentical(t *testing.T) {
+	base, baseUp := churn(t, newTopoRouter(t, topology.Spec{}, 9, 4, 77))
+	for _, spelled := range []string{"bus", "BUS"} {
+		m, up := churn(t, newTopoRouter(t, topology.Spec{Kind: spelled}, 9, 4, 77))
+		if !reflect.DeepEqual(m, base) {
+			t.Fatalf("kind %q diverged from the zero spec:\nbase %+v\ngot  %+v", spelled, base, m)
+		}
+		for i := range up {
+			if up[i] != baseUp[i] {
+				t.Fatalf("kind %q: CanDeliver(%d) = %v, zero spec says %v", spelled, i, up[i], baseUp[i])
+			}
+		}
+	}
+}
+
+// TestCanDeliverCachedAllocFreeAllTopologies pins the memoized service
+// predicate to zero allocations per poll on every topology — including
+// polls that cross a topology-version bump, which trigger the graph's
+// component-label rebuild into its construction-time buffers.
+func TestCanDeliverCachedAllocFreeAllTopologies(t *testing.T) {
+	skipUnderRace(t)
+	specs := map[string]topology.Spec{
+		"bus":      {},
+		"crossbar": {Kind: "crossbar"},
+		"mesh":     {Kind: "mesh"},
+		"fattree":  {Kind: "fattree"},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			r := newTopoRouter(t, spec, 9, 4, 5)
+			settle(r)
+			poll := func() {
+				for i := 0; i < r.NumLCs(); i++ {
+					r.CanDeliverCached(i)
+				}
+			}
+			poll() // warm the memo slice
+			if n := testing.AllocsPerRun(500, poll); n != 0 {
+				t.Fatalf("steady-state CanDeliverCached allocates %v per sweep, want 0", n)
+			}
+			g := r.Topology()
+			if g.Units() == 0 {
+				return
+			}
+			// Fault churn: each run fails a unit, polls (forcing a memo
+			// miss and a reachability rebuild), repairs, and polls again.
+			u := 0
+			churnPoll := func() {
+				r.FailTopoUnit(u % g.Units())
+				poll()
+				r.RepairTopoUnit(u % g.Units())
+				poll()
+				u++
+			}
+			churnPoll() // warm the repair path
+			if n := testing.AllocsPerRun(200, churnPoll); n != 0 {
+				t.Fatalf("fault-churn CanDeliverCached allocates %v per cycle, want 0", n)
+			}
+		})
+	}
+}
+
+// TestGraphDeliveryAllocFree extends the seed's zero-alloc delivery gate
+// to the non-bus topologies: the graph reachability consults on the
+// packet path (data-plane pre-check, spare-plane guards) must stay
+// allocation-free.
+func TestGraphDeliveryAllocFree(t *testing.T) {
+	skipUnderRace(t)
+	for _, kind := range []string{"crossbar", "mesh", "fattree"} {
+		t.Run(kind, func(t *testing.T) {
+			r := newTopoRouter(t, topology.Spec{Kind: kind}, 6, 3, 5)
+			settle(r)
+			p := packet.Get()
+			defer packet.Release(p)
+			id := uint64(0)
+			deliver := func() {
+				for dst := 1; dst < 4; dst++ {
+					id++
+					*p = packet.Packet{
+						ID:    id,
+						SrcLC: 0,
+						DstIP: workload.PrefixFor(dst) | 0x123,
+						DstLC: -1,
+						Proto: packet.ProtoEthernet,
+						Bytes: 1500,
+					}
+					if rep := r.Deliver(p); rep.Kind != PathFabric {
+						t.Fatalf("fault-free delivery took %v", rep.Kind)
+					}
+				}
+			}
+			for i := 0; i < 16; i++ {
+				deliver()
+			}
+			if n := testing.AllocsPerRun(200, deliver); n != 0 {
+				t.Fatalf("steady-state Deliver on %s allocates %v per 3 packets, want 0", kind, n)
+			}
+		})
+	}
+}

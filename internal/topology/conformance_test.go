@@ -1,0 +1,313 @@
+package topology_test
+
+// The cross-topology conformance wall: every registered interconnect
+// kind must run the full invariant catalog (lp-unique, ctr-agreement,
+// binding-lp, coverage-spare, coverage-protocol, packet-conservation,
+// repair-monotonic) clean through a seeded fault-injector soak AND a
+// scripted chaos campaign. The table below is the registration point —
+// adding a topology generator without adding it here is a test failure
+// by construction (TestConformanceTableCoversAllKinds).
+//
+// The suite runs in CI both plain and under -race.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/invariant"
+	"repro/internal/linecard"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// conformanceCase is one registered topology under test.
+type conformanceCase struct {
+	name string
+	spec topology.Spec
+}
+
+// conformanceTable enumerates every topology kind the wall pins. N=9,
+// M=4 matches the paper's headline configuration; the specs lean on
+// Normalize defaults (3×3 mesh, k=4 fat-tree) exactly as job specs do.
+var conformanceTable = []conformanceCase{
+	{"bus", topology.Spec{}},
+	{"crossbar", topology.Spec{Kind: "crossbar"}},
+	{"mesh", topology.Spec{Kind: "mesh"}},
+	{"fattree", topology.Spec{Kind: "fattree"}},
+}
+
+const (
+	confN = 9
+	confM = 4
+)
+
+// TestConformanceTableCoversAllKinds fails when a new Kind is added to
+// the topology package without a conformance row — the wall must grow
+// with the registry.
+func TestConformanceTableCoversAllKinds(t *testing.T) {
+	covered := map[topology.Kind]bool{}
+	for _, c := range conformanceTable {
+		k, err := topology.ParseKind(c.spec.Kind)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		covered[k] = true
+	}
+	for _, k := range topology.Kinds() {
+		if !covered[k] {
+			t.Errorf("topology kind %v has no conformance-wall row", k)
+		}
+	}
+}
+
+// confRouter builds an N=9/M=4 DRA router on the case's topology with
+// routes installed and a moderate uniform load.
+func confRouter(t *testing.T, c conformanceCase, seed uint64) *router.Router {
+	t.Helper()
+	cfg := router.UniformConfig(linecard.DRA, confN, confM)
+	cfg.Topology = c.spec
+	cfg.Seed = seed
+	r, err := router.New(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", c.name, err)
+	}
+	r.InstallUniformRoutes()
+	for i := 0; i < r.NumLCs(); i++ {
+		r.SetOfferedLoad(i, 0.2*r.LC(i).Capacity())
+	}
+	return r
+}
+
+func confPkt(id uint64, src, dst int) *packet.Packet {
+	return &packet.Packet{
+		ID:    id,
+		SrcLC: src,
+		DstIP: workload.PrefixFor(dst) | 0x123,
+		DstLC: -1,
+		Proto: packet.ProtoEthernet,
+		Bytes: 1500,
+	}
+}
+
+// sweep forces one invariant sweep through the kernel's after-step hook.
+func sweep(r *router.Router) {
+	r.Kernel().After(0, func() {})
+	r.Kernel().Step()
+}
+
+// TestConformanceHealthyDelivery: on every topology, the fault-free
+// data plane is fully connected — all ordered LC pairs deliver over the
+// fabric path, none fall back to the EIB or drop.
+func TestConformanceHealthyDelivery(t *testing.T) {
+	for _, c := range conformanceTable {
+		t.Run(c.name, func(t *testing.T) {
+			r := confRouter(t, c, 1)
+			r.Kernel().Run(100000)
+			id := uint64(0)
+			for src := 0; src < confN; src++ {
+				for dst := 0; dst < confN; dst++ {
+					if src == dst {
+						continue
+					}
+					id++
+					if rep := r.Deliver(confPkt(id, src, dst)); rep.Kind != router.PathFabric {
+						t.Fatalf("healthy %d→%d took %v", src, dst, rep.Kind)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceCoverageAfterFault: DRA's spare-channeling works on
+// every topology — an SRU fault is covered over the spare plane and the
+// LC keeps delivering.
+func TestConformanceCoverageAfterFault(t *testing.T) {
+	for _, c := range conformanceTable {
+		t.Run(c.name, func(t *testing.T) {
+			r := confRouter(t, c, 2)
+			r.Kernel().Run(100000)
+			r.FailComponent(1, linecard.SRU)
+			r.Kernel().Run(100000)
+			if !r.CanDeliver(1) {
+				t.Fatalf("SRU fault on LC 1 not covered on %s", c.name)
+			}
+			if rep := r.Deliver(confPkt(1, 1, 4)); rep.Kind == router.PathDropped {
+				t.Fatalf("covered LC dropped the packet on %s", c.name)
+			}
+			r.RepairLC(1)
+			r.Kernel().Run(100000)
+		})
+	}
+}
+
+// TestConformanceInjectorSoak runs the seeded stochastic fault injector
+// — component, EIB, and topology-unit lifetimes with whole-router
+// repairs — against the live invariant wall on every topology. Rates
+// are inflated far above the paper's so hundreds of fault/repair cycles
+// land inside the horizon; traffic is pushed between steps so the
+// packet-conservation funnel is exercised under churn. Zero violations
+// allowed.
+func TestConformanceInjectorSoak(t *testing.T) {
+	for _, c := range conformanceTable {
+		t.Run(c.name, func(t *testing.T) {
+			r := confRouter(t, c, 7)
+			chk := invariant.New()
+			r.AttachInvariants(chk)
+			rates := router.FaultRates{
+				PDLU: 0.004, SRU: 0.005, LFE: 0.003, PIU: 0.001,
+				BC: 0.002, Bus: 0.003, Repair: 0.05,
+			}
+			inj, err := router.NewInjector(r, rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj.Start()
+			k := r.Kernel()
+			id := uint64(0)
+			horizon := sim.Time(20000)
+			for now := sim.Time(0); now < horizon; now += 200 {
+				k.RunUntil(now + 200)
+				for i := 0; i < confN; i++ {
+					id++
+					r.Deliver(confPkt(id, i, (i+3)%confN))
+				}
+			}
+			sweep(r)
+			if inj.Faults == 0 {
+				t.Fatal("soak injected no faults — the wall was never exercised")
+			}
+			if c.spec.Kind != "" && inj.Faults <= inj.Repairs {
+				t.Logf("note: %d faults / %d repairs", inj.Faults, inj.Repairs)
+			}
+			if err := chk.Err(); err != nil {
+				t.Fatalf("invariant wall violated on %s after %d faults / %d repairs: %v",
+					c.name, inj.Faults, inj.Repairs, err)
+			}
+			if n := chk.Total(); n != 0 {
+				t.Fatalf("%d violations on %s", n, c.name)
+			}
+		})
+	}
+}
+
+// confUnits returns up to max interconnect-unit indices of the case's
+// topology, spread across its unit space.
+func confUnits(t *testing.T, c conformanceCase, max int) []int {
+	t.Helper()
+	g, err := topology.New(c.spec, confN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Units()
+	if n == 0 {
+		return nil
+	}
+	if max > n {
+		max = n
+	}
+	out := make([]int, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, i*n/max)
+	}
+	return out
+}
+
+// TestConformanceChaosCampaign runs a scripted chaos campaign on every
+// topology: component faults, protocol-group wipeouts, a common-mode
+// fabric+BC event, an EIB outage, transients, topology-unit kills on
+// the kinds that have interior units, and a closing repair storm — all
+// against the invariant wall, with service assertions inline. The same
+// campaign document (modulo the topology axis and unit events) runs on
+// all kinds: dependability logic is topology-generic.
+func TestConformanceChaosCampaign(t *testing.T) {
+	for _, c := range conformanceTable {
+		t.Run(c.name, func(t *testing.T) {
+			up := true
+			ev := []chaos.Event{
+				{At: 10, Kind: "fail", LC: 1, Component: "SRU"},
+				{At: 20, Kind: "expect", LC: 1, Up: &up},
+				{At: 30, Kind: "fail-protocol-group", Protocol: "sonet", Component: "PDLU"},
+				{At: 40, Kind: "transient", LC: 2, Component: "LFE", ClearAfter: 15},
+				{At: 60, Kind: "common-mode", Sub: []chaos.Event{
+					{Kind: "fail-fabric-card", Card: 0},
+					{Kind: "fail", LC: 3, Component: "BC"},
+				}},
+				{At: 80, Kind: "fail-bus"},
+				{At: 90, Kind: "repair-bus"},
+			}
+			for i, u := range confUnits(t, c, 3) {
+				ev = append(ev,
+					chaos.Event{At: 100 + 10*float64(i), Kind: "fail-unit", Unit: u},
+				)
+			}
+			ev = append(ev,
+				chaos.Event{At: 150, Kind: "repair-storm"},
+				chaos.Event{At: 160, Kind: "expect", LC: 1, Up: &up},
+				chaos.Event{At: 160, Kind: "expect", LC: 5, Up: &up},
+			)
+			camp := chaos.Campaign{
+				Name:    fmt.Sprintf("conformance-%s", c.name),
+				N:       confN,
+				M:       confM,
+				Seed:    42,
+				Load:    0.2,
+				Horizon: 200,
+				Events:  ev,
+			}
+			if c.spec != (topology.Spec{}) {
+				sp := c.spec
+				camp.Topology = &sp
+			}
+			res, err := chaos.Run(camp, chaos.Options{})
+			if err != nil {
+				t.Fatalf("campaign on %s: %v", c.name, err)
+			}
+			if err := res.Err(); err != nil {
+				t.Fatalf("campaign on %s failed: %v", c.name, err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%d violations on %s", len(res.Violations), c.name)
+			}
+		})
+	}
+}
+
+// TestConformanceUnitChurnKeepsWallQuiet kills and repairs every single
+// interconnect unit one at a time on each non-bus topology, sweeping
+// the wall after each transition. Repair monotonicity and coverage
+// consistency must hold at every step, including full-partition states.
+func TestConformanceUnitChurnKeepsWallQuiet(t *testing.T) {
+	for _, c := range conformanceTable {
+		if c.spec == (topology.Spec{}) {
+			continue // the bus has no interior units
+		}
+		t.Run(c.name, func(t *testing.T) {
+			r := confRouter(t, c, 3)
+			chk := invariant.New()
+			r.AttachInvariants(chk)
+			r.Kernel().Run(100000)
+			g := r.Topology()
+			id := uint64(0)
+			for u := 0; u < g.Units(); u++ {
+				r.FailTopoUnit(u)
+				r.Kernel().Run(100000)
+				for i := 0; i < confN; i++ {
+					id++
+					r.Deliver(confPkt(id, i, (i+1)%confN))
+				}
+				sweep(r)
+				r.RepairTopoUnit(u)
+				r.Kernel().Run(100000)
+				sweep(r)
+			}
+			if err := chk.Err(); err != nil {
+				t.Fatalf("unit churn violated the wall on %s: %v", c.name, err)
+			}
+		})
+	}
+}

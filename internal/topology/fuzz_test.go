@@ -1,0 +1,214 @@
+package topology_test
+
+// FuzzTopology drives graph construction and spare-policy application
+// from raw bytes: arbitrary (possibly malformed) specs, out-of-range
+// dimensions, degenerate fat-tree arities, flag-syntax strings, and a
+// fault/repair/query script over the built graph. The harness asserts
+// the structural properties every generator must satisfy:
+//
+//   - Validate/Normalize/New never panic and agree (a validated spec
+//     always builds; Normalize output re-validates clean);
+//   - a fresh graph is fully connected on both planes;
+//   - Connected is symmetric and implies both endpoints Up;
+//   - the version counter moves exactly on state changes;
+//   - the spare policy is irreflexive and consistent with the spare
+//     plane;
+//   - fault-state queries are order-independent: the same failed-unit
+//     set reached through any fail/repair interleaving yields the same
+//     reachability matrix;
+//   - RepairAllUnits restores the pristine matrix.
+//
+// The committed corpus under testdata/fuzz/FuzzTopology pins the
+// shapes that matter: partition scripts, orphan-spare kills, k too
+// small or odd, junk kinds. Wired into `make fuzz-smoke`.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// fuzzSpec decodes the spec header from the first five bytes.
+func fuzzSpec(data []byte) (topology.Spec, int) {
+	kinds := []string{"", "bus", "crossbar", "mesh", "fattree", "xbar", "fat-tree", "ring"}
+	sp := topology.Spec{
+		Kind: kinds[int(data[0])%len(kinds)],
+		Rows: int(int8(data[1])),
+		Cols: int(int8(data[2])),
+		K:    int(int8(data[3])),
+	}
+	n := int(data[4]) % 40
+	return sp, n
+}
+
+func FuzzTopology(f *testing.F) {
+	// Defaulted mesh with a partition script.
+	f.Add([]byte{3, 0, 0, 0, 9, 0, 1, 0, 4, 0, 7, 2, 0x13, 2, 0x38})
+	// Degenerate fat-trees: k=1 (odd), k=-2, k=0 with tiny n.
+	f.Add([]byte{4, 0, 0, 1, 9})
+	f.Add([]byte{4, 0, 0, 0xFE, 9})
+	f.Add([]byte{4, 0, 0, 0, 2})
+	// Crossbar orphan-spare shape: kill links around endpoint 0.
+	f.Add([]byte{2, 0, 0, 0, 6, 0, 0, 0, 1, 0, 2, 2, 0x05})
+	// Contradictory dims on a bus; junk kind.
+	f.Add([]byte{1, 3, 3, 0, 6})
+	f.Add([]byte{7, 0, 0, 0, 9})
+	// Mesh with explicit dims too small for n.
+	f.Add([]byte{3, 2, 2, 0, 9})
+	// Flag-syntax tail.
+	f.Add(append([]byte{3, 0, 0, 0, 12, 3}, []byte("mesh:3x4")...))
+	f.Add(append([]byte{4, 0, 0, 0, 12, 3}, []byte("fattree:17")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 || len(data) > 512 {
+			t.Skip("header short or script too long")
+		}
+		sp, n := fuzzSpec(data)
+		script := data[5:]
+
+		// Validation must be total and Normalize must be a fixpoint of it.
+		err := sp.Validate(n)
+		g, nerr := topology.New(sp, n)
+		if err != nil {
+			if nerr == nil {
+				t.Fatalf("spec %+v n=%d: Validate rejects (%v) but New builds", sp, n, err)
+			}
+			return
+		}
+		if nerr != nil {
+			t.Fatalf("spec %+v n=%d: Validate accepts but New fails: %v", sp, n, nerr)
+		}
+		norm := sp.Normalize(n)
+		if verr := norm.Validate(n); verr != nil {
+			t.Fatalf("Normalize(%+v) = %+v fails Validate: %v", sp, norm, verr)
+		}
+
+		// A slice of the script doubles as a -topology flag string.
+		if len(script) > 0 && script[0] == 3 {
+			if fsp, ferr := topology.ParseFlag(string(script[1:])); ferr == nil {
+				if fsp.Validate(40) == nil {
+					if _, err := topology.New(fsp, 40); err != nil {
+						t.Fatalf("ParseFlag(%q) validates but does not build: %v", script[1:], err)
+					}
+				}
+			}
+			script = script[1:]
+		}
+
+		checkPristine(t, g)
+		pol := topology.DefaultPolicy()
+
+		// Replay the fault/repair/query script.
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]%4, int(script[i+1])
+			before := g.Version()
+			switch op {
+			case 0: // fail unit
+				if g.Units() == 0 {
+					continue
+				}
+				u := arg % g.Units()
+				was := g.UnitFailed(u)
+				changed := g.FailUnit(u)
+				if changed == was {
+					t.Fatalf("FailUnit(%d) changed=%v but already failed=%v", u, changed, was)
+				}
+				if changed == (g.Version() == before) {
+					t.Fatalf("FailUnit(%d): changed=%v but version %d→%d", u, changed, before, g.Version())
+				}
+			case 1: // repair unit
+				if g.Units() == 0 {
+					continue
+				}
+				u := arg % g.Units()
+				was := g.UnitFailed(u)
+				changed := g.RepairUnit(u)
+				if changed != was {
+					t.Fatalf("RepairUnit(%d) changed=%v but was failed=%v", u, changed, was)
+				}
+				if changed == (g.Version() == before) {
+					t.Fatalf("RepairUnit(%d): changed=%v but version %d→%d", u, changed, before, g.Version())
+				}
+			case 2: // connectivity probe
+				i1, j1 := arg%g.Endpoints(), (arg/7)%g.Endpoints()
+				for _, pl := range []topology.Plane{topology.PlaneData, topology.PlaneSpare} {
+					c := g.Connected(pl, i1, j1)
+					if c != g.Connected(pl, j1, i1) {
+						t.Fatalf("%v Connected(%d,%d) asymmetric", pl, i1, j1)
+					}
+					if c && i1 != j1 && (!g.Up(pl, i1) || !g.Up(pl, j1)) {
+						t.Fatalf("%v Connected(%d,%d) but an endpoint is down", pl, i1, j1)
+					}
+				}
+			case 3: // policy probe
+				fa, do := arg%g.Endpoints(), (arg/11)%g.Endpoints()
+				c := pol.Covers(g, fa, do)
+				if fa == do && c {
+					t.Fatalf("policy lets LC %d cover itself", fa)
+				}
+				if c && !g.Connected(topology.PlaneSpare, fa, do) {
+					t.Fatalf("Covers(%d,%d) without a spare-plane path", fa, do)
+				}
+			}
+		}
+
+		// Order independence: a fresh graph with the same final failed
+		// set must answer every query identically.
+		failed := g.FailedUnitsAppend(nil)
+		g2 := topology.MustNew(sp, n)
+		for _, u := range failed {
+			g2.FailUnit(u)
+		}
+		if d := matrixDiff(g, g2); d != "" {
+			t.Fatalf("fault-state order dependence: %s", d)
+		}
+
+		// Full repair restores the pristine matrix.
+		g.RepairAllUnits()
+		if g.FailedUnits() != 0 {
+			t.Fatalf("RepairAllUnits left %d failed units", g.FailedUnits())
+		}
+		checkPristine(t, g)
+	})
+}
+
+// checkPristine asserts a fault-free graph is fully connected on both
+// planes with every unit healthy.
+func checkPristine(t *testing.T, g *topology.Graph) {
+	t.Helper()
+	for u := 0; u < g.Units(); u++ {
+		if g.UnitFailed(u) {
+			t.Fatalf("pristine graph has failed unit %s", g.UnitName(u))
+		}
+	}
+	for _, pl := range []topology.Plane{topology.PlaneData, topology.PlaneSpare} {
+		for i := 0; i < g.Endpoints(); i++ {
+			if !g.Up(pl, i) {
+				t.Fatalf("pristine %v endpoint %d down", pl, i)
+			}
+			for j := i; j < g.Endpoints(); j++ {
+				if !g.Connected(pl, i, j) {
+					t.Fatalf("pristine %v %d↮%d", pl, i, j)
+				}
+			}
+		}
+	}
+}
+
+// matrixDiff compares two graphs' full reachability matrices.
+func matrixDiff(a, b *topology.Graph) string {
+	for _, pl := range []topology.Plane{topology.PlaneData, topology.PlaneSpare} {
+		for i := 0; i < a.Endpoints(); i++ {
+			if a.Up(pl, i) != b.Up(pl, i) {
+				return fmt.Sprintf("%v Up(%d): %v vs %v", pl, i, a.Up(pl, i), b.Up(pl, i))
+			}
+			for j := 0; j < a.Endpoints(); j++ {
+				if a.Connected(pl, i, j) != b.Connected(pl, i, j) {
+					return fmt.Sprintf("%v Connected(%d,%d): %v vs %v", pl, i, j, a.Connected(pl, i, j), b.Connected(pl, i, j))
+				}
+			}
+		}
+	}
+	return ""
+}

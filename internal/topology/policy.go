@@ -1,0 +1,43 @@
+package topology
+
+// SparePolicy decides which donor endpoints may extend coverage to a
+// faulty endpoint, given the graph's reachability under the active
+// failure set. This is DRA's spare-channeling rule lifted out of the
+// router's bus-specific code and expressed over the topology: the
+// router composes a policy verdict with its own protocol/health/
+// capacity qualification (the paper's Section 3.2 admission checks),
+// while the policy owns the purely topological half of the decision.
+//
+// Policies must be pure functions of the graph state — no allocation,
+// no mutation — because the router consults them on the fault-
+// reconciliation path and inside the memoized service predicate.
+type SparePolicy interface {
+	// Name labels the policy in docs and traces.
+	Name() string
+	// Covers reports whether donor can extend spare-channel coverage to
+	// faulty over g's spare plane.
+	Covers(g *Graph, faulty, donor int) bool
+}
+
+// SpareChannels is the default policy: coverage rides the spare plane,
+// so a donor qualifies exactly when the spare plane connects it to the
+// faulty endpoint. On the bus topology the spare plane is a perfect
+// hub, so every pair is connected and the decision reduces to the EIB
+// health checks the seed code made — bit-identical behavior. On a mesh
+// it requires a healthy spare-lane path between the two cells; on a
+// partitioned spare plane, coverage heals within islands.
+type SpareChannels struct{}
+
+// Name implements SparePolicy.
+func (SpareChannels) Name() string { return "spare-channels" }
+
+// Covers implements SparePolicy.
+func (SpareChannels) Covers(g *Graph, faulty, donor int) bool {
+	if faulty == donor {
+		return false
+	}
+	return g.Connected(PlaneSpare, faulty, donor)
+}
+
+// DefaultPolicy returns the policy used when the router is given none.
+func DefaultPolicy() SparePolicy { return SpareChannels{} }

@@ -57,10 +57,13 @@ func DefaultRunners() map[string]jobs.Runner {
 
 // MCResult is the result document of the Monte-Carlo kinds.
 type MCResult struct {
-	Kind     string  `json:"kind"`
-	Arch     string  `json:"arch"`
-	N        int     `json:"n"`
-	M        int     `json:"m"`
+	Kind string `json:"kind"`
+	Arch string `json:"arch"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// Topology is the interconnect kind in ParseFlag shorthand; omitted
+	// for the default bus.
+	Topology string  `json:"topology,omitempty"`
 	Estimate float64 `json:"estimate"`
 	CILo     float64 `json:"ci_lo"`
 	CIHi     float64 `json:"ci_hi"`
@@ -105,6 +108,9 @@ func mcOptions(ctx context.Context, rc jobs.RunContext, sp config.Spec) (monteca
 		Workers: sp.MC.Workers, TargetRelErr: sp.MC.TargetRelErr,
 		Batch: sp.MC.Batch, CyclesPerRep: sp.MC.CyclesPerRep,
 		Ctx: ctx, Metrics: rc.Metrics,
+	}
+	if sp.Router.Topology != nil {
+		opt.Topology = *sp.Router.Topology
 	}
 	if (sp.Kind == config.KindRareEvent || sp.Kind == config.KindObservatory) && sp.MC.Delta > 0 {
 		opt.Biasing = router.Biasing{Enabled: true, Delta: sp.MC.Delta}
@@ -179,7 +185,7 @@ func runMCJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.R
 	if err != nil {
 		return nil, err
 	}
-	doc := MCResult{Kind: sp.Kind, Arch: strings.ToUpper(archName(sp.Router.Arch)), N: sp.Router.N, M: sp.Router.M}
+	doc := MCResult{Kind: sp.Kind, Arch: strings.ToUpper(archName(sp.Router.Arch)), N: sp.Router.N, M: sp.Router.M, Topology: topologyName(sp)}
 	switch sp.Kind {
 	case config.KindReliability:
 		res, err := montecarlo.EstimateReliability(opt)
@@ -228,6 +234,7 @@ type ObservatoryResult struct {
 	Arch         string  `json:"arch"`
 	N            int     `json:"n"`
 	M            int     `json:"m"`
+	Topology     string  `json:"topology,omitempty"`
 	Estimate     float64 `json:"estimate"` // unavailability point estimate
 	Availability float64 `json:"availability"`
 	CILo         float64 `json:"ci_lo"`
@@ -258,6 +265,7 @@ func runObservatoryJob(ctx context.Context, rc jobs.RunContext, spec config.Spec
 	doc := ObservatoryResult{
 		Kind: sp.Kind, Arch: strings.ToUpper(archName(sp.Router.Arch)),
 		N: sp.Router.N, M: sp.Router.M,
+		Topology:     topologyName(sp),
 		Estimate:     res.Estimate(),
 		Availability: 1 - res.Estimate(),
 		RelErr:       res.RelHalfWidth(),
@@ -274,6 +282,15 @@ func archName(s string) string {
 		return "dra"
 	}
 	return s
+}
+
+// topologyName renders a spec's topology axis for result documents;
+// empty (omitted in JSON) for the default bus interconnect.
+func topologyName(sp config.Spec) string {
+	if sp.Router.Topology == nil {
+		return ""
+	}
+	return sp.Router.Topology.String()
 }
 
 // FigureResult is the result document of the figure kind: the rendered
