@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test lint race race-all vet bench bench-smoke bench-simcore cover fuzz-smoke poolcheck chaos report examples serve-e2e serve-bench clean
+.PHONY: all check build test lint race race-all vet bench bench-smoke bench-simcore cover fuzz-smoke poolcheck chaos report examples serve-e2e serve-bench fleet-e2e fleet-bench clean
 
 all: build test
 
@@ -54,7 +54,7 @@ bench:
 # packet pool) must stay at or above COVER_MIN percent statement
 # coverage.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry ./internal/sim ./internal/packet ./internal/topology
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry ./internal/sim ./internal/packet ./internal/topology ./internal/fleet
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
@@ -109,6 +109,24 @@ report:
 # byte-compare the merged series against an uninterrupted control.
 serve-e2e:
 	$(GO) test -v -run 'TestServeE2E|TestBenchSmoke|TestObservatoryE2E|TestObservatoryBenchSmoke' ./cmd/drad
+
+# The kill-a-worker soak, under the race detector: boots a real
+# coordinator and two real workers, SIGKILLs one mid-rare-event-job,
+# and byte-compares the failover-merged result against an uninterrupted
+# standalone control. Also race-tests the lease table itself.
+fleet-e2e:
+	$(GO) test -race -v -run 'TestFleetKillWorkerE2E|TestFleetBenchSmoke' ./cmd/drad
+	$(GO) test -race ./internal/fleet/
+
+# Regenerate BENCH_fleet.json: jobs/sec scaling over 1/2/4-worker
+# fleets (the bench boots coordinator + workers itself).
+FLEET_BENCH_JOBS ?= 6
+FLEET_BENCH_REPS ?= 3072
+fleet-bench:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/drad ./cmd/drad && $(GO) build -o $$tmp/dractl ./cmd/dractl || exit 1; \
+	$$tmp/dractl bench -mode fleet -drad $$tmp/drad -jobs $(FLEET_BENCH_JOBS) -reps $(FLEET_BENCH_REPS) -out BENCH_fleet.json; rc=$$?; \
+	rm -rf $$tmp; exit $$rc
 
 # Regenerate BENCH_serve.json: cold-vs-cache-hit throughput and latency
 # percentiles against a freshly booted drad.

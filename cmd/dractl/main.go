@@ -13,9 +13,11 @@
 //	dractl top                     fleet telemetry summary (add -interval to refresh)
 //	dractl tail                    fleet-wide NDJSON telemetry live tail
 //	dractl query <id>              one job's telemetry series (-since, -limit)
+//	dractl fleet                   coordinator fleet status (workers, leases)
 //	dractl bench                   cold-vs-cache-hit load test → BENCH_serve.json
 //	dractl bench -mode observatory telemetry ingest/query bench → BENCH_observatory.json
 //	dractl bench -mode simcore     DES-core hot-path bench (local, no server) → BENCH_simcore.json
+//	dractl bench -mode fleet       worker-scaling bench (boots its own fleet) → BENCH_fleet.json
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/config"
+	"repro/internal/httpretry"
 	"repro/internal/jobs"
 )
 
@@ -49,11 +52,14 @@ func run() int {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		usageError(fmt.Errorf("want a command: submit, status, result, cancel, list, watch, top, tail, query, bench"))
+		usageError(fmt.Errorf("want a command: submit, status, result, cancel, list, watch, top, tail, query, fleet, bench"))
 	}
-	c := &client{base: trimSlash(*addr), hc: &http.Client{}}
+	hc := &http.Client{}
+	c := &client{base: trimSlash(*addr), hc: hc, rc: &httpretry.Client{HC: hc}}
 
 	switch args[0] {
+	case "fleet":
+		return cmdFleet(c, args[1:])
 	case "submit":
 		return cmdSubmit(c, args[1:])
 	case "status":
@@ -94,11 +100,15 @@ func trimSlash(s string) string {
 type client struct {
 	base string
 	hc   *http.Client
+	rc   *httpretry.Client
 }
 
-// do issues one request and returns (body, status). Transport-level
-// failures are fatal — a client that cannot reach the server at all has
-// nothing useful to print but the error.
+// do issues one request and returns (body, status). Connection errors
+// and retryable statuses (429/503, honoring Retry-After) are absorbed
+// by capped exponential backoff with jitter, so a coordinator
+// restarting mid-conversation costs a pause, not a dead CLI. Failures
+// that survive the retry budget are fatal — a client that cannot reach
+// the server at all has nothing useful to print but the error.
 func (c *client) do(method, path string, body []byte) ([]byte, int) {
 	var rd io.Reader
 	if body != nil {
@@ -111,7 +121,7 @@ func (c *client) do(method, path string, body []byte) ([]byte, int) {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.rc.Do(req)
 	if err != nil {
 		if lc.Interrupted() {
 			os.Exit(lc.Exit(0))
@@ -268,20 +278,39 @@ func cmdList(c *client) int {
 	return lc.Exit(cli.ExitOK)
 }
 
-// cmdWatch streams the job's NDJSON progress lines to stdout verbatim
-// until the job rests or the user interrupts.
-func cmdWatch(c *client, args []string) int {
-	id := oneID("watch", args)
-	req, err := http.NewRequestWithContext(lc.Context(), http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+// cmdFleet prints the coordinator's fleet status: workers, leases,
+// sharded-job progress, requeue counters.
+func cmdFleet(c *client, args []string) int {
+	if len(args) != 0 {
+		usageError(fmt.Errorf("fleet takes no arguments"))
+	}
+	data, code := c.do(http.MethodGet, "/v1/fleet", nil)
+	if code == http.StatusNotFound {
+		fatal(fmt.Errorf("server has no fleet (not running -role coordinator)"))
+	}
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+// streamLines opens a chunked NDJSON endpoint and copies its lines to
+// stdout until the stream ends. A non-200 status is fatal (the route is
+// wrong or the resource is gone, retrying won't help); a transport
+// error — typically the server restarting under the stream — returns so
+// the caller can reconnect.
+func streamLines(c *client, path string) error {
+	req, err := http.NewRequestWithContext(lc.Context(), http.MethodGet, c.base+path, nil)
 	if err != nil {
 		fatal(err)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if lc.Interrupted() {
-			return lc.Exit(0)
+			os.Exit(lc.Exit(0))
 		}
-		fatal(err)
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -293,7 +322,49 @@ func cmdWatch(c *client, args []string) int {
 	for sc.Scan() {
 		fmt.Println(sc.Text())
 	}
-	return lc.Exit(cli.ExitOK)
+	return sc.Err()
+}
+
+// reconnectWait sleeps a capped exponential backoff between stream
+// reconnect attempts; false means the user interrupted.
+func reconnectWait(attempt int) bool {
+	d := time.Duration(1<<min(attempt, 3)) * 500 * time.Millisecond
+	select {
+	case <-time.After(d):
+		return true
+	case <-lc.Context().Done():
+		return false
+	}
+}
+
+// cmdWatch streams the job's NDJSON progress lines to stdout verbatim
+// until the job rests or the user interrupts. A dropped connection —
+// the server restarting mid-watch — reconnects with backoff and keeps
+// streaming; the replayed event history makes the seam visible but
+// loses nothing.
+func cmdWatch(c *client, args []string) int {
+	id := oneID("watch", args)
+	for attempt := 0; ; attempt++ {
+		err := streamLines(c, "/v1/jobs/"+id+"/events")
+		if err == nil {
+			// Clean end of stream: the job is at rest.
+			return lc.Exit(cli.ExitOK)
+		}
+		// c.do retries internally, so reaching it means the server is
+		// back; a terminal or interrupted job has no more events coming.
+		data, code := c.do(http.MethodGet, "/v1/jobs/"+id, nil)
+		if code == http.StatusOK {
+			var snap jobs.Snapshot
+			if json.Unmarshal(data, &snap) == nil &&
+				(snap.State.Terminal() || snap.State == jobs.StateInterrupted) {
+				return lc.Exit(cli.ExitOK)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "dractl: watch stream broke (%v), reconnecting\n", err)
+		if !reconnectWait(attempt) {
+			return lc.Exit(0)
+		}
+	}
 }
 
 func oneID(cmd string, args []string) string {
@@ -357,8 +428,10 @@ func cmdBench(c *client, args []string) int {
 		return benchObservatory(c, flag.NewFlagSet("bench-observatory", flag.ExitOnError), rest)
 	case "simcore":
 		return benchSimcore(flag.NewFlagSet("bench-simcore", flag.ExitOnError), rest)
+	case "fleet":
+		return benchFleet(flag.NewFlagSet("bench-fleet", flag.ExitOnError), rest)
 	default:
-		usageError(fmt.Errorf("bench -mode %q: want serve, observatory, or simcore", mode))
+		usageError(fmt.Errorf("bench -mode %q: want serve, observatory, simcore, or fleet", mode))
 	}
 
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)

@@ -5,11 +5,9 @@ package main
 // bench mode measuring the pipeline's ingest rate and query latency.
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -112,28 +110,23 @@ func cmdTail(c *client, args []string) int {
 	if len(args) != 0 {
 		usageError(fmt.Errorf("tail takes no arguments"))
 	}
-	req, err := http.NewRequestWithContext(lc.Context(), http.MethodGet, c.base+"/v1/telemetry/tail", nil)
-	if err != nil {
-		fatal(err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
+	// The fleet tail is an indefinite stream: a dropped connection (the
+	// server restarting under the tail) reconnects with backoff and
+	// resumes; only the user's interrupt ends it.
+	for attempt := 0; ; attempt++ {
+		err := streamLines(c, "/v1/telemetry/tail")
 		if lc.Interrupted() {
 			return lc.Exit(0)
 		}
-		fatal(err)
+		if err == nil {
+			// Server closed the stream (e.g. shutdown); resume when back.
+			err = fmt.Errorf("stream closed by server")
+		}
+		fmt.Fprintf(os.Stderr, "dractl: tail stream broke (%v), reconnecting\n", err)
+		if !reconnectWait(attempt) {
+			return lc.Exit(0)
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		fatal(apiErr(body, resp.StatusCode))
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	for sc.Scan() {
-		fmt.Println(sc.Text())
-	}
-	return lc.Exit(cli.ExitOK)
 }
 
 // cmdQuery prints one job's retained series.

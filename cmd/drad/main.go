@@ -6,10 +6,22 @@
 // Monte-Carlo jobs checkpoint, queued jobs stay persisted, and a
 // restarted drad over the same -state-dir resumes them bit-identically.
 //
+// drad also runs as a fault-tolerant fleet. A coordinator owns the
+// queue and the public API but executes nothing itself; worker
+// processes claim jobs — or deterministic shards of them — under
+// time-bounded leases renewed by heartbeat. A worker killed mid-job
+// (even SIGKILL) just stops renewing: its lease expires, the
+// coordinator requeues the unit, and the next worker resumes from the
+// last heartbeat-shipped checkpoint or re-runs the shard
+// deterministically — the merged result is byte-identical to an
+// uninterrupted run.
+//
 // Usage:
 //
 //	drad -addr 127.0.0.1:8080 -state-dir /var/lib/drad
 //	drad -addr 127.0.0.1:0 -state-dir ./state -workers 4 -max-queued 256
+//	drad -role coordinator -addr 127.0.0.1:8080 -state-dir ./state
+//	drad -role worker -coordinator http://127.0.0.1:8080 -state-dir ./wstate
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 
 	dra "repro"
 	"repro/internal/cli"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -53,8 +66,21 @@ func run() int {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "result-cache disk budget in bytes; 0 = unlimited")
 		classLimits  = flag.String("class-limits", "chaos=1,scenario=2", "per-kind running-job caps as kind=n pairs; empty disables")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs to checkpoint")
+		role         = flag.String("role", "standalone", "process role: standalone (serve and execute), coordinator (serve, lease work to workers), worker (claim and execute)")
+		coordinator  = flag.String("coordinator", "", "coordinator base URL (worker role)")
+		workerID     = flag.String("worker-id", "", "worker name in leases and status; default host-pid")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease TTL; a worker silent this long forfeits its work (0 = 10s default)")
+		heartbeat    = flag.Duration("heartbeat", 0, "lease renewal cadence advertised to workers (0 = lease-ttl/3)")
 	)
 	flag.Parse()
+
+	switch *role {
+	case "standalone", "coordinator":
+	case "worker":
+		return runWorker(*coordinator, *workerID, *stateDir)
+	default:
+		usageError(fmt.Errorf("-role must be standalone, coordinator, or worker; got %q", *role))
+	}
 
 	if *workers < 0 {
 		usageError(fmt.Errorf("-workers must not be negative, got %d", *workers))
@@ -98,11 +124,27 @@ func run() int {
 		ClassLimits: limits,
 		Metrics:     reg,
 		Telemetry:   hub,
+		External:    *role == "coordinator",
 	})
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := server.New(server.Options{Manager: mgr, Metrics: reg, Telemetry: hub})
+	srvOpt := server.Options{Manager: mgr, Metrics: reg, Telemetry: hub, StoreProbe: st.WriteProbe}
+	var coord *fleet.Coordinator
+	if *role == "coordinator" {
+		coord = fleet.New(fleet.Options{
+			Backend:   mgr,
+			Planner:   dra.FleetPlanner,
+			Merger:    dra.FleetMerger(),
+			LeaseTTL:  *leaseTTL,
+			Heartbeat: *heartbeat,
+			Metrics:   reg,
+			Telemetry: hub,
+		})
+		go coord.Run(lc.Context())
+		srvOpt.Fleet = coord
+	}
+	srv, err := server.New(srvOpt)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,6 +156,9 @@ func run() int {
 	// The bound address goes to stdout first thing so wrappers (and the
 	// e2e test) can discover a port-0 allocation.
 	fmt.Printf("drad: serving on http://%s (state %s)\n", ln.Addr(), *stateDir)
+	if coord != nil {
+		fmt.Printf("drad: coordinator role (lease %s, heartbeat %s); waiting for workers\n", coord.LeaseTTL(), coord.Heartbeat())
+	}
 
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
@@ -182,6 +227,40 @@ func parseClassLimits(s string) (map[string]int, error) {
 		out[strings.TrimSpace(k)] = n
 	}
 	return out, nil
+}
+
+// runWorker is the worker role's whole main: no listener, no store —
+// just the claim/execute/renew loop against the coordinator. SIGTERM
+// drains: the running engine checkpoints, the lease is handed back
+// with the final state, and the unit requeues immediately.
+func runWorker(coordinator, id, stateDir string) int {
+	if coordinator == "" {
+		usageError(fmt.Errorf("-role worker requires -coordinator URL"))
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := fleet.NewWorker(fleet.WorkerOptions{
+		ID:          id,
+		Coordinator: strings.TrimRight(coordinator, "/"),
+		Execute:     dra.FleetExecutor(dra.DefaultRunners()),
+		StateDir:    filepath.Join(stateDir, "worker"),
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		usageError(err)
+	}
+	fmt.Printf("drad: worker %s polling %s (state %s)\n", id, coordinator, stateDir)
+	if err := w.Run(lc.Context()); err != nil {
+		fatal(err)
+	}
+	return lc.Exit(0)
 }
 
 // usageError and fatal delegate to the shared lifecycle conventions

@@ -1,0 +1,251 @@
+package dra
+
+// fleetshard.go is the facade between the fleet runtime and the
+// engines: how a job is cut into deterministic shards (FleetPlanner),
+// how a worker executes a whole job or one shard (FleetExecutor), and
+// how the coordinator folds shard results back into the exact document
+// a standalone run stores (FleetMerger).
+//
+// Shard determinism is the contract that makes worker death cheap:
+// a shard [lo, hi) of a fixed-count Monte-Carlo job is a pure function
+// of (spec, lo, hi) — the batch scheduler's per-replication stream
+// splitting guarantees replication i draws the same randomness no
+// matter which process runs it — and shards carry raw per-replication
+// outcomes that the merge re-folds in global replication order through
+// the same accumulator code the standalone estimator uses. Sweep jobs
+// tile their (N, M) grid; each cell is an analytic model evaluation,
+// deterministic by construction. Result: the merged document is
+// byte-identical to an uninterrupted standalone run, no matter how
+// many times shards were re-run on different workers.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/fleet"
+	"repro/internal/jobs"
+	"repro/internal/montecarlo"
+)
+
+const (
+	// minShardReps is the smallest replication range worth the lease
+	// round-trips of a separate shard.
+	minShardReps = 64
+	// minShardCells is the analogue for sweep-grid tiles.
+	minShardCells = 4
+	// maxShards caps the fan-out of a single job.
+	maxShards = 8
+)
+
+// shardable reports whether the Monte-Carlo spec may be split: only
+// fixed-count runs tile (a TargetRelErr stopping rule is a decision
+// over the global fold order, so those jobs claim whole).
+func shardable(sp config.Spec) bool {
+	switch sp.Kind {
+	case config.KindReliability, config.KindAvailability, config.KindRareEvent:
+		return sp.MC.TargetRelErr <= 0
+	}
+	return false
+}
+
+// tile cuts [0, total) into n near-equal contiguous ranges.
+func tile(total uint64, n int) []fleet.ShardSpec {
+	out := make([]fleet.ShardSpec, n)
+	for i := 0; i < n; i++ {
+		out[i] = fleet.ShardSpec{
+			Index: i, Count: n,
+			Lo: total * uint64(i) / uint64(n),
+			Hi: total * uint64(i+1) / uint64(n),
+		}
+	}
+	return out
+}
+
+// shardCount picks the fan-out: at most one shard per live worker,
+// bounded below by the minimum useful unit size and above by maxShards.
+func shardCount(total uint64, minUnit int, workers int) int {
+	n := min(workers, maxShards)
+	if bySize := int(total) / minUnit; bySize < n {
+		n = bySize
+	}
+	return n
+}
+
+// FleetPlanner is the coordinator's shard planner. A nil return (or a
+// single-shard plan) makes the job claim whole.
+func FleetPlanner(spec config.Spec, workers int) []fleet.ShardSpec {
+	sp := spec.Normalize()
+	switch {
+	case shardable(sp):
+		n := shardCount(uint64(sp.MC.Reps), minShardReps, workers)
+		if n < 2 {
+			return nil
+		}
+		return tile(uint64(sp.MC.Reps), n)
+	case sp.Kind == config.KindSweep:
+		cells := sweepGrid(sp)
+		n := shardCount(uint64(len(cells)), minShardCells, workers)
+		if n < 2 {
+			return nil
+		}
+		return tile(uint64(len(cells)), n)
+	}
+	return nil
+}
+
+// sweepShardResult is the wire form of one sweep tile: the cell values
+// for grid indices [lo, hi), in grid order.
+type sweepShardResult struct {
+	Lo     uint64    `json:"lo"`
+	Hi     uint64    `json:"hi"`
+	Values []float64 `json:"values"`
+}
+
+// FleetExecutor adapts the engine runners to the fleet worker: whole
+// jobs run through the same Runner the standalone service uses (with
+// the worker-local checkpoint path wired in, so heartbeats ship
+// resumable state), shards run through the montecarlo shard entry
+// points or the sweep tile evaluator.
+func FleetExecutor(runners map[string]jobs.Runner) fleet.ExecuteFunc {
+	return func(ctx context.Context, req fleet.ExecuteRequest) (json.RawMessage, error) {
+		progress := req.Progress
+		if progress == nil {
+			progress = func(string) {}
+		}
+		if req.Shard == nil {
+			runner, ok := runners[req.Spec.Normalize().Kind]
+			if !ok || runner == nil {
+				return nil, fmt.Errorf("fleet executor: no runner for kind %q", req.Spec.Kind)
+			}
+			rc := jobs.RunContext{
+				CheckpointPath: req.CheckpointPath,
+				Progress:       progress,
+			}
+			return runner(ctx, rc, req.Spec)
+		}
+
+		sp := req.Spec.Normalize()
+		lo, hi := req.Shard.Lo, req.Shard.Hi
+		if sp.Kind == config.KindSweep {
+			return runSweepShard(ctx, sp, lo, hi)
+		}
+		// Shards never checkpoint: a lost shard re-runs from scratch,
+		// deterministically, so the RunContext carries no state path.
+		opt, err := mcOptions(ctx, jobs.RunContext{Progress: progress}, sp)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			res montecarlo.ShardResult
+		)
+		switch sp.Kind {
+		case config.KindReliability:
+			res, err = montecarlo.RunReliabilityShard(opt, lo, hi)
+		case config.KindAvailability:
+			res, err = montecarlo.RunAvailabilityShard(opt, lo, hi)
+		case config.KindRareEvent:
+			res, err = montecarlo.RunUnavailabilityShard(opt, lo, hi)
+		default:
+			return nil, fmt.Errorf("fleet executor: kind %q does not shard", sp.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	}
+}
+
+// runSweepShard evaluates sweep-grid cells [lo, hi).
+func runSweepShard(ctx context.Context, sp config.Spec, lo, hi uint64) (json.RawMessage, error) {
+	cells := sweepGrid(sp)
+	if hi > uint64(len(cells)) || lo > hi {
+		return nil, fmt.Errorf("sweep shard [%d, %d) outside grid of %d cells", lo, hi, len(cells))
+	}
+	eval := sweepEval(sp)
+	out := sweepShardResult{Lo: lo, Hi: hi, Values: make([]float64, 0, hi-lo)}
+	for _, c := range cells[lo:hi] {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		v, err := eval(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Values = append(out.Values, v)
+	}
+	return json.Marshal(out)
+}
+
+// FleetMerger folds shard results into the standalone result document.
+func FleetMerger() fleet.Merger {
+	return func(spec config.Spec, parts []json.RawMessage) (json.RawMessage, error) {
+		sp := spec.Normalize()
+		if sp.Kind == config.KindSweep {
+			return mergeSweepShards(sp, parts)
+		}
+		opt, err := mcOptions(context.Background(), jobs.RunContext{}, sp)
+		if err != nil {
+			return nil, err
+		}
+		shards := make([]montecarlo.ShardResult, len(parts))
+		for i, p := range parts {
+			if err := json.Unmarshal(p, &shards[i]); err != nil {
+				return nil, fmt.Errorf("fleet merge: decoding shard %d: %w", i, err)
+			}
+		}
+		switch sp.Kind {
+		case config.KindReliability:
+			res, err := montecarlo.MergeReliabilityShards(opt, shards)
+			if err != nil {
+				return nil, err
+			}
+			return relResultDoc(sp, &res)
+		case config.KindAvailability:
+			res, err := montecarlo.MergeAvailabilityShards(opt, shards)
+			if err != nil {
+				return nil, err
+			}
+			return availResultDoc(sp, &res)
+		case config.KindRareEvent:
+			res, err := montecarlo.MergeUnavailabilityShards(opt, shards)
+			if err != nil {
+				return nil, err
+			}
+			return rareResultDoc(sp, &res)
+		}
+		return nil, fmt.Errorf("fleet merge: kind %q does not shard", sp.Kind)
+	}
+}
+
+// mergeSweepShards reassembles the sweep grid from its tiles and builds
+// the same document runSweepJob stores.
+func mergeSweepShards(sp config.Spec, parts []json.RawMessage) (json.RawMessage, error) {
+	cells := sweepGrid(sp)
+	vals := make([]float64, len(cells))
+	seen := make([]bool, len(cells))
+	for i, p := range parts {
+		var sh sweepShardResult
+		if err := json.Unmarshal(p, &sh); err != nil {
+			return nil, fmt.Errorf("fleet merge: decoding sweep tile %d: %w", i, err)
+		}
+		if sh.Hi > uint64(len(cells)) || sh.Lo > sh.Hi || uint64(len(sh.Values)) != sh.Hi-sh.Lo {
+			return nil, fmt.Errorf("fleet merge: malformed sweep tile [%d, %d) with %d values", sh.Lo, sh.Hi, len(sh.Values))
+		}
+		for j, v := range sh.Values {
+			idx := int(sh.Lo) + j
+			if seen[idx] {
+				return nil, fmt.Errorf("fleet merge: sweep cell %d delivered twice", idx)
+			}
+			seen[idx] = true
+			vals[idx] = v
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("fleet merge: sweep cell %d missing", i)
+		}
+	}
+	return sweepResultDoc(sp, cells, vals)
+}

@@ -1,0 +1,130 @@
+package dra
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/fleet"
+	"repro/internal/jobs"
+)
+
+// executeShards runs every planned shard through the fleet executor and
+// merges — the coordinator's data path minus the HTTP hops.
+func executeShards(t *testing.T, spec config.Spec, plan []fleet.ShardSpec) json.RawMessage {
+	t.Helper()
+	exec := FleetExecutor(DefaultRunners())
+	specJSON, _ := json.Marshal(spec)
+	var decoded config.Spec
+	json.Unmarshal(specJSON, &decoded) // the worker sees a JSON round-tripped spec
+	parts := make([]json.RawMessage, len(plan))
+	for i := range plan {
+		sh := plan[i]
+		res, err := exec(context.Background(), fleet.ExecuteRequest{Job: "test", Spec: decoded, Shard: &sh})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		parts[i] = res
+	}
+	merged, err := FleetMerger()(decoded, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// standaloneResult runs the spec through the ordinary runner.
+func standaloneResult(t *testing.T, spec config.Spec) json.RawMessage {
+	t.Helper()
+	runner := DefaultRunners()[spec.Kind]
+	res, err := runner(context.Background(), jobs.RunContext{Progress: func(string) {}}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFleetShardedMCByteIdentical: the tentpole identity at the facade
+// layer — plan, execute shards, merge; the stored document must
+// byte-match the standalone runner for every shardable MC kind.
+func TestFleetShardedMCByteIdentical(t *testing.T) {
+	specs := []config.Spec{
+		{Kind: config.KindReliability, Router: &config.RouterSpec{N: 6, M: 3},
+			MC: &config.MCSpec{Seed: 11, Reps: 256, Horizon: 40000}},
+		{Kind: config.KindAvailability, Router: &config.RouterSpec{N: 4, M: 2},
+			MC: &config.MCSpec{Seed: 13, Reps: 192, Horizon: 120000}},
+		{Kind: config.KindRareEvent, Router: &config.RouterSpec{N: 4, M: 2},
+			MC: &config.MCSpec{Seed: 17, Reps: 128, Delta: 0.5, CyclesPerRep: 20}},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Kind, func(t *testing.T) {
+			plan := FleetPlanner(spec, 3)
+			if len(plan) < 2 {
+				t.Fatalf("planner refused to shard: %v", plan)
+			}
+			merged := executeShards(t, spec, plan)
+			control := standaloneResult(t, spec)
+			if string(merged) != string(control) {
+				t.Fatalf("merged document differs from standalone:\nfleet:      %s\nstandalone: %s", merged, control)
+			}
+		})
+	}
+}
+
+// TestFleetSweepTilesByteIdentical: sweep-grid tiles reassemble into
+// the standalone sweep document.
+func TestFleetSweepTilesByteIdentical(t *testing.T) {
+	spec := config.Spec{Kind: config.KindSweep,
+		Sweep: &config.SweepSpec{Analysis: "availability", NLo: 2, NHi: 6, MLo: 1, MHi: 4}}
+	plan := FleetPlanner(spec, 4)
+	if len(plan) < 2 {
+		t.Fatalf("planner refused to tile the sweep: %v", plan)
+	}
+	merged := executeShards(t, spec, plan)
+	control := standaloneResult(t, spec)
+	if string(merged) != string(control) {
+		t.Fatalf("merged sweep differs:\nfleet:      %s\nstandalone: %s", merged, control)
+	}
+}
+
+func TestFleetPlannerRefusals(t *testing.T) {
+	// Sequential stopping claims whole.
+	seq := config.Spec{Kind: config.KindRareEvent, Router: &config.RouterSpec{N: 4, M: 2},
+		MC: &config.MCSpec{Seed: 1, Reps: 4000, TargetRelErr: 0.1}}
+	if plan := FleetPlanner(seq, 8); plan != nil {
+		t.Fatalf("sequential-stopping job sharded: %v", plan)
+	}
+	// Too few reps for more than one useful shard.
+	small := config.Spec{Kind: config.KindReliability, Router: &config.RouterSpec{N: 4, M: 2},
+		MC: &config.MCSpec{Seed: 1, Reps: 80}}
+	if plan := FleetPlanner(small, 8); plan != nil {
+		t.Fatalf("tiny job sharded: %v", plan)
+	}
+	// One worker: no point sharding.
+	big := config.Spec{Kind: config.KindReliability, Router: &config.RouterSpec{N: 4, M: 2},
+		MC: &config.MCSpec{Seed: 1, Reps: 4000}}
+	if plan := FleetPlanner(big, 1); plan != nil {
+		t.Fatalf("single-worker plan sharded: %v", plan)
+	}
+	// Non-MC, non-sweep kinds claim whole.
+	fig := config.Spec{Kind: config.KindFigure, Figure: &config.FigureSpec{Fig: 6}}
+	if plan := FleetPlanner(fig, 8); plan != nil {
+		t.Fatalf("figure job sharded: %v", plan)
+	}
+	// The plan tiles [0, Reps) contiguously.
+	plan := FleetPlanner(big, 8)
+	if len(plan) != 8 {
+		t.Fatalf("plan size %d", len(plan))
+	}
+	var next uint64
+	for _, sh := range plan {
+		if sh.Lo != next || sh.Hi <= sh.Lo {
+			t.Fatalf("bad tiling: %+v", plan)
+		}
+		next = sh.Hi
+	}
+	if next != 4000 {
+		t.Fatalf("tiling covers [0, %d), want 4000", next)
+	}
+}

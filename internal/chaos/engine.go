@@ -42,6 +42,25 @@ type Options struct {
 	// drain) exceeds this wall-clock budget — a runaway-model fuse for
 	// unattended soaks. Zero disables it.
 	Watchdog time.Duration
+	// Fleet executes kill-worker/restart-worker events and answers
+	// expect-workers assertions against a real drad fleet. Campaigns
+	// containing fleet events refuse to run without one; campaigns
+	// without them never touch it.
+	Fleet FleetDriver
+}
+
+// FleetDriver is the chaos engine's hook into a drad worker fleet: it
+// maps scripted fleet events onto real processes (or a test fake). The
+// campaign clock is simulated, so drivers act immediately when their
+// step fires.
+type FleetDriver interface {
+	// KillWorker forcibly stops the named worker (the real driver sends
+	// SIGKILL — no drain, no lease hand-back).
+	KillWorker(name string) error
+	// RestartWorker boots the named worker (back) up.
+	RestartWorker(name string) error
+	// WorkersLive reports the coordinator's current live-worker count.
+	WorkersLive() int
 }
 
 // Sample is the observed service state after one settled step.
@@ -62,6 +81,13 @@ type ExpectFailure struct {
 	Got  bool    `json:"got"`
 }
 
+// FleetExpectFailure records one failed expect-workers assertion.
+type FleetExpectFailure struct {
+	At   float64 `json:"at"`
+	Want int     `json:"want"`
+	Got  int     `json:"got"`
+}
+
 // Result is the outcome of a campaign run.
 type Result struct {
 	Campaign Campaign
@@ -69,6 +95,8 @@ type Result struct {
 	Samples []Sample
 	// Expects lists failed assertions (empty = all held).
 	Expects []ExpectFailure
+	// FleetExpects lists failed expect-workers assertions.
+	FleetExpects []FleetExpectFailure
 	// Violations is the invariant wall's verdict.
 	Violations []invariant.Violation
 	// Timeline is the recorded trace (faults, repairs, coverage churn,
@@ -87,6 +115,11 @@ func (res *Result) Err() error {
 		e := res.Expects[0]
 		return fmt.Errorf("chaos: %d failed assertion(s), first: t=%g LC%d want up=%v got %v",
 			len(res.Expects), e.At, e.LC, e.Want, e.Got)
+	}
+	if len(res.FleetExpects) > 0 {
+		e := res.FleetExpects[0]
+		return fmt.Errorf("chaos: %d failed fleet assertion(s), first: t=%g want %d workers got %d",
+			len(res.FleetExpects), e.At, e.Want, e.Got)
 	}
 	if len(res.Violations) > 0 {
 		return fmt.Errorf("chaos: %d invariant violation(s), first: %s", len(res.Violations), res.Violations[0])
@@ -110,6 +143,10 @@ type step struct {
 	do    func(*router.Router)
 	// expect, when non-nil, asserts CanDeliver(lc) == up after settle.
 	expect *Event
+	// fleetDo, when non-nil, acts on the fleet driver instead of the
+	// router; expectWorkers asserts the live fleet size after the step.
+	fleetDo       func(FleetDriver) error
+	expectWorkers *int
 }
 
 // Run executes the campaign and returns its result. The run is fully
@@ -120,6 +157,9 @@ type step struct {
 func Run(c Campaign, opt Options) (res *Result, err error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if c.HasFleetEvents() && opt.Fleet == nil {
+		return nil, fmt.Errorf("chaos: campaign scripts fleet events but Options.Fleet is nil")
 	}
 	ctx := opt.Ctx
 	if ctx == nil {
@@ -186,8 +226,20 @@ func Run(c Campaign, opt Options) (res *Result, err error) {
 		if st.do != nil {
 			st.do(r)
 		}
+		if st.fleetDo != nil {
+			if ferr := st.fleetDo(opt.Fleet); ferr != nil {
+				return res, fmt.Errorf("chaos: step %q: %w", st.label, ferr)
+			}
+		}
 		r.Kernel().Run(settleEvents)
 		soak(r, c, &pktID)
+		if st.expectWorkers != nil {
+			if got := opt.Fleet.WorkersLive(); got != *st.expectWorkers {
+				res.FleetExpects = append(res.FleetExpects, FleetExpectFailure{
+					At: float64(r.Kernel().Now()), Want: *st.expectWorkers, Got: got,
+				})
+			}
+		}
 		if st.expect != nil {
 			got := r.CanDeliver(st.expect.LC)
 			if got != *st.expect.Up {
@@ -351,6 +403,18 @@ func (c Campaign) expand(e Event) []step {
 		}
 	case "repair-storm":
 		return []step{{at: e.At, label: "repair storm", do: repairEverything}}
+	case "kill-worker":
+		name := e.Worker
+		return []step{{at: e.At, label: fmt.Sprintf("kill worker %s", name),
+			fleetDo: func(d FleetDriver) error { return d.KillWorker(name) }}}
+	case "restart-worker":
+		name := e.Worker
+		return []step{{at: e.At, label: fmt.Sprintf("restart worker %s", name),
+			fleetDo: func(d FleetDriver) error { return d.RestartWorker(name) }}}
+	case "expect-workers":
+		want := *e.Workers
+		return []step{{at: e.At, label: fmt.Sprintf("expect %d workers live", want),
+			expectWorkers: &want}}
 	case "expect":
 		ec := e
 		return []step{{at: e.At, label: fmt.Sprintf("expect LC%d up=%v", e.LC, *e.Up), expect: &ec}}

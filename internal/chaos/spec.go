@@ -78,6 +78,11 @@ type Event struct {
 	//	transient            — fail, then self-clear after ClearAfter
 	//	repair-storm         — repair everything failed at once
 	//	expect               — assert CanDeliver(LC) == Up after settle
+	//	kill-worker          — SIGKILL the named drad fleet worker
+	//	                       (campaigns with fleet events need a
+	//	                       FleetDriver in Options)
+	//	restart-worker       — boot the named fleet worker (back) up
+	//	expect-workers       — assert the live fleet size == Workers
 	Kind       string  `json:"kind"`
 	LC         int     `json:"lc,omitempty"`
 	Component  string  `json:"component,omitempty"`
@@ -87,6 +92,10 @@ type Event struct {
 	ClearAfter float64 `json:"clear_after,omitempty"`
 	Sub        []Event `json:"sub,omitempty"`
 	Up         *bool   `json:"up,omitempty"`
+	// Worker names the fleet worker a kill-worker/restart-worker event
+	// addresses; Workers is the expect-workers assertion's fleet size.
+	Worker  string `json:"worker,omitempty"`
+	Workers *int   `json:"workers,omitempty"`
 }
 
 // Parse decodes and validates a campaign document. Unknown fields are
@@ -157,6 +166,19 @@ func (c Campaign) Validate() error {
 
 func (c Campaign) isBDR() bool { return strings.EqualFold(c.Arch, "bdr") }
 
+// HasFleetEvents reports whether the campaign scripts drad-fleet faults
+// (kill-worker/restart-worker/expect-workers). Such campaigns need a
+// FleetDriver wired into Options; pure router campaigns do not.
+func (c Campaign) HasFleetEvents() bool {
+	for _, e := range c.Events {
+		switch strings.ToLower(e.Kind) {
+		case "kill-worker", "restart-worker", "expect-workers":
+			return true
+		}
+	}
+	return false
+}
+
 // topologySpec returns the campaign's topology spec (zero value = bus).
 func (c Campaign) topologySpec() topology.Spec {
 	if c.Topology == nil {
@@ -224,6 +246,14 @@ func (c Campaign) validateEvent(e Event, nested bool) error {
 			return err
 		}
 	case "repair-storm":
+	case "kill-worker", "restart-worker":
+		if e.Worker == "" {
+			return fmt.Errorf("%s needs a worker name", strings.ToLower(e.Kind))
+		}
+	case "expect-workers":
+		if e.Workers == nil || *e.Workers < 0 {
+			return fmt.Errorf("expect-workers needs a non-negative workers count")
+		}
 	case "common-mode":
 		if nested {
 			return fmt.Errorf("common-mode events cannot nest")
@@ -232,8 +262,9 @@ func (c Campaign) validateEvent(e Event, nested bool) error {
 			return fmt.Errorf("common-mode needs sub events")
 		}
 		for j, s := range e.Sub {
-			if strings.EqualFold(s.Kind, "expect") {
-				return fmt.Errorf("sub %d: expect cannot be a common-mode sub event", j)
+			switch strings.ToLower(s.Kind) {
+			case "expect", "expect-workers", "kill-worker", "restart-worker":
+				return fmt.Errorf("sub %d: %s cannot be a common-mode sub event", j, strings.ToLower(s.Kind))
 			}
 			if err := c.validateEvent(s, true); err != nil {
 				return fmt.Errorf("sub %d: %w", j, err)

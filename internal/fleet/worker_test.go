@@ -1,0 +1,302 @@
+package fleet
+
+// Worker-side protocol tests against a scripted in-process coordinator:
+// claim/execute/complete, heartbeat checkpoint shipping, drain abandon,
+// lease-gone abort, and the rejected-result fast-fail. The real
+// coordinator pairing is covered end-to-end in cmd/drad.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCoord speaks the coordinator's four routes with scriptable
+// verdicts and records everything the worker sends.
+type fakeCoord struct {
+	t   *testing.T
+	srv *httptest.Server
+
+	mu        sync.Mutex
+	assigns   []Assignment // handed out one per claim, then 204s
+	renews    []RenewRequest
+	completes []CompleteRequest
+	// renewCode/completeCode override the 204 default (0 = 204);
+	// completeCode applies only to result-carrying completes.
+	renewCode    int
+	completeCode int
+	heartbeatMs  int64
+}
+
+func newFakeCoord(t *testing.T, assigns ...Assignment) *fakeCoord {
+	f := &fakeCoord{t: t, assigns: assigns, heartbeatMs: 25}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		hb := f.heartbeatMs
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(RegisterResponse{LeaseTTLMs: 4 * hb, HeartbeatMs: hb})
+	})
+	mux.HandleFunc("/v1/fleet/claim", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if len(f.assigns) == 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		a := f.assigns[0]
+		f.assigns = f.assigns[1:]
+		json.NewEncoder(w).Encode(a)
+	})
+	mux.HandleFunc("/v1/fleet/renew", func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		f.renews = append(f.renews, req)
+		code := f.renewCode
+		f.mu.Unlock()
+		if code == 0 {
+			code = http.StatusNoContent
+		}
+		w.WriteHeader(code)
+	})
+	mux.HandleFunc("/v1/fleet/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.mu.Lock()
+		f.completes = append(f.completes, req)
+		code := f.completeCode
+		f.mu.Unlock()
+		if code == 0 || req.Error != "" {
+			code = http.StatusNoContent
+		}
+		w.WriteHeader(code)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// wait polls cond (called under the lock) until true or 5s.
+func (f *fakeCoord) wait(what string, cond func() bool) {
+	f.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		f.mu.Lock()
+		ok := cond()
+		f.mu.Unlock()
+		if ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.t.Fatalf("timed out waiting for %s", what)
+}
+
+func testAssignment(lease string) Assignment {
+	return Assignment{
+		Lease: lease, Job: "job-1",
+		Spec: json.RawMessage(`{"kind":"reliability","router":{"n":2,"m":1}}`),
+	}
+}
+
+// startWorker boots a Worker with the given execute func and returns a
+// stop func that cancels it and waits for Run to return.
+func startWorker(t *testing.T, f *fakeCoord, exec ExecuteFunc) (stop func()) {
+	t.Helper()
+	w, err := NewWorker(WorkerOptions{
+		ID: "tw", Coordinator: f.srv.URL, Execute: exec,
+		StateDir: t.TempDir(), Poll: 10 * time.Millisecond,
+		Log: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	return func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker Run: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not stop")
+		}
+	}
+}
+
+func TestWorkerClaimExecuteComplete(t *testing.T) {
+	f := newFakeCoord(t, testAssignment("L1"))
+	stop := startWorker(t, f, func(ctx context.Context, req ExecuteRequest) (json.RawMessage, error) {
+		if req.Job != "job-1" || req.Spec.Kind != "reliability" || req.Shard != nil {
+			t.Errorf("bad request: %+v", req)
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	})
+	defer stop()
+	f.wait("the completion", func() bool { return len(f.completes) == 1 })
+	c := f.completes[0]
+	if c.Worker != "tw" || c.Lease != "L1" || string(c.Result) != `{"ok":true}` || c.Error != "" {
+		t.Fatalf("complete = %+v", c)
+	}
+}
+
+func TestWorkerShipsChangedCheckpointsOnHeartbeat(t *testing.T) {
+	a := testAssignment("L2")
+	a.Checkpoint = []byte("seed-state")
+	f := newFakeCoord(t, a)
+	release := make(chan struct{})
+	stop := startWorker(t, f, func(ctx context.Context, req ExecuteRequest) (json.RawMessage, error) {
+		// The coordinator's recovery bytes must be pre-seeded at the path.
+		if data, err := os.ReadFile(req.CheckpointPath); err != nil || string(data) != "seed-state" {
+			t.Errorf("checkpoint not seeded: %q, %v", data, err)
+		}
+		os.WriteFile(req.CheckpointPath, []byte("progress-1"), 0o644)
+		<-release
+		return json.RawMessage(`"done"`), nil
+	})
+	defer stop()
+	f.wait("a checkpoint-carrying renew", func() bool {
+		for _, r := range f.renews {
+			if string(r.Checkpoint) == "progress-1" && r.Lease == "L2" {
+				return true
+			}
+		}
+		return false
+	})
+	close(release)
+	f.wait("the completion", func() bool { return len(f.completes) == 1 })
+	// Unchanged checkpoints must not re-ship on every beat.
+	f.mu.Lock()
+	shipped := 0
+	for _, r := range f.renews {
+		if len(r.Checkpoint) > 0 {
+			shipped++
+		}
+	}
+	f.mu.Unlock()
+	if shipped != 1 {
+		t.Fatalf("checkpoint shipped %d times, want once", shipped)
+	}
+}
+
+func TestWorkerDrainAbandonsWithCheckpoint(t *testing.T) {
+	f := newFakeCoord(t, testAssignment("L3"))
+	started := make(chan struct{})
+	stop := startWorker(t, f, func(ctx context.Context, req ExecuteRequest) (json.RawMessage, error) {
+		os.WriteFile(req.CheckpointPath, []byte("mid-run"), 0o644)
+		close(started)
+		<-ctx.Done() // the drain cancels the engine
+		return nil, ctx.Err()
+	})
+	<-started
+	stop() // SIGTERM equivalent: cancel the worker's context
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var abandon *RenewRequest
+	for i := range f.renews {
+		if f.renews[i].Abandon {
+			abandon = &f.renews[i]
+		}
+	}
+	if abandon == nil {
+		t.Fatalf("no abandon renew seen in %+v", f.renews)
+	}
+	if abandon.Lease != "L3" || string(abandon.Checkpoint) != "mid-run" {
+		t.Fatalf("abandon = %+v, want lease L3 with the final checkpoint", abandon)
+	}
+	if len(f.completes) != 0 {
+		t.Fatalf("drained worker still completed: %+v", f.completes)
+	}
+}
+
+func TestWorkerAbortsWhenLeaseGone(t *testing.T) {
+	f := newFakeCoord(t, testAssignment("L4"))
+	f.renewCode = http.StatusGone
+	canceled := make(chan error, 1)
+	stop := startWorker(t, f, func(ctx context.Context, req ExecuteRequest) (json.RawMessage, error) {
+		<-ctx.Done()
+		canceled <- context.Cause(ctx)
+		return json.RawMessage(`"too late"`), ctx.Err()
+	})
+	defer stop()
+	select {
+	case cause := <-canceled:
+		if !errors.Is(cause, errLeaseLost) {
+			t.Fatalf("engine canceled with %v, want errLeaseLost", cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("engine never canceled after 410 renew")
+	}
+	// The doomed result must not be delivered.
+	time.Sleep(50 * time.Millisecond)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.completes) != 0 {
+		t.Fatalf("aborted assignment still completed: %+v", f.completes)
+	}
+}
+
+func TestWorkerFailsUnitOnRejectedResult(t *testing.T) {
+	f := newFakeCoord(t, testAssignment("L5"))
+	f.completeCode = http.StatusBadRequest // result-carrying completes rejected
+	stop := startWorker(t, f, func(ctx context.Context, req ExecuteRequest) (json.RawMessage, error) {
+		return json.RawMessage(`"oversized"`), nil
+	})
+	defer stop()
+	f.wait("the error complete", func() bool {
+		for _, c := range f.completes {
+			if c.Error != "" {
+				return true
+			}
+		}
+		return false
+	})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.completes) != 2 {
+		t.Fatalf("completes = %+v, want rejected result then error", f.completes)
+	}
+	if f.completes[1].Result != nil || f.completes[1].Error == "" {
+		t.Fatalf("second complete = %+v, want error-only", f.completes[1])
+	}
+}
+
+func TestWorkerProgressNotesRideRenews(t *testing.T) {
+	f := newFakeCoord(t, testAssignment("L6"))
+	stop := startWorker(t, f, func(ctx context.Context, req ExecuteRequest) (json.RawMessage, error) {
+		req.Progress("halfway there")
+		return json.RawMessage(`"done"`), nil
+	})
+	defer stop()
+	f.wait("the note renew", func() bool {
+		for _, r := range f.renews {
+			if r.Note == "halfway there" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	exec := func(ctx context.Context, req ExecuteRequest) (json.RawMessage, error) { return nil, nil }
+	for _, opt := range []WorkerOptions{
+		{Coordinator: "http://x", Execute: exec},
+		{ID: "w", Execute: exec},
+		{ID: "w", Coordinator: "http://x"},
+	} {
+		if _, err := NewWorker(opt); err == nil {
+			t.Fatalf("NewWorker(%+v) accepted", opt)
+		}
+	}
+}

@@ -28,16 +28,23 @@ import (
 // State is a job's lifecycle state. The machine is:
 //
 //	queued → running → done | failed | canceled
-//	queued | running → interrupted          (drain/crash; requeued on restart)
+//	queued → leased → done | failed | canceled  (fleet coordinator mode)
+//	leased → queued                         (lease expired; requeued)
+//	queued | running | leased → interrupted (drain/crash; requeued on restart)
 //	interrupted → queued                    (restart recovery)
 //
-// Cache hits are born done.
+// Cache hits are born done. "leased" is "running" with the execution
+// delegated to a fleet worker under a time-bounded lease: the job holds
+// its admission slot and class-limit slot exactly like a running job,
+// but the process doing the work may die — the coordinator then expires
+// the lease and the job re-enters the queue.
 type State string
 
 // The job states.
 const (
 	StateQueued      State = "queued"
 	StateRunning     State = "running"
+	StateLeased      State = "leased"
 	StateDone        State = "done"
 	StateFailed      State = "failed"
 	StateCanceled    State = "canceled"
@@ -119,6 +126,12 @@ type Snapshot struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Worker names the fleet worker currently holding the job's lease
+	// (coordinator mode only).
+	Worker string `json:"worker,omitempty"`
+	// Requeues counts lease expirations that sent the job back to the
+	// queue (coordinator mode only).
+	Requeues int `json:"requeues,omitempty"`
 }
 
 // job is the manager's internal record.
@@ -136,6 +149,8 @@ type job struct {
 	errMsg          string
 	cached          bool
 	resumed         bool
+	worker          string // lease holder (coordinator mode)
+	requeues        int    // lease expirations → requeue count
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -156,6 +171,8 @@ func (j *job) snapshot() Snapshot {
 		Cached:      j.cached,
 		Resumed:     j.resumed,
 		SubmittedAt: j.submitted,
+		Worker:      j.worker,
+		Requeues:    j.requeues,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -44,6 +44,13 @@ type Options struct {
 	// Telemetry, when non-nil, receives the windowed samples running
 	// jobs push through RunContext.Telemetry.
 	Telemetry *telemetry.Hub
+	// External switches the manager to fleet-coordinator mode: the
+	// local execution pool never claims queued jobs; instead the fleet
+	// coordinator leases them out through ClaimExternal and settles
+	// them through CompleteExternal/FailExternal/RequeueExternal.
+	// Admission, dedup, caching, persistence, and recovery are
+	// unchanged — jobs queue even with zero workers live.
+	External bool
 }
 
 const (
@@ -76,6 +83,10 @@ type Manager struct {
 	seq      uint64
 	eventSeq uint64
 	subs     map[string][]chan Event
+
+	probeMu  sync.Mutex
+	probeAt  time.Time
+	probeErr error
 
 	submitted  *metrics.CounterVec
 	completed  *metrics.CounterVec
@@ -283,6 +294,11 @@ func (m *Manager) cachedJob(id string, spec config.Spec) *job {
 // Eligibility: highest priority first (FIFO within a priority), skipping
 // kinds at their class limit.
 func (m *Manager) dispatch() {
+	if m.opt.External {
+		// Coordinator mode: execution is leased to fleet workers, never
+		// run in-process.
+		return
+	}
 	for {
 		m.mu.Lock()
 		if m.draining {
@@ -485,6 +501,20 @@ func (m *Manager) Cancel(id string) error {
 			cancel(errCanceledByUser)
 		}
 		return nil
+	case StateLeased:
+		// No local goroutine to signal: settle the record here; the
+		// worker's next renew/complete finds the lease gone (the
+		// coordinator checks JobActive) and abandons the run.
+		m.running[j.kind]--
+		m.runningG.Add(-1)
+		j.state = StateCanceled
+		j.finished = time.Now()
+		m.completed.With(string(StateCanceled)).Inc()
+		m.publishLocked(j, "canceled while leased to "+j.worker)
+		close(j.done)
+		m.mu.Unlock()
+		m.unpersist(id)
+		return nil
 	default:
 		m.mu.Unlock()
 		return nil
@@ -661,11 +691,22 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.queue = nil
 	m.queueDepth.Set(0)
 	for _, j := range m.jobs {
-		if j.state == StateRunning {
+		switch j.state {
+		case StateRunning:
 			waiting = append(waiting, j)
 			if j.cancel != nil {
 				j.cancel(errDrained)
 			}
+		case StateLeased:
+			// The worker holding the lease outlives this process, but the
+			// lease table does not: mark the job interrupted (its pending
+			// spec and last shipped checkpoint persist) so a restarted
+			// coordinator requeues and re-leases it.
+			m.running[j.kind]--
+			m.runningG.Add(-1)
+			j.state = StateInterrupted
+			m.publishLocked(j, "interrupted by drain (lease abandoned)")
+			close(j.done)
 		}
 	}
 	m.mu.Unlock()

@@ -453,6 +453,32 @@ type relOut struct {
 	logW     float64 // accumulated log likelihood ratio (0 unbiased)
 }
 
+// foldOutcome folds one replication's outcome into the accumulators. It
+// is the single fold path shared by EstimateReliability and the shard
+// merge (MergeReliabilityShards): folding the same outcomes in the same
+// replication order through this method is what makes a merged
+// fleet-sharded estimate bit-identical to a standalone run.
+func (r *ReliabilityResult) foldOutcome(horizon float64, o relOut) {
+	failed := o.failedAt >= 0 && o.failedAt <= horizon
+	if r.Biased {
+		w := 0.0
+		if failed {
+			w = math.Exp(o.logW)
+		}
+		r.Failure.Add(w)
+		r.Weights.Add(o.logW)
+		return
+	}
+	r.Survival.Add(!failed)
+	if failed {
+		r.Failure.Add(1)
+		r.TTF.Add(o.failedAt)
+		r.TTFSamples = append(r.TTFSamples, o.failedAt)
+	} else {
+		r.Failure.Add(0)
+	}
+}
+
 // EstimateReliability runs replications without repair and reports the
 // fraction in which the target LC's service survived the horizon. With
 // Options.Biasing the failure probability is estimated by the unbiased
@@ -482,26 +508,7 @@ func EstimateReliability(opt Options) (ReliabilityResult, error) {
 		}
 		res.TTFSamples = append(res.TTFSamples, cp.TTFSamples...)
 	}
-	fold := func(o relOut) {
-		failed := o.failedAt >= 0 && o.failedAt <= opt.Horizon
-		if res.Biased {
-			w := 0.0
-			if failed {
-				w = math.Exp(o.logW)
-			}
-			res.Failure.Add(w)
-			res.Weights.Add(o.logW)
-			return
-		}
-		res.Survival.Add(!failed)
-		if failed {
-			res.Failure.Add(1)
-			res.TTF.Add(o.failedAt)
-			res.TTFSamples = append(res.TTFSamples, o.failedAt)
-		} else {
-			res.Failure.Add(0)
-		}
-	}
+	fold := func(o relOut) { res.foldOutcome(opt.Horizon, o) }
 	snap := func() Checkpoint {
 		sv, f, ttf, w := res.Survival, res.Failure.State(), res.TTF.State(), res.Weights.State()
 		return Checkpoint{

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -84,6 +85,23 @@ type cycleOut struct {
 	tau      float64 // cycle length
 }
 
+// foldCycle folds one regenerative cycle into the accumulators. Shared
+// by EstimateUnavailability and the shard merge
+// (MergeUnavailabilityShards) so a merged fleet-sharded estimate is
+// bit-identical to a standalone run. The counters may come from a nil
+// registry (they are nil-safe).
+func (u *UnavailabilityResult) foldCycle(c cycleOut, cyclesCtr, downCtr *metrics.Counter) {
+	w := math.Exp(c.logW)
+	u.Ratio.Add(w*c.down, w*c.tau)
+	u.Weights.Add(c.logW)
+	u.Cycles++
+	cyclesCtr.Inc()
+	if c.wentDown {
+		u.DownCycles++
+		downCtr.Inc()
+	}
+}
+
 // cyclesPerRep resolves Options.CyclesPerRep.
 func (o Options) cyclesPerRep() int {
 	if o.CyclesPerRep == 0 {
@@ -128,15 +146,7 @@ func EstimateUnavailability(opt Options) (UnavailabilityResult, error) {
 	downCtr := opt.Metrics.Counter("montecarlo_down_cycles_total", "Cycles in which the target LC lost service.")
 	fold := func(cs []cycleOut) {
 		for _, c := range cs {
-			w := math.Exp(c.logW)
-			res.Ratio.Add(w*c.down, w*c.tau)
-			res.Weights.Add(c.logW)
-			res.Cycles++
-			cyclesCtr.Inc()
-			if c.wentDown {
-				res.DownCycles++
-				downCtr.Inc()
-			}
+			res.foldCycle(c, cyclesCtr, downCtr)
 		}
 	}
 	snap := func() Checkpoint {

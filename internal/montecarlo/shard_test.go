@@ -1,0 +1,257 @@
+package montecarlo
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/linecard"
+	"repro/internal/router"
+)
+
+// The fleet contract: a fixed-count run carved into shards, each shard
+// run independently (possibly on another machine, possibly re-run after
+// a kill), JSON round-tripped over the wire, and merged in replication
+// order must be bit-identical to the standalone estimator. These tests
+// pin that for all three modes, including uneven shard splits, shuffled
+// merge order, and the wire encoding.
+
+// wireTrip round-trips a shard result through its JSON encoding, as the
+// coordinator/worker HTTP hop does.
+func wireTrip(t *testing.T, s ShardResult) ShardResult {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ShardResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// shardBounds carves [0, reps) into parts contiguous uneven ranges.
+func shardBounds(reps, parts int) [][2]uint64 {
+	out := make([][2]uint64, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		n := reps / parts
+		if i < reps%parts {
+			n++
+		}
+		out = append(out, [2]uint64{uint64(lo), uint64(lo + n)})
+		lo += n
+	}
+	return out
+}
+
+func TestReliabilityShardMergeBitIdentical(t *testing.T) {
+	opt := Options{
+		Arch: linecard.DRA, N: 6, M: 3,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 240, Seed: 17,
+	}
+	want, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []ShardResult
+	for _, b := range shardBounds(opt.Reps, 3) {
+		s, err := RunReliabilityShard(opt, b[0], b[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, wireTrip(t, s))
+	}
+	// Merge order must not matter: shards arrive in completion order.
+	parts[0], parts[2] = parts[2], parts[0]
+	got, err := MergeReliabilityShards(opt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != want.Estimate() {
+		t.Fatalf("estimate diverged: %v vs %v", got.Estimate(), want.Estimate())
+	}
+	gl, gh := got.CI()
+	wl, wh := want.CI()
+	if gl != wl || gh != wh {
+		t.Fatalf("CI diverged: [%v, %v] vs [%v, %v]", gl, gh, wl, wh)
+	}
+	if got.TTF.Mean() != want.TTF.Mean() || got.TTF.N() != want.TTF.N() {
+		t.Fatalf("TTF diverged: mean %v n %d vs mean %v n %d",
+			got.TTF.Mean(), got.TTF.N(), want.TTF.Mean(), want.TTF.N())
+	}
+	if len(got.TTFSamples) != len(want.TTFSamples) {
+		t.Fatalf("TTF sample count diverged: %d vs %d", len(got.TTFSamples), len(want.TTFSamples))
+	}
+	for i := range got.TTFSamples {
+		if got.TTFSamples[i] != want.TTFSamples[i] {
+			t.Fatalf("TTF sample %d diverged: %v vs %v", i, got.TTFSamples[i], want.TTFSamples[i])
+		}
+	}
+	if got.StopReason != StopFixed || got.Batches != want.Batches {
+		t.Fatalf("scheduler fields diverged: %s/%d vs %s/%d",
+			got.StopReason, got.Batches, want.StopReason, want.Batches)
+	}
+}
+
+func TestBiasedReliabilityShardMergeBitIdentical(t *testing.T) {
+	opt := Options{
+		Arch: linecard.DRA, N: 6, M: 3,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 240, Seed: 23,
+		Biasing: router.Biasing{Enabled: true, Delta: 0.6},
+	}
+	want, err := EstimateReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []ShardResult
+	for _, b := range shardBounds(opt.Reps, 4) {
+		s, err := RunReliabilityShard(opt, b[0], b[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, wireTrip(t, s))
+	}
+	got, err := MergeReliabilityShards(opt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != want.Estimate() ||
+		got.Failure.Mean() != want.Failure.Mean() ||
+		got.Weights.Max != want.Weights.Max ||
+		got.Weights.Min != want.Weights.Min {
+		t.Fatalf("biased merge diverged: est %v/%v failMean %v/%v",
+			got.Estimate(), want.Estimate(), got.Failure.Mean(), want.Failure.Mean())
+	}
+}
+
+func TestAvailabilityShardMergeBitIdentical(t *testing.T) {
+	opt := Options{
+		Arch: linecard.DRA, N: 4, M: 2,
+		Rates:   router.PaperRates(1.0 / 3),
+		Horizon: 200000, Reps: 32, Seed: 29,
+	}
+	want, err := EstimateAvailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []ShardResult
+	for _, b := range shardBounds(opt.Reps, 3) {
+		s, err := RunAvailabilityShard(opt, b[0], b[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, wireTrip(t, s))
+	}
+	got, err := MergeAvailabilityShards(opt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != want.Estimate() {
+		t.Fatalf("estimate diverged: %v vs %v", got.Estimate(), want.Estimate())
+	}
+	gl, gh := got.CI()
+	wl, wh := want.CI()
+	if gl != wl || gh != wh {
+		t.Fatalf("CI diverged: [%v, %v] vs [%v, %v]", gl, gh, wl, wh)
+	}
+}
+
+func TestUnavailabilityShardMergeBitIdentical(t *testing.T) {
+	opt := Options{
+		Arch: linecard.DRA, N: 4, M: 2,
+		Rates: router.PaperRates(1.0 / 3),
+		Reps:  60, Seed: 31,
+		Biasing:      router.Biasing{Enabled: true, Delta: 0.3},
+		CyclesPerRep: 20,
+	}
+	want, err := EstimateUnavailability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []ShardResult
+	for _, b := range shardBounds(opt.Reps, 4) {
+		s, err := RunUnavailabilityShard(opt, b[0], b[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, wireTrip(t, s))
+	}
+	parts[1], parts[3] = parts[3], parts[1]
+	got, err := MergeUnavailabilityShards(opt, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate() != want.Estimate() ||
+		got.Cycles != want.Cycles || got.DownCycles != want.DownCycles ||
+		got.Weights.Max != want.Weights.Max || got.Weights.Min != want.Weights.Min {
+		t.Fatalf("merge diverged: est %v/%v cycles %d/%d down %d/%d",
+			got.Estimate(), want.Estimate(), got.Cycles, want.Cycles,
+			got.DownCycles, want.DownCycles)
+	}
+	gl, gh := got.CI()
+	wl, wh := want.CI()
+	if gl != wl || gh != wh {
+		t.Fatalf("CI diverged: [%v, %v] vs [%v, %v]", gl, gh, wl, wh)
+	}
+}
+
+// A shard re-run after a kill must reproduce the same outcomes: the
+// shard is a pure function of (options, range).
+func TestShardRerunDeterministic(t *testing.T) {
+	opt := Options{
+		Arch: linecard.DRA, N: 6, M: 3,
+		Rates:   router.PaperRates(0),
+		Horizon: 40000, Reps: 120, Seed: 41,
+	}
+	a, err := RunReliabilityShard(opt, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReliabilityShard(opt, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _ := json.Marshal(a)
+	db, _ := json.Marshal(b)
+	if string(da) != string(db) {
+		t.Fatalf("shard re-run diverged:\n%s\nvs\n%s", da, db)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	opt := Options{
+		Arch: linecard.DRA, N: 6, M: 3,
+		Rates:   router.PaperRates(0),
+		Horizon: 100, Reps: 10, Seed: 1,
+	}
+	if _, err := RunReliabilityShard(opt, 5, 5); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+	if _, err := RunReliabilityShard(opt, 0, 11); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	seq := opt
+	seq.TargetRelErr = 0.1
+	if _, err := RunReliabilityShard(seq, 0, 5); err == nil {
+		t.Fatal("sequential-stopping shard accepted")
+	}
+	s0, err := RunReliabilityShard(opt, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeReliabilityShards(opt, []ShardResult{s0}); err == nil {
+		t.Fatal("gap-leaving merge accepted")
+	}
+	bad := s0
+	bad.Seed++
+	s5, err := RunReliabilityShard(opt, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeReliabilityShards(opt, []ShardResult{bad, s5}); err == nil {
+		t.Fatal("seed-mismatched merge accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+// Fleet protocol endpoints: the worker-facing API the coordinator
+// serves alongside the public job API.
+//
+//	POST /v1/fleet/register   worker announces itself, learns timings
+//	POST /v1/fleet/claim      worker asks for work (204 = none)
+//	POST /v1/fleet/renew      heartbeat: extend lease, ship checkpoint
+//	POST /v1/fleet/complete   deliver a unit's result or error
+//	GET  /v1/fleet            fleet status (workers, leases, jobs)
+//
+// 410 Gone tells a worker its lease no longer exists — expired and
+// requeued, or the job was canceled — so it abandons the run. The
+// routes mount only when Options.Fleet is set; a standalone drad serves
+// 404s here, bit-identical to the pre-fleet server.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/fleet"
+)
+
+// Complete bodies carry raw per-replication outcomes (the currency of
+// bit-identical shard merging), which for cycle-heavy rare-event jobs
+// run to tens of megabytes; renew bodies carry engine checkpoints.
+const maxFleetBody = 64 << 20
+
+// readFleetJSON decodes a bounded JSON body, writing the 4xx itself on
+// failure.
+func readFleetJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxFleetBody)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) fleetRegister(w http.ResponseWriter, r *http.Request) {
+	var req fleet.RegisterRequest
+	if !readFleetJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "worker id required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opt.Fleet.Register(req.Worker))
+}
+
+func (s *Server) fleetClaim(w http.ResponseWriter, r *http.Request) {
+	var req fleet.ClaimRequest
+	if !readFleetJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, http.StatusBadRequest, "worker id required")
+		return
+	}
+	a, err := s.opt.Fleet.Claim(req.Worker)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if a == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, a)
+}
+
+func (s *Server) fleetRenew(w http.ResponseWriter, r *http.Request) {
+	var req fleet.RenewRequest
+	if !readFleetJSON(w, r, &req) {
+		return
+	}
+	if err := s.opt.Fleet.Renew(req); err != nil {
+		fleetError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) fleetComplete(w http.ResponseWriter, r *http.Request) {
+	var req fleet.CompleteRequest
+	if !readFleetJSON(w, r, &req) {
+		return
+	}
+	if err := s.opt.Fleet.Complete(req); err != nil {
+		fleetError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) fleetStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.opt.Fleet.Status())
+}
+
+// fleetError maps coordinator errors onto the protocol: an expired or
+// canceled lease is 410 Gone, anything else is a 500.
+func fleetError(w http.ResponseWriter, err error) {
+	if errors.Is(err, fleet.ErrLeaseExpired) {
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/fleet"
+	"repro/internal/jobs"
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// fleetServer boots a coordinator-mode server: external manager, fleet
+// coordinator, fleet routes mounted.
+func fleetServer(t *testing.T, probe func() error) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := jobs.NewManager(jobs.Options{
+		Store: st, External: true, Dir: t.TempDir(),
+		Runners: map[string]jobs.Runner{config.KindReliability: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := fleet.New(fleet.Options{Backend: mgr})
+	srv, err := New(Options{
+		Manager: mgr, Metrics: metrics.NewRegistry(),
+		Fleet: coord, StoreProbe: probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+func TestFleetProtocolOverHTTP(t *testing.T) {
+	ts, mgr := fleetServer(t, nil)
+
+	// Register.
+	resp, body := post(t, ts.URL+"/v1/fleet/register", `{"worker":"w1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var reg fleet.RegisterResponse
+	json.Unmarshal(body, &reg)
+	if reg.LeaseTTLMs <= 0 || reg.HeartbeatMs <= 0 {
+		t.Fatalf("register response %+v", reg)
+	}
+
+	// Claim with an empty queue: 204.
+	resp, _ = post(t, ts.URL+"/v1/fleet/claim", `{"worker":"w1"}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("empty claim: %d, want 204", resp.StatusCode)
+	}
+
+	// Submit a job (202: external mode queues, nothing runs locally),
+	// then claim it.
+	resp, body = post(t, ts.URL+"/v1/jobs", specBody(41))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var snap jobs.Snapshot
+	json.Unmarshal(body, &snap)
+
+	resp, body = post(t, ts.URL+"/v1/fleet/claim", `{"worker":"w1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("claim: %d %s", resp.StatusCode, body)
+	}
+	var a fleet.Assignment
+	json.Unmarshal(body, &a)
+	if a.Lease == "" || a.Job != snap.ID {
+		t.Fatalf("assignment %+v", a)
+	}
+
+	// Renew, then complete.
+	resp, body = post(t, ts.URL+"/v1/fleet/renew",
+		`{"worker":"w1","lease":"`+a.Lease+`","note":"reps 5/10"}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("renew: %d %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/fleet/complete",
+		`{"worker":"w1","lease":"`+a.Lease+`","result":{"est":0.5}}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("complete: %d %s", resp.StatusCode, body)
+	}
+	got, _ := mgr.Get(snap.ID)
+	if got.State != jobs.StateDone {
+		t.Fatalf("job state %s", got.State)
+	}
+
+	// A second renew of the settled lease: 410 Gone.
+	resp, _ = post(t, ts.URL+"/v1/fleet/renew", `{"worker":"w1","lease":"`+a.Lease+`"}`)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale renew: %d, want 410", resp.StatusCode)
+	}
+
+	// Status endpoint.
+	resp, body = get(t, ts.URL+"/v1/fleet")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	var st fleet.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WorkersLive != 1 || st.Degraded {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestHealthzReportsFleetAndStorage(t *testing.T) {
+	ts, _ := fleetServer(t, nil)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	var h map[string]any
+	json.Unmarshal(body, &h)
+	if h["fleet_degraded"] != true || h["storage_ok"] != true {
+		t.Fatalf("zero-worker coordinator should be degraded but ready: %v", h)
+	}
+
+	// A worker registering clears the degraded flag.
+	post(t, ts.URL+"/v1/fleet/register", `{"worker":"w1"}`)
+	_, body = get(t, ts.URL+"/healthz")
+	json.Unmarshal(body, &h)
+	if h["fleet_degraded"] != false || h["fleet_workers"] != float64(1) {
+		t.Fatalf("registered worker not reflected: %v", h)
+	}
+}
+
+func TestHealthzStorageFailureIs503(t *testing.T) {
+	ts, _ := fleetServer(t, func() error { return errors.New("disk full") })
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with failing store probe: %d %s", resp.StatusCode, body)
+	}
+	var h map[string]any
+	json.Unmarshal(body, &h)
+	if h["storage_ok"] != false || h["ok"] != false || h["storage_error"] != "disk full" {
+		t.Fatalf("body %v", h)
+	}
+}
+
+func TestFleetRoutesUnmountedStandalone(t *testing.T) {
+	ts, _ := testServer(t, jobs.Options{Runners: map[string]jobs.Runner{config.KindReliability: instantRunner(nil)}})
+	resp, _ := post(t, ts.URL+"/v1/fleet/claim", `{"worker":"w1"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("standalone fleet route: %d, want 404", resp.StatusCode)
+	}
+}

@@ -20,7 +20,13 @@
 //	GET    /v1/telemetry        fleet aggregate summary
 //	GET    /v1/telemetry/{id}   per-job series range query (?since=&limit=)
 //	GET    /v1/telemetry/tail   fleet-wide NDJSON live tail
-//	GET    /healthz             readiness (503 while draining)
+//	POST   /v1/fleet/register   worker registration   (coordinator mode)
+//	POST   /v1/fleet/claim      worker claims work    (coordinator mode)
+//	POST   /v1/fleet/renew      lease heartbeat       (coordinator mode)
+//	POST   /v1/fleet/complete   deliver unit result   (coordinator mode)
+//	GET    /v1/fleet            fleet status          (coordinator mode)
+//	GET    /healthz             readiness (503 while draining or when
+//	                            checkpoint/result storage stops taking writes)
 package server
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
@@ -58,6 +65,14 @@ type Options struct {
 	// fleet tail (0 selects the hub default). Small values force the
 	// lossy-overflow path; tests use this.
 	TailBuffer int
+	// Fleet, when non-nil, mounts the /v1/fleet worker protocol and the
+	// coordinator's status on this server. Nil (standalone mode) leaves
+	// those routes unmounted.
+	Fleet *fleet.Coordinator
+	// StoreProbe, when non-nil, is consulted by /healthz alongside the
+	// manager's state-dir probe; a failure flips readiness to 503.
+	// Typically store.(*Store).WriteProbe.
+	StoreProbe func() error
 }
 
 const (
@@ -100,6 +115,13 @@ func New(opt Options) (*Server, error) {
 		s.mux.HandleFunc("GET /v1/telemetry", s.telemetryFleet)
 		s.mux.HandleFunc("GET /v1/telemetry/tail", s.telemetryTail)
 		s.mux.HandleFunc("GET /v1/telemetry/{id}", s.telemetryQuery)
+	}
+	if opt.Fleet != nil {
+		s.mux.HandleFunc("POST /v1/fleet/register", s.fleetRegister)
+		s.mux.HandleFunc("POST /v1/fleet/claim", s.fleetClaim)
+		s.mux.HandleFunc("POST /v1/fleet/renew", s.fleetRenew)
+		s.mux.HandleFunc("POST /v1/fleet/complete", s.fleetComplete)
+		s.mux.HandleFunc("GET /v1/fleet", s.fleetStatus)
 	}
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	// Introspection shares the listener: the metrics handler owns its
@@ -225,16 +247,37 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 // running), and the running-job count.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.mgr.Draining()
+
+	// Storage readiness: a state dir or result store that stopped
+	// accepting writes means checkpoints and results are being lost —
+	// report not-ready before a job pays for it.
+	storageErr := s.mgr.WriteProbe()
+	if storageErr == nil && s.opt.StoreProbe != nil {
+		storageErr = s.opt.StoreProbe()
+	}
+
+	body := map[string]any{
+		"ok":         !draining && storageErr == nil,
+		"draining":   draining,
+		"storage_ok": storageErr == nil,
+		"queued":     s.mgr.QueueDepth(),
+		"running":    s.mgr.Running(),
+	}
+	if storageErr != nil {
+		body["storage_error"] = storageErr.Error()
+	}
+	if s.opt.Fleet != nil {
+		// A coordinator with zero live workers still accepts submissions
+		// (202s queue until a worker appears) but reports itself degraded.
+		body["fleet_workers"] = s.opt.Fleet.WorkersLive()
+		body["fleet_leases"] = s.opt.Fleet.LeasesActive()
+		body["fleet_degraded"] = s.opt.Fleet.WorkersLive() == 0
+	}
 	code := http.StatusOK
-	if draining {
+	if draining || storageErr != nil {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"ok":       !draining,
-		"draining": draining,
-		"queued":   s.mgr.QueueDepth(),
-		"running":  s.mgr.Running(),
-	})
+	writeJSON(w, code, body)
 }
 
 // streamLine is one NDJSON line of a job's progress stream.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/store"
@@ -268,13 +269,22 @@ func TestServiceMetricNamesLint(t *testing.T) {
 		t.Fatal(err)
 	}
 	mgr, err := jobs.NewManager(jobs.Options{
-		Store: st, Metrics: reg, Telemetry: hub,
+		Store: st, Metrics: reg, Telemetry: hub, Dir: t.TempDir(),
 		Runners: map[string]jobs.Runner{config.KindReliability: instantRunner(nil)},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = mgr
+	// The fleet coordinator registers its families (fleet_workers_live,
+	// fleet_leases_active, fleet_*_total) on the same registry.
+	fleet.New(fleet.Options{Backend: mgr, Metrics: reg})
+	// Both write probes publish their writability gauges.
+	if err := mgr.WriteProbe(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteProbe(); err != nil {
+		t.Fatal(err)
+	}
 	if problems := reg.LintNames(); len(problems) != 0 {
 		t.Fatalf("metric naming violations:\n%s", strings.Join(problems, "\n"))
 	}

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -89,6 +90,11 @@ type Store struct {
 
 	hits, misses, corruptions, evictions *metrics.Counter
 	bytesGauge, objectsGauge             *metrics.Gauge
+	writableGauge                        *metrics.Gauge
+
+	probeMu  sync.Mutex
+	probeAt  time.Time
+	probeErr error
 }
 
 // Open opens (creating if needed) a store rooted at dir and rebuilds
@@ -114,8 +120,9 @@ func Open(dir string, opt Options) (*Store, error) {
 		misses:       reg.Counter("store_misses_total", "Cache lookups that found no object."),
 		corruptions:  reg.Counter("store_corruptions_total", "Objects evicted after a checksum mismatch."),
 		evictions:    reg.Counter("store_evictions_total", "Objects evicted by the LRU byte budget."),
-		bytesGauge:   reg.Gauge("store_bytes", "Payload bytes currently on disk."),
-		objectsGauge: reg.Gauge("store_objects", "Objects currently stored."),
+		bytesGauge:    reg.Gauge("store_bytes", "Payload bytes currently on disk."),
+		objectsGauge:  reg.Gauge("store_objects", "Objects currently stored."),
+		writableGauge: reg.Gauge("store_writable", "1 when the store directory accepts writes, 0 when result persistence is failing."),
 	}
 	// Occupancy against the configured budget, for capacity dashboards
 	// and the observatory's fleet view. An unlimited store reports
@@ -416,4 +423,45 @@ func (s *Store) coldest(hotOnly bool, skip string) (string, *entry) {
 func (s *Store) publish() {
 	s.bytesGauge.Set(float64(s.total))
 	s.objectsGauge.Set(float64(len(s.entries)))
+}
+
+// --- write probe ---
+
+const writeProbeTTL = 2 * time.Second
+
+// WriteProbe verifies the objects directory still accepts writes — the
+// readiness failure (disk full, permission flip) that would make every
+// subsequent Put fail and lose results. The verdict is cached for
+// writeProbeTTL so health scrapes stay cheap, and published as the
+// store_writable gauge.
+func (s *Store) WriteProbe() error {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	if time.Since(s.probeAt) < writeProbeTTL {
+		return s.probeErr
+	}
+	s.probeAt = time.Now()
+	s.probeErr = probeWritable(filepath.Join(s.dir, "objects"))
+	if s.probeErr != nil {
+		s.writableGauge.Set(0)
+	} else {
+		s.writableGauge.Set(1)
+	}
+	return s.probeErr
+}
+
+// probeWritable attempts a small write-and-remove in dir.
+func probeWritable(dir string) error {
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("probe"))
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }

@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func key(s string) string {
@@ -251,4 +254,46 @@ func TestConcurrentAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestWriteProbe(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	if err := s.WriteProbe(); err != nil {
+		t.Fatalf("probe on a healthy store: %v", err)
+	}
+	// Break the objects directory out from under the store. The verdict
+	// is cached, so the breakage only shows once the TTL lapses.
+	if err := os.RemoveAll(filepath.Join(dir, "objects")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteProbe(); err != nil {
+		t.Fatalf("cached verdict should still be healthy: %v", err)
+	}
+	s.probeMu.Lock()
+	s.probeAt = time.Time{} // expire the cache
+	s.probeMu.Unlock()
+	if err := s.WriteProbe(); err == nil {
+		t.Fatal("probe passed with the objects dir gone")
+	}
+	// Cached failure, then recovery after the next expiry.
+	if err := s.WriteProbe(); err == nil {
+		t.Fatal("failure verdict should be cached")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s.probeMu.Lock()
+	s.probeAt = time.Time{}
+	s.probeMu.Unlock()
+	if err := s.WriteProbe(); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+}
+
+func TestCorruptErrorMessage(t *testing.T) {
+	e := &CorruptError{Key: "k1", Reason: "checksum mismatch"}
+	if msg := e.Error(); !strings.Contains(msg, "k1") || !strings.Contains(msg, "checksum mismatch") {
+		t.Fatalf("Error() = %q", msg)
+	}
 }

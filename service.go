@@ -185,42 +185,67 @@ func runMCJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.R
 	if err != nil {
 		return nil, err
 	}
-	doc := MCResult{Kind: sp.Kind, Arch: strings.ToUpper(archName(sp.Router.Arch)), N: sp.Router.N, M: sp.Router.M, Topology: topologyName(sp)}
 	switch sp.Kind {
 	case config.KindReliability:
 		res, err := montecarlo.EstimateReliability(opt)
 		if err != nil {
 			return nil, err
 		}
-		doc.Estimate = res.Estimate()
-		doc.CILo, doc.CIHi = res.CI()
-		doc.Trials = uint64(res.Failure.N())
-		doc.StopReason = res.StopReason
-		if res.TTF.N() > 0 {
-			doc.MeanTTF = res.TTF.Mean()
-		}
+		return relResultDoc(sp, &res)
 	case config.KindAvailability:
 		res, err := montecarlo.EstimateAvailability(opt)
 		if err != nil {
 			return nil, err
 		}
-		doc.Estimate = res.Estimate()
-		doc.CILo, doc.CIHi = res.CI()
-		doc.Trials = uint64(res.PerRep.N())
-		doc.StopReason = res.StopReason
+		return availResultDoc(sp, &res)
 	case config.KindRareEvent:
 		res, err := montecarlo.EstimateUnavailability(opt)
 		if err != nil {
 			return nil, err
 		}
-		doc.Estimate = res.Estimate()
-		doc.CILo, doc.CIHi = res.CI()
-		doc.Trials = res.Cycles
-		doc.StopReason = res.StopReason
-		doc.RelErr = res.RelHalfWidth()
+		return rareResultDoc(sp, &res)
 	default:
 		return nil, fmt.Errorf("runMCJob: kind %q", sp.Kind)
 	}
+}
+
+// The result-document builders are shared between the standalone
+// runners and the fleet merge path (fleetshard.go), which is what makes
+// "merged shard result ≡ standalone result" a byte-level identity: both
+// paths construct the document through the same code.
+
+func baseMCDoc(sp config.Spec) MCResult {
+	return MCResult{Kind: sp.Kind, Arch: strings.ToUpper(archName(sp.Router.Arch)), N: sp.Router.N, M: sp.Router.M, Topology: topologyName(sp)}
+}
+
+func relResultDoc(sp config.Spec, res *montecarlo.ReliabilityResult) (json.RawMessage, error) {
+	doc := baseMCDoc(sp)
+	doc.Estimate = res.Estimate()
+	doc.CILo, doc.CIHi = res.CI()
+	doc.Trials = uint64(res.Failure.N())
+	doc.StopReason = res.StopReason
+	if res.TTF.N() > 0 {
+		doc.MeanTTF = res.TTF.Mean()
+	}
+	return json.Marshal(doc)
+}
+
+func availResultDoc(sp config.Spec, res *montecarlo.AvailabilityResult) (json.RawMessage, error) {
+	doc := baseMCDoc(sp)
+	doc.Estimate = res.Estimate()
+	doc.CILo, doc.CIHi = res.CI()
+	doc.Trials = uint64(res.PerRep.N())
+	doc.StopReason = res.StopReason
+	return json.Marshal(doc)
+}
+
+func rareResultDoc(sp config.Spec, res *montecarlo.UnavailabilityResult) (json.RawMessage, error) {
+	doc := baseMCDoc(sp)
+	doc.Estimate = res.Estimate()
+	doc.CILo, doc.CIHi = res.CI()
+	doc.Trials = res.Cycles
+	doc.StopReason = res.StopReason
+	doc.RelErr = res.RelHalfWidth()
 	return json.Marshal(doc)
 }
 
@@ -343,21 +368,30 @@ type SweepResult struct {
 	Cells    []SweepCell `json:"cells"`
 }
 
-func runSweepJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
-	sp := spec.Normalize()
-	type cell struct{ N, M int }
-	var cells []cell
+// gridCell is one (N, M) point of a sweep grid.
+type gridCell struct{ N, M int }
+
+// sweepGrid enumerates the valid (N, M) cells of a sweep spec, in the
+// canonical row-major order every consumer (standalone runner, fleet
+// tile planner, merge) shares.
+func sweepGrid(sp config.Spec) []gridCell {
+	var cells []gridCell
 	for n := sp.Sweep.NLo; n <= sp.Sweep.NHi; n++ {
 		for m := sp.Sweep.MLo; m <= sp.Sweep.MHi; m++ {
 			if n >= 2 && m >= 1 && m <= n {
-				cells = append(cells, cell{n, m})
+				cells = append(cells, gridCell{n, m})
 			}
 		}
 	}
-	if len(cells) == 0 {
-		return nil, fmt.Errorf("sweep grid has no valid (N, M) cells")
-	}
-	eval := func(p models.Params) (float64, error) {
+	return cells
+}
+
+// sweepEval builds the per-cell analytic evaluator of a sweep spec.
+// Each cell is a pure function of (spec, cell) — deterministic no
+// matter which process evaluates it.
+func sweepEval(sp config.Spec) func(c gridCell) (float64, error) {
+	return func(c gridCell) (float64, error) {
+		p := models.PaperParams(c.N, c.M)
 		switch sp.Sweep.Analysis {
 		case "reliability":
 			md, err := models.DRAReliability(p)
@@ -382,18 +416,33 @@ func runSweepJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (jso
 			return 0, fmt.Errorf("analysis %q does not support sweep", sp.Sweep.Analysis)
 		}
 	}
-	opt := sweep.Options{Workers: sp.Sweep.Workers, Metrics: rc.Metrics, Name: "drad_sweep_" + sp.Sweep.Analysis}
-	vals, err := sweep.Map(ctx, cells, opt, func(_ context.Context, c cell) (float64, error) {
-		return eval(models.PaperParams(c.N, c.M))
-	})
-	if err != nil {
-		return nil, err
-	}
+}
+
+// sweepResultDoc builds the sweep result document from the grid and its
+// values — shared by runSweepJob and the fleet tile merge.
+func sweepResultDoc(sp config.Spec, cells []gridCell, vals []float64) (json.RawMessage, error) {
 	doc := SweepResult{Analysis: sp.Sweep.Analysis, Arch: "DRA"}
 	for i, c := range cells {
 		doc.Cells = append(doc.Cells, SweepCell{N: c.N, M: c.M, Value: vals[i]})
 	}
 	return json.Marshal(doc)
+}
+
+func runSweepJob(ctx context.Context, rc jobs.RunContext, spec config.Spec) (json.RawMessage, error) {
+	sp := spec.Normalize()
+	cells := sweepGrid(sp)
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep grid has no valid (N, M) cells")
+	}
+	eval := sweepEval(sp)
+	opt := sweep.Options{Workers: sp.Sweep.Workers, Metrics: rc.Metrics, Name: "drad_sweep_" + sp.Sweep.Analysis}
+	vals, err := sweep.Map(ctx, cells, opt, func(_ context.Context, c gridCell) (float64, error) {
+		return eval(c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sweepResultDoc(sp, cells, vals)
 }
 
 // ChaosJobResult is the result document of the chaos kind (the full
