@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build test lint race race-all vet bench bench-smoke bench-simcore cover fuzz-smoke poolcheck chaos report examples serve-e2e serve-bench fleet-e2e fleet-bench clean
+.PHONY: all check build test lint race race-all vet bench bench-smoke bench-simcore cover fuzz-smoke poolcheck chaos report examples serve-e2e serve-bench fleet-e2e fleet-bench mgmt-e2e clean
 
 all: build test
 
@@ -54,7 +54,7 @@ bench:
 # packet pool) must stay at or above COVER_MIN percent statement
 # coverage.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry ./internal/sim ./internal/packet ./internal/topology ./internal/fleet
+COVER_PKGS = ./internal/markov ./internal/sweep ./internal/linalg ./internal/chaos ./internal/invariant ./internal/jobs ./internal/store ./internal/server ./internal/telemetry ./internal/sim ./internal/packet ./internal/topology ./internal/fleet ./internal/mgmt
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		line=$$($(GO) test -cover $$pkg | tail -1); echo "$$line"; \
@@ -117,6 +117,17 @@ serve-e2e:
 fleet-e2e:
 	$(GO) test -race -v -run 'TestFleetKillWorkerE2E|TestFleetBenchSmoke' ./cmd/drad
 	$(GO) test -race ./internal/fleet/
+
+# Management-plane walls under the race detector: the config
+# commit/rollback cycle against real drad/dractl binaries (including
+# drain/restart booting the committed version), the audit log's
+# no-loss/no-duplication guarantee across SIGTERM, and the mgmt unit
+# wall (keys, quotas, audit rotation, config datastore) plus the
+# server-level auth/quota/fairness tests.
+mgmt-e2e:
+	$(GO) test -race -v -run 'TestMgmtConfigCommitE2E|TestAuditDrainRestartE2E' ./cmd/drad
+	$(GO) test -race ./internal/mgmt/
+	$(GO) test -race -run 'TestAuthRequiredAndRoleGates|TestTenantQuota429Distinct|TestConfigCommitLiveApply|TestAuditEndpointRecordsActions|TestListPagingAndTenantScope|TestMgmtHandlerSurface' ./internal/server/
 
 # Regenerate BENCH_fleet.json: jobs/sec scaling over 1/2/4-worker
 # fleets (the bench boots coordinator + workers itself).

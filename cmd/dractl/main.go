@@ -8,12 +8,21 @@
 //	dractl status <id>             job snapshot
 //	dractl result <id>             stored result document
 //	dractl cancel <id>             cancel a queued or running job
-//	dractl list                    all known jobs
+//	dractl list                    all known jobs (-limit, -since, -tenant)
 //	dractl watch <id>              stream NDJSON progress until the job rests
 //	dractl top                     fleet telemetry summary (add -interval to refresh)
 //	dractl tail                    fleet-wide NDJSON telemetry live tail
 //	dractl query <id>              one job's telemetry series (-since, -limit)
 //	dractl fleet                   coordinator fleet status (workers, leases)
+//	dractl keys create|list|revoke manage API keys (admin)
+//	dractl audit                   query the audit log (-since, -tenant, -verb, -limit)
+//	dractl config <subcommand>     show|candidate|diff|set|commit|rollback the
+//	                               server's versioned configuration
+//
+// Authentication: -key <token> or the DRACTL_KEY environment variable
+// attaches the API key to every request; omit both against a server
+// that allows anonymous access.
+//
 //	dractl bench                   cold-vs-cache-hit load test → BENCH_serve.json
 //	dractl bench -mode observatory telemetry ingest/query bench → BENCH_observatory.json
 //	dractl bench -mode simcore     DES-core hot-path bench (local, no server) → BENCH_simcore.json
@@ -28,8 +37,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -49,15 +60,22 @@ func main() {
 
 func run() int {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "drad base URL")
+	key := flag.String("key", os.Getenv("DRACTL_KEY"), "API key token (default $DRACTL_KEY); empty relies on the server's anonymous door")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		usageError(fmt.Errorf("want a command: submit, status, result, cancel, list, watch, top, tail, query, fleet, bench"))
+		usageError(fmt.Errorf("want a command: submit, status, result, cancel, list, watch, top, tail, query, fleet, keys, audit, config, bench"))
 	}
 	hc := &http.Client{}
-	c := &client{base: trimSlash(*addr), hc: hc, rc: &httpretry.Client{HC: hc}}
+	c := &client{base: trimSlash(*addr), key: *key, hc: hc, rc: &httpretry.Client{HC: hc}}
 
 	switch args[0] {
+	case "keys":
+		return cmdKeys(c, args[1:])
+	case "audit":
+		return cmdAudit(c, args[1:])
+	case "config":
+		return cmdConfig(c, args[1:])
 	case "fleet":
 		return cmdFleet(c, args[1:])
 	case "submit":
@@ -69,7 +87,7 @@ func run() int {
 	case "cancel":
 		return cmdCancel(c, args[1:])
 	case "list":
-		return cmdList(c)
+		return cmdList(c, args[1:])
 	case "watch":
 		return cmdWatch(c, args[1:])
 	case "top":
@@ -99,8 +117,16 @@ func trimSlash(s string) string {
 // so SIGINT aborts an in-flight request.
 type client struct {
 	base string
+	key  string // API token sent as Authorization: Bearer; "" = anonymous
 	hc   *http.Client
 	rc   *httpretry.Client
+}
+
+// auth attaches the API key to a request when one is configured.
+func (c *client) auth(req *http.Request) {
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
 }
 
 // do issues one request and returns (body, status). Connection errors
@@ -121,6 +147,7 @@ func (c *client) do(method, path string, body []byte) ([]byte, int) {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.auth(req)
 	resp, err := c.rc.Do(req)
 	if err != nil {
 		if lc.Interrupted() {
@@ -269,8 +296,29 @@ func cmdCancel(c *client, args []string) int {
 	return lc.Exit(cli.ExitOK)
 }
 
-func cmdList(c *client) int {
-	data, code := c.do(http.MethodGet, "/v1/jobs", nil)
+func cmdList(c *client, args []string) int {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	var (
+		limit  = fs.Int("limit", 0, "cap the newest-first listing (0 = all)")
+		since  = fs.String("since", "", "only jobs submitted after this RFC3339 time or unix-ms stamp")
+		tenant = fs.String("tenant", "", "filter by tenant (admin keys only; others are scoped to their own)")
+	)
+	fs.Parse(args)
+	q := url.Values{}
+	if *limit > 0 {
+		q.Set("limit", strconv.Itoa(*limit))
+	}
+	if *since != "" {
+		q.Set("since", *since)
+	}
+	if *tenant != "" {
+		q.Set("tenant", *tenant)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	data, code := c.do(http.MethodGet, path, nil)
 	if code != http.StatusOK {
 		fatal(apiErr(data, code))
 	}
@@ -305,6 +353,7 @@ func streamLines(c *client, path string) error {
 	if err != nil {
 		fatal(err)
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if lc.Interrupted() {

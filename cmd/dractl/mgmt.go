@@ -1,0 +1,146 @@
+package main
+
+// Management-plane subcommands: API keys, audit log, and the versioned
+// config datastore (show/candidate/diff/set/commit/rollback).
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+
+	"repro/internal/cli"
+)
+
+// cmdKeys routes keys create|list|revoke.
+func cmdKeys(c *client, args []string) int {
+	if len(args) == 0 {
+		usageError(fmt.Errorf("keys wants a subcommand: create, list, revoke"))
+	}
+	switch args[0] {
+	case "create":
+		fs := flag.NewFlagSet("keys create", flag.ExitOnError)
+		tenant := fs.String("tenant", "", "tenant the key belongs to")
+		role := fs.String("role", "operator", "key role: reader, operator, or admin")
+		fs.Parse(args[1:])
+		if *tenant == "" {
+			usageError(fmt.Errorf("keys create wants -tenant"))
+		}
+		body, err := json.Marshal(map[string]string{"tenant": *tenant, "role": *role})
+		if err != nil {
+			fatal(err)
+		}
+		data, code := c.do(http.MethodPost, "/v1/keys", body)
+		if code != http.StatusCreated {
+			fatal(apiErr(data, code))
+		}
+		printJSON(data)
+		fmt.Fprintln(os.Stderr, "dractl: the token above is shown exactly once; store it now")
+	case "list":
+		data, code := c.do(http.MethodGet, "/v1/keys", nil)
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		printJSON(data)
+	case "revoke":
+		if len(args) != 2 {
+			usageError(fmt.Errorf("keys revoke wants exactly one key ID"))
+		}
+		data, code := c.do(http.MethodDelete, "/v1/keys/"+args[1], nil)
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		printJSON(data)
+	default:
+		usageError(fmt.Errorf("unknown keys subcommand %q", args[0]))
+	}
+	return lc.Exit(cli.ExitOK)
+}
+
+// cmdAudit queries the audit log.
+func cmdAudit(c *client, args []string) int {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	var (
+		since  = fs.Uint64("since", 0, "only entries with seq greater than this")
+		tenant = fs.String("tenant", "", "filter by tenant")
+		verb   = fs.String("verb", "", "filter by verb (submit, cancel, keys, config-write)")
+		limit  = fs.Int("limit", 0, "cap to the newest N matching entries (0 = all)")
+	)
+	fs.Parse(args)
+	q := url.Values{}
+	if *since > 0 {
+		q.Set("since", strconv.FormatUint(*since, 10))
+	}
+	if *tenant != "" {
+		q.Set("tenant", *tenant)
+	}
+	if *verb != "" {
+		q.Set("verb", *verb)
+	}
+	if *limit > 0 {
+		q.Set("limit", strconv.Itoa(*limit))
+	}
+	path := "/v1/audit"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	data, code := c.do(http.MethodGet, path, nil)
+	if code != http.StatusOK {
+		fatal(apiErr(data, code))
+	}
+	printJSON(data)
+	return lc.Exit(cli.ExitOK)
+}
+
+// cmdConfig routes the config datastore verbs.
+func cmdConfig(c *client, args []string) int {
+	if len(args) == 0 {
+		usageError(fmt.Errorf("config wants a subcommand: show, candidate, diff, set, commit, rollback"))
+	}
+	get := func(path string) {
+		data, code := c.do(http.MethodGet, path, nil)
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		printJSON(data)
+	}
+	switch args[0] {
+	case "show":
+		get("/v1/config")
+	case "candidate":
+		get("/v1/config/candidate")
+	case "diff":
+		get("/v1/config/diff")
+	case "set":
+		if len(args) != 3 {
+			usageError(fmt.Errorf("config set wants <path> <value>, e.g. config set max_queued 64"))
+		}
+		body, err := json.Marshal(map[string]string{"path": args[1], "value": args[2]})
+		if err != nil {
+			fatal(err)
+		}
+		data, code := c.do(http.MethodPost, "/v1/config/set", body)
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		printJSON(data)
+	case "commit":
+		data, code := c.do(http.MethodPost, "/v1/config/commit", []byte("{}"))
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		printJSON(data)
+	case "rollback":
+		data, code := c.do(http.MethodPost, "/v1/config/rollback", []byte("{}"))
+		if code != http.StatusOK {
+			fatal(apiErr(data, code))
+		}
+		printJSON(data)
+	default:
+		usageError(fmt.Errorf("unknown config subcommand %q", args[0]))
+	}
+	return lc.Exit(cli.ExitOK)
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/mgmt"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -71,6 +72,8 @@ func run() int {
 		workerID     = flag.String("worker-id", "", "worker name in leases and status; default host-pid")
 		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease TTL; a worker silent this long forfeits its work (0 = 10s default)")
 		heartbeat    = flag.Duration("heartbeat", 0, "lease renewal cadence advertised to workers (0 = lease-ttl/3)")
+		allowAnon    = flag.Bool("allow-anonymous", true, "admit requests without an API key as the default tenant with admin role; disable to require keys on every call")
+		auditMax     = flag.Int64("audit-max-bytes", 0, "audit log size before rotation to audit.log.1 (0 = 4 MiB)")
 	)
 	flag.Parse()
 
@@ -115,6 +118,12 @@ func run() int {
 	if err != nil {
 		fatal(err)
 	}
+	// The management plane and the scheduler reference each other (the
+	// scheduler consults quota/weight hooks per submission; a config
+	// commit retunes the scheduler), so the hooks late-bind through this
+	// pointer: during manager construction and recovery it is still nil
+	// and the hooks are inert, exactly the pre-tenancy behavior.
+	var mg *mgmt.Manager
 	mgr, err := jobs.NewManager(jobs.Options{
 		Store:       st,
 		Dir:         *stateDir,
@@ -125,11 +134,48 @@ func run() int {
 		Metrics:     reg,
 		Telemetry:   hub,
 		External:    *role == "coordinator",
+		Quota: func(tenant string, queued, running int) error {
+			if mg == nil {
+				return nil
+			}
+			return mg.AdmitSubmit(tenant, queued, running)
+		},
+		TenantWeight: func(tenant string) int {
+			if mg == nil {
+				return 1
+			}
+			return mg.TenantWeight(tenant)
+		},
 	})
 	if err != nil {
 		fatal(err)
 	}
-	srvOpt := server.Options{Manager: mgr, Metrics: reg, Telemetry: hub, StoreProbe: st.WriteProbe}
+	mg, err = mgmt.New(mgmt.Options{
+		Dir:            *stateDir,
+		AllowAnonymous: *allowAnon,
+		AuditMaxBytes:  *auditMax,
+		Defaults:       mgmt.Config{MaxQueued: *maxQueued, ClassLimits: limits},
+		Metrics:        reg,
+		Apply: func(cfg mgmt.Config) {
+			mgr.ApplyLimits(cfg.MaxQueued, cfg.ClassLimits)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// A restart over the same state dir boots with the committed running
+	// config, not the boot flags.
+	mg.ApplyRunning()
+	if !*allowAnon && mg.Keys().Empty() {
+		// No anonymous door and no keys would lock everyone out; mint the
+		// bootstrap admin credential and print it exactly once.
+		k, token, kerr := mg.Keys().Create("admin", mgmt.RoleAdmin)
+		if kerr != nil {
+			fatal(kerr)
+		}
+		fmt.Printf("drad: bootstrap admin key %s token %s (shown once; create tenant keys with it)\n", k.ID, token)
+	}
+	srvOpt := server.Options{Manager: mgr, Metrics: reg, Telemetry: hub, StoreProbe: st.WriteProbe, Mgmt: mg}
 	var coord *fleet.Coordinator
 	if *role == "coordinator" {
 		coord = fleet.New(fleet.Options{
@@ -186,6 +232,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "drad: telemetry flush: %v\n", err)
 		}
 		httpSrv.Shutdown(dctx)
+		if err := mg.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "drad: audit close: %v\n", err)
+		}
 		cancel()
 	}
 	return lc.Exit(0)

@@ -37,38 +37,30 @@ type ExternalJob struct {
 
 // ClaimExternal hands the best eligible queued job to a fleet worker,
 // moving it to StateLeased. Eligibility matches local dispatch: highest
-// priority first, FIFO within a priority, kinds at their class limit
-// skipped. Returns false when nothing is claimable.
+// priority class first, weighted-fair round robin across tenants
+// within it (plain FIFO for a single tenant), kinds at their class
+// limit skipped. Returns false when nothing is claimable.
 func (m *Manager) ClaimExternal(worker string) (ExternalJob, bool) {
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
 		return ExternalJob{}, false
 	}
-	idx := -1
-	for i, j := range m.queue {
-		if limit, ok := m.opt.ClassLimits[j.kind]; ok && m.running[j.kind] >= limit {
-			continue
-		}
-		if idx < 0 || j.priority > m.queue[idx].priority ||
-			(j.priority == m.queue[idx].priority && j.seq < m.queue[idx].seq) {
-			idx = i
-		}
-	}
-	if idx < 0 {
+	j := m.queue.pop(m.eligibleLocked)
+	if j == nil {
 		m.mu.Unlock()
 		return ExternalJob{}, false
 	}
-	j := m.queue[idx]
-	m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
+	decTenantLocked(m.queuedT, j.tenant)
 	m.running[j.kind]++
+	m.runningT[j.tenant]++
 	m.runningG.Add(1)
 	j.state = StateLeased
 	j.worker = worker
 	if j.started.IsZero() {
 		j.started = time.Now()
 	}
-	m.queueDepth.Set(float64(len(m.queue)))
+	m.queueDepth.Set(float64(m.queue.len()))
 	m.publishLocked(j, "leased to "+worker)
 	id, spec := j.id, j.spec
 	m.mu.Unlock()
@@ -136,6 +128,7 @@ func (m *Manager) settleExternal(j *job, final State, note string) {
 		return
 	}
 	m.running[j.kind]--
+	decTenantLocked(m.runningT, j.tenant)
 	m.runningG.Add(-1)
 	j.state = final
 	j.errMsg = ""
@@ -167,12 +160,14 @@ func (m *Manager) RequeueExternal(id, note string) error {
 		return fmt.Errorf("%w: %s is %s", ErrNotLeased, id, j.state)
 	}
 	m.running[j.kind]--
+	decTenantLocked(m.runningT, j.tenant)
 	m.runningG.Add(-1)
 	j.state = StateQueued
 	j.worker = ""
 	j.requeues++
-	m.queue = append(m.queue, j)
-	m.queueDepth.Set(float64(len(m.queue)))
+	m.queue.push(j)
+	m.queuedT[j.tenant]++
+	m.queueDepth.Set(float64(m.queue.len()))
 	m.publishLocked(j, note)
 	return nil
 }

@@ -116,8 +116,12 @@ type Snapshot struct {
 	ID       string `json:"id"`
 	Kind     string `json:"kind"`
 	Priority int    `json:"priority"`
-	State    State  `json:"state"`
-	Error    string `json:"error,omitempty"`
+	// Tenant names the submitting tenant (empty for anonymous/default
+	// submissions, which keeps single-tenant output identical to the
+	// pre-tenancy service).
+	Tenant string `json:"tenant,omitempty"`
+	State  State  `json:"state"`
+	Error  string `json:"error,omitempty"`
 	// Cached marks a submit served from the result store without
 	// recomputation.
 	Cached bool `json:"cached,omitempty"`
@@ -140,6 +144,7 @@ type job struct {
 	spec     config.Spec
 	kind     string
 	priority int
+	tenant   string // submitting tenant ("" = anonymous/default)
 	seq      uint64 // submit order; FIFO tiebreak within a priority
 
 	state State
@@ -151,9 +156,9 @@ type job struct {
 	resumed         bool
 	worker          string // lease holder (coordinator mode)
 	requeues        int    // lease expirations → requeue count
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
 
 	reg    *metrics.Registry
 	rec    *trace.Recorder
@@ -166,6 +171,7 @@ func (j *job) snapshot() Snapshot {
 		ID:          j.id,
 		Kind:        j.kind,
 		Priority:    j.priority,
+		Tenant:      j.tenant,
 		State:       j.state,
 		Error:       j.errMsg,
 		Cached:      j.cached,

@@ -334,13 +334,10 @@ func TestCancelDuringDispatchHandoff(t *testing.T) {
 	// execute taking the lock.
 	m.mu.Lock()
 	j := m.jobs[snap.ID]
-	for i, q := range m.queue {
-		if q == j {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-			break
-		}
-	}
+	m.queue.remove(j)
+	decTenantLocked(m.queuedT, j.tenant)
 	m.running[j.kind]++
+	m.runningT[j.tenant]++
 	m.mu.Unlock()
 
 	if err := m.Cancel(snap.ID); err != nil {

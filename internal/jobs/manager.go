@@ -51,6 +51,20 @@ type Options struct {
 	// Admission, dedup, caching, persistence, and recovery are
 	// unchanged — jobs queue even with zero workers live.
 	External bool
+	// Quota, when non-nil, is consulted at admission with the
+	// submitting tenant's current queued and running counts (under the
+	// manager lock, after the draining check — so a drain refusal
+	// always outranks a quota refusal). A non-nil return rejects the
+	// submission and is surfaced to the caller verbatim, letting the
+	// management plane return typed quota errors (429 + Retry-After
+	// with a tenant_quota cause) distinct from the global ErrBusy.
+	// Startup recovery bypasses it, like the MaxQueued bound.
+	Quota func(tenant string, queued, running int) error
+	// TenantWeight returns a tenant's weighted-fair-queueing weight
+	// (values below 1, and a nil func, mean weight 1). Consulted on
+	// every scheduling round, so a live config commit retunes the
+	// round without a restart.
+	TenantWeight func(tenant string) int
 }
 
 const (
@@ -76,13 +90,15 @@ type Manager struct {
 
 	mu         sync.Mutex
 	jobs       map[string]*job
-	queue      []*job // admitted, waiting; scheduling scans for best eligible
+	queue      *wfq // admitted, waiting; weighted-fair across tenants
 	running    map[string]int
+	queuedT    map[string]int // queued jobs per tenant (quota accounting)
+	runningT   map[string]int // running+leased jobs per tenant
 	draining   bool
 	recovering bool // startup recovery in flight: admission bound waived
-	seq      uint64
-	eventSeq uint64
-	subs     map[string][]chan Event
+	seq        uint64
+	eventSeq   uint64
+	subs       map[string][]chan Event
 
 	probeMu  sync.Mutex
 	probeAt  time.Time
@@ -115,7 +131,10 @@ func NewManager(opt Options) (*Manager, error) {
 		opt:        opt,
 		pool:       sweep.NewPool(opt.Workers),
 		jobs:       make(map[string]*job),
+		queue:      newWFQ(opt.TenantWeight),
 		running:    make(map[string]int),
+		queuedT:    make(map[string]int),
+		runningT:   make(map[string]int),
 		subs:       make(map[string][]chan Event),
 		submitted:  reg.CounterVec("jobs_submitted_total", "Jobs admitted, by kind.", "kind"),
 		completed:  reg.CounterVec("jobs_completed_total", "Jobs finished, by final state.", "state"),
@@ -172,7 +191,14 @@ func (m *Manager) recover() error {
 			os.Remove(path)
 			continue
 		}
-		snap, err := m.Submit(spec)
+		// The owner sidecar restores the submitting tenant, so quota
+		// accounting and fair queueing survive a restart.
+		tenant := ""
+		id := strings.TrimSuffix(e.Name(), ".json")
+		if data, err := os.ReadFile(m.ownerPath(id)); err == nil {
+			tenant = strings.TrimSpace(string(data))
+		}
+		snap, err := m.SubmitAs(tenant, spec)
 		if err != nil {
 			continue
 		}
@@ -185,11 +211,19 @@ func (m *Manager) recover() error {
 	return nil
 }
 
-// Submit admits a job (or dedups it against the queue, the running set,
-// and the result store). The returned snapshot's State tells the caller
-// what happened: StateDone with Cached set is a cache hit, anything
-// else is a live job. ErrBusy and ErrDraining are admission refusals.
+// Submit admits an anonymous (default-tenant) job; see SubmitAs.
 func (m *Manager) Submit(spec config.Spec) (Snapshot, error) {
+	return m.SubmitAs("", spec)
+}
+
+// SubmitAs admits a job on behalf of a tenant (or dedups it against the
+// queue, the running set, and the result store). The returned
+// snapshot's State tells the caller what happened: StateDone with
+// Cached set is a cache hit, anything else is a live job. ErrBusy,
+// ErrDraining, and whatever Options.Quota returns are admission
+// refusals. Deduplicated and cached submissions never charge the
+// tenant's quota — an idempotent retry is free.
+func (m *Manager) SubmitAs(tenant string, spec config.Spec) (Snapshot, error) {
 	id, err := spec.JobID()
 	if err != nil {
 		return Snapshot{}, err
@@ -221,6 +255,13 @@ func (m *Manager) Submit(spec config.Spec) (Snapshot, error) {
 		m.mu.Unlock()
 		return Snapshot{}, ErrDraining
 	}
+	if !m.recovering && m.opt.Quota != nil {
+		if qerr := m.opt.Quota(tenant, m.queuedT[tenant], m.runningT[tenant]); qerr != nil {
+			m.rejected.Inc()
+			m.mu.Unlock()
+			return Snapshot{}, qerr
+		}
+	}
 	if !m.recovering && m.admittedLocked() >= m.opt.MaxQueued {
 		m.rejected.Inc()
 		m.mu.Unlock()
@@ -233,6 +274,7 @@ func (m *Manager) Submit(spec config.Spec) (Snapshot, error) {
 		spec:      spec,
 		kind:      spec.Kind,
 		priority:  spec.Priority,
+		tenant:    tenant,
 		seq:       m.seq,
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -241,10 +283,11 @@ func (m *Manager) Submit(spec config.Spec) (Snapshot, error) {
 		done:      make(chan struct{}),
 	}
 	m.jobs[id] = j
-	m.queue = append(m.queue, j)
+	m.queue.push(j)
+	m.queuedT[tenant]++
 	m.pruneTerminalLocked()
 	m.submitted.With(j.kind).Inc()
-	m.queueDepth.Set(float64(len(m.queue)))
+	m.queueDepth.Set(float64(m.queue.len()))
 	snap := j.snapshot()
 	m.publishLocked(j, "")
 	m.mu.Unlock()
@@ -260,11 +303,48 @@ func (m *Manager) Submit(spec config.Spec) (Snapshot, error) {
 // admittedLocked counts jobs that hold an admission slot: queued or
 // running. Terminal and interrupted jobs do not.
 func (m *Manager) admittedLocked() int {
-	n := len(m.queue)
+	n := m.queue.len()
 	for _, c := range m.running {
 		n += c
 	}
 	return n
+}
+
+// decTenantLocked releases one unit of a tenant's count map, dropping
+// zeroed entries so tenant churn cannot grow the maps without bound.
+func decTenantLocked(counts map[string]int, tenant string) {
+	if counts[tenant] <= 1 {
+		delete(counts, tenant)
+		return
+	}
+	counts[tenant]--
+}
+
+// ApplyLimits swaps the live admission bound and per-kind class limits
+// — the config-commit path retuning a running scheduler without a
+// restart. maxQueued values below 1 keep the current bound; classLimits
+// replaces the map wholesale (nil clears every per-kind cap). Loosened
+// limits take effect immediately via a dispatch round.
+func (m *Manager) ApplyLimits(maxQueued int, classLimits map[string]int) {
+	m.mu.Lock()
+	if maxQueued >= 1 {
+		m.opt.MaxQueued = maxQueued
+	}
+	m.opt.ClassLimits = classLimits
+	m.mu.Unlock()
+	m.dispatch()
+}
+
+// Limits reports the live admission bound and class limits (the
+// config-show path).
+func (m *Manager) Limits() (maxQueued int, classLimits map[string]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.opt.ClassLimits))
+	for k, v := range m.opt.ClassLimits {
+		out[k] = v
+	}
+	return m.opt.MaxQueued, out
 }
 
 // cachedJob materializes a done-from-cache job record. Caller holds mu.
@@ -290,9 +370,18 @@ func (m *Manager) cachedJob(id string, spec config.Spec) *job {
 	return j
 }
 
+// eligibleLocked reports whether a queued job may start now: its kind
+// must be under its class limit. Caller holds mu.
+func (m *Manager) eligibleLocked(j *job) bool {
+	limit, ok := m.opt.ClassLimits[j.kind]
+	return !ok || m.running[j.kind] < limit
+}
+
 // dispatch starts as many eligible queued jobs as the pool accepts.
-// Eligibility: highest priority first (FIFO within a priority), skipping
-// kinds at their class limit.
+// Scheduling order: highest priority class first; within a class,
+// deficit-weighted round robin across tenants (FIFO within a tenant),
+// which degenerates to plain FIFO-within-priority when a single tenant
+// is submitting. Kinds at their class limit are skipped.
 func (m *Manager) dispatch() {
 	if m.opt.External {
 		// Coordinator mode: execution is leased to fleet workers, never
@@ -305,21 +394,21 @@ func (m *Manager) dispatch() {
 			m.mu.Unlock()
 			return
 		}
-		idx := -1
-		for i, j := range m.queue {
-			if limit, ok := m.opt.ClassLimits[j.kind]; ok && m.running[j.kind] >= limit {
-				continue
-			}
-			if idx < 0 || j.priority > m.queue[idx].priority ||
-				(j.priority == m.queue[idx].priority && j.seq < m.queue[idx].seq) {
-				idx = i
-			}
-		}
-		if idx < 0 {
+		// Check pool capacity before popping: a pop consumes the DRR
+		// round's credit and cursor position, so popping a job only to
+		// roll it back on a full pool would skew the fair-queueing state
+		// against whichever tenant was next. All TryGo calls are
+		// serialized under m.mu, so a free slot seen here cannot be
+		// stolen before the TryGo below.
+		if m.pool.InFlight() >= m.pool.Workers() {
 			m.mu.Unlock()
 			return
 		}
-		j := m.queue[idx]
+		j := m.queue.pop(m.eligibleLocked)
+		if j == nil {
+			m.mu.Unlock()
+			return
+		}
 		r := m.opt.Runners[j.kind]
 		// Claim the slot and hand off to the pool under one critical
 		// section: the pool's OnIdle hook re-enters dispatch after every
@@ -328,14 +417,17 @@ func (m *Manager) dispatch() {
 		// after a failed TryGo could strand with no dispatcher left to
 		// see it. (Drain holds this same lock to set draining, so a
 		// failed TryGo here always means a full pool, not a closed one.)
-		m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
+		decTenantLocked(m.queuedT, j.tenant)
 		m.running[j.kind]++
+		m.runningT[j.tenant]++
 		ok := m.pool.TryGo(func() { m.execute(j, r) })
 		if !ok {
 			m.running[j.kind]--
-			m.queue = append(m.queue, j)
+			decTenantLocked(m.runningT, j.tenant)
+			m.queue.push(j)
+			m.queuedT[j.tenant]++
 		}
-		m.queueDepth.Set(float64(len(m.queue)))
+		m.queueDepth.Set(float64(m.queue.len()))
 		m.mu.Unlock()
 		if !ok {
 			return
@@ -353,6 +445,7 @@ func (m *Manager) execute(j *job, runner Runner) {
 		// outranks drain — a user-canceled job must not resurrect on
 		// restart, so its persisted state is cleaned up too.
 		m.running[j.kind]--
+		decTenantLocked(m.runningT, j.tenant)
 		j.state = StateCanceled
 		j.finished = time.Now()
 		m.completed.With(string(StateCanceled)).Inc()
@@ -366,6 +459,7 @@ func (m *Manager) execute(j *job, runner Runner) {
 	if m.draining {
 		// Drain raced the dispatch: leave the job for the next process.
 		m.running[j.kind]--
+		decTenantLocked(m.runningT, j.tenant)
 		j.state = StateInterrupted
 		m.publishLocked(j, "interrupted before start")
 		close(j.done)
@@ -432,6 +526,7 @@ func (m *Manager) execute(j *job, runner Runner) {
 
 	m.mu.Lock()
 	m.running[j.kind]--
+	decTenantLocked(m.runningT, j.tenant)
 	m.runningG.Add(-1)
 	j.state = final
 	j.errMsg = ""
@@ -468,15 +563,7 @@ func (m *Manager) Cancel(id string) error {
 	}
 	switch j.state {
 	case StateQueued:
-		found := false
-		for i, q := range m.queue {
-			if q == j {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				found = true
-				break
-			}
-		}
-		if !found {
+		if !m.queue.remove(j) {
 			// Dispatch already claimed the job off the queue but execute
 			// hasn't marked it running yet. Finalizing here would race
 			// execute's own close(j.done); record the intent instead and
@@ -485,9 +572,10 @@ func (m *Manager) Cancel(id string) error {
 			m.mu.Unlock()
 			return nil
 		}
+		decTenantLocked(m.queuedT, j.tenant)
 		j.state = StateCanceled
 		j.finished = time.Now()
-		m.queueDepth.Set(float64(len(m.queue)))
+		m.queueDepth.Set(float64(m.queue.len()))
 		m.completed.With(string(StateCanceled)).Inc()
 		m.publishLocked(j, "")
 		close(j.done)
@@ -506,6 +594,7 @@ func (m *Manager) Cancel(id string) error {
 		// worker's next renew/complete finds the lease gone (the
 		// coordinator checks JobActive) and abandons the run.
 		m.running[j.kind]--
+		decTenantLocked(m.runningT, j.tenant)
 		m.runningG.Add(-1)
 		j.state = StateCanceled
 		j.finished = time.Now()
@@ -683,12 +772,12 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 	m.draining = true
 	var waiting []*job
-	for _, j := range m.queue {
+	for _, j := range m.queue.clear() {
 		j.state = StateInterrupted
 		m.publishLocked(j, "interrupted by drain")
 		close(j.done)
 	}
-	m.queue = nil
+	m.queuedT = make(map[string]int)
 	m.queueDepth.Set(0)
 	for _, j := range m.jobs {
 		switch j.state {
@@ -703,6 +792,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 			// spec and last shipped checkpoint persist) so a restarted
 			// coordinator requeues and re-leases it.
 			m.running[j.kind]--
+			decTenantLocked(m.runningT, j.tenant)
 			m.runningG.Add(-1)
 			j.state = StateInterrupted
 			m.publishLocked(j, "interrupted by drain (lease abandoned)")
@@ -760,6 +850,16 @@ func (m *Manager) checkpointPath(id string) string {
 	return filepath.Join(m.opt.Dir, checkpointDirName, id+".ckpt")
 }
 
+// ownerPath is the sidecar naming the tenant that submitted a pending
+// job. Kept out of the spec file itself so the spec document stays a
+// valid config.Spec (and older pending files keep loading).
+func (m *Manager) ownerPath(id string) string {
+	if m.opt.Dir == "" {
+		return ""
+	}
+	return filepath.Join(m.opt.Dir, pendingDirName, id+".owner")
+}
+
 // persistSpec writes the admitted spec atomically so a crashed or
 // drained server can requeue it.
 func (m *Manager) persistSpec(j *job) error {
@@ -785,14 +885,22 @@ func (m *Manager) persistSpec(j *job) error {
 		os.Remove(name)
 		return err
 	}
-	return os.Rename(name, path)
+	if err := os.Rename(name, path); err != nil {
+		return err
+	}
+	if j.tenant != "" {
+		return os.WriteFile(m.ownerPath(j.id), []byte(j.tenant+"\n"), 0o644)
+	}
+	return nil
 }
 
-// unpersist removes a terminal job's pending spec and checkpoint.
+// unpersist removes a terminal job's pending spec, owner sidecar, and
+// checkpoint.
 func (m *Manager) unpersist(id string) {
 	if m.opt.Dir == "" {
 		return
 	}
 	os.Remove(m.pendingPath(id))
+	os.Remove(m.ownerPath(id))
 	os.Remove(m.checkpointPath(id))
 }

@@ -1,0 +1,230 @@
+package jobs
+
+// Weighted fair queueing across tenants. The queue is organized as
+// priority classes; within a class each tenant owns a FIFO sub-queue
+// and classes are drained by deficit-weighted round robin: every time
+// the round-robin cursor lands on a tenant, that tenant's credit is
+// replenished to its weight, and dispatching one job costs one credit.
+// A tenant with weight w therefore dispatches w jobs per round — so a
+// tenant flooding the queue cannot starve the others — while a class
+// with a single tenant degenerates to that tenant's FIFO, which keeps
+// the pre-tenancy scheduler's priority-then-FIFO dispatch order
+// bit-identical (pinned by TestWFQSingleTenantMatchesLegacyOrder).
+//
+// Class-limit skipping is expressed through the eligibility callback:
+// a job whose kind is at its running cap is passed over (within its
+// tenant's FIFO the next eligible job runs, matching the legacy global
+// scan), and a tenant whose every job is blocked yields its turn
+// without spending credit.
+
+import "sort"
+
+// tenantQueue is one tenant's FIFO within a priority class.
+type tenantQueue struct {
+	jobs   []*job // ascending seq
+	credit int    // remaining DRR credit this round
+}
+
+// firstEligible returns the index of the earliest job the callback
+// accepts, or -1.
+func (tq *tenantQueue) firstEligible(eligible func(*job) bool) int {
+	for i, j := range tq.jobs {
+		if eligible(j) {
+			return i
+		}
+	}
+	return -1
+}
+
+// wfqClass is one priority class: the tenants holding queued jobs at
+// this priority, in activation order, plus the DRR cursor.
+type wfqClass struct {
+	tenants map[string]*tenantQueue
+	order   []string // active tenants, first-enqueue order
+	idx     int      // DRR cursor into order
+}
+
+// deactivate removes a drained tenant from the round. The cursor keeps
+// pointing at the slot that slid into the removed position, so the
+// rotation continues with the next tenant.
+func (c *wfqClass) deactivate(t string) {
+	delete(c.tenants, t)
+	for i, name := range c.order {
+		if name == t {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			if c.idx > i || c.idx >= len(c.order) {
+				c.idx--
+			}
+			if c.idx < 0 {
+				c.idx = 0
+			}
+			return
+		}
+	}
+}
+
+// wfq is the tenant-aware priority queue behind the manager. All
+// methods assume the manager's lock is held.
+type wfq struct {
+	classes map[int]*wfqClass
+	weight  func(tenant string) int
+	size    int
+}
+
+func newWFQ(weight func(string) int) *wfq {
+	return &wfq{classes: make(map[int]*wfqClass), weight: weight}
+}
+
+// tenantWeight clamps the configured weight to at least 1 (a zero or
+// negative weight would wedge the round).
+func (q *wfq) tenantWeight(t string) int {
+	if q.weight == nil {
+		return 1
+	}
+	if w := q.weight(t); w > 1 {
+		return w
+	}
+	return 1
+}
+
+func (q *wfq) len() int { return q.size }
+
+// push enqueues a job into its tenant's FIFO, keeping the FIFO sorted
+// by submit seq — fresh submissions append, but a job re-entering the
+// queue (an expired fleet lease, a rolled-back pool handoff) regains
+// its original position rather than the tail. A tenant's first job
+// activates it at the back of its class's round with a full credit
+// grant.
+func (q *wfq) push(j *job) {
+	c, ok := q.classes[j.priority]
+	if !ok {
+		c = &wfqClass{tenants: make(map[string]*tenantQueue)}
+		q.classes[j.priority] = c
+	}
+	tq, ok := c.tenants[j.tenant]
+	if !ok {
+		tq = &tenantQueue{credit: q.tenantWeight(j.tenant)}
+		c.tenants[j.tenant] = tq
+		c.order = append(c.order, j.tenant)
+	}
+	if n := len(tq.jobs); n == 0 || tq.jobs[n-1].seq < j.seq {
+		tq.jobs = append(tq.jobs, j)
+	} else {
+		i := sort.Search(n, func(k int) bool { return tq.jobs[k].seq > j.seq })
+		tq.jobs = append(tq.jobs, nil)
+		copy(tq.jobs[i+1:], tq.jobs[i:])
+		tq.jobs[i] = j
+	}
+	q.size++
+}
+
+// remove takes a specific job out of the queue (cancellation). Returns
+// false when the job is not queued here.
+func (q *wfq) remove(j *job) bool {
+	c, ok := q.classes[j.priority]
+	if !ok {
+		return false
+	}
+	tq, ok := c.tenants[j.tenant]
+	if !ok {
+		return false
+	}
+	for i, qj := range tq.jobs {
+		if qj == j {
+			tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+			if len(tq.jobs) == 0 {
+				c.deactivate(j.tenant)
+				if len(c.order) == 0 {
+					delete(q.classes, j.priority)
+				}
+			}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// pop dispatches the next job: the highest priority class that holds an
+// eligible job wins, and within it the DRR round picks the tenant.
+// Returns nil when nothing is eligible.
+func (q *wfq) pop(eligible func(*job) bool) *job {
+	prios := make([]int, 0, len(q.classes))
+	for p := range q.classes {
+		prios = append(prios, p)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+	for _, p := range prios {
+		c := q.classes[p]
+		if j := q.popClass(c, eligible); j != nil {
+			if len(c.order) == 0 {
+				delete(q.classes, p)
+			}
+			q.size--
+			return j
+		}
+	}
+	return nil
+}
+
+// popClass runs the DRR round within one class. The cursor stays on a
+// tenant while it has credit and eligible work; moving the cursor
+// replenishes the credit of the tenant it lands on (capped at its
+// weight, the classic deficit-round-robin top-up for unit-cost work).
+// Two full rotations bound the scan: within one rotation every tenant
+// is visited with fresh credit, so a second fruitless pass means no
+// job in the class is eligible.
+func (q *wfq) popClass(c *wfqClass, eligible func(*job) bool) *job {
+	n := len(c.order)
+	if n == 0 {
+		return nil
+	}
+	for visits := 0; visits <= 2*n; visits++ {
+		t := c.order[c.idx]
+		tq := c.tenants[t]
+		if tq.credit >= 1 {
+			if i := tq.firstEligible(eligible); i >= 0 {
+				j := tq.jobs[i]
+				tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+				tq.credit--
+				if len(tq.jobs) == 0 {
+					c.deactivate(t)
+				}
+				return j
+			}
+		}
+		// This tenant is out of credit or has nothing runnable: advance
+		// the round and top up whoever the cursor lands on.
+		c.idx = (c.idx + 1) % len(c.order)
+		nt := c.order[c.idx]
+		ntq := c.tenants[nt]
+		w := q.tenantWeight(nt)
+		ntq.credit += w
+		if ntq.credit > w {
+			ntq.credit = w
+		}
+	}
+	return nil
+}
+
+// all returns every queued job in submit order (drain and recovery
+// iterate this).
+func (q *wfq) all() []*job {
+	out := make([]*job, 0, q.size)
+	for _, c := range q.classes {
+		for _, tq := range c.tenants {
+			out = append(out, tq.jobs...)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}
+
+// clear empties the queue (drain) and returns what was queued, in
+// submit order.
+func (q *wfq) clear() []*job {
+	out := q.all()
+	q.classes = make(map[int]*wfqClass)
+	q.size = 0
+	return out
+}

@@ -1,0 +1,413 @@
+package mgmt
+
+// Versioned configuration datastore with candidate/running semantics —
+// the DRA paper's dynamic-reconfiguration discipline applied to the
+// service's own tunables. Edits land in a candidate document; commit
+// validates it, persists it as version N+1, atomically flips the
+// running pointer, and retunes the live scheduler; rollback walks the
+// running pointer back one version. Every version survives on disk, so
+// a drain + restart boots with the committed running config.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TenantConfig is one tenant's policy.
+type TenantConfig struct {
+	// Weight is the tenant's fair-queueing weight (0 = default 1).
+	Weight int `json:"weight,omitempty"`
+	// Quota bounds the tenant's admission; zero-valued fields fall back
+	// to QuotaDefaults.
+	Quota QuotaLimits `json:"quota,omitempty"`
+}
+
+// Config is the committed server configuration document.
+type Config struct {
+	// Version is stamped by the store; 0 marks the built-in defaults.
+	Version int `json:"version"`
+	// MaxQueued caps global queued+running admission (0 keeps the
+	// server's boot-time flag value).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// ClassLimits caps concurrently running jobs per kind.
+	ClassLimits map[string]int `json:"class_limits,omitempty"`
+	// QuotaDefaults applies to every tenant without an explicit quota.
+	QuotaDefaults QuotaLimits `json:"quota_defaults,omitempty"`
+	// Tenants holds per-tenant overrides, keyed by tenant name.
+	Tenants map[string]TenantConfig `json:"tenants,omitempty"`
+}
+
+// Validate rejects documents the scheduler could not honor.
+func (c Config) Validate() error {
+	if c.MaxQueued < 0 {
+		return fmt.Errorf("mgmt: max_queued must be >= 0, got %d", c.MaxQueued)
+	}
+	for kind, lim := range c.ClassLimits {
+		if lim < 0 {
+			return fmt.Errorf("mgmt: class_limits[%q] must be >= 0, got %d", kind, lim)
+		}
+	}
+	check := func(where string, q QuotaLimits) error {
+		if q.MaxQueued < 0 || q.MaxRunning < 0 || q.SubmitRate < 0 || q.SubmitBurst < 0 {
+			return fmt.Errorf("mgmt: %s quota fields must be >= 0", where)
+		}
+		return nil
+	}
+	if err := check("default", c.QuotaDefaults); err != nil {
+		return err
+	}
+	for name, tc := range c.Tenants {
+		if tc.Weight < 0 {
+			return fmt.Errorf("mgmt: tenants[%q].weight must be >= 0", name)
+		}
+		if err := check("tenants["+name+"]", tc.Quota); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clone deep-copies a config so candidate edits never alias running.
+func (c Config) clone() Config {
+	out := c
+	if c.ClassLimits != nil {
+		out.ClassLimits = make(map[string]int, len(c.ClassLimits))
+		for k, v := range c.ClassLimits {
+			out.ClassLimits[k] = v
+		}
+	}
+	if c.Tenants != nil {
+		out.Tenants = make(map[string]TenantConfig, len(c.Tenants))
+		for k, v := range c.Tenants {
+			out.Tenants[k] = v
+		}
+	}
+	return out
+}
+
+// ConfStore is the on-disk datastore: dir/v<N>.json per version plus a
+// "running" pointer file naming the active version. Dir "" keeps
+// everything in memory (no persistence, versions still tracked).
+type ConfStore struct {
+	mu        sync.Mutex
+	dir       string
+	defaults  Config // the version-0 boot defaults
+	running   Config
+	candidate Config
+	dirty     bool // candidate differs from running
+}
+
+// OpenConfStore loads the store, booting from the persisted running
+// version when one exists, else from def (stamped version 0).
+func OpenConfStore(dir string, def Config) (*ConfStore, error) {
+	def.Version = 0
+	cs := &ConfStore{dir: dir, defaults: def.clone(), running: def.clone(), candidate: def.clone()}
+	if dir == "" {
+		return cs, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(cs.pointerPath())
+	if os.IsNotExist(err) {
+		return cs, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("mgmt: corrupt running pointer: %w", err)
+	}
+	cfg, err := cs.load(v)
+	if err != nil {
+		return nil, err
+	}
+	cs.running = cfg
+	cs.candidate = cfg.clone()
+	return cs, nil
+}
+
+func (cs *ConfStore) pointerPath() string { return filepath.Join(cs.dir, "running") }
+func (cs *ConfStore) versionPath(v int) string {
+	return filepath.Join(cs.dir, fmt.Sprintf("v%d.json", v))
+}
+
+// load reads one persisted version.
+func (cs *ConfStore) load(v int) (Config, error) {
+	data, err := os.ReadFile(cs.versionPath(v))
+	if err != nil {
+		return Config{}, fmt.Errorf("mgmt: loading config v%d: %w", v, err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("mgmt: corrupt config v%d: %w", v, err)
+	}
+	cfg.Version = v
+	return cfg, nil
+}
+
+// Running returns the active config.
+func (cs *ConfStore) Running() Config {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.running.clone()
+}
+
+// Candidate returns the edit buffer.
+func (cs *ConfStore) Candidate() Config {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.candidate.clone()
+}
+
+// SetCandidate replaces the whole edit buffer (PUT semantics). The
+// version field is ignored; validation happens at commit.
+func (cs *ConfStore) SetCandidate(cfg Config) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cfg.Version = cs.running.Version
+	cs.candidate = cfg.clone()
+	cs.dirty = true
+}
+
+// Set applies one dotted-path edit to the candidate: "max_queued",
+// "class_limits.<kind>", "quota_defaults.<field>",
+// "tenants.<name>.weight", "tenants.<name>.quota.<field>". Quota fields
+// are max_queued, max_running, submit_rate, submit_burst.
+func (cs *ConfStore) Set(path, value string) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	c := cs.candidate.clone()
+	parts := strings.Split(path, ".")
+	atoi := func(s string) (int, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("mgmt: %s wants an integer, got %q", path, s)
+		}
+		return n, nil
+	}
+	setQuota := func(q *QuotaLimits, field string) error {
+		switch field {
+		case "max_queued":
+			n, err := atoi(value)
+			if err != nil {
+				return err
+			}
+			q.MaxQueued = n
+		case "max_running":
+			n, err := atoi(value)
+			if err != nil {
+				return err
+			}
+			q.MaxRunning = n
+		case "submit_rate":
+			f, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return fmt.Errorf("mgmt: %s wants a number, got %q", path, value)
+			}
+			q.SubmitRate = f
+		case "submit_burst":
+			n, err := atoi(value)
+			if err != nil {
+				return err
+			}
+			q.SubmitBurst = n
+		default:
+			return fmt.Errorf("mgmt: unknown quota field %q", field)
+		}
+		return nil
+	}
+	switch {
+	case path == "max_queued":
+		n, err := atoi(value)
+		if err != nil {
+			return err
+		}
+		c.MaxQueued = n
+	case len(parts) == 2 && parts[0] == "class_limits":
+		n, err := atoi(value)
+		if err != nil {
+			return err
+		}
+		if c.ClassLimits == nil {
+			c.ClassLimits = make(map[string]int)
+		}
+		c.ClassLimits[parts[1]] = n
+	case len(parts) == 2 && parts[0] == "quota_defaults":
+		if err := setQuota(&c.QuotaDefaults, parts[1]); err != nil {
+			return err
+		}
+	case len(parts) == 3 && parts[0] == "tenants" && parts[2] == "weight":
+		n, err := atoi(value)
+		if err != nil {
+			return err
+		}
+		if c.Tenants == nil {
+			c.Tenants = make(map[string]TenantConfig)
+		}
+		tc := c.Tenants[parts[1]]
+		tc.Weight = n
+		c.Tenants[parts[1]] = tc
+	case len(parts) == 4 && parts[0] == "tenants" && parts[2] == "quota":
+		if c.Tenants == nil {
+			c.Tenants = make(map[string]TenantConfig)
+		}
+		tc := c.Tenants[parts[1]]
+		if err := setQuota(&tc.Quota, parts[3]); err != nil {
+			return err
+		}
+		c.Tenants[parts[1]] = tc
+	default:
+		return fmt.Errorf("mgmt: unknown config path %q", path)
+	}
+	cs.candidate = c
+	cs.dirty = true
+	return nil
+}
+
+// Diff summarizes candidate-vs-running as sorted "path: running -> candidate"
+// lines; empty when the candidate is clean.
+func (cs *ConfStore) Diff() []string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	flat := func(c Config) map[string]string {
+		out := map[string]string{"max_queued": strconv.Itoa(c.MaxQueued)}
+		for k, v := range c.ClassLimits {
+			out["class_limits."+k] = strconv.Itoa(v)
+		}
+		q := func(prefix string, l QuotaLimits) {
+			out[prefix+".max_queued"] = strconv.Itoa(l.MaxQueued)
+			out[prefix+".max_running"] = strconv.Itoa(l.MaxRunning)
+			out[prefix+".submit_rate"] = strconv.FormatFloat(l.SubmitRate, 'g', -1, 64)
+			out[prefix+".submit_burst"] = strconv.Itoa(l.SubmitBurst)
+		}
+		q("quota_defaults", c.QuotaDefaults)
+		for name, tc := range c.Tenants {
+			out["tenants."+name+".weight"] = strconv.Itoa(tc.Weight)
+			q("tenants."+name+".quota", tc.Quota)
+		}
+		return out
+	}
+	a, b := flat(cs.running), flat(cs.candidate)
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var out []string
+	for k := range keys {
+		av, aok := a[k]
+		bv, bok := b[k]
+		if !aok {
+			av = "<unset>"
+		}
+		if !bok {
+			bv = "<unset>"
+		}
+		if av != bv {
+			out = append(out, fmt.Sprintf("%s: %s -> %s", k, av, bv))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commit validates the candidate, persists it as the next version, and
+// flips the running pointer. Returns the new running config. A clean
+// candidate commits anyway (an explicit no-op version).
+func (cs *ConfStore) Commit() (Config, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := cs.candidate.Validate(); err != nil {
+		return Config{}, err
+	}
+	next := cs.candidate.clone()
+	next.Version = cs.running.Version + 1
+	if err := cs.persist(next); err != nil {
+		return Config{}, err
+	}
+	cs.running = next
+	cs.candidate = next.clone()
+	cs.dirty = false
+	return next.clone(), nil
+}
+
+// Rollback flips the running pointer back one version and resets the
+// candidate to it. Rolling back from version <= 1 restores the built-in
+// defaults (version 0).
+func (cs *ConfStore) Rollback() (Config, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	prev := cs.running.Version - 1
+	if prev < 0 {
+		return Config{}, fmt.Errorf("mgmt: nothing to roll back (running version 0)")
+	}
+	var cfg Config
+	if prev == 0 {
+		cfg = cs.defaults.clone()
+	} else {
+		loaded, err := cs.load(prev)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg = loaded
+	}
+	cfg.Version = prev
+	if cs.dir != "" {
+		if err := cs.writePointer(prev); err != nil {
+			return Config{}, err
+		}
+	}
+	cs.running = cfg.clone()
+	cs.candidate = cfg.clone()
+	cs.dirty = false
+	return cfg.clone(), nil
+}
+
+// persist writes the version document then flips the pointer, each
+// atomically.
+func (cs *ConfStore) persist(cfg Config) error {
+	if cs.dir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(cs.versionPath(cfg.Version), append(data, '\n')); err != nil {
+		return err
+	}
+	return cs.writePointer(cfg.Version)
+}
+
+func (cs *ConfStore) writePointer(v int) error {
+	return atomicWrite(cs.pointerPath(), []byte(strconv.Itoa(v)+"\n"))
+}
+
+// atomicWrite is temp + rename in the target's directory.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".conf-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}

@@ -1,0 +1,105 @@
+// Package mgmt is the management plane layered in front of the drad
+// job service: API-key authentication resolving requests to tenants,
+// per-tenant role-based authorization and admission quotas, an
+// append-only audit log, and a versioned configuration datastore whose
+// commits retune the live scheduler without a restart.
+//
+// The dependency arrow points one way: internal/jobs knows nothing of
+// tenancy policy — it exposes function hooks (Options.Quota,
+// Options.TenantWeight) and a live-retune method (ApplyLimits) that
+// this package drives. The HTTP server resolves each request through a
+// mgmt.Manager and passes the tenant identity down.
+package mgmt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Role is a tenant key's privilege level. Roles are strictly ordered:
+// every verb a reader may call an operator may too, and admin covers
+// everything.
+type Role string
+
+// The roles, weakest first.
+const (
+	RoleReader   Role = "reader"
+	RoleOperator Role = "operator"
+	RoleAdmin    Role = "admin"
+)
+
+// rank orders roles for the at-least checks; unknown roles rank below
+// reader so a corrupted keystore fails closed.
+func (r Role) rank() int {
+	switch r {
+	case RoleAdmin:
+		return 3
+	case RoleOperator:
+		return 2
+	case RoleReader:
+		return 1
+	}
+	return 0
+}
+
+// Valid reports whether r is one of the defined roles.
+func (r Role) Valid() bool { return r.rank() > 0 }
+
+// Verb is an auditable management-plane action. Each verb requires a
+// minimum role.
+type Verb string
+
+// The verbs and their gates.
+const (
+	VerbRead        Verb = "read"         // job/status/result queries — reader
+	VerbSubmit      Verb = "submit"       // job submission — operator
+	VerbCancel      Verb = "cancel"       // job cancellation — operator
+	VerbKeys        Verb = "keys"         // key create/revoke/list — admin
+	VerbConfigRead  Verb = "config-read"  // running/candidate/diff — reader
+	VerbConfigWrite Verb = "config-write" // set/commit/rollback — admin
+	VerbAudit       Verb = "audit"        // audit log queries — admin
+)
+
+// minRole maps each verb to the weakest role allowed to perform it.
+func minRole(v Verb) Role {
+	switch v {
+	case VerbRead, VerbConfigRead:
+		return RoleReader
+	case VerbSubmit, VerbCancel:
+		return RoleOperator
+	}
+	return RoleAdmin
+}
+
+// Identity is the resolved caller of one request.
+type Identity struct {
+	// Tenant is the caller's tenant name ("" for the anonymous default
+	// tenant, which keeps single-tenant deployments' output identical
+	// to the pre-tenancy service).
+	Tenant string
+	// Role gates which verbs the caller may invoke.
+	Role Role
+	// KeyID names the API key that authenticated the caller ("" when
+	// anonymous).
+	KeyID string
+	// Anonymous marks a caller admitted by the allow-anonymous door
+	// rather than a key.
+	Anonymous bool
+}
+
+// Authorization errors, mapped to 401/403 by the HTTP layer.
+var (
+	// ErrUnauthorized: no credentials, or credentials that match no key.
+	ErrUnauthorized = errors.New("mgmt: unauthorized")
+	// ErrForbidden: authenticated, but the key's role does not cover the
+	// verb.
+	ErrForbidden = errors.New("mgmt: forbidden")
+)
+
+// Authorize checks that id's role covers the verb.
+func (id Identity) Authorize(v Verb) error {
+	if id.Role.rank() >= minRole(v).rank() {
+		return nil
+	}
+	return fmt.Errorf("%w: role %s cannot %s", ErrForbidden, id.Role, v)
+}

@@ -1,0 +1,198 @@
+package mgmt
+
+// API-key storage. Tokens are minted once, shown once, and stored only
+// as SHA-256 digests — the keystore file leaking does not leak the
+// credentials. Persistence is a single JSON document written atomically
+// (temp + rename) into the state dir, the same crash-safety discipline
+// the job manager uses for specs and checkpoints.
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// tokenPrefix marks drad API tokens; it makes leaked credentials
+// greppable and mistyped headers diagnosable.
+const tokenPrefix = "drak_"
+
+// Key is one stored API key (the token itself is never stored).
+type Key struct {
+	ID      string `json:"id"`
+	Tenant  string `json:"tenant"`
+	Role    Role   `json:"role"`
+	Hash    string `json:"hash"` // hex SHA-256 of the full token
+	Created int64  `json:"created_unix_ms"`
+}
+
+// keystoreFile is the on-disk document.
+type keystoreFile struct {
+	Keys []Key `json:"keys"`
+}
+
+// Keystore holds the API keys, keyed by token hash for O(1) resolve.
+type Keystore struct {
+	mu     sync.Mutex
+	path   string // "" = in-memory only (tests, anonymous-only servers)
+	byHash map[string]Key
+}
+
+// OpenKeystore loads (or initializes) the keystore at path; "" keeps it
+// in memory.
+func OpenKeystore(path string) (*Keystore, error) {
+	ks := &Keystore{path: path, byHash: make(map[string]Key)}
+	if path == "" {
+		return ks, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ks, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mgmt: reading keystore: %w", err)
+	}
+	var doc keystoreFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("mgmt: corrupt keystore %s: %w", path, err)
+	}
+	for _, k := range doc.Keys {
+		ks.byHash[k.Hash] = k
+	}
+	return ks, nil
+}
+
+// hashToken digests a presented token.
+func hashToken(token string) string {
+	sum := sha256.Sum256([]byte(token))
+	return hex.EncodeToString(sum[:])
+}
+
+// Create mints a new key for the tenant and returns the key record plus
+// the one-time token. The token is not recoverable later.
+func (ks *Keystore) Create(tenant string, role Role) (Key, string, error) {
+	if !role.Valid() {
+		return Key{}, "", fmt.Errorf("mgmt: invalid role %q", role)
+	}
+	raw := make([]byte, 18)
+	if _, err := rand.Read(raw); err != nil {
+		return Key{}, "", err
+	}
+	token := tokenPrefix + hex.EncodeToString(raw)
+	k := Key{
+		ID:      "key-" + hex.EncodeToString(raw[:4]),
+		Tenant:  tenant,
+		Role:    role,
+		Hash:    hashToken(token),
+		Created: time.Now().UnixMilli(),
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.byHash[k.Hash] = k
+	if err := ks.persistLocked(); err != nil {
+		delete(ks.byHash, k.Hash)
+		return Key{}, "", err
+	}
+	return k, token, nil
+}
+
+// Resolve authenticates a presented token. Comparison is by digest, in
+// constant time over the digest bytes.
+func (ks *Keystore) Resolve(token string) (Key, bool) {
+	if !strings.HasPrefix(token, tokenPrefix) {
+		return Key{}, false
+	}
+	h := hashToken(token)
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	k, ok := ks.byHash[h]
+	if !ok {
+		return Key{}, false
+	}
+	if subtle.ConstantTimeCompare([]byte(k.Hash), []byte(h)) != 1 {
+		return Key{}, false
+	}
+	return k, true
+}
+
+// Revoke deletes a key by ID. Returns false when no such key exists.
+func (ks *Keystore) Revoke(id string) (bool, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	for h, k := range ks.byHash {
+		if k.ID == id {
+			delete(ks.byHash, h)
+			if err := ks.persistLocked(); err != nil {
+				ks.byHash[h] = k
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// List returns all keys (hashes included — they are not secrets) sorted
+// by creation time then ID.
+func (ks *Keystore) List() []Key {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	out := make([]Key, 0, len(ks.byHash))
+	for _, k := range ks.byHash {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Created != out[j].Created {
+			return out[i].Created < out[j].Created
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Empty reports whether the keystore holds no keys (the bootstrap
+// trigger for a server that disallows anonymous access).
+func (ks *Keystore) Empty() bool {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return len(ks.byHash) == 0
+}
+
+// persistLocked writes the document atomically; in-memory stores skip.
+func (ks *Keystore) persistLocked() error {
+	if ks.path == "" {
+		return nil
+	}
+	doc := keystoreFile{Keys: make([]Key, 0, len(ks.byHash))}
+	for _, k := range ks.byHash {
+		doc.Keys = append(doc.Keys, k)
+	}
+	sort.Slice(doc.Keys, func(i, j int) bool { return doc.Keys[i].ID < doc.Keys[j].ID })
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(ks.path), ".keys-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, ks.path)
+}

@@ -1,0 +1,256 @@
+package mgmt
+
+import (
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Options configures a management-plane Manager.
+type Options struct {
+	// Dir is the state directory; keys, audit log, and config versions
+	// live under it. "" keeps everything in memory (keys and config
+	// still work, the audit log is disabled).
+	Dir string
+	// AllowAnonymous admits requests without credentials as the default
+	// tenant ("") with admin role — the single-tenant compatibility
+	// door. When false, every request must present a valid API key.
+	AllowAnonymous bool
+	// AuditMaxBytes bounds the active audit file before rotation
+	// (0 = DefaultAuditMaxBytes).
+	AuditMaxBytes int64
+	// Defaults is the version-0 configuration (boot-flag values).
+	Defaults Config
+	// Metrics registers the mgmt_* instrument families; nil disables.
+	Metrics *metrics.Registry
+	// Apply pushes a newly committed running config into the live
+	// scheduler (wired to jobs.Manager.ApplyLimits by the server main).
+	Apply func(Config)
+	// Now is the clock (tests inject a fake; nil = time.Now).
+	Now func() time.Time
+}
+
+// Manager is the management plane: one per server process.
+type Manager struct {
+	opt   Options
+	keys  *Keystore
+	audit *Audit
+	conf  *ConfStore
+	quota *quotaKeeper
+
+	submits    *metrics.CounterVec
+	rejections *metrics.CounterVec
+	authFails  *metrics.CounterVec
+	auditTotal *metrics.Counter
+	commits    *metrics.Counter
+	rollbacks  *metrics.Counter
+}
+
+// New opens the management plane over the state dir.
+func New(opt Options) (*Manager, error) {
+	keyPath, auditPath, confDir := "", "", ""
+	if opt.Dir != "" {
+		keyPath = filepath.Join(opt.Dir, "keys.json")
+		auditPath = filepath.Join(opt.Dir, "audit.log")
+		confDir = filepath.Join(opt.Dir, "config")
+	}
+	keys, err := OpenKeystore(keyPath)
+	if err != nil {
+		return nil, err
+	}
+	audit, err := OpenAudit(auditPath, opt.AuditMaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	conf, err := OpenConfStore(confDir, opt.Defaults)
+	if err != nil {
+		audit.Close()
+		return nil, err
+	}
+	m := &Manager{
+		opt:   opt,
+		keys:  keys,
+		audit: audit,
+		conf:  conf,
+		quota: newQuotaKeeper(opt.Now),
+	}
+	if r := opt.Metrics; r != nil {
+		m.submits = r.CounterVec("mgmt_tenant_submits_total", "Admitted job submissions per tenant.", "tenant")
+		m.rejections = r.CounterVec("mgmt_tenant_rejections_total", "Refused job submissions per tenant and cause.", "tenant", "cause")
+		m.authFails = r.CounterVec("mgmt_auth_failures_total", "Requests refused by authentication or authorization, by reason.", "reason")
+		m.auditTotal = r.Counter("mgmt_audit_entries_total", "Audit log entries appended.")
+		m.commits = r.Counter("mgmt_config_commits_total", "Configuration commits applied.")
+		m.rollbacks = r.Counter("mgmt_config_rollbacks_total", "Configuration rollbacks applied.")
+		r.GaugeFunc("mgmt_config_version", "Version number of the running configuration.", func() float64 {
+			return float64(m.conf.Running().Version)
+		})
+		r.GaugeFunc("mgmt_audit_bytes", "Size of the active audit log file in bytes.", func() float64 {
+			return float64(m.audit.Size())
+		})
+		r.GaugeFunc("mgmt_audit_rotations", "Audit log rotations since the server started.", func() float64 {
+			return float64(m.audit.Rotations())
+		})
+	}
+	return m, nil
+}
+
+// Close flushes the audit log.
+func (m *Manager) Close() error { return m.audit.Close() }
+
+// Keys exposes the keystore (server key-management endpoints).
+func (m *Manager) Keys() *Keystore { return m.keys }
+
+// Conf exposes the config datastore (server config endpoints).
+func (m *Manager) Conf() *ConfStore { return m.conf }
+
+// Resolve authenticates a request's bearer token into an identity.
+// An empty token resolves to the anonymous default-tenant admin when
+// AllowAnonymous is set, and fails otherwise.
+func (m *Manager) Resolve(token string) (Identity, error) {
+	if token == "" {
+		if m.opt.AllowAnonymous {
+			return Identity{Tenant: "", Role: RoleAdmin, Anonymous: true}, nil
+		}
+		m.authFail("missing_credentials")
+		return Identity{}, ErrUnauthorized
+	}
+	k, ok := m.keys.Resolve(token)
+	if !ok {
+		m.authFail("unknown_key")
+		return Identity{}, ErrUnauthorized
+	}
+	return Identity{Tenant: k.Tenant, Role: k.Role, KeyID: k.ID}, nil
+}
+
+// Authorize gates a verb, counting refusals.
+func (m *Manager) Authorize(id Identity, v Verb) error {
+	if err := id.Authorize(v); err != nil {
+		m.authFail("forbidden")
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) authFail(reason string) {
+	if m.authFails != nil {
+		m.authFails.With(reason).Inc()
+	}
+}
+
+// TenantWeight resolves a tenant's fair-queueing weight from the
+// running config (jobs.Options.TenantWeight hook).
+func (m *Manager) TenantWeight(tenant string) int {
+	cfg := m.conf.Running()
+	if tc, ok := cfg.Tenants[tenant]; ok && tc.Weight > 0 {
+		return tc.Weight
+	}
+	return 1
+}
+
+// quotaFor resolves a tenant's effective limits: explicit tenant quota
+// fields win, zero-valued fields fall back to the defaults.
+func (m *Manager) quotaFor(tenant string) QuotaLimits {
+	cfg := m.conf.Running()
+	lim := cfg.QuotaDefaults
+	if tc, ok := cfg.Tenants[tenant]; ok {
+		if tc.Quota.MaxQueued > 0 {
+			lim.MaxQueued = tc.Quota.MaxQueued
+		}
+		if tc.Quota.MaxRunning > 0 {
+			lim.MaxRunning = tc.Quota.MaxRunning
+		}
+		if tc.Quota.SubmitRate > 0 {
+			lim.SubmitRate = tc.Quota.SubmitRate
+			lim.SubmitBurst = tc.Quota.SubmitBurst
+		}
+	}
+	return lim
+}
+
+// AdmitSubmit is the jobs.Options.Quota hook: it checks the tenant's
+// quota against its live queued/running counts. A nil return admits.
+func (m *Manager) AdmitSubmit(tenant string, queued, running int) error {
+	if qerr := m.quota.admit(tenant, m.quotaFor(tenant), queued, running); qerr != nil {
+		if m.rejections != nil {
+			m.rejections.With(tenantLabel(tenant), qerr.Reason).Inc()
+		}
+		return qerr
+	}
+	if m.submits != nil {
+		m.submits.With(tenantLabel(tenant)).Inc()
+	}
+	return nil
+}
+
+// tenantLabel keeps the anonymous tenant visible in metrics.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// Record appends an audit entry, tolerating (but surfacing via the
+// job event log upstream) persistence errors.
+func (m *Manager) Record(id Identity, verb Verb, job, outcome, detail string) {
+	_, err := m.audit.Append(Entry{
+		Tenant:  tenantLabel(id.Tenant),
+		Verb:    string(verb),
+		Job:     job,
+		Outcome: outcome,
+		Detail:  detail,
+	})
+	if err == nil && m.auditTotal != nil {
+		m.auditTotal.Inc()
+	}
+}
+
+// AuditQuery reads back matching audit entries.
+func (m *Manager) AuditQuery(opts QueryOpts) ([]Entry, error) {
+	return m.audit.Query(opts)
+}
+
+// Commit commits the candidate config, applies it to the live
+// scheduler, and audits the change.
+func (m *Manager) Commit(id Identity) (Config, error) {
+	cfg, err := m.conf.Commit()
+	if err != nil {
+		m.Record(id, VerbConfigWrite, "", "error", err.Error())
+		return Config{}, err
+	}
+	if m.commits != nil {
+		m.commits.Inc()
+	}
+	if m.opt.Apply != nil {
+		m.opt.Apply(cfg)
+	}
+	m.Record(id, VerbConfigWrite, "", "ok", "commit v"+strconv.Itoa(cfg.Version))
+	return cfg, nil
+}
+
+// Rollback flips the running config back one version, applies, audits.
+func (m *Manager) Rollback(id Identity) (Config, error) {
+	cfg, err := m.conf.Rollback()
+	if err != nil {
+		m.Record(id, VerbConfigWrite, "", "error", err.Error())
+		return Config{}, err
+	}
+	if m.rollbacks != nil {
+		m.rollbacks.Inc()
+	}
+	if m.opt.Apply != nil {
+		m.opt.Apply(cfg)
+	}
+	m.Record(id, VerbConfigWrite, "", "ok", "rollback to v"+strconv.Itoa(cfg.Version))
+	return cfg, nil
+}
+
+// ApplyRunning pushes the current running config into the scheduler —
+// called once at boot so a restart honors the committed version.
+func (m *Manager) ApplyRunning() {
+	if m.opt.Apply != nil {
+		m.opt.Apply(m.conf.Running())
+	}
+}

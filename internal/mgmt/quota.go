@@ -1,0 +1,105 @@
+package mgmt
+
+// Per-tenant admission quotas: queued/running caps plus a token-bucket
+// submit rate. A quota refusal is an HTTP 429 with Retry-After and a
+// "tenant_quota" cause — deliberately distinct from the global
+// queue-full ErrBusy, so a tenant can tell "you are over your share"
+// apart from "the service is saturated".
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaLimits bounds one tenant's admission.
+type QuotaLimits struct {
+	// MaxQueued caps the tenant's queued jobs (0 = unlimited).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning caps the tenant's running+leased jobs (0 = unlimited).
+	MaxRunning int `json:"max_running,omitempty"`
+	// SubmitRate refills the tenant's submit token bucket, in submits
+	// per second (0 = unlimited rate).
+	SubmitRate float64 `json:"submit_rate,omitempty"`
+	// SubmitBurst is the bucket capacity; defaults to max(1, rate) when
+	// a rate is set.
+	SubmitBurst int `json:"submit_burst,omitempty"`
+}
+
+// burst resolves the effective bucket size.
+func (q QuotaLimits) burst() float64 {
+	if q.SubmitBurst > 0 {
+		return float64(q.SubmitBurst)
+	}
+	return math.Max(1, q.SubmitRate)
+}
+
+// QuotaError is a per-tenant admission refusal.
+type QuotaError struct {
+	Tenant string
+	// Reason is the exhausted limit: "max_queued", "max_running", or
+	// "submit_rate".
+	Reason string
+	// RetryAfter is the caller's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("mgmt: tenant %q over quota (%s), retry after %s",
+		e.Tenant, e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// quotaState is one tenant's token bucket.
+type quotaState struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaKeeper evaluates QuotaLimits against live tenant counts.
+type quotaKeeper struct {
+	mu      sync.Mutex
+	buckets map[string]*quotaState
+	now     func() time.Time // injectable for tests
+}
+
+func newQuotaKeeper(now func() time.Time) *quotaKeeper {
+	if now == nil {
+		now = time.Now
+	}
+	return &quotaKeeper{buckets: make(map[string]*quotaState), now: now}
+}
+
+// admit checks one submission by tenant against lim, given the tenant's
+// current queued and running counts (as reported by the scheduler).
+// A successful admit consumes one rate token.
+func (k *quotaKeeper) admit(tenant string, lim QuotaLimits, queued, running int) *QuotaError {
+	if lim.MaxQueued > 0 && queued >= lim.MaxQueued {
+		return &QuotaError{Tenant: tenant, Reason: "max_queued", RetryAfter: 2 * time.Second}
+	}
+	if lim.MaxRunning > 0 && running >= lim.MaxRunning {
+		return &QuotaError{Tenant: tenant, Reason: "max_running", RetryAfter: 2 * time.Second}
+	}
+	if lim.SubmitRate <= 0 {
+		return nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	now := k.now()
+	st, ok := k.buckets[tenant]
+	if !ok {
+		st = &quotaState{tokens: lim.burst(), last: now}
+		k.buckets[tenant] = st
+	}
+	st.tokens = math.Min(lim.burst(), st.tokens+now.Sub(st.last).Seconds()*lim.SubmitRate)
+	st.last = now
+	if st.tokens < 1 {
+		wait := time.Duration((1 - st.tokens) / lim.SubmitRate * float64(time.Second))
+		if wait < time.Second {
+			wait = time.Second
+		}
+		return &QuotaError{Tenant: tenant, Reason: "submit_rate", RetryAfter: wait}
+	}
+	st.tokens--
+	return nil
+}

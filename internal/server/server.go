@@ -35,12 +35,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/mgmt"
 	"repro/internal/telemetry"
 )
 
@@ -73,6 +75,12 @@ type Options struct {
 	// manager's state-dir probe; a failure flips readiness to 503.
 	// Typically store.(*Store).WriteProbe.
 	StoreProbe func() error
+	// Mgmt, when non-nil, attaches the management plane: API-key
+	// authentication on the job endpoints, per-tenant quotas surfaced as
+	// 429 tenant_quota refusals, audit recording, and the /v1/keys,
+	// /v1/audit, and /v1/config routes. Nil keeps the pre-tenancy
+	// behavior: every caller is the anonymous default-tenant admin.
+	Mgmt *mgmt.Manager
 }
 
 const (
@@ -123,6 +131,19 @@ func New(opt Options) (*Server, error) {
 		s.mux.HandleFunc("POST /v1/fleet/complete", s.fleetComplete)
 		s.mux.HandleFunc("GET /v1/fleet", s.fleetStatus)
 	}
+	if opt.Mgmt != nil {
+		s.mux.HandleFunc("POST /v1/keys", s.keyCreate)
+		s.mux.HandleFunc("GET /v1/keys", s.keyList)
+		s.mux.HandleFunc("DELETE /v1/keys/{id}", s.keyRevoke)
+		s.mux.HandleFunc("GET /v1/audit", s.auditQuery)
+		s.mux.HandleFunc("GET /v1/config", s.configRunning)
+		s.mux.HandleFunc("GET /v1/config/candidate", s.configCandidate)
+		s.mux.HandleFunc("PUT /v1/config/candidate", s.configPutCandidate)
+		s.mux.HandleFunc("POST /v1/config/set", s.configSet)
+		s.mux.HandleFunc("GET /v1/config/diff", s.configDiff)
+		s.mux.HandleFunc("POST /v1/config/commit", s.configCommit)
+		s.mux.HandleFunc("POST /v1/config/rollback", s.configRollback)
+	}
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	// Introspection shares the listener: the metrics handler owns its
 	// own sub-routes, including /debug/pprof.
@@ -145,17 +166,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// apiError is the uniform error body.
+// apiError is the uniform error body. Cause, when set, machine-labels
+// the refusal class — "busy" (global admission), "tenant_quota"
+// (per-tenant quota) — so clients can distinguish backoff strategies
+// without parsing the message.
 type apiError struct {
 	Error string `json:"error"`
+	Cause string `json:"cause,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// submit parses, validates, and admits a job spec.
+func writeErrorCause(w http.ResponseWriter, status int, cause, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...), Cause: cause})
+}
+
+// submit parses, validates, authorizes, and admits a job spec on
+// behalf of the caller's tenant.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.authorize(w, r, mgmt.VerbSubmit)
+	if !ok {
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.opt.MaxSpecBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -170,13 +204,28 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, err := s.mgr.Submit(spec)
+	snap, err := s.mgr.SubmitAs(id.Tenant, spec)
+	var qerr *mgmt.QuotaError
 	switch {
+	case errors.As(err, &qerr):
+		// Per-tenant quota refusal: the caller is over its own share,
+		// not the service over capacity. The distinct cause lets a
+		// client tell the two apart; Retry-After carries the quota
+		// keeper's backoff hint.
+		secs := int(qerr.RetryAfter.Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.audit(id, mgmt.VerbSubmit, "", "tenant_quota", qerr.Reason)
+		writeErrorCause(w, http.StatusTooManyRequests, "tenant_quota", "%v", err)
+		return
 	case errors.Is(err, jobs.ErrBusy):
-		// Admission control: bounded memory beats a dead server. The
-		// client backs off and retries.
+		// Global admission control: bounded memory beats a dead server.
+		// The client backs off and retries.
 		w.Header().Set("Retry-After", retryAfterSeconds)
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		s.audit(id, mgmt.VerbSubmit, "", "busy", "")
+		writeErrorCause(w, http.StatusTooManyRequests, "busy", "%v", err)
 		return
 	case errors.Is(err, jobs.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -189,19 +238,72 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := http.StatusAccepted
+	outcome := "ok"
 	if snap.Cached {
 		// The content-addressed store already holds this result; no
 		// computation was scheduled.
 		status = http.StatusOK
+		outcome = "cache"
 	}
+	s.audit(id, mgmt.VerbSubmit, snap.ID, outcome, snap.Kind)
 	writeJSON(w, status, snap)
 }
 
+// list serves the job index with optional paging and filtering:
+// ?limit=N caps the (newest-first) result, ?since=<RFC3339|unix-ms>
+// keeps jobs submitted after the mark, ?tenant= filters by tenant.
+// Non-admin callers only ever see their own tenant's jobs.
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.List())
+	id, ok := s.authorize(w, r, mgmt.VerbRead)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit wants a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	var since time.Time
+	if v := q.Get("since"); v != "" {
+		t, err := parseSince(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		since = t
+	}
+	tenant, tenantSet := q.Get("tenant"), q.Has("tenant")
+	if id.Role != mgmt.RoleAdmin {
+		// A non-admin key is scoped to its own tenant regardless of what
+		// it asked for.
+		tenant, tenantSet = id.Tenant, true
+	}
+	all := s.mgr.List()
+	out := make([]jobs.Snapshot, 0, len(all))
+	for _, snap := range all {
+		if tenantSet && snap.Tenant != tenant {
+			continue
+		}
+		if !since.IsZero() && !snap.SubmittedAt.After(since) {
+			continue
+		}
+		out = append(out, snap)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r, mgmt.VerbRead); !ok {
+		return
+	}
 	snap, err := s.mgr.Get(r.PathValue("id"))
 	if errors.Is(err, jobs.ErrNotFound) {
 		writeError(w, http.StatusNotFound, "%v", err)
@@ -211,6 +313,10 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.authorize(w, r, mgmt.VerbCancel)
+	if !ok {
+		return
+	}
 	err := s.mgr.Cancel(r.PathValue("id"))
 	if errors.Is(err, jobs.ErrNotFound) {
 		writeError(w, http.StatusNotFound, "%v", err)
@@ -220,11 +326,15 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	s.audit(id, mgmt.VerbCancel, r.PathValue("id"), "ok", "")
 	snap, _ := s.mgr.Get(r.PathValue("id"))
 	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r, mgmt.VerbRead); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	res, err := s.mgr.Result(id)
 	if err != nil {
@@ -297,6 +407,9 @@ type streamLine struct {
 // lines carrying the job's private metrics snapshot and trace depth.
 // The stream ends when the job comes to rest or the client goes away.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authorize(w, r, mgmt.VerbRead); !ok {
+		return
+	}
 	id := r.PathValue("id")
 	ch, unsub, err := s.mgr.Subscribe(id)
 	if errors.Is(err, jobs.ErrNotFound) {

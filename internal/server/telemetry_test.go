@@ -16,6 +16,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/mgmt"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -278,6 +279,27 @@ func TestServiceMetricNamesLint(t *testing.T) {
 	// The fleet coordinator registers its families (fleet_workers_live,
 	// fleet_leases_active, fleet_*_total) on the same registry.
 	fleet.New(fleet.Options{Backend: mgr, Metrics: reg})
+	// The management plane registers the mgmt_tenant_*, mgmt_audit_*,
+	// mgmt_auth_*, and mgmt_config_* families; exercise the vec paths so
+	// labeled children materialize too.
+	mg, err := mgmt.New(mgmt.Options{Dir: t.TempDir(), AllowAnonymous: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	if err := mg.Conf().Set("tenants.linted.quota.max_queued", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Commit(mgmt.Identity{Role: mgmt.RoleAdmin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.AdmitSubmit("linted", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.AdmitSubmit("linted", 1, 0); err == nil {
+		t.Fatal("expected a quota rejection to materialize the rejection counter")
+	}
+	mg.Resolve("drak_bogus")
 	// Both write probes publish their writability gauges.
 	if err := mgr.WriteProbe(); err != nil {
 		t.Fatal(err)
