@@ -120,37 +120,16 @@ func run() int {
 	}
 	// The management plane and the scheduler reference each other (the
 	// scheduler consults quota/weight hooks per submission; a config
-	// commit retunes the scheduler), so the hooks late-bind through this
-	// pointer: during manager construction and recovery it is still nil
-	// and the hooks are inert, exactly the pre-tenancy behavior.
-	var mg *mgmt.Manager
-	mgr, err := jobs.NewManager(jobs.Options{
-		Store:       st,
-		Dir:         *stateDir,
-		Runners:     dra.DefaultRunners(),
-		Workers:     *workers,
-		MaxQueued:   *maxQueued,
-		ClassLimits: limits,
-		Metrics:     reg,
-		Telemetry:   hub,
-		External:    *role == "coordinator",
-		Quota: func(tenant string, queued, running int) error {
-			if mg == nil {
-				return nil
-			}
-			return mg.AdmitSubmit(tenant, queued, running)
-		},
-		TenantWeight: func(tenant string) int {
-			if mg == nil {
-				return 1
-			}
-			return mg.TenantWeight(tenant)
-		},
-	})
-	if err != nil {
-		fatal(err)
-	}
-	mg, err = mgmt.New(mgmt.Options{
+	// commit retunes the scheduler). The plane comes up first so the
+	// hooks are bound before the scheduler exists: startup recovery
+	// dispatches recovered jobs to pool goroutines that re-enter the
+	// scheduler and read the hooks concurrently, so a late-bound hook
+	// target would be a data race. The reverse edge (Apply) late-binds
+	// through mgr safely — it only fires from ApplyRunning below and
+	// from commit/rollback handlers, all after mgr is assigned and
+	// ordered behind the listener goroutine's start.
+	var mgr *jobs.Manager
+	mg, err := mgmt.New(mgmt.Options{
 		Dir:            *stateDir,
 		AllowAnonymous: *allowAnon,
 		AuditMaxBytes:  *auditMax,
@@ -159,6 +138,22 @@ func run() int {
 		Apply: func(cfg mgmt.Config) {
 			mgr.ApplyLimits(cfg.MaxQueued, cfg.ClassLimits)
 		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	mgr, err = jobs.NewManager(jobs.Options{
+		Store:        st,
+		Dir:          *stateDir,
+		Runners:      dra.DefaultRunners(),
+		Workers:      *workers,
+		MaxQueued:    *maxQueued,
+		ClassLimits:  limits,
+		Metrics:      reg,
+		Telemetry:    hub,
+		External:     *role == "coordinator",
+		Quota:        mg.AdmitSubmit,
+		TenantWeight: mg.TenantWeight,
 	})
 	if err != nil {
 		fatal(err)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -404,6 +405,52 @@ func TestRecoverWaivesAdmissionBound(t *testing.T) {
 		if s := waitDone(t, m2, id); s.State != StateDone {
 			t.Fatalf("recovered job %s state %s (err %q)", id, s.State, s.Error)
 		}
+	}
+}
+
+// TestBusyRefusalSkipsQuotaHook: the global admission bound is checked
+// before the tenant quota hook, so a submission bounced with ErrBusy
+// never consumes a tenant rate token or counts as an admitted submit.
+func TestBusyRefusalSkipsQuotaHook(t *testing.T) {
+	var calls int
+	m := externalManager(t, Options{MaxQueued: 1,
+		Quota: func(tenant string, queued, running int) error {
+			calls++
+			return nil
+		},
+	})
+	if _, err := m.Submit(mcSpec(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("quota consulted %d times after one admit, want 1", calls)
+	}
+	if _, err := m.Submit(mcSpec(2, 0)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if calls != 1 {
+		t.Fatal("quota hook consulted for a submission refused by the global bound")
+	}
+}
+
+// TestRecoverSweepsOrphanOwnerSidecars: a crash between the owner
+// sidecar write and the spec rename leaves a .owner with no .json;
+// recovery sweeps it rather than letting it linger and mis-attribute a
+// future submission of the same content-addressed ID.
+func TestRecoverSweepsOrphanOwnerSidecars(t *testing.T) {
+	dir := t.TempDir()
+	pending := filepath.Join(dir, pendingDirName)
+	if err := os.MkdirAll(pending, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(pending, "deadbeef.owner")
+	if err := os.WriteFile(orphan, []byte("acme\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newManager(t, Options{Dir: dir,
+		Runners: map[string]Runner{config.KindReliability: instantRunner(new(atomic.Int64))}})
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan sidecar not swept (stat err: %v)", err)
 	}
 }
 

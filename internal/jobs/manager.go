@@ -53,12 +53,14 @@ type Options struct {
 	External bool
 	// Quota, when non-nil, is consulted at admission with the
 	// submitting tenant's current queued and running counts (under the
-	// manager lock, after the draining check — so a drain refusal
-	// always outranks a quota refusal). A non-nil return rejects the
-	// submission and is surfaced to the caller verbatim, letting the
-	// management plane return typed quota errors (429 + Retry-After
-	// with a tenant_quota cause) distinct from the global ErrBusy.
-	// Startup recovery bypasses it, like the MaxQueued bound.
+	// manager lock, after the draining and global MaxQueued checks — so
+	// a drain or global-saturation refusal always outranks a quota
+	// refusal, and a submission bounced with ErrBusy never charges the
+	// tenant's rate bucket or submit accounting). A non-nil return
+	// rejects the submission and is surfaced to the caller verbatim,
+	// letting the management plane return typed quota errors (429 +
+	// Retry-After with a tenant_quota cause) distinct from the global
+	// ErrBusy. Startup recovery bypasses it, like the MaxQueued bound.
 	Quota func(tenant string, queued, running int) error
 	// TenantWeight returns a tenant's weighted-fair-queueing weight
 	// (values below 1, and a nil func, mean weight 1). Consulted on
@@ -208,6 +210,18 @@ func (m *Manager) recover() error {
 			m.mu.Unlock()
 		}
 	}
+	// Sweep orphan owner sidecars: a crash between the sidecar write and
+	// the spec rename (or a corrupt spec dropped above) leaves a .owner
+	// with no .json, which no job will ever reclaim.
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".owner") {
+			continue
+		}
+		id := strings.TrimSuffix(e.Name(), ".owner")
+		if _, err := os.Stat(m.pendingPath(id)); os.IsNotExist(err) {
+			os.Remove(filepath.Join(m.opt.Dir, pendingDirName, e.Name()))
+		}
+	}
 	return nil
 }
 
@@ -255,17 +269,19 @@ func (m *Manager) SubmitAs(tenant string, spec config.Spec) (Snapshot, error) {
 		m.mu.Unlock()
 		return Snapshot{}, ErrDraining
 	}
+	// Global admission first: a queue-full refusal must not consume the
+	// tenant's rate-bucket token or count as an admitted submit.
+	if !m.recovering && m.admittedLocked() >= m.opt.MaxQueued {
+		m.rejected.Inc()
+		m.mu.Unlock()
+		return Snapshot{}, ErrBusy
+	}
 	if !m.recovering && m.opt.Quota != nil {
 		if qerr := m.opt.Quota(tenant, m.queuedT[tenant], m.runningT[tenant]); qerr != nil {
 			m.rejected.Inc()
 			m.mu.Unlock()
 			return Snapshot{}, qerr
 		}
-	}
-	if !m.recovering && m.admittedLocked() >= m.opt.MaxQueued {
-		m.rejected.Inc()
-		m.mu.Unlock()
-		return Snapshot{}, ErrBusy
 	}
 
 	m.seq++
@@ -860,8 +876,13 @@ func (m *Manager) ownerPath(id string) string {
 	return filepath.Join(m.opt.Dir, pendingDirName, id+".owner")
 }
 
-// persistSpec writes the admitted spec atomically so a crashed or
-// drained server can requeue it.
+// persistSpec writes the admitted spec and its tenant owner sidecar so
+// a crashed or drained server can requeue the job with its attribution
+// intact. Both files land via temp + rename, and the sidecar lands
+// before the spec: recovery keys off the spec file, so a crash between
+// the two leaves at worst an orphan sidecar (swept by recover), never a
+// recovered job silently re-attributed to the anonymous tenant or a
+// torn partial tenant name.
 func (m *Manager) persistSpec(j *job) error {
 	path := m.pendingPath(j.id)
 	if path == "" {
@@ -871,12 +892,26 @@ func (m *Manager) persistSpec(j *job) error {
 	if err != nil {
 		return err
 	}
+	if j.tenant != "" {
+		if err := atomicWriteFile(m.ownerPath(j.id), []byte(j.tenant+"\n")); err != nil {
+			return err
+		}
+	} else {
+		// A stale sidecar from an earlier owner of this content-addressed
+		// ID must not re-attribute an anonymous resubmission on recovery.
+		os.Remove(m.ownerPath(j.id))
+	}
+	return atomicWriteFile(path, append(data, '\n'))
+}
+
+// atomicWriteFile is temp + rename in the target's directory.
+func atomicWriteFile(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".spec-*")
 	if err != nil {
 		return err
 	}
 	name := tmp.Name()
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(name)
 		return err
@@ -885,13 +920,7 @@ func (m *Manager) persistSpec(j *job) error {
 		os.Remove(name)
 		return err
 	}
-	if err := os.Rename(name, path); err != nil {
-		return err
-	}
-	if j.tenant != "" {
-		return os.WriteFile(m.ownerPath(j.id), []byte(j.tenant+"\n"), 0o644)
-	}
-	return nil
+	return os.Rename(name, path)
 }
 
 // unpersist removes a terminal job's pending spec, owner sidecar, and

@@ -315,22 +315,23 @@ func TestApplyLimitsLive(t *testing.T) {
 		MaxQueued: 8,
 		Runners:   map[string]Runner{config.KindReliability: blocker},
 	})
-	defer close(release)
-	if _, err := m.Submit(mcSpec(1, 0)); err != nil {
-		t.Fatal(err)
+	var ids []string
+	submit := func(seed uint64) {
+		snap, err := m.Submit(mcSpec(seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
 	}
-	if _, err := m.Submit(mcSpec(2, 0)); err != nil {
-		t.Fatal(err)
-	}
+	submit(1)
+	submit(2)
 
 	m.ApplyLimits(2, nil)
 	if _, err := m.Submit(mcSpec(3, 0)); !errors.Is(err, ErrBusy) {
 		t.Fatalf("err = %v, want ErrBusy after tightening max-queued to 2", err)
 	}
 	m.ApplyLimits(8, nil)
-	if _, err := m.Submit(mcSpec(4, 0)); err != nil {
-		t.Fatalf("submit after loosening: %v", err)
-	}
+	submit(4)
 
 	gotMax, gotLimits := m.Limits()
 	if gotMax != 8 || len(gotLimits) != 0 {
@@ -340,5 +341,13 @@ func TestApplyLimitsLive(t *testing.T) {
 	gotMax, gotLimits = m.Limits()
 	if gotMax != 8 || gotLimits[config.KindReliability] != 1 {
 		t.Fatalf("Limits() after class change = %d, %v", gotMax, gotLimits)
+	}
+
+	// Let every admitted job finish before the test's temp dirs are torn
+	// down: a runner unblocked mid-cleanup would race its Store.Put
+	// against the TempDir RemoveAll.
+	close(release)
+	for _, id := range ids {
+		waitDone(t, m, id)
 	}
 }

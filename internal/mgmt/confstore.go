@@ -244,26 +244,34 @@ func (cs *ConfStore) Set(path, value string) error {
 		if err := setQuota(&c.QuotaDefaults, parts[1]); err != nil {
 			return err
 		}
-	case len(parts) == 3 && parts[0] == "tenants" && parts[2] == "weight":
-		n, err := atoi(value)
-		if err != nil {
-			return err
-		}
+	case strings.HasPrefix(path, "tenants."):
+		// Tenant paths parse by known prefix and suffix, not by splitting
+		// every dot: ValidateTenant rejects dotted names at key creation,
+		// but tenants can also enter the config directly, and a name like
+		// "a.b" must address "tenants.a.b.weight" rather than be
+		// unreachable.
+		rest := strings.TrimPrefix(path, "tenants.")
 		if c.Tenants == nil {
 			c.Tenants = make(map[string]TenantConfig)
 		}
-		tc := c.Tenants[parts[1]]
-		tc.Weight = n
-		c.Tenants[parts[1]] = tc
-	case len(parts) == 4 && parts[0] == "tenants" && parts[2] == "quota":
-		if c.Tenants == nil {
-			c.Tenants = make(map[string]TenantConfig)
+		if name, ok := strings.CutSuffix(rest, ".weight"); ok && name != "" {
+			n, err := atoi(value)
+			if err != nil {
+				return err
+			}
+			tc := c.Tenants[name]
+			tc.Weight = n
+			c.Tenants[name] = tc
+		} else if i := strings.LastIndex(rest, ".quota."); i > 0 {
+			name, field := rest[:i], rest[i+len(".quota."):]
+			tc := c.Tenants[name]
+			if err := setQuota(&tc.Quota, field); err != nil {
+				return err
+			}
+			c.Tenants[name] = tc
+		} else {
+			return fmt.Errorf("mgmt: unknown config path %q", path)
 		}
-		tc := c.Tenants[parts[1]]
-		if err := setQuota(&tc.Quota, parts[3]); err != nil {
-			return err
-		}
-		c.Tenants[parts[1]] = tc
 	default:
 		return fmt.Errorf("mgmt: unknown config path %q", path)
 	}

@@ -76,9 +76,31 @@ func hashToken(token string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// ValidateTenant gates tenant names at key creation. Names travel
+// through dotted config paths ("tenants.<name>.weight"), owner sidecar
+// files, and audit lines, so only letters, digits, '-', and '_' are
+// accepted — in particular no dots, which would make config paths
+// ambiguous, and no whitespace, which the sidecar reader trims.
+func ValidateTenant(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("mgmt: tenant name must be 1-64 characters, got %q", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("mgmt: tenant name %q may only contain letters, digits, '-', and '_'", name)
+		}
+	}
+	return nil
+}
+
 // Create mints a new key for the tenant and returns the key record plus
 // the one-time token. The token is not recoverable later.
 func (ks *Keystore) Create(tenant string, role Role) (Key, string, error) {
+	if err := ValidateTenant(tenant); err != nil {
+		return Key{}, "", err
+	}
 	if !role.Valid() {
 		return Key{}, "", fmt.Errorf("mgmt: invalid role %q", role)
 	}

@@ -84,6 +84,24 @@ func TestKeystoreRejectsInvalidRole(t *testing.T) {
 	}
 }
 
+// TestKeystoreRejectsBadTenantNames: names travel through dotted config
+// paths and owner sidecar files, so the charset is locked down at
+// creation — dots in particular would make "tenants.<name>.weight"
+// paths ambiguous.
+func TestKeystoreRejectsBadTenantNames(t *testing.T) {
+	ks, _ := OpenKeystore("")
+	for _, bad := range []string{"", "a.b", "a b", "a\nb", "a/b", strings.Repeat("x", 65)} {
+		if _, _, err := ks.Create(bad, RoleReader); err == nil {
+			t.Errorf("tenant name %q accepted", bad)
+		}
+	}
+	for _, good := range []string{"acme", "Acme-2", "a_b", "x"} {
+		if _, _, err := ks.Create(good, RoleReader); err != nil {
+			t.Errorf("tenant name %q rejected: %v", good, err)
+		}
+	}
+}
+
 // --- identity / roles ---
 
 func TestRoleVerbMatrix(t *testing.T) {
@@ -378,6 +396,30 @@ func TestConfStoreValidation(t *testing.T) {
 	}
 	if cs.Candidate().QuotaDefaults.SubmitRate != 2.5 {
 		t.Fatal("set lost the rate")
+	}
+}
+
+// TestConfStoreSetDottedTenantNames: tenant paths parse by prefix and
+// suffix rather than splitting on every dot, so a tenant named "a.b"
+// (from a hand-edited config or a pre-validation keystore) is still
+// addressable.
+func TestConfStoreSetDottedTenantNames(t *testing.T) {
+	cs, _ := OpenConfStore("", Config{})
+	if err := cs.Set("tenants.a.b.weight", "3"); err != nil {
+		t.Fatalf("dotted tenant weight refused: %v", err)
+	}
+	if err := cs.Set("tenants.a.b.quota.max_queued", "7"); err != nil {
+		t.Fatalf("dotted tenant quota refused: %v", err)
+	}
+	tc, ok := cs.Candidate().Tenants["a.b"]
+	if !ok || tc.Weight != 3 || tc.Quota.MaxQueued != 7 {
+		t.Fatalf("tenant \"a.b\" = %+v (present=%v)", tc, ok)
+	}
+	if err := cs.Set("tenants..weight", "1"); err == nil {
+		t.Fatal("empty tenant name accepted")
+	}
+	if err := cs.Set("tenants.a.bogus", "1"); err == nil {
+		t.Fatal("unknown tenant field accepted")
 	}
 }
 

@@ -49,6 +49,13 @@ func (s *Server) authorize(w http.ResponseWriter, r *http.Request, v mgmt.Verb) 
 	return id, true
 }
 
+// callerOwns reports whether the caller may act on a job owned by
+// tenant: admin keys (and the anonymous admin) reach every job, other
+// roles only their own tenant's.
+func callerOwns(id mgmt.Identity, tenant string) bool {
+	return id.Role == mgmt.RoleAdmin || id.Tenant == tenant
+}
+
 // audit records a management-plane action when a plane is attached.
 func (s *Server) audit(id mgmt.Identity, verb mgmt.Verb, job, outcome, detail string) {
 	if s.opt.Mgmt != nil {

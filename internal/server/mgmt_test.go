@@ -26,7 +26,9 @@ import (
 )
 
 // mgmtServer boots a manager + management plane + server, all wired the
-// way cmd/drad wires them (late-bound hooks, Apply → ApplyLimits).
+// way cmd/drad wires them: the plane first so the scheduler's quota and
+// weight hooks are bound before recovery can dispatch, Apply late-bound
+// to ApplyLimits.
 func mgmtServer(t *testing.T, allowAnon bool, mopt jobs.Options) (*httptest.Server, *jobs.Manager, *mgmt.Manager) {
 	t.Helper()
 	if mopt.Store == nil {
@@ -36,24 +38,8 @@ func mgmtServer(t *testing.T, allowAnon bool, mopt jobs.Options) (*httptest.Serv
 		}
 		mopt.Store = st
 	}
-	var mg *mgmt.Manager
-	mopt.Quota = func(tenant string, queued, running int) error {
-		if mg == nil {
-			return nil
-		}
-		return mg.AdmitSubmit(tenant, queued, running)
-	}
-	mopt.TenantWeight = func(tenant string) int {
-		if mg == nil {
-			return 1
-		}
-		return mg.TenantWeight(tenant)
-	}
-	mgr, err := jobs.NewManager(mopt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mg, err = mgmt.New(mgmt.Options{
+	var mgr *jobs.Manager
+	mg, err := mgmt.New(mgmt.Options{
 		Dir:            t.TempDir(),
 		AllowAnonymous: allowAnon,
 		Defaults:       mgmt.Config{MaxQueued: mopt.MaxQueued, ClassLimits: mopt.ClassLimits},
@@ -62,6 +48,12 @@ func mgmtServer(t *testing.T, allowAnon bool, mopt jobs.Options) (*httptest.Serv
 			mgr.ApplyLimits(cfg.MaxQueued, cfg.ClassLimits)
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mopt.Quota = mg.AdmitSubmit
+	mopt.TenantWeight = mg.TenantWeight
+	mgr, err = jobs.NewManager(mopt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,6 +494,77 @@ func TestListPagingAndTenantScope(t *testing.T) {
 		fmt.Sprintf("%s/v1/jobs?since=%d", ts.URL, time.Now().Add(time.Minute).UnixMilli()), adminTok, "")
 	if got := decode(body); len(got) != 0 {
 		t.Fatalf("future since returned %d jobs", len(got))
+	}
+}
+
+// TestCrossTenantJobIsolation: job IDs are content-addressed and thus
+// guessable, so the by-ID endpoints (status, result, events, cancel)
+// must enforce tenant ownership, not just the verb — another tenant's
+// key, operator or reader, gets a 404 (not a 403, which would leak
+// existence), while the owner and an admin key retain full access.
+func TestCrossTenantJobIsolation(t *testing.T) {
+	ts, mgr, mg := mgmtServer(t, true, jobs.Options{
+		MaxQueued: 16,
+		Runners:   map[string]jobs.Runner{config.KindReliability: instantRunner(nil)},
+	})
+	_, adminTok, err := mg.Keys().Create("ops", mgmt.RoleAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acmeTok := mintKey(t, ts.URL, adminTok, "acme", "operator")
+	otherTok := mintKey(t, ts.URL, adminTok, "other", "operator")
+	otherReaderTok := mintKey(t, ts.URL, adminTok, "other", "reader")
+
+	// acme submits and finishes a job; its ID is now derivable by anyone
+	// holding the same spec.
+	resp, body := doAuth(t, http.MethodPost, ts.URL+"/v1/jobs", acmeTok, specBody(77))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var snap jobs.Snapshot
+	json.Unmarshal(body, &snap)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := mgr.Wait(ctx, snap.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another tenant's keys bounce off every by-ID route with 404 —
+	// except the reader's DELETE, which the verb gate already refuses
+	// with 403 before ownership is consulted (role refusals leak no
+	// per-job information).
+	for _, tok := range []string{otherTok, otherReaderTok} {
+		for _, ep := range []struct{ method, path string }{
+			{http.MethodGet, "/v1/jobs/" + snap.ID},
+			{http.MethodGet, "/v1/jobs/" + snap.ID + "/result"},
+			{http.MethodGet, "/v1/jobs/" + snap.ID + "/events"},
+		} {
+			resp, body := doAuth(t, ep.method, ts.URL+ep.path, tok, "")
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("%s %s as foreign tenant: %d %s, want 404", ep.method, ep.path, resp.StatusCode, body)
+			}
+		}
+	}
+	if resp, body := doAuth(t, http.MethodDelete, ts.URL+"/v1/jobs/"+snap.ID, otherTok, ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("foreign operator cancel: %d %s, want 404", resp.StatusCode, body)
+	}
+	if resp, _ := doAuth(t, http.MethodDelete, ts.URL+"/v1/jobs/"+snap.ID, otherReaderTok, ""); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("foreign reader cancel: %d, want 403 from the verb gate", resp.StatusCode)
+	}
+
+	// The owner reads its own status and result; admin reads everything.
+	for _, tok := range []string{acmeTok, adminTok} {
+		if resp, body := doAuth(t, http.MethodGet, ts.URL+"/v1/jobs/"+snap.ID, tok, ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("owner/admin status: %d %s", resp.StatusCode, body)
+		}
+		if resp, body := doAuth(t, http.MethodGet, ts.URL+"/v1/jobs/"+snap.ID+"/result", tok, ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("owner/admin result: %d %s", resp.StatusCode, body)
+		}
+	}
+	// Cancel of a terminal job is a no-op 200 — but only for the owner
+	// or an admin.
+	if resp, body := doAuth(t, http.MethodDelete, ts.URL+"/v1/jobs/"+snap.ID, acmeTok, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner cancel: %d %s", resp.StatusCode, body)
 	}
 }
 

@@ -300,13 +300,28 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// jobForCaller resolves a by-ID job reference under tenant scoping:
+// non-admin callers only ever reach jobs their own tenant submitted.
+// A job owned elsewhere answers 404 — not 403 — because job IDs are
+// content-addressed (deterministic from the spec) and therefore
+// guessable without list access; a 403 would leak the cross-tenant
+// existence that list() deliberately hides.
+func (s *Server) jobForCaller(w http.ResponseWriter, id mgmt.Identity, jobID string) (jobs.Snapshot, bool) {
+	snap, err := s.mgr.Get(jobID)
+	if err != nil || !callerOwns(id, snap.Tenant) {
+		writeError(w, http.StatusNotFound, "%v", jobs.ErrNotFound)
+		return jobs.Snapshot{}, false
+	}
+	return snap, true
+}
+
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.authorize(w, r, mgmt.VerbRead); !ok {
+	id, ok := s.authorize(w, r, mgmt.VerbRead)
+	if !ok {
 		return
 	}
-	snap, err := s.mgr.Get(r.PathValue("id"))
-	if errors.Is(err, jobs.ErrNotFound) {
-		writeError(w, http.StatusNotFound, "%v", err)
+	snap, ok := s.jobForCaller(w, id, r.PathValue("id"))
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -317,7 +332,11 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	err := s.mgr.Cancel(r.PathValue("id"))
+	jobID := r.PathValue("id")
+	if _, ok := s.jobForCaller(w, id, jobID); !ok {
+		return
+	}
+	err := s.mgr.Cancel(jobID)
 	if errors.Is(err, jobs.ErrNotFound) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -326,22 +345,36 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.audit(id, mgmt.VerbCancel, r.PathValue("id"), "ok", "")
-	snap, _ := s.mgr.Get(r.PathValue("id"))
+	s.audit(id, mgmt.VerbCancel, jobID, "ok", "")
+	snap, _ := s.mgr.Get(jobID)
 	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) result(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.authorize(w, r, mgmt.VerbRead); !ok {
+	id, ok := s.authorize(w, r, mgmt.VerbRead)
+	if !ok {
 		return
 	}
-	id := r.PathValue("id")
-	res, err := s.mgr.Result(id)
+	jobID := r.PathValue("id")
+	snap, err := s.mgr.Get(jobID)
+	known := err == nil
+	if known && !callerOwns(id, snap.Tenant) {
+		writeError(w, http.StatusNotFound, "%v", jobs.ErrNotFound)
+		return
+	}
+	if !known && id.Role != mgmt.RoleAdmin {
+		// The job record is gone (pruned, or from before a restart), so
+		// tenant attribution is lost; results without a record stay
+		// admin-only rather than leaking across tenants by guessed ID.
+		writeError(w, http.StatusNotFound, "%v", jobs.ErrNotFound)
+		return
+	}
+	res, err := s.mgr.Result(jobID)
 	if err != nil {
 		// Distinguish "job exists but is not done" from "never heard of
 		// it" so clients can poll sensibly.
-		if snap, gerr := s.mgr.Get(id); gerr == nil && snap.State != jobs.StateDone {
-			writeError(w, http.StatusConflict, "job %s is %s, result not available", id, snap.State)
+		if known && snap.State != jobs.StateDone {
+			writeError(w, http.StatusConflict, "job %s is %s, result not available", jobID, snap.State)
 			return
 		}
 		writeError(w, http.StatusNotFound, "%v", err)
@@ -407,10 +440,14 @@ type streamLine struct {
 // lines carrying the job's private metrics snapshot and trace depth.
 // The stream ends when the job comes to rest or the client goes away.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
-	if _, ok := s.authorize(w, r, mgmt.VerbRead); !ok {
+	caller, ok := s.authorize(w, r, mgmt.VerbRead)
+	if !ok {
 		return
 	}
 	id := r.PathValue("id")
+	if _, ok := s.jobForCaller(w, caller, id); !ok {
+		return
+	}
 	ch, unsub, err := s.mgr.Subscribe(id)
 	if errors.Is(err, jobs.ErrNotFound) {
 		writeError(w, http.StatusNotFound, "%v", err)
